@@ -1,0 +1,260 @@
+//! Exhaustive DFS subgraph matcher — the baseline SubGemini is measured
+//! against.
+//!
+//! §IV of the paper contrasts SubGemini's breadth-first relabeling with
+//! "a straightforward approach … to match all the vertices of S to
+//! vertices located in G by exhaustively searching from the key vertex
+//! as in \[6\]". This crate implements that straightforward approach:
+//! depth-first extension of a device mapping with full backtracking,
+//! anchored on already-mapped nets for locality.
+//!
+//! The matcher is *exact* and shares SubGemini's instance semantics
+//! (induced internal nets, terminal equivalence classes, optional
+//! special-net constraints), so it doubles as the ground-truth oracle in
+//! the cross-validation property tests.
+//!
+//! # Examples
+//!
+//! Find the inverter inside a NAND gate — which succeeds precisely when
+//! special nets are ignored (paper Fig. 7):
+//!
+//! ```
+//! use subgemini_baseline::{find_all, DfsOptions};
+//! use subgemini_netlist::Netlist;
+//!
+//! # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+//! let mut inv = Netlist::new("inv");
+//! let mos = inv.add_mos_types();
+//! let (a, y, vdd, gnd) = (inv.net("a"), inv.net("y"), inv.net("vdd"), inv.net("gnd"));
+//! inv.mark_port(a);
+//! inv.mark_port(y);
+//! inv.mark_global(vdd);
+//! inv.mark_global(gnd);
+//! inv.add_device("mp", mos.pmos, &[a, vdd, y])?;
+//! inv.add_device("mn", mos.nmos, &[a, gnd, y])?;
+//!
+//! let mut nand = Netlist::new("nand2");
+//! let mos = nand.add_mos_types();
+//! let (a, b, y, mid) = (nand.net("a"), nand.net("b"), nand.net("y"), nand.net("mid"));
+//! let (vdd, gnd) = (nand.net("vdd"), nand.net("gnd"));
+//! nand.mark_global(vdd);
+//! nand.mark_global(gnd);
+//! nand.add_device("p1", mos.pmos, &[a, vdd, y])?;
+//! nand.add_device("p2", mos.pmos, &[b, vdd, y])?;
+//! nand.add_device("n1", mos.nmos, &[a, y, mid])?;
+//! nand.add_device("n2", mos.nmos, &[b, mid, gnd])?;
+//!
+//! let with_globals = find_all(&inv, &nand, &DfsOptions::default());
+//! assert!(with_globals.instances.is_empty());
+//!
+//! let ignore = DfsOptions { respect_globals: false, ..Default::default() };
+//! let without = find_all(&inv, &nand, &ignore);
+//! assert_eq!(without.instances.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matcher;
+
+pub use matcher::{find_all, DfsMatch, DfsOptions, DfsResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgemini_netlist::{instantiate, Netlist, NetlistError};
+
+    fn inverter_cell() -> Netlist {
+        let mut inv = Netlist::new("inv");
+        let mos = inv.add_mos_types();
+        let (a, y, vdd, gnd) = (inv.net("a"), inv.net("y"), inv.net("vdd"), inv.net("gnd"));
+        inv.mark_port(a);
+        inv.mark_port(y);
+        inv.mark_global(vdd);
+        inv.mark_global(gnd);
+        inv.add_device("mp", mos.pmos, &[a, vdd, y]).unwrap();
+        inv.add_device("mn", mos.nmos, &[a, gnd, y]).unwrap();
+        inv
+    }
+
+    fn nand2_cell() -> Netlist {
+        let mut nand = Netlist::new("nand2");
+        let mos = nand.add_mos_types();
+        let (a, b, y, mid) = (nand.net("a"), nand.net("b"), nand.net("y"), nand.net("mid"));
+        let (vdd, gnd) = (nand.net("vdd"), nand.net("gnd"));
+        nand.mark_port(a);
+        nand.mark_port(b);
+        nand.mark_port(y);
+        nand.mark_global(vdd);
+        nand.mark_global(gnd);
+        nand.add_device("p1", mos.pmos, &[a, vdd, y]).unwrap();
+        nand.add_device("p2", mos.pmos, &[b, vdd, y]).unwrap();
+        nand.add_device("n1", mos.nmos, &[a, y, mid]).unwrap();
+        nand.add_device("n2", mos.nmos, &[b, mid, gnd]).unwrap();
+        nand
+    }
+
+    /// A chain of `n` inverters plus one NAND mixing the ends.
+    fn chain_chip(n: usize) -> Result<Netlist, NetlistError> {
+        let inv = inverter_cell();
+        let nand = nand2_cell();
+        let mut chip = Netlist::new("chip");
+        let mut prev = chip.net("in");
+        for i in 0..n {
+            let next = chip.net(format!("w{i}"));
+            instantiate(&mut chip, &inv, &format!("u{i}"), &[prev, next])?;
+            prev = next;
+        }
+        let first = chip.net("w0");
+        let out = chip.net("out");
+        instantiate(&mut chip, &nand, "g0", &[prev, first, out])?;
+        Ok(chip)
+    }
+
+    #[test]
+    fn finds_every_planted_inverter() {
+        let chip = chain_chip(6).unwrap();
+        let inv = inverter_cell();
+        let res = find_all(&inv, &chip, &DfsOptions::default());
+        assert_eq!(res.instances.len(), 6);
+        assert!(!res.budget_exhausted);
+        // Each instance maps pattern devices to two distinct chip
+        // devices of the right types.
+        for m in &res.instances {
+            let set = m.device_set();
+            assert_eq!(set.len(), 2);
+            let names: Vec<&str> = set.iter().map(|&d| chip.device_type_of(d).name()).collect();
+            assert!(names.contains(&"nmos") && names.contains(&"pmos"));
+        }
+    }
+
+    #[test]
+    fn finds_planted_nand_once() {
+        let chip = chain_chip(4).unwrap();
+        let nand = nand2_cell();
+        let res = find_all(&nand, &chip, &DfsOptions::default());
+        assert_eq!(res.instances.len(), 1);
+    }
+
+    #[test]
+    fn inverter_not_inside_nand_when_globals_respected() {
+        let nand = nand2_cell();
+        let inv = inverter_cell();
+        let res = find_all(&inv, &nand, &DfsOptions::default());
+        assert!(res.instances.is_empty());
+    }
+
+    #[test]
+    fn inverter_inside_nand_when_globals_ignored() {
+        let nand = nand2_cell();
+        let inv = inverter_cell();
+        let res = find_all(
+            &inv,
+            &nand,
+            &DfsOptions {
+                respect_globals: false,
+                ..Default::default()
+            },
+        );
+        // Exactly one structural inverter: the p2/n1 pair through y does
+        // not close (n1's source is mid, not a rail image), so the match
+        // is the p1/n1 pair sharing gate a and drain y.
+        assert_eq!(res.instances.len(), 1);
+    }
+
+    #[test]
+    fn automorphic_duplicates_collapse() {
+        // Pattern: two parallel NMOS between the same pair of nets
+        // (paper Fig. 5 shape). Main: the same. The two automorphic
+        // mappings must collapse to one instance.
+        let build = |name: &str| {
+            let mut nl = Netlist::new(name);
+            let mos = nl.add_mos_types();
+            let (g, s, d) = (nl.net("g"), nl.net("s"), nl.net("d"));
+            nl.mark_port(g);
+            nl.mark_port(s);
+            nl.mark_port(d);
+            nl.add_device("a", mos.nmos, &[g, s, d]).unwrap();
+            nl.add_device("b", mos.nmos, &[g, s, d]).unwrap();
+            nl
+        };
+        let res = find_all(&build("pat"), &build("main"), &DfsOptions::default());
+        assert_eq!(res.instances.len(), 1);
+    }
+
+    #[test]
+    fn max_instances_limits_results() {
+        let chip = chain_chip(6).unwrap();
+        let inv = inverter_cell();
+        let res = find_all(
+            &inv,
+            &chip,
+            &DfsOptions {
+                max_instances: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.instances.len(), 2);
+    }
+
+    #[test]
+    fn step_budget_aborts_search() {
+        let chip = chain_chip(8).unwrap();
+        let inv = inverter_cell();
+        let res = find_all(
+            &inv,
+            &chip,
+            &DfsOptions {
+                max_steps: 3,
+                ..Default::default()
+            },
+        );
+        assert!(res.budget_exhausted);
+    }
+
+    #[test]
+    fn images_of_key_vertex_are_distinct() {
+        let chip = chain_chip(5).unwrap();
+        let inv = inverter_cell();
+        let res = find_all(&inv, &chip, &DfsOptions::default());
+        let key = inv.find_device("mn").unwrap();
+        assert_eq!(res.images_of_device(key).len(), 5);
+        let ynet = inv.find_net("y").unwrap();
+        assert_eq!(res.images_of_net(ynet).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn isolated_pattern_net_panics() {
+        let mut pat = Netlist::new("bad");
+        let mos = pat.add_mos_types();
+        let (a, b) = (pat.net("a"), pat.net("b"));
+        pat.net("floating");
+        pat.add_device("m", mos.nmos, &[a, b, b]).unwrap();
+        let main = inverter_cell();
+        find_all(&pat, &main, &DfsOptions::default());
+    }
+
+    #[test]
+    fn source_drain_symmetry_respected() {
+        // Pattern lists (g, s, d); main lists the transistor with s/d
+        // swapped. Must still match.
+        let mut pat = Netlist::new("pat");
+        let mos = pat.add_mos_types();
+        let (g, x, y) = (pat.net("g"), pat.net("x"), pat.net("y"));
+        pat.mark_port(g);
+        pat.mark_port(x);
+        pat.mark_port(y);
+        pat.add_device("m", mos.nmos, &[g, x, y]).unwrap();
+
+        let mut main = Netlist::new("main");
+        let mos2 = main.add_mos_types();
+        let (gg, s, d, o) = (main.net("gg"), main.net("s"), main.net("d"), main.net("o"));
+        main.add_device("m1", mos2.nmos, &[gg, d, s]).unwrap();
+        main.add_device("m2", mos2.pmos, &[gg, o, s]).unwrap();
+        let res = find_all(&pat, &main, &DfsOptions::default());
+        assert_eq!(res.instances.len(), 1);
+    }
+}

@@ -1,0 +1,428 @@
+//! The exhaustive depth-first subgraph matcher.
+
+use std::collections::HashSet;
+
+use subgemini_netlist::{DeviceId, NetId, Netlist};
+
+/// Options for the DFS matcher.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DfsOptions {
+    /// Honor global (special) nets: a pattern `vdd` may only map to the
+    /// same-named global net of the main circuit (paper §IV.A).
+    pub respect_globals: bool,
+    /// Collapse automorphic remappings of the same device set into one
+    /// instance (default). Set `false` to record every complete
+    /// mapping — needed when exact per-vertex image sets matter.
+    pub dedup_automorphs: bool,
+    /// Stop after this many recorded instances (0 = unlimited).
+    pub max_instances: usize,
+    /// Abort after this many search steps to bound exponential blowups.
+    pub max_steps: u64,
+}
+
+impl Default for DfsOptions {
+    fn default() -> Self {
+        Self {
+            respect_globals: true,
+            dedup_automorphs: true,
+            max_instances: 0,
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// A complete instance mapping found by the matcher.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DfsMatch {
+    /// `devices[i]` is the main-circuit device matched with pattern
+    /// device `i`.
+    pub devices: Vec<DeviceId>,
+    /// `nets[i]` is the main-circuit net matched with pattern net `i`.
+    pub nets: Vec<NetId>,
+}
+
+impl DfsMatch {
+    /// The matched main-circuit devices as a sorted set — the canonical
+    /// identity of an instance (automorphic remappings collapse).
+    pub fn device_set(&self) -> Vec<DeviceId> {
+        let mut v = self.devices.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Result of a DFS search.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DfsResult {
+    /// Instances, deduplicated by device set.
+    pub instances: Vec<DfsMatch>,
+    /// Search steps (candidate device pairings tried).
+    pub steps: u64,
+    /// `true` if the step budget ran out before the search space was
+    /// exhausted (results may be incomplete).
+    pub budget_exhausted: bool,
+}
+
+impl DfsResult {
+    /// Distinct main-circuit devices that serve as the image of pattern
+    /// device `s` across all instances.
+    pub fn images_of_device(&self, s: DeviceId) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self
+            .instances
+            .iter()
+            .map(|m| m.devices[s.index()])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct main-circuit nets that serve as the image of pattern net
+    /// `s` across all instances.
+    pub fn images_of_net(&self, s: NetId) -> Vec<NetId> {
+        let mut v: Vec<NetId> = self.instances.iter().map(|m| m.nets[s.index()]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+struct Search<'a> {
+    pattern: &'a Netlist,
+    main: &'a Netlist,
+    opts: &'a DfsOptions,
+    /// Pattern devices in a connectivity-first visit order.
+    order: Vec<DeviceId>,
+    dev_map: Vec<Option<DeviceId>>,
+    net_map: Vec<Option<NetId>>,
+    used_dev: Vec<bool>,
+    used_net: Vec<bool>,
+    result: DfsResult,
+    seen_sets: HashSet<Vec<DeviceId>>,
+}
+
+impl<'a> Search<'a> {
+    fn new(pattern: &'a Netlist, main: &'a Netlist, opts: &'a DfsOptions) -> Self {
+        Self {
+            pattern,
+            main,
+            opts,
+            order: visit_order(pattern),
+            dev_map: vec![None; pattern.device_count()],
+            net_map: vec![None; pattern.net_count()],
+            used_dev: vec![false; main.device_count()],
+            used_net: vec![false; main.net_count()],
+            result: DfsResult::default(),
+            seen_sets: HashSet::new(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.result.budget_exhausted
+            || (self.opts.max_instances > 0
+                && self.result.instances.len() >= self.opts.max_instances)
+    }
+
+    /// Can pattern net `s` map to main net `g` given current bindings?
+    fn net_compatible(&self, s: NetId, g: NetId) -> bool {
+        if let Some(mapped) = self.net_map[s.index()] {
+            return mapped == g;
+        }
+        if self.used_net[g.index()] {
+            return false;
+        }
+        let sn = self.pattern.net_ref(s);
+        let gn = self.main.net_ref(g);
+        if self.opts.respect_globals && (sn.is_global() || gn.is_global()) {
+            // Special signals match only each other, by name (§IV.A).
+            return sn.is_global() && gn.is_global() && sn.name() == gn.name();
+        }
+        // Internal (non-port, non-global) nets are induced: the image
+        // must have exactly the same degree.
+        if !sn.is_port() && !sn.is_global() && sn.degree() != gn.degree() {
+            return false;
+        }
+        true
+    }
+
+    fn bind_net(&mut self, s: NetId, g: NetId) -> bool {
+        if self.net_map[s.index()].is_some() {
+            return false; // already bound (caller checks compatibility)
+        }
+        self.net_map[s.index()] = Some(g);
+        self.used_net[g.index()] = true;
+        true
+    }
+
+    fn unbind_net(&mut self, s: NetId) {
+        if let Some(g) = self.net_map[s.index()].take() {
+            self.used_net[g.index()] = false;
+        }
+    }
+
+    /// Attempts to align the pins of pattern device `s` with main device
+    /// `g`, trying all within-class permutations; recurses into the next
+    /// device on success.
+    fn try_pins(&mut self, k: usize, s: DeviceId, g: DeviceId) {
+        let sty = self.pattern.device_type_of(s);
+        let spins = self.pattern.device(s).pins();
+        let gpins = self.main.device(g).pins();
+        // Group pin indices by class multiplier. Types are identical, so
+        // groups align index-for-index.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for i in 0..spins.len() {
+            let mult = sty.class_multiplier(i);
+            match groups.iter_mut().find(|(m, _)| *m == mult) {
+                Some((_, v)) => v.push(i),
+                None => groups.push((mult, vec![i])),
+            }
+        }
+        // DFS over per-group assignments of g-pins to s-pins.
+        self.assign_group(k, &groups, 0, spins, gpins, &mut Vec::new());
+    }
+
+    /// Assigns pins within `groups[gi..]`; `newly_bound` tracks nets we
+    /// bound so they can be rolled back.
+    #[allow(clippy::too_many_arguments)]
+    fn assign_group(
+        &mut self,
+        k: usize,
+        groups: &[(u64, Vec<usize>)],
+        gi: usize,
+        spins: &[NetId],
+        gpins: &[NetId],
+        newly_bound: &mut Vec<NetId>,
+    ) {
+        if self.done() {
+            return;
+        }
+        if gi == groups.len() {
+            self.extend(k + 1);
+            return;
+        }
+        let members = &groups[gi].1;
+        let mut perm: Vec<usize> = members.clone();
+        permute(&mut perm, 0, &mut |p: &[usize]| {
+            if self.done() {
+                return;
+            }
+            // Map s pin members[j] to g pin p[j].
+            let mut bound_here: Vec<NetId> = Vec::new();
+            let mut ok = true;
+            for (j, &si) in members.iter().enumerate() {
+                let (sn, gn) = (spins[si], gpins[p[j]]);
+                if !self.net_compatible(sn, gn) {
+                    ok = false;
+                    break;
+                }
+                if self.net_map[sn.index()].is_none() {
+                    self.bind_net(sn, gn);
+                    bound_here.push(sn);
+                }
+            }
+            if ok {
+                newly_bound.extend(bound_here.iter().copied());
+                self.assign_group(k, groups, gi + 1, spins, gpins, newly_bound);
+                for _ in 0..bound_here.len() {
+                    let sn = newly_bound.pop().expect("tracked binding");
+                    self.unbind_net(sn);
+                }
+            } else {
+                for sn in bound_here {
+                    self.unbind_net(sn);
+                }
+            }
+        });
+    }
+
+    fn extend(&mut self, k: usize) {
+        if self.done() {
+            return;
+        }
+        if k == self.order.len() {
+            self.record();
+            return;
+        }
+        let s = self.order[k];
+        let sty_name = self.pattern.device_type_of(s).name();
+        // Prefer candidates attached to an already-mapped net image.
+        let mut anchored: Option<Vec<DeviceId>> = None;
+        for &sn in self.pattern.device(s).pins() {
+            if let Some(gn) = self.net_map[sn.index()] {
+                let cands: Vec<DeviceId> = self
+                    .main
+                    .net_ref(gn)
+                    .pins()
+                    .iter()
+                    .map(|p| p.device)
+                    .filter(|&d| {
+                        !self.used_dev[d.index()] && self.main.device_type_of(d).name() == sty_name
+                    })
+                    .collect();
+                match &anchored {
+                    Some(prev) if prev.len() <= cands.len() => {}
+                    _ => anchored = Some(cands),
+                }
+            }
+        }
+        let candidates: Vec<DeviceId> = match anchored {
+            Some(c) => c,
+            None => self
+                .main
+                .device_ids()
+                .filter(|&d| {
+                    !self.used_dev[d.index()] && self.main.device_type_of(d).name() == sty_name
+                })
+                .collect(),
+        };
+        for g in candidates {
+            if self.done() {
+                return;
+            }
+            self.result.steps += 1;
+            if self.result.steps >= self.opts.max_steps {
+                self.result.budget_exhausted = true;
+                return;
+            }
+            self.dev_map[s.index()] = Some(g);
+            self.used_dev[g.index()] = true;
+            self.try_pins(k, s, g);
+            self.dev_map[s.index()] = None;
+            self.used_dev[g.index()] = false;
+        }
+    }
+
+    fn record(&mut self) {
+        let devices: Vec<DeviceId> = self
+            .dev_map
+            .iter()
+            .map(|d| d.expect("complete mapping"))
+            .collect();
+        let mut key = devices.clone();
+        key.sort_unstable();
+        if !self.seen_sets.insert(key) && self.opts.dedup_automorphs {
+            return; // automorphic duplicate
+        }
+        let nets: Vec<NetId> = self
+            .net_map
+            .iter()
+            .map(|n| n.expect("complete mapping"))
+            .collect();
+        self.result.instances.push(DfsMatch { devices, nets });
+    }
+}
+
+/// BFS-ish device visit order that keeps each connected component
+/// contiguous, so candidate anchoring stays effective.
+fn visit_order(pattern: &Netlist) -> Vec<DeviceId> {
+    let nd = pattern.device_count();
+    let mut seen = vec![false; nd];
+    let mut order = Vec::with_capacity(nd);
+    let mut queue = std::collections::VecDeque::new();
+    for start in pattern.device_ids() {
+        if seen[start.index()] {
+            continue;
+        }
+        seen[start.index()] = true;
+        queue.push_back(start);
+        while let Some(d) = queue.pop_front() {
+            order.push(d);
+            for &n in pattern.device(d).pins() {
+                let net = pattern.net_ref(n);
+                // Do not walk through global rails: they connect
+                // everything and would destroy locality.
+                if net.is_global() {
+                    continue;
+                }
+                for pin in net.pins() {
+                    if !seen[pin.device.index()] {
+                        seen[pin.device.index()] = true;
+                        queue.push_back(pin.device);
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Calls `f` with every permutation of `v[k..]` (Heap-like recursive
+/// swap enumeration). Group sizes are tiny (bounded by a device's
+/// terminal count), so factorial cost is irrelevant.
+fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k + 1 >= v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+/// Exhaustively finds all instances of `pattern` inside `main`.
+///
+/// This is the "straightforward approach" §IV contrasts SubGemini with:
+/// depth-first search anchored on connectivity, with full backtracking.
+/// It is exact (used as ground truth in tests) but can be exponentially
+/// slower than SubGemini on large circuits.
+pub fn find_all(pattern: &Netlist, main: &Netlist, opts: &DfsOptions) -> DfsResult {
+    if pattern.device_count() == 0 {
+        return DfsResult::default();
+    }
+    for n in pattern.net_ids() {
+        assert!(
+            pattern.net_ref(n).degree() > 0,
+            "pattern net `{}` is isolated; patterns must be fully connected to devices",
+            pattern.net_ref(n).name()
+        );
+    }
+    let mut s = Search::new(pattern, main, opts);
+    s.extend(0);
+    let mut result = s.result;
+    // Deterministic order regardless of exploration order.
+    result.instances.sort_by_key(|a| a.device_set());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgemini_netlist::Netlist;
+
+    fn permutations_of_3() -> Vec<Vec<usize>> {
+        let mut v = vec![0, 1, 2];
+        let mut out = Vec::new();
+        permute(&mut v, 0, &mut |p| out.push(p.to_vec()));
+        out
+    }
+
+    #[test]
+    fn permute_generates_all_orders() {
+        let ps = permutations_of_3();
+        assert_eq!(ps.len(), 6);
+        let unique: std::collections::HashSet<_> = ps.into_iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn visit_order_keeps_components_contiguous() {
+        let mut nl = Netlist::new("two");
+        let mos = nl.add_mos_types();
+        // Component 1: d0-d1 share net m; component 2: d2 alone.
+        let (a, m, b, c) = (nl.net("a"), nl.net("m"), nl.net("b"), nl.net("c"));
+        nl.add_device("d0", mos.nmos, &[a, m, a]).unwrap();
+        nl.add_device("d1", mos.nmos, &[b, m, b]).unwrap();
+        nl.add_device("d2", mos.nmos, &[c, c, c]).unwrap();
+        let order = visit_order(&nl);
+        assert_eq!(order.len(), 3);
+        let pos = |name: &str| {
+            let id = nl.find_device(name).unwrap();
+            order.iter().position(|&d| d == id).unwrap()
+        };
+        assert!(pos("d1") < pos("d2") || pos("d0") == 0);
+        assert_eq!(pos("d0"), 0);
+        assert_eq!(pos("d1"), 1);
+    }
+}

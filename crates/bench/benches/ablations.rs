@@ -1,0 +1,62 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * `port_spreading` — Phase II with and without spreading from
+//!   matched port images (the shared-clock scaling fix).
+//! * `key_policy` — Phase I key selection: the paper's smallest
+//!   partition vs first-valid vs the adversarial largest partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subgemini::{KeyPolicy, MatchOptions, Matcher};
+use subgemini_workloads::{cells, gen};
+
+fn port_spreading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/port_spreading");
+    let dff = cells::dff();
+    for bits in [8usize, 16, 32] {
+        let sreg = gen::shift_register(bits);
+        for (label, spread) in [("suppressed", false), ("paper_literal", true)] {
+            group.bench_with_input(BenchmarkId::new(label, bits), &spread, |b, &spread| {
+                b.iter(|| {
+                    let o = Matcher::new(&dff, black_box(&sreg.netlist))
+                        .options(MatchOptions {
+                            spread_from_port_images: spread,
+                            ..MatchOptions::default()
+                        })
+                        .find_all();
+                    assert_eq!(o.count(), bits);
+                    black_box(o)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn key_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/key_policy");
+    let soup = gen::random_soup(1993, 120);
+    let nand = cells::nand2();
+    for (label, policy) in [
+        ("smallest", KeyPolicy::SmallestPartition),
+        ("first_valid", KeyPolicy::FirstValid),
+        ("largest", KeyPolicy::LargestPartition),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| {
+                black_box(
+                    Matcher::new(&nand, black_box(&soup.netlist))
+                        .options(MatchOptions {
+                            key_policy: policy,
+                            ..MatchOptions::default()
+                        })
+                        .find_all(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, port_spreading, key_policy);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E9/E10 application benches: rule checking, technology mapping, and
+//! the paper's special-case micro-benchmarks (Fig. 5 guess, Fig. 7
+//! special nets).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use subgemini::{MatchOptions, Matcher, RuleChecker, TechMapper};
+use subgemini_netlist::Netlist;
+use subgemini_workloads::{cells, gen, paper};
+
+fn fig_micro(c: &mut Criterion) {
+    let (p5, m5) = paper::fig5_pair();
+    c.bench_function("fig5/guess_no_backtrack", |b| {
+        b.iter(|| {
+            let o = Matcher::new(black_box(&p5), black_box(&m5)).find_all();
+            assert_eq!(o.count(), 1);
+            black_box(o)
+        })
+    });
+    let inv = paper::fig7_inverter();
+    let nand = paper::fig7_nand();
+    c.bench_function("fig7/specials_respected", |b| {
+        b.iter(|| black_box(Matcher::new(&inv, &nand).find_all()))
+    });
+    c.bench_function("fig7/specials_ignored", |b| {
+        b.iter(|| {
+            black_box(
+                Matcher::new(&inv, &nand)
+                    .options(MatchOptions::ignore_globals())
+                    .find_all(),
+            )
+        })
+    });
+}
+
+fn rules(c: &mut Criterion) {
+    let soup = gen::random_soup(123, 80);
+    let mut checker = RuleChecker::new();
+    let mut bad = Netlist::new("nmos_pullup");
+    let mos = bad.add_mos_types();
+    let (g, d, vdd) = (bad.net("g"), bad.net("d"), bad.net("vdd"));
+    bad.mark_port(g);
+    bad.mark_port(d);
+    bad.mark_global(vdd);
+    bad.add_device("m", mos.nmos, &[g, vdd, d]).unwrap();
+    checker.add_rule("nmos-pullup", "degraded high", bad);
+    c.bench_function("rules/soup80_one_rule", |b| {
+        b.iter(|| black_box(checker.check(black_box(&soup.netlist))))
+    });
+}
+
+fn techmap(c: &mut Criterion) {
+    let chain = gen::inverter_chain(24).netlist;
+    let mut mapper = TechMapper::new();
+    mapper.add_cell(cells::inv(), 1.0);
+    mapper.add_cell(cells::buf(), 1.6);
+    c.bench_function("techmap/greedy_chain24", |b| {
+        b.iter(|| black_box(mapper.map_greedy(black_box(&chain))))
+    });
+    c.bench_function("techmap/exact_chain24", |b| {
+        b.iter(|| black_box(mapper.map_exact(black_box(&chain), 1_000_000)))
+    });
+}
+
+fn symmetry(c: &mut Criterion) {
+    let nand3 = cells::nand3();
+    c.bench_function("symmetry/nand3_port_classes", |b| {
+        b.iter(|| black_box(subgemini::port_symmetry_classes(black_box(&nand3))))
+    });
+}
+
+criterion_group!(benches, fig_micro, rules, techmap, symmetry);
+criterion_main!(benches);

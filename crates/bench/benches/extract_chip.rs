@@ -1,0 +1,28 @@
+//! E9: full-library transistor→gate extraction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subgemini::Extractor;
+use subgemini_workloads::{cells, gen};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract");
+    group.sample_size(10);
+    let adder = gen::ripple_adder(8);
+    let soup = gen::random_soup(2024, 40);
+    for (name, main) in [("adder8", &adder.netlist), ("soup40", &soup.netlist)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                let mut extractor = Extractor::new();
+                for cell in cells::library() {
+                    extractor.add_cell(cell);
+                }
+                black_box(extractor.extract(black_box(main)).expect("extracts"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E4: the results-table workloads under Criterion — one benchmark per
+//! (circuit, cell) pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subgemini::Matcher;
+use subgemini_workloads::{cells, gen};
+
+fn bench(c: &mut Criterion) {
+    let adder = gen::ripple_adder(32);
+    let sreg = gen::shift_register(24);
+    let sram = gen::sram_array(8, 16);
+    let soup = gen::random_soup(1993, 120);
+    let pairs: Vec<(
+        &str,
+        &subgemini_netlist::Netlist,
+        subgemini_netlist::Netlist,
+    )> = vec![
+        ("adder32", &adder.netlist, cells::full_adder()),
+        ("adder32", &adder.netlist, cells::inv()),
+        ("shiftreg24", &sreg.netlist, cells::dff()),
+        ("sram8x16", &sram.netlist, cells::sram6t()),
+        ("soup120", &soup.netlist, cells::nand2()),
+        ("soup120", &soup.netlist, cells::dff()),
+    ];
+    let mut group = c.benchmark_group("find_all");
+    for (circ, main, cell) in pairs {
+        group.bench_with_input(
+            BenchmarkId::new(circ, cell.name()),
+            &(main, &cell),
+            |b, (main, cell)| b.iter(|| black_box(Matcher::new(cell, main).find_all())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

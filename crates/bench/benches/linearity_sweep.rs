@@ -1,0 +1,41 @@
+//! E5: the headline linearity claim — search time vs total devices in
+//! matched subcircuits. Criterion's throughput view makes the claim
+//! directly visible: elements/second should stay roughly constant as
+//! the circuit grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use subgemini::Matcher;
+use subgemini_workloads::{cells, gen};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearity/adder_full_adder");
+    for bits in [4usize, 8, 16, 32, 64] {
+        let adder = gen::ripple_adder(bits);
+        let fa = cells::full_adder();
+        let matched = bits * fa.device_count();
+        group.throughput(Throughput::Elements(matched as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                let o = Matcher::new(&fa, black_box(&adder.netlist)).find_all();
+                assert_eq!(o.count(), bits);
+                black_box(o)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("linearity/shiftreg_dff");
+    for bits in [4usize, 8, 16, 32] {
+        let sreg = gen::shift_register(bits);
+        let dff = cells::dff();
+        group.throughput(Throughput::Elements((bits * dff.device_count()) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| black_box(Matcher::new(&dff, black_box(&sreg.netlist)).find_all()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

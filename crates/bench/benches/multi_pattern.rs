@@ -1,0 +1,34 @@
+//! Multi-pattern Phase I sharing: surveying a whole cell library
+//! against one chip, with and without the shared main-graph label
+//! trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subgemini::candidates;
+use subgemini_netlist::Netlist;
+use subgemini_workloads::{cells, gen};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1_library_survey");
+    for gates in [60usize, 240] {
+        let soup = gen::random_soup(1993, gates);
+        let library = cells::library();
+        let refs: Vec<&Netlist> = library.iter().collect();
+        group.bench_with_input(BenchmarkId::new("shared", gates), &(), |b, ()| {
+            b.iter(|| black_box(candidates::generate_many(black_box(&refs), &soup.netlist)))
+        });
+        group.bench_with_input(BenchmarkId::new("individual", gates), &(), |b, ()| {
+            b.iter(|| {
+                let cvs: Vec<_> = refs
+                    .iter()
+                    .map(|p| candidates::generate(p, &soup.netlist))
+                    .collect();
+                black_box(cvs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1: the paper's running example (Fig. 1 / Table 1) end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use subgemini::Matcher;
+use subgemini_workloads::paper;
+
+fn bench(c: &mut Criterion) {
+    let s = paper::fig1_pattern();
+    let g = paper::fig1_main();
+    c.bench_function("fig1/find_all", |b| {
+        b.iter(|| {
+            let outcome = Matcher::new(black_box(&s), black_box(&g)).find_all();
+            assert_eq!(outcome.count(), 1);
+            black_box(outcome)
+        })
+    });
+    c.bench_function("fig1/phase1_only", |b| {
+        b.iter(|| {
+            black_box(subgemini::candidates::generate(
+                black_box(&s),
+                black_box(&g),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

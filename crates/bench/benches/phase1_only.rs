@@ -1,0 +1,27 @@
+//! E7: Phase I in isolation — the cost and quality of the candidate
+//! filter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subgemini::candidates;
+use subgemini_workloads::{cells, gen};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1");
+    let adder = gen::ripple_adder(32);
+    let soup = gen::random_soup(5, 100);
+    let cases = vec![
+        ("adder32_full_adder", &adder.netlist, cells::full_adder()),
+        ("soup100_nand2", &soup.netlist, cells::nand2()),
+        ("soup100_dff", &soup.netlist, cells::dff()),
+    ];
+    for (name, main, cell) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| black_box(candidates::generate(&cell, black_box(main))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E3/E8: the cost and effect of treating Vdd/GND as special signals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subgemini::{MatchOptions, Matcher};
+use subgemini_workloads::{cells, gen};
+
+fn bench(c: &mut Criterion) {
+    let soup = gen::random_soup(99, 80);
+    let inv = cells::inv();
+    let dff = cells::dff();
+    let mut group = c.benchmark_group("special_nets");
+    for (cell_name, cell) in [("inv", &inv), ("dff", &dff)] {
+        group.bench_with_input(BenchmarkId::new("respected", cell_name), &(), |b, ()| {
+            b.iter(|| {
+                black_box(
+                    Matcher::new(cell, &soup.netlist)
+                        .options(MatchOptions::default())
+                        .find_all(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ignored", cell_name), &(), |b, ()| {
+            b.iter(|| {
+                black_box(
+                    Matcher::new(cell, &soup.netlist)
+                        .options(MatchOptions::ignore_globals())
+                        .find_all(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

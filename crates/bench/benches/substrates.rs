@@ -1,0 +1,49 @@
+//! Substrate benches: the Gemini comparator and the SPICE pipeline,
+//! whose costs underlie every application experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subgemini_gemini::compare;
+use subgemini_spice::{parse, write_netlist, ElaborateOptions};
+use subgemini_workloads::gen;
+
+fn gemini_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemini/compare_adders");
+    for bits in [8usize, 32, 128] {
+        let a = gen::ripple_adder(bits).netlist;
+        let b = gen::ripple_adder(bits).netlist;
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
+            bch.iter(|| {
+                let out = compare(black_box(&a), black_box(&b));
+                assert!(out.is_isomorphic());
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn spice_pipeline(c: &mut Criterion) {
+    let nl = gen::random_soup(3, 200).netlist;
+    let text = write_netlist(&nl);
+    let mut group = c.benchmark_group("spice");
+    group.bench_function("write_soup200", |b| {
+        b.iter(|| black_box(write_netlist(black_box(&nl))))
+    });
+    group.bench_function("parse_soup200", |b| {
+        b.iter(|| black_box(parse(black_box(&text)).expect("parses")))
+    });
+    let doc = parse(&text).expect("parses");
+    group.bench_function("elaborate_soup200", |b| {
+        b.iter(|| {
+            black_box(
+                doc.elaborate_top("soup", &ElaborateOptions::default())
+                    .expect("elaborates"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gemini_compare, spice_pipeline);
+criterion_main!(benches);

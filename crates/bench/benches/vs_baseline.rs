@@ -1,0 +1,26 @@
+//! E6: SubGemini against the exhaustive DFS matcher on the same
+//! workload — who wins and by what factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use subgemini::Matcher;
+use subgemini_baseline::{find_all as dfs_find_all, DfsOptions};
+use subgemini_workloads::{cells, gen};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vs_baseline/soup_nand2");
+    for gates in [20usize, 40, 80] {
+        let soup = gen::random_soup(4242, gates);
+        let cell = cells::nand2();
+        group.bench_with_input(BenchmarkId::new("subgemini", gates), &gates, |b, _| {
+            b.iter(|| black_box(Matcher::new(&cell, &soup.netlist).find_all()))
+        });
+        group.bench_with_input(BenchmarkId::new("dfs", gates), &gates, |b, _| {
+            b.iter(|| black_box(dfs_find_all(&cell, &soup.netlist, &DfsOptions::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Regenerates every table and figure of the SubGemini paper's
+//! evaluation as text tables / CSV series.
+//!
+//! Usage:
+//!
+//! ```text
+//! paper_tables [--scale N] [--results] [--linearity] [--baseline]
+//!              [--filter] [--special] [--fig5] [--extract] [--all]
+//! ```
+//!
+//! With no selection flags, `--all` is assumed. `--scale` multiplies
+//! workload sizes (default 2; use 4+ for paper-scale circuits).
+
+use subgemini_bench::table;
+use subgemini_bench::{
+    baseline_rows, extraction_rows, fig5_row, filter_rows, linearity_series, results_table,
+    special_nets_rows, survey_rows, BaselineRow, ExtractRow, FilterRow, LinearityRow, MatchRow,
+    SpecialNetsRow, SurveyRow,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 2usize;
+    let mut selected: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale takes a positive integer");
+            }
+            "--results" | "--linearity" | "--baseline" | "--filter" | "--special" | "--fig5"
+            | "--extract" | "--survey" => selected.push(Box::leak(a.clone().into_boxed_str())),
+            "--all" => selected.clear(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let all = selected.is_empty();
+    let want = |flag: &str| all || selected.contains(&flag);
+
+    if want("--results") {
+        println!("== E4: results table (per circuit × cell) ==");
+        let rows = results_table(scale);
+        let cells: Vec<Vec<String>> = rows.iter().map(MatchRow::cells).collect();
+        println!("{}", table::render(MatchRow::headers(), &cells));
+    }
+    if want("--linearity") {
+        println!("== E5: runtime vs total matched devices (CSV series) ==");
+        let sizes: Vec<usize> = [4, 8, 16, 32, 64]
+            .iter()
+            .map(|&n| n * scale.max(1))
+            .collect();
+        let rows = linearity_series(&sizes);
+        let cells: Vec<Vec<String>> = rows.iter().map(LinearityRow::cells).collect();
+        println!("{}", table::csv(LinearityRow::headers(), &cells));
+        // Flatness summary per workload family.
+        println!("linearity check: ns/matched-device should stay roughly flat per family");
+        for family in ["adder/full_adder", "shiftreg/dff", "soup/nand2"] {
+            let per: Vec<u128> = rows
+                .iter()
+                .filter(|r| r.workload == family)
+                .map(|r| r.ns_per_matched_device)
+                .collect();
+            if let (Some(min), Some(max)) = (per.iter().min(), per.iter().max()) {
+                println!(
+                    "  {family}: min {min} ns/dev, max {max} ns/dev, spread x{:.1}",
+                    *max as f64 / (*min).max(1) as f64
+                );
+            }
+        }
+        println!();
+    }
+    if want("--baseline") {
+        println!("== E6: SubGemini vs exhaustive DFS ==");
+        let sizes: Vec<usize> = [10, 20, 40, 80].iter().map(|&n| n * scale.max(1)).collect();
+        let rows = baseline_rows(&sizes);
+        let cells: Vec<Vec<String>> = rows.iter().map(BaselineRow::cells).collect();
+        println!("{}", table::render(BaselineRow::headers(), &cells));
+    }
+    if want("--filter") {
+        println!("== E7: Phase I candidate-filter quality ==");
+        let rows = filter_rows(scale);
+        let cells: Vec<Vec<String>> = rows.iter().map(FilterRow::cells).collect();
+        println!("{}", table::render(FilterRow::headers(), &cells));
+    }
+    if want("--special") {
+        println!("== E3/E8: special-net (Vdd/GND) treatment ==");
+        let rows = special_nets_rows(scale);
+        let cells: Vec<Vec<String>> = rows.iter().map(SpecialNetsRow::cells).collect();
+        println!("{}", table::render(SpecialNetsRow::headers(), &cells));
+    }
+    if want("--fig5") {
+        println!("== E2: Fig. 5 symmetric ambiguity ==");
+        let r = fig5_row();
+        println!(
+            "instances {}  guesses {}  backtracks {}  (paper: guess required, no backtracking)\n",
+            r.instances, r.guesses, r.backtracks
+        );
+    }
+    if want("--survey") {
+        println!("== E11: Phase I library survey (shared G-label trace) ==");
+        let rows = survey_rows(scale);
+        let cells: Vec<Vec<String>> = rows.iter().map(SurveyRow::cells_row).collect();
+        println!("{}", table::render(SurveyRow::headers(), &cells));
+    }
+    if want("--extract") {
+        println!("== E9: transistor→gate extraction ==");
+        let rows = extraction_rows(scale);
+        let cells: Vec<Vec<String>> = rows.iter().map(ExtractRow::cells).collect();
+        println!("{}", table::render(ExtractRow::headers(), &cells));
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal fixed-width text-table rendering for the experiment
+//! reports.
+
+/// Renders `rows` under `headers` as an aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// let t = subgemini_bench::table::render(
+///     &["name", "n"],
+///     &[vec!["adder".into(), "8".into()]],
+/// );
+/// assert!(t.contains("adder"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut width: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>w$}", w = width[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let rule: String = width
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("--");
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting; experiment cells never contain
+/// commas).
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = render(
+            &["a", "long_header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width for the first column block.
+        assert!(lines[0].contains("long_header"));
+    }
+
+    #[test]
+    fn csv_joins_with_commas() {
+        let c = csv(&["x", "y"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "x,y\n1,2\n");
+    }
+}

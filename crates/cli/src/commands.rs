@@ -1,0 +1,405 @@
+//! The `subg` subcommand implementations. Each returns the process
+//! exit code: 0 on success, 1 for "ran fine but found differences /
+//! violations" (grep-style), errors bubble as strings.
+
+use std::fs;
+
+use subgemini::{MatchOptions, Matcher};
+use subgemini_gemini::compare as gemini_compare;
+use subgemini_netlist::{Netlist, NetlistStats};
+use subgemini_spice::write_hierarchical;
+
+use crate::args::Args;
+use crate::io::{load_cell, load_doc, load_main};
+
+fn pattern_from(args: &Args, main_path: &str) -> Result<Netlist, String> {
+    let name = args.option("--pattern").ok_or("missing --pattern <cell>")?;
+    let lib_path = args.option("--lib").unwrap_or(main_path);
+    let doc = load_doc(lib_path)?;
+    load_cell(&doc, name, lib_path)
+}
+
+fn library_from(args: &Args) -> Result<Vec<Netlist>, String> {
+    if args.switch("--builtin-lib") {
+        return Ok(subgemini_workloads::cells::library());
+    }
+    let path = args
+        .option("--lib")
+        .ok_or("pass --lib <cells.sp> or --builtin-lib")?;
+    let doc = load_doc(path)?;
+    let mut cells = Vec::new();
+    for name in doc.cell_names() {
+        cells.push(load_cell(&doc, &name, path)?);
+    }
+    if cells.is_empty() {
+        return Err(format!("{path}: no cell definitions"));
+    }
+    Ok(cells)
+}
+
+fn match_options(args: &Args) -> MatchOptions {
+    let mut opts = MatchOptions::default();
+    if args.switch("--ignore-globals") {
+        opts.respect_globals = false;
+    }
+    if args.switch("--first") {
+        opts.max_instances = 1;
+    }
+    opts
+}
+
+/// `subg find`: locate all instances of a pattern.
+pub fn find(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let pattern = pattern_from(args, main_path)?;
+    let outcome = Matcher::new(&pattern, &main)
+        .options(match_options(args))
+        .find_all();
+    if args.switch("--csv") {
+        println!("instance,devices");
+        for (i, m) in outcome.instances.iter().enumerate() {
+            let names: Vec<&str> = m
+                .device_set()
+                .iter()
+                .map(|&d| main.device(d).name())
+                .collect();
+            println!("{i},{}", names.join(";"));
+        }
+    } else {
+        println!(
+            "{} instance(s) of `{}` in `{}`",
+            outcome.count(),
+            pattern.name(),
+            main.name()
+        );
+        for (i, m) in outcome.instances.iter().enumerate() {
+            let names: Vec<&str> = m
+                .device_set()
+                .iter()
+                .map(|&d| main.device(d).name())
+                .collect();
+            println!("  #{i}: {}", names.join(" "));
+        }
+        println!(
+            "phase1: |CV|={} iters={}; phase2: {} tried, {} false, {} passes",
+            outcome.phase1.cv_size,
+            outcome.phase1.iterations,
+            outcome.phase2.candidates_tried,
+            outcome.phase2.false_candidates,
+            outcome.phase2.passes
+        );
+    }
+    Ok(if outcome.count() > 0 { 0 } else { 1 })
+}
+
+/// `subg candidates`: Phase I only.
+pub fn candidates(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let pattern = pattern_from(args, main_path)?;
+    let cv = subgemini::candidates::generate(&pattern, &main);
+    match cv.key {
+        Some(key) => {
+            let key_name = match key {
+                subgemini_netlist::Vertex::Device(d) => pattern.device(d).name().to_string(),
+                subgemini_netlist::Vertex::Net(n) => pattern.net_ref(n).name().to_string(),
+            };
+            println!(
+                "key vertex: {key_name} ({} candidates after {} iterations)",
+                cv.candidates.len(),
+                cv.stats.iterations
+            );
+            for c in &cv.candidates {
+                let name = match c {
+                    subgemini_netlist::Vertex::Device(d) => main.device(*d).name(),
+                    subgemini_netlist::Vertex::Net(n) => main.net_ref(*n).name(),
+                };
+                println!("  {name}");
+            }
+            Ok(0)
+        }
+        None => {
+            println!(
+                "no viable key vertex (proven empty: {})",
+                cv.stats.proven_empty
+            );
+            Ok(1)
+        }
+    }
+}
+
+/// `subg extract`: transistor→gate conversion, hierarchical deck out.
+pub fn extract(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let cells = library_from(args)?;
+    let mut extractor = subgemini::Extractor::new();
+    for cell in &cells {
+        extractor.add_cell(cell.clone());
+    }
+    let (top, report) = extractor.extract(&main).map_err(|e| e.to_string())?;
+    for (cell, n) in &report.per_cell {
+        if *n > 0 {
+            println!("{cell:<16} {n}");
+        }
+    }
+    println!("unabsorbed devices: {}", report.unabsorbed_devices);
+    let used: Vec<Netlist> = cells
+        .iter()
+        .filter(|c| report.count_of(c.name()) > 0)
+        .cloned()
+        .collect();
+    let deck = write_hierarchical(&top, &used);
+    match args.option("--out") {
+        Some(path) => fs::write(path, deck).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{deck}"),
+    }
+    Ok(0)
+}
+
+/// `subg check`: rule library over a circuit.
+pub fn check(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let rules_path = args.option("--rules").ok_or("missing --rules <file>")?;
+    let doc = load_doc(rules_path)?;
+    let mut checker = subgemini::RuleChecker::new();
+    for name in doc.cell_names() {
+        let pattern = load_cell(&doc, &name, rules_path)?;
+        checker.add_rule(name.clone(), format!("pattern `{name}`"), pattern);
+    }
+    let violations = checker.check(&main);
+    for v in &violations {
+        println!("[{}] {}", v.rule, v.devices.join(" "));
+    }
+    println!("{} violation(s)", violations.len());
+    Ok(if violations.is_empty() { 0 } else { 1 })
+}
+
+/// `subg map`: greedy technology mapping report.
+pub fn techmap(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let cells = library_from(args)?;
+    let mut mapper = subgemini::TechMapper::new();
+    for cell in cells {
+        // Cost model: device count (area proxy).
+        let cost = cell.device_count() as f64;
+        mapper.add_cell(cell, cost);
+    }
+    let cover = mapper.map_greedy(&main);
+    for c in &cover.chosen {
+        println!("{:<16} cost {:>6.1}", c.cell, c.cost);
+    }
+    println!(
+        "total cost {:.1}, uncovered devices {}",
+        cover.total_cost,
+        cover.uncovered.len()
+    );
+    Ok(if cover.is_complete() { 0 } else { 1 })
+}
+
+/// `subg compare`: Gemini netlist comparison. With `--hierarchical`,
+/// decks are compared cell by cell plus an unflattened top — the
+/// paper's §I point that hierarchical matching localizes errors and
+/// makes incremental re-checks cheap (unchanged cells verify
+/// independently of the edited one).
+pub fn compare(args: &Args) -> Result<u8, String> {
+    let a_path = args.need(0, "first netlist")?;
+    let b_path = args.need(1, "second netlist")?;
+    if args.switch("--hierarchical") {
+        return compare_hierarchical(a_path, b_path);
+    }
+    let (a, b) = match args.option("--cell") {
+        Some(cell) => {
+            let da = load_doc(a_path)?;
+            let db = load_doc(b_path)?;
+            (load_cell(&da, cell, a_path)?, load_cell(&db, cell, b_path)?)
+        }
+        None => (load_main(a_path)?, load_main(b_path)?),
+    };
+    match gemini_compare(&a, &b) {
+        subgemini_gemini::GeminiOutcome::Isomorphic(_) => {
+            println!("isomorphic");
+            Ok(0)
+        }
+        subgemini_gemini::GeminiOutcome::Mismatch(m) => {
+            println!("NOT isomorphic: {m}");
+            Ok(1)
+        }
+    }
+}
+
+fn compare_hierarchical(a_path: &str, b_path: &str) -> Result<u8, String> {
+    use crate::io::Doc;
+    use subgemini_spice::ElaborateOptions;
+    let da = load_doc(a_path)?;
+    let db = load_doc(b_path)?;
+    let mut failures = 0usize;
+    // Cell-by-cell.
+    let names_a = da.cell_names();
+    let names_b = db.cell_names();
+    let mut names = names_a.clone();
+    for n in &names_b {
+        if !names.contains(n) {
+            names.push(n.clone());
+        }
+    }
+    names.sort();
+    for name in &names {
+        match (names_a.contains(name), names_b.contains(name)) {
+            (true, true) => {
+                let ca = load_cell(&da, name, a_path)?;
+                let cb = load_cell(&db, name, b_path)?;
+                match gemini_compare(&ca, &cb) {
+                    subgemini_gemini::GeminiOutcome::Isomorphic(_) => {
+                        println!("cell {name:<16} ok");
+                    }
+                    subgemini_gemini::GeminiOutcome::Mismatch(m) => {
+                        println!("cell {name:<16} DIFFERS: {m}");
+                        failures += 1;
+                    }
+                }
+            }
+            (true, false) => {
+                println!("cell {name:<16} only in {a_path}");
+                failures += 1;
+            }
+            (false, true) => {
+                println!("cell {name:<16} only in {b_path}");
+                failures += 1;
+            }
+            (false, false) => unreachable!("name came from one of the decks"),
+        }
+    }
+    // Top level, unflattened (instances stay composite devices).
+    let hier_top = |doc: &Doc, path: &str| -> Result<Netlist, String> {
+        match doc {
+            Doc::Spice(d) => d
+                .elaborate_top("top", &ElaborateOptions::hierarchical())
+                .map_err(|e| format!("{path}: {e}")),
+            Doc::Verilog(s) => s
+                .elaborate(None, &subgemini_verilog::VerilogOptions::hierarchical())
+                .map_err(|e| format!("{path}: {e}")),
+        }
+    };
+    let ta = hier_top(&da, a_path)?;
+    let tb = hier_top(&db, b_path)?;
+    match gemini_compare(&ta, &tb) {
+        subgemini_gemini::GeminiOutcome::Isomorphic(_) => println!("top              ok"),
+        subgemini_gemini::GeminiOutcome::Mismatch(m) => {
+            println!("top              DIFFERS: {m}");
+            failures += 1;
+        }
+    }
+    println!("{failures} difference(s)");
+    Ok(if failures == 0 { 0 } else { 1 })
+}
+
+/// `subg trace`: render the Phase II labeling trace of the first
+/// verified instance in the paper's Table 1 notation.
+pub fn trace(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let pattern = pattern_from(args, main_path)?;
+    let outcome = Matcher::new(&pattern, &main)
+        .options(MatchOptions {
+            record_trace: true,
+            spread_from_port_images: true, // paper-literal spreading
+            ..match_options(args)
+        })
+        .find_all();
+    let count = outcome.count();
+    match outcome.trace {
+        Some(t) => {
+            print!("{}", t.render(&pattern, &main));
+            println!(
+                "\n{count} instance(s); trace shows the first verified candidate ({} passes)",
+                t.pass_count()
+            );
+            Ok(0)
+        }
+        None => {
+            println!("no instance found; nothing to trace");
+            Ok(1)
+        }
+    }
+}
+
+/// `subg survey`: count instances of every library cell in one run,
+/// sharing the main graph's Phase I labeling across patterns.
+pub fn survey(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let cells = library_from(args)?;
+    let refs: Vec<&Netlist> = cells.iter().collect();
+    let cvs = subgemini::candidates::generate_many(&refs, &main);
+    println!("{:<18} {:>6} {:>6}", "cell", "|CV|", "found");
+    for (cell, cv) in cells.iter().zip(&cvs) {
+        // Phase II still runs per cell; Phase I (the |G|-proportional
+        // part) was shared.
+        let outcome = Matcher::new(cell, &main).find_all();
+        println!(
+            "{:<18} {:>6} {:>6}",
+            cell.name(),
+            cv.candidates.len(),
+            outcome.count()
+        );
+    }
+    Ok(0)
+}
+
+/// `subg fingerprint`: canonical isomorphism-invariant hashes for a
+/// deck's cells, with duplicate grouping.
+pub fn fingerprint(args: &Args) -> Result<u8, String> {
+    let path = args.need(0, "netlist file")?;
+    let doc = load_doc(path)?;
+    let names = doc.cell_names();
+    if names.is_empty() {
+        return Err(format!("{path}: no cell definitions to fingerprint"));
+    }
+    let cells: Vec<Netlist> = names
+        .iter()
+        .map(|n| load_cell(&doc, n, path))
+        .collect::<Result<_, _>>()?;
+    for cell in &cells {
+        println!(
+            "{:016x}  {}",
+            subgemini_gemini::fingerprint(cell),
+            cell.name()
+        );
+    }
+    let refs: Vec<&Netlist> = cells.iter().collect();
+    let groups = subgemini_gemini::dedup_classes(&refs);
+    let mut dups = 0;
+    for group in &groups {
+        if group.len() > 1 {
+            let members: Vec<&str> = group.iter().map(|&i| names[i].as_str()).collect();
+            println!("duplicates: {}", members.join(" == "));
+            dups += 1;
+        }
+    }
+    println!("{} cell(s), {} duplicate group(s)", names.len(), dups);
+    Ok(if dups == 0 { 0 } else { 1 })
+}
+
+/// `subg dot`: Graphviz export of the bipartite circuit graph.
+pub fn dot(args: &Args) -> Result<u8, String> {
+    let path = args.need(0, "netlist file")?;
+    let main = load_main(path)?;
+    let text = subgemini_netlist::to_dot(&main);
+    match args.option("--out") {
+        Some(out_path) => fs::write(out_path, text).map_err(|e| format!("{out_path}: {e}"))?,
+        None => print!("{text}"),
+    }
+    Ok(0)
+}
+
+/// `subg stats`: netlist summary.
+pub fn stats(args: &Args) -> Result<u8, String> {
+    let path = args.need(0, "netlist file")?;
+    let main = load_main(path)?;
+    println!("{}", NetlistStats::of(&main));
+    Ok(0)
+}

@@ -1,0 +1,129 @@
+//! Shared loading helpers for the subcommands. Files ending in `.v`
+//! or `.sv` load through the structural Verilog parser; everything
+//! else is treated as SPICE (with `.include` resolution).
+
+use subgemini_netlist::Netlist;
+use subgemini_spice::{parse_file, ElaborateOptions, SpiceDoc};
+use subgemini_verilog::{parse as vparse, Source, VerilogOptions};
+
+/// A loaded deck in either supported format.
+#[derive(Debug)]
+pub enum Doc {
+    /// A SPICE deck.
+    Spice(SpiceDoc),
+    /// A structural Verilog source.
+    Verilog(Source),
+}
+
+fn is_verilog(path: &str) -> bool {
+    path.ends_with(".v") || path.ends_with(".sv")
+}
+
+/// Reads and parses a netlist file, dispatching on extension.
+///
+/// # Errors
+///
+/// I/O and parse errors as strings, with the path in the message.
+pub fn load_doc(path: &str) -> Result<Doc, String> {
+    if is_verilog(path) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Ok(Doc::Verilog(
+            vparse(&text).map_err(|e| format!("{path}: {e}"))?,
+        ))
+    } else {
+        Ok(Doc::Spice(parse_file(path).map_err(|e| e.to_string())?))
+    }
+}
+
+impl Doc {
+    /// Cell (subckt/module) names defined by the deck.
+    pub fn cell_names(&self) -> Vec<String> {
+        match self {
+            Doc::Spice(d) => d.subckts.iter().map(|s| s.name.clone()).collect(),
+            Doc::Verilog(s) => s.modules.iter().map(|m| m.name.clone()).collect(),
+        }
+    }
+}
+
+/// Elaborates the main circuit of a deck: the top level (SPICE cards /
+/// the inferred top module), falling back to a sole cell definition.
+///
+/// # Errors
+///
+/// Propagates elaboration problems, or reports an ambiguous deck.
+pub fn load_main(path: &str) -> Result<Netlist, String> {
+    match load_doc(path)? {
+        Doc::Spice(doc) => {
+            let opts = ElaborateOptions::default();
+            if !doc.top.is_empty() {
+                return doc
+                    .elaborate_top(main_name(path), &opts)
+                    .map_err(|e| format!("{path}: {e}"));
+            }
+            match doc.subckts.len() {
+                1 => doc
+                    .elaborate_cell(&doc.subckts[0].name.clone(), &opts)
+                    .map_err(|e| format!("{path}: {e}")),
+                0 => Err(format!("{path}: deck is empty")),
+                n => Err(format!(
+                    "{path}: no top-level cards and {n} subcircuits; pass --pattern/--cell to pick one"
+                )),
+            }
+        }
+        Doc::Verilog(src) => src
+            .elaborate(None, &VerilogOptions::default())
+            .map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// Elaborates a named cell from a deck (for patterns and rules).
+///
+/// # Errors
+///
+/// Propagates unknown-cell and elaboration problems.
+pub fn load_cell(doc: &Doc, name: &str, path: &str) -> Result<Netlist, String> {
+    match doc {
+        Doc::Spice(d) => d
+            .elaborate_cell(name, &ElaborateOptions::default())
+            .map_err(|e| format!("{path}: {e}")),
+        Doc::Verilog(s) => s
+            .elaborate(Some(name), &VerilogOptions::default())
+            .map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+fn main_name(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".sp")
+        .trim_end_matches(".cir")
+        .trim_end_matches(".spice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_name_strips_path_and_extension() {
+        assert_eq!(main_name("/tmp/chip.sp"), "chip");
+        assert_eq!(main_name("adder.spice"), "adder");
+        assert_eq!(main_name("plain"), "plain");
+    }
+
+    #[test]
+    fn load_doc_reports_missing_file() {
+        let err = load_doc("/nonexistent/x.sp").unwrap_err();
+        assert!(err.contains("/nonexistent/x.sp"));
+        let err = load_doc("/nonexistent/x.v").unwrap_err();
+        assert!(err.contains("/nonexistent/x.v"));
+    }
+
+    #[test]
+    fn extension_dispatch() {
+        assert!(is_verilog("a.v"));
+        assert!(is_verilog("b.sv"));
+        assert!(!is_verilog("c.sp"));
+    }
+}

@@ -1,0 +1,80 @@
+//! `subg` — command-line front end for the SubGemini reproduction.
+//!
+//! ```text
+//! subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
+//! subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
+//! subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
+//! subg check <main.sp> --rules <rules.sp>
+//! subg map <main.sp> [--lib <cells.sp> | --builtin-lib]
+//! subg survey <main.sp> [--lib <cells.sp> | --builtin-lib]
+//! subg compare <a.sp> <b.sp> [--cell <name>] [--hierarchical]
+//! subg stats <file.sp>
+//! subg dot <file.sp> [--out <file.dot>]
+//! ```
+//!
+//! Patterns, rules and library cells are `.subckt` definitions; their
+//! ports are the external nets, and `.global` (plus the conventional
+//! `vdd`/`gnd`/`vss`/`vcc`/`0`) mark special signals.
+
+mod args;
+mod commands;
+mod io;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+subg — SubGemini subcircuit tools
+
+USAGE:
+  subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
+  subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
+  subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
+  subg check <main.sp> --rules <rules.sp>
+  subg map <main.sp> [--lib <cells.sp> | --builtin-lib]
+  subg survey <main.sp> [--lib <cells.sp> | --builtin-lib]
+  subg trace <main.sp> --pattern <cell> [--lib <cells.sp>]
+  subg compare <a.sp> <b.sp> [--cell <name>] [--hierarchical]
+  subg stats <file.sp>
+  subg dot <file.sp> [--out <file.dot>]
+  subg fingerprint <cells.sp|cells.v>
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let parsed = match args::Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "find" => commands::find(&parsed),
+        "candidates" => commands::candidates(&parsed),
+        "extract" => commands::extract(&parsed),
+        "check" => commands::check(&parsed),
+        "map" => commands::techmap(&parsed),
+        "survey" => commands::survey(&parsed),
+        "trace" => commands::trace(&parsed),
+        "compare" => commands::compare(&parsed),
+        "stats" => commands::stats(&parsed),
+        "dot" => commands::dot(&parsed),
+        "fingerprint" => commands::fingerprint(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(0)
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! End-to-end tests driving the `subg` binary.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn subg(dir: &std::path::Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_subg"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("subg_cli_{name}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const CELLS: &str = "\
+.global vdd gnd
+.subckt inv a y
+mp y a vdd vdd pmos
+mn y a gnd gnd nmos
+.ends
+.subckt nand2 a b y
+mp1 y a vdd vdd pmos
+mp2 y b vdd vdd pmos
+mn1 mid a y gnd nmos
+mn2 gnd b mid gnd nmos
+.ends
+";
+
+const CHIP: &str = "\
+.global vdd gnd
+mq1p w0 in vdd vdd pmos
+mq1n w0 in gnd gnd nmos
+mq2p w1 w0 vdd vdd pmos
+mq2n w1 w0 gnd gnd nmos
+mg1 out w1 vdd vdd pmos
+mg2 out en vdd vdd pmos
+mg3 m1 w1 out gnd nmos
+mg4 gnd en m1 gnd nmos
+";
+
+fn write_files(dir: &std::path::Path) {
+    fs::write(dir.join("cells.sp"), CELLS).unwrap();
+    fs::write(dir.join("chip.sp"), CHIP).unwrap();
+}
+
+#[test]
+fn find_reports_instances_and_exit_codes() {
+    let dir = scratch("find");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &["find", "chip.sp", "--pattern", "inv", "--lib", "cells.sp"],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 instance(s)"), "{stdout}");
+
+    // A pattern with no instances exits 1.
+    let none = fs::read_to_string(dir.join("cells.sp")).unwrap()
+        + ".subckt nor2 a b y\nmp1 m a vdd vdd pmos\nmp2 y b m vdd pmos\nmn1 y a gnd gnd nmos\nmn2 y b gnd gnd nmos\n.ends\n";
+    fs::write(dir.join("cells.sp"), none).unwrap();
+    let out = subg(
+        &dir,
+        &["find", "chip.sp", "--pattern", "nor2", "--lib", "cells.sp"],
+    );
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn find_csv_mode() {
+    let dir = scratch("csv");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "nand2",
+            "--lib",
+            "cells.sp",
+            "--csv",
+        ],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("instance,devices"), "{stdout}");
+    assert!(stdout.contains("mg1"), "{stdout}");
+}
+
+#[test]
+fn candidates_lists_cv() {
+    let dir = scratch("cand");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &[
+            "candidates",
+            "chip.sp",
+            "--pattern",
+            "nand2",
+            "--lib",
+            "cells.sp",
+        ],
+    );
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("key vertex"), "{stdout}");
+}
+
+#[test]
+fn extract_emits_hierarchical_deck() {
+    let dir = scratch("extract");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &[
+            "extract", "chip.sp", "--lib", "cells.sp", "--out", "gates.sp",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unabsorbed devices: 0"), "{stdout}");
+    let deck = fs::read_to_string(dir.join("gates.sp")).unwrap();
+    assert!(deck.contains(".subckt inv"), "{deck}");
+    assert!(deck.contains("nand2"), "{deck}");
+}
+
+#[test]
+fn check_flags_rule_hits() {
+    let dir = scratch("check");
+    write_files(&dir);
+    fs::write(
+        dir.join("rules.sp"),
+        ".global vdd\n.subckt nmos_pullup g d\nm1 d g vdd vdd nmos\n.ends\n",
+    )
+    .unwrap();
+    // chip.sp has no nmos pull-ups: exit 0, zero violations.
+    let out = subg(&dir, &["check", "chip.sp", "--rules", "rules.sp"]);
+    assert_eq!(out.status.code(), Some(0));
+    // Add an offending transistor.
+    let mut chip = CHIP.to_string();
+    chip.push_str("mbad q en vdd vdd nmos\n");
+    fs::write(dir.join("bad.sp"), chip).unwrap();
+    let out = subg(&dir, &["check", "bad.sp", "--rules", "rules.sp"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mbad"), "{stdout}");
+}
+
+#[test]
+fn compare_distinguishes_netlists() {
+    let dir = scratch("cmp");
+    write_files(&dir);
+    fs::write(dir.join("chip2.sp"), CHIP).unwrap();
+    let out = subg(&dir, &["compare", "chip.sp", "chip2.sp"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("isomorphic"));
+    let mut other = CHIP.to_string();
+    other.push_str("mextra z en gnd gnd nmos\n");
+    fs::write(dir.join("chip3.sp"), other).unwrap();
+    let out = subg(&dir, &["compare", "chip.sp", "chip3.sp"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn hierarchical_compare_localizes_the_edit() {
+    let dir = scratch("hcmp");
+    let deck_a = format!("{CELLS}Xu1 in w0 inv\nXu2 w0 out inv\n");
+    // B edits only the nand2 cell (swaps a pull-down to a pull-up).
+    let deck_b = deck_a.replace("mn2 gnd b mid gnd nmos", "mn2 vdd b mid gnd nmos");
+    fs::write(dir.join("a.sp"), &deck_a).unwrap();
+    fs::write(dir.join("b.sp"), &deck_b).unwrap();
+    let out = subg(&dir, &["compare", "a.sp", "b.sp", "--hierarchical"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The inverter and the top are untouched; only nand2 is flagged.
+    assert!(stdout.contains("cell inv              ok"), "{stdout}");
+    assert!(stdout.contains("cell nand2            DIFFERS"), "{stdout}");
+    assert!(stdout.contains("top              ok"), "{stdout}");
+    assert!(stdout.contains("1 difference(s)"), "{stdout}");
+
+    // Identical decks: all ok, exit 0.
+    fs::write(dir.join("c.sp"), &deck_a).unwrap();
+    let out = subg(&dir, &["compare", "a.sp", "c.sp", "--hierarchical"]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn stats_and_map_run() {
+    let dir = scratch("misc");
+    write_files(&dir);
+    let out = subg(&dir, &["stats", "chip.sp"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("8 devices"));
+    let out = subg(&dir, &["map", "chip.sp", "--lib", "cells.sp"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("total cost"), "{stdout}");
+}
+
+#[test]
+fn dot_export_and_includes() {
+    let dir = scratch("dot");
+    // Split cells into an included file to exercise .include.
+    fs::write(dir.join("cells.sp"), CELLS).unwrap();
+    let chip_with_include = format!(".include cells.sp\n{CHIP}");
+    fs::write(dir.join("chip.sp"), chip_with_include).unwrap();
+    let out = subg(&dir, &["dot", "chip.sp", "--out", "chip.dot"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dot = fs::read_to_string(dir.join("chip.dot")).unwrap();
+    assert!(dot.starts_with("graph"));
+    assert!(dot.contains("shape=box"));
+    // The included subckts are definitions, not instances: 8 devices.
+    assert_eq!(dot.matches("shape=box").count(), 8, "{dot}");
+}
+
+#[test]
+fn verilog_files_work_end_to_end() {
+    let dir = scratch("verilog");
+    fs::write(
+        dir.join("lib.v"),
+        "module and_shape(input a, b, output y);\n  wire w;\n  nand g1(w, a, b);\n  not g2(y, w);\nendmodule\n",
+    )
+    .unwrap();
+    fs::write(
+        dir.join("chip.v"),
+        "module chip(input a, b, c, output y);\n  wire w1, w2, w3;\n  nand g1(w1, a, b);\n  nand g2(w2, b, c);\n  nand g3(w3, w1, w2);\n  not g4(y, w3);\nendmodule\n",
+    )
+    .unwrap();
+    let out = subg(
+        &dir,
+        &["find", "chip.v", "--pattern", "and_shape", "--lib", "lib.v"],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 instance(s)"), "{stdout}");
+    assert!(stdout.contains("g3 g4"), "{stdout}");
+
+    // Cross-format: SPICE main, Verilog pattern is also fine per-file.
+    let out = subg(&dir, &["stats", "chip.v"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("4 devices"));
+
+    // Hierarchical Verilog compare.
+    fs::write(
+        dir.join("chip2.v"),
+        fs::read_to_string(dir.join("chip.v")).unwrap(),
+    )
+    .unwrap();
+    let out = subg(&dir, &["compare", "chip.v", "chip2.v", "--hierarchical"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn survey_and_trace_subcommands() {
+    let dir = scratch("survey");
+    write_files(&dir);
+    let out = subg(&dir, &["survey", "chip.sp", "--lib", "cells.sp"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("inv"), "{stdout}");
+    assert!(stdout.contains("nand2"), "{stdout}");
+
+    let out = subg(
+        &dir,
+        &[
+            "trace",
+            "chip.sp",
+            "--pattern",
+            "nand2",
+            "--lib",
+            "cells.sp",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("KV"), "{stdout}");
+    assert!(stdout.contains("pass 1"), "{stdout}");
+}
+
+#[test]
+fn usage_on_no_args_and_unknown_command() {
+    let dir = scratch("usage");
+    let out = subg(&dir, &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+    let out = subg(&dir, &["bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn fingerprint_groups_duplicate_cells() {
+    let dir = scratch("fp");
+    let cells =
+        format!("{CELLS}.subckt inv_copy x z\nmp z x vdd vdd pmos\nmn z x gnd gnd nmos\n.ends\n");
+    fs::write(dir.join("cells.sp"), cells).unwrap();
+    let out = subg(&dir, &["fingerprint", "cells.sp"]);
+    assert_eq!(out.status.code(), Some(1), "duplicates found -> exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("duplicates: inv == inv_copy"), "{stdout}");
+    assert!(stdout.contains("1 duplicate group(s)"), "{stdout}");
+}

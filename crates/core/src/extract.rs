@@ -1,0 +1,223 @@
+//! Library extraction: converting a transistor netlist into a gate
+//! netlist by repeated subcircuit identification and replacement.
+//!
+//! This is the paper's flagship application (§I): "converting a
+//! transistor netlist into a gate netlist involves finding the
+//! subcircuits representing gates and replacing them with the
+//! corresponding gates". Cells are processed largest-first — the
+//! paper's §IV.A alternative to special-casing power rails, and the
+//! discipline that prevents an inverter from eating half of every NAND.
+//!
+//! Each round matches one cell with
+//! [`OverlapPolicy::ClaimDevices`](crate::OverlapPolicy) and rebuilds
+//! the netlist with every found instance collapsed into a composite
+//! device whose type carries inferred port-symmetry classes, so a later
+//! (gate-level) match can treat NAND inputs as interchangeable.
+
+use std::collections::HashSet;
+
+use subgemini_netlist::{DeviceId, Netlist, NetlistError};
+
+use crate::instance::SubMatch;
+use crate::matcher::find_all;
+use crate::options::{MatchOptions, OverlapPolicy};
+use crate::symmetry::composite_type;
+
+/// One composite device created by extraction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtractedInstance {
+    /// The library cell name.
+    pub cell: String,
+    /// The composite device's name in the output netlist.
+    pub device: String,
+    /// Names of the primitive devices that were collapsed.
+    pub absorbed: Vec<String>,
+}
+
+/// Summary of an extraction run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtractReport {
+    /// All composites created, in creation order.
+    pub instances: Vec<ExtractedInstance>,
+    /// Per-cell instance counts, in processing (largest-first) order.
+    pub per_cell: Vec<(String, usize)>,
+    /// Devices of the input that no cell covered.
+    pub unabsorbed_devices: usize,
+}
+
+impl ExtractReport {
+    /// Instances of a particular cell.
+    pub fn count_of(&self, cell: &str) -> usize {
+        self.per_cell
+            .iter()
+            .find(|(c, _)| c == cell)
+            .map_or(0, |&(_, n)| n)
+    }
+}
+
+/// A configured extraction engine over a cell library.
+///
+/// # Examples
+///
+/// See the `gate_extraction` example and the crate-level documentation;
+/// a minimal run:
+///
+/// ```
+/// use subgemini::Extractor;
+/// use subgemini_netlist::{instantiate, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut inv = Netlist::new("inv");
+/// # let mos = inv.add_mos_types();
+/// # let (a, y, vdd, gnd) = (inv.net("a"), inv.net("y"), inv.net("vdd"), inv.net("gnd"));
+/// # inv.mark_port(a); inv.mark_port(y); inv.mark_global(vdd); inv.mark_global(gnd);
+/// # inv.add_device("mp", mos.pmos, &[a, vdd, y])?;
+/// # inv.add_device("mn", mos.nmos, &[a, gnd, y])?;
+/// # let mut chip = Netlist::new("chip");
+/// # let (i, o) = (chip.net("in"), chip.net("out"));
+/// # instantiate(&mut chip, &inv, "u1", &[i, o])?;
+/// let mut extractor = Extractor::new();
+/// extractor.add_cell(inv);
+/// let (gates, report) = extractor.extract(&chip)?;
+/// assert_eq!(report.count_of("inv"), 1);
+/// assert_eq!(gates.device_count(), 1); // one composite, no transistors
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Extractor {
+    cells: Vec<Netlist>,
+    options: MatchOptions,
+}
+
+impl Extractor {
+    /// Creates an extractor with extraction-appropriate default options
+    /// (devices are claimed; special nets respected).
+    pub fn new() -> Self {
+        Self {
+            cells: Vec::new(),
+            options: MatchOptions::extraction(),
+        }
+    }
+
+    /// Adds a library cell (a netlist with ports).
+    pub fn add_cell(&mut self, cell: Netlist) -> &mut Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Overrides the matching options; the overlap policy is forced to
+    /// [`OverlapPolicy::ClaimDevices`](crate::OverlapPolicy).
+    pub fn set_options(&mut self, options: MatchOptions) -> &mut Self {
+        self.options = MatchOptions {
+            overlap: OverlapPolicy::ClaimDevices,
+            ..options
+        };
+        self
+    }
+
+    /// Runs extraction: matches each cell largest-first, replacing
+    /// instances with composite devices, and returns the gate-level
+    /// netlist plus a report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist construction errors from the rebuild (only
+    /// possible if input names collide with generated composite names).
+    pub fn extract(&self, main: &Netlist) -> Result<(Netlist, ExtractReport), NetlistError> {
+        let mut cells: Vec<&Netlist> = self.cells.iter().collect();
+        // Largest first; ties broken by name for determinism.
+        cells.sort_by(|a, b| {
+            b.device_count()
+                .cmp(&a.device_count())
+                .then_with(|| a.name().cmp(b.name()))
+        });
+        let mut current = main.clone();
+        let mut report = ExtractReport::default();
+        for cell in cells {
+            let outcome = find_all(cell, &current, &self.options);
+            let found = outcome.instances.len();
+            report.per_cell.push((cell.name().to_string(), found));
+            if found > 0 {
+                current = replace_instances(&current, cell, &outcome.instances, &mut report)?;
+            }
+        }
+        report.unabsorbed_devices = current
+            .device_ids()
+            .filter(|&d| {
+                self.cells
+                    .iter()
+                    .all(|c| c.name() != current.device_type_of(d).name())
+            })
+            .count();
+        Ok((current, report))
+    }
+}
+
+/// Rebuilds `main` with each instance collapsed into a composite
+/// device.
+fn replace_instances(
+    main: &Netlist,
+    cell: &Netlist,
+    instances: &[SubMatch],
+    report: &mut ExtractReport,
+) -> Result<Netlist, NetlistError> {
+    let mut absorbed: HashSet<DeviceId> = HashSet::new();
+    for m in instances {
+        absorbed.extend(m.devices.iter().copied());
+    }
+    let mut out = Netlist::new(main.name().to_string());
+    // Copy surviving devices (nets come into being lazily, by name, so
+    // interior nets of collapsed instances vanish).
+    let carry_net = |out: &mut Netlist, name: &str, is_global: bool, is_port: bool| {
+        let id = out.net(name);
+        if is_global {
+            out.mark_global(id);
+        }
+        if is_port {
+            out.mark_port(id);
+        }
+        id
+    };
+    for d in main.device_ids() {
+        if absorbed.contains(&d) {
+            continue;
+        }
+        let dev = main.device(d);
+        let ty = out.add_type(main.device_type(dev.type_id()).clone())?;
+        let pins: Vec<_> = dev
+            .pins()
+            .iter()
+            .map(|&n| {
+                let net = main.net_ref(n);
+                carry_net(&mut out, net.name(), net.is_global(), net.is_port())
+            })
+            .collect();
+        out.add_device(dev.name().to_string(), ty, &pins)?;
+    }
+    // Add the composites.
+    let comp = out.add_type(composite_type(cell))?;
+    let start = report.instances.len();
+    for (i, m) in instances.iter().enumerate() {
+        let name = format!("{}#{}", cell.name(), start + i);
+        let pins: Vec<_> = m
+            .port_images(cell)
+            .iter()
+            .map(|&n| {
+                let net = main.net_ref(n);
+                carry_net(&mut out, net.name(), net.is_global(), net.is_port())
+            })
+            .collect();
+        out.add_device(name.clone(), comp, &pins)?;
+        report.instances.push(ExtractedInstance {
+            cell: cell.name().to_string(),
+            device: name,
+            absorbed: m
+                .devices
+                .iter()
+                .map(|&d| main.device(d).name().to_string())
+                .collect(),
+        });
+    }
+    Ok(out)
+}

@@ -1,0 +1,244 @@
+//! The high-level matching API tying Phase I and Phase II together.
+
+use std::collections::HashSet;
+
+use subgemini_netlist::{CircuitGraph, DeviceId, Netlist};
+
+use crate::instance::{MatchOutcome, SubMatch};
+use crate::options::{MatchOptions, OverlapPolicy};
+use crate::phase1;
+use crate::phase2::Phase2Runner;
+use crate::trace::Phase2Trace;
+
+/// A configured subcircuit search: find instances of `pattern` inside
+/// `main`.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini::Matcher;
+/// use subgemini_netlist::Netlist;
+///
+/// # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+/// // Pattern: CMOS inverter. Main: two chained inverters.
+/// let mut inv = Netlist::new("inv");
+/// let mos = inv.add_mos_types();
+/// let (a, y, vdd, gnd) = (inv.net("a"), inv.net("y"), inv.net("vdd"), inv.net("gnd"));
+/// inv.mark_port(a);
+/// inv.mark_port(y);
+/// inv.mark_global(vdd);
+/// inv.mark_global(gnd);
+/// inv.add_device("mp", mos.pmos, &[a, vdd, y])?;
+/// inv.add_device("mn", mos.nmos, &[a, gnd, y])?;
+///
+/// let mut chip = Netlist::new("chip");
+/// let (i, m, o) = (chip.net("in"), chip.net("mid"), chip.net("out"));
+/// subgemini_netlist::instantiate(&mut chip, &inv, "u1", &[i, m])?;
+/// subgemini_netlist::instantiate(&mut chip, &inv, "u2", &[m, o])?;
+///
+/// let outcome = Matcher::new(&inv, &chip).find_all();
+/// assert_eq!(outcome.count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Matcher<'a> {
+    pattern: &'a Netlist,
+    main: &'a Netlist,
+    options: MatchOptions,
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher with default options.
+    pub fn new(pattern: &'a Netlist, main: &'a Netlist) -> Self {
+        Self {
+            pattern,
+            main,
+            options: MatchOptions::default(),
+        }
+    }
+
+    /// Replaces the options (builder style).
+    pub fn options(mut self, options: MatchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs the full two-phase search and returns every verified
+    /// instance plus statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern contains a net not connected to any device
+    /// (such a net cannot be anchored by either phase).
+    pub fn find_all(&self) -> MatchOutcome {
+        find_all(self.pattern, self.main, &self.options)
+    }
+
+    /// Returns the first verified instance, if any.
+    pub fn find_first(&self) -> Option<SubMatch> {
+        let opts = MatchOptions {
+            max_instances: 1,
+            ..self.options.clone()
+        };
+        find_all(self.pattern, self.main, &opts)
+            .instances
+            .into_iter()
+            .next()
+    }
+}
+
+/// Free-function form of [`Matcher::find_all`].
+///
+/// # Panics
+///
+/// Panics if the pattern has no devices attached to one of its nets
+/// (see [`Matcher::find_all`]).
+pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> MatchOutcome {
+    for n in pattern.net_ids() {
+        assert!(
+            pattern.net_ref(n).degree() > 0,
+            "pattern net `{}` is isolated; patterns must be fully connected to devices",
+            pattern.net_ref(n).name()
+        );
+    }
+    if pattern.device_count() == 0 {
+        return MatchOutcome::default();
+    }
+    // Ignoring special nets = matching against de-globaled copies. A
+    // pattern's power rails become *external* nets (their images may
+    // have any fanout), matching the baseline matcher's semantics.
+    if !options.respect_globals {
+        let strip = |nl: &Netlist, as_ports: bool| {
+            let mut c = nl.clone();
+            let globals: Vec<_> = c.global_nets().collect();
+            for g in globals {
+                if as_ports {
+                    c.mark_port(g);
+                }
+                c.clear_global(g);
+            }
+            c
+        };
+        let (p, m) = (strip(pattern, true), strip(main, false));
+        return find_all_prepared(&p, &m, options);
+    }
+    find_all_prepared(pattern, main, options)
+}
+
+fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> MatchOutcome {
+    let mut outcome = MatchOutcome::default();
+    let s = CircuitGraph::new(pattern);
+    let g = CircuitGraph::new(main);
+
+    // ---- Phase I ----
+    let p1 = phase1::run_with_policy(&s, &g, options.key_policy);
+    outcome.phase1 = p1.stats;
+    outcome.key = p1.key;
+    let Some(key) = p1.key else {
+        return outcome;
+    };
+
+    // ---- Phase II ----
+    let runner = Phase2Runner::new(&s, &g, pattern, main, options);
+    let Some(base) = runner.base_state() else {
+        // A pattern global has no counterpart in the main circuit.
+        outcome.phase1.proven_empty = true;
+        return outcome;
+    };
+    // Optional parallel pre-pass: candidates are independent, so their
+    // verification can run on worker threads. The merge below consumes
+    // the precomputed per-candidate results in candidate-vector order,
+    // so instances are identical to a serial run (tracing forces the
+    // serial path; effort counters may include candidates a serial run
+    // would have skipped after a claim).
+    let worker_count = match options.threads {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    };
+    let precomputed: Option<Vec<Option<crate::instance::SubMatch>>> =
+        if !options.record_trace && worker_count > 1 && p1.candidates.len() > 1 {
+            let n = p1.candidates.len();
+            let mut results: Vec<Option<crate::instance::SubMatch>> = Vec::new();
+            results.resize_with(n, || None);
+            let chunk = n.div_ceil(worker_count.min(n));
+            let stats_parts = std::sync::Mutex::new(Vec::<crate::instance::Phase2Stats>::new());
+            std::thread::scope(|scope| {
+                for (slot_chunk, cand_chunk) in
+                    results.chunks_mut(chunk).zip(p1.candidates.chunks(chunk))
+                {
+                    let runner = &runner;
+                    let base = &base;
+                    let stats_parts = &stats_parts;
+                    scope.spawn(move || {
+                        let mut stats = crate::instance::Phase2Stats::default();
+                        for (slot, &c) in slot_chunk.iter_mut().zip(cand_chunk) {
+                            *slot = runner
+                                .run_candidate(base, key, c, &mut stats, false)
+                                .map(|(m, _)| m);
+                        }
+                        stats_parts
+                            .lock()
+                            .expect("no panics while holding the lock")
+                            .push(stats);
+                    });
+                }
+            });
+            for part in stats_parts.into_inner().expect("threads joined") {
+                outcome.phase2.candidates_tried += part.candidates_tried;
+                outcome.phase2.false_candidates += part.false_candidates;
+                outcome.phase2.passes += part.passes;
+                outcome.phase2.guesses += part.guesses;
+                outcome.phase2.backtracks += part.backtracks;
+            }
+            Some(results)
+        } else {
+            None
+        };
+
+    let mut claimed: HashSet<DeviceId> = HashSet::new();
+    let mut seen_sets: HashSet<Vec<DeviceId>> = HashSet::new();
+    let mut trace: Option<Phase2Trace> = None;
+    for (i, &c) in p1.candidates.iter().enumerate() {
+        if options.max_instances > 0 && outcome.instances.len() >= options.max_instances {
+            break;
+        }
+        // Claimed key images cannot start a new instance.
+        if options.overlap == OverlapPolicy::ClaimDevices {
+            if let Some(d) = c.as_device() {
+                if claimed.contains(&d) {
+                    continue;
+                }
+            }
+        }
+        let want_trace = options.record_trace && trace.is_none();
+        let (m, t) = match &precomputed {
+            Some(results) => match results[i].clone() {
+                Some(m) => (m, None),
+                None => continue,
+            },
+            None => match runner.run_candidate(&base, key, c, &mut outcome.phase2, want_trace) {
+                Some((m, t)) => (m, t),
+                None => continue,
+            },
+        };
+        let set = m.device_set();
+        if !seen_sets.insert(set.clone()) {
+            continue; // same instance reached through another candidate
+        }
+        if options.overlap == OverlapPolicy::ClaimDevices {
+            if set.iter().any(|d| claimed.contains(d)) {
+                outcome.phase2.overlap_dropped += 1;
+                continue;
+            }
+            claimed.extend(set.iter().copied());
+        }
+        if want_trace {
+            trace = t;
+        }
+        outcome.instances.push(m);
+    }
+    outcome.instances.sort_by_key(|a| a.device_set());
+    outcome.trace = trace;
+    outcome
+}

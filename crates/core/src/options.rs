@@ -1,0 +1,148 @@
+//! Matching options.
+
+/// What to do when two instances want the same main-circuit device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverlapPolicy {
+    /// Report every instance, even if instances share devices (the
+    /// paper's Fig. 7 inverter-in-NAND situation when special nets are
+    /// ignored).
+    #[default]
+    AllowOverlap,
+    /// First verified instance claims its devices; later instances that
+    /// reuse a claimed device are dropped. This is the extraction
+    /// discipline: each transistor belongs to exactly one gate.
+    ClaimDevices,
+}
+
+/// How Phase I picks the key vertex / candidate vector among the valid
+/// pattern partitions (ablation knob; see DESIGN.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KeyPolicy {
+    /// The paper's rule: the smallest corresponding main-graph
+    /// partition, minimizing Phase II work.
+    #[default]
+    SmallestPartition,
+    /// The first valid pattern vertex in id order (devices before
+    /// nets) — what a naive implementation would do.
+    FirstValid,
+    /// The *largest* main-graph partition — the adversarial choice,
+    /// included to quantify how much the paper's rule matters.
+    LargestPartition,
+}
+
+/// Options controlling a SubGemini run.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini::{MatchOptions, OverlapPolicy};
+/// let opts = MatchOptions {
+///     respect_globals: false,
+///     overlap: OverlapPolicy::ClaimDevices,
+///     ..MatchOptions::default()
+/// };
+/// assert!(!opts.respect_globals);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchOptions {
+    /// Honor global (special) nets per §IV.A: a pattern `vdd` net may
+    /// only match the same-named global net of the main circuit, global
+    /// labels are fixed, and global rails never trigger label spreading.
+    /// Default `true`.
+    pub respect_globals: bool,
+    /// Overlap policy for multi-instance searches.
+    pub overlap: OverlapPolicy,
+    /// Stop after this many verified instances (0 = unlimited).
+    pub max_instances: usize,
+    /// Maximum Phase II individuation guesses per candidate before the
+    /// candidate is abandoned (guards pathological symmetry).
+    pub max_guesses_per_candidate: usize,
+    /// Maximum Phase II relabeling passes per candidate (safety valve;
+    /// the algorithm normally terminates by progress detection long
+    /// before this).
+    pub max_passes_per_candidate: usize,
+    /// Phase I key-vertex selection policy.
+    pub key_policy: KeyPolicy,
+    /// Worker threads for Phase II candidate verification (candidates
+    /// are independent). `1` (default) runs serially; `0` uses the
+    /// machine's available parallelism. Results are identical to the
+    /// serial order regardless of thread count; `record_trace` forces
+    /// serial execution.
+    pub threads: usize,
+    /// Seed for the deterministic RNG that generates unique match
+    /// labels. Runs with equal seeds are bit-identical.
+    pub seed: u64,
+    /// Record a pass-by-pass [`Phase2Trace`](crate::Phase2Trace) of the
+    /// first successful candidate (used to regenerate the paper's
+    /// Table 1). Off by default; tracing clones label tables every pass.
+    pub record_trace: bool,
+    /// Let Phase II spread labels *from* main-circuit nets matched to
+    /// pattern ports. Off by default: a port's image may have huge
+    /// fanout (a shared clock has one pin per flip-flop), and scanning
+    /// it every pass makes per-candidate cost grow with the main
+    /// circuit — the same phenomenon §IV.A describes for power rails.
+    /// Suppressing it preserves correctness (matched labels still
+    /// contribute when a vertex is relabeled for other reasons) and
+    /// restores the paper's linear scaling; see the `port_spreading`
+    /// ablation bench.
+    pub spread_from_port_images: bool,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        Self {
+            respect_globals: true,
+            overlap: OverlapPolicy::AllowOverlap,
+            max_instances: 0,
+            max_guesses_per_candidate: 256,
+            max_passes_per_candidate: 10_000,
+            key_policy: KeyPolicy::default(),
+            threads: 1,
+            seed: 0x5b6e_1347,
+            record_trace: false,
+            spread_from_port_images: false,
+        }
+    }
+}
+
+impl MatchOptions {
+    /// The configuration used by the extraction engine: claim devices,
+    /// respect special nets.
+    pub fn extraction() -> Self {
+        Self {
+            overlap: OverlapPolicy::ClaimDevices,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation configuration: ignore special nets entirely (paper
+    /// Fig. 7 failure mode; also the §IV.A performance comparison).
+    pub fn ignore_globals() -> Self {
+        Self {
+            respect_globals: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_faithful() {
+        let o = MatchOptions::default();
+        assert!(o.respect_globals);
+        assert_eq!(o.overlap, OverlapPolicy::AllowOverlap);
+        assert_eq!(o.max_instances, 0);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(
+            MatchOptions::extraction().overlap,
+            OverlapPolicy::ClaimDevices
+        );
+        assert!(!MatchOptions::ignore_globals().respect_globals);
+    }
+}

@@ -1,0 +1,610 @@
+//! Phase I — generating the candidate vector (§III of the paper).
+//!
+//! Both circuits are partitioned by iterative relabeling, but the
+//! pattern `S` carries a **valid/corrupt** bit per vertex: external
+//! nets (ports) start corrupt because their images in `G` may have
+//! extra connections, and corruption spreads to any vertex with a
+//! corrupt neighbor. Label Invariant (1): while `s` is valid, its image
+//! carries the same label — so every partition of valid `S` vertices
+//! corresponds to a `G` partition that is guaranteed to contain all
+//! images.
+//!
+//! The loop alternates net and device relabeling and stops when one
+//! side of `S` is fully corrupt (plus two guards the paper doesn't
+//! need: partition stabilization for closed patterns without external
+//! nets, and a hard iteration cap). The smallest surviving `G`
+//! partition becomes the candidate vector `CV`; its `S` counterpart
+//! supplies the key vertex `K`.
+//!
+//! Consistency checks run after every phase: a valid `S` label that is
+//! missing (or undersupplied) in `G` proves no instance exists.
+
+use std::collections::HashMap;
+
+use subgemini_netlist::{hashing, CircuitGraph, DeviceId, NetId, Vertex};
+
+use crate::instance::Phase1Stats;
+use crate::options::KeyPolicy;
+
+/// Output of Phase I.
+#[derive(Clone, Debug)]
+pub struct Phase1Output {
+    /// The key vertex in the pattern (`None` iff `proven_empty` or the
+    /// pattern has no usable vertices).
+    pub key: Option<Vertex>,
+    /// Candidate images of the key vertex in the main circuit.
+    pub candidates: Vec<Vertex>,
+    /// Statistics.
+    pub stats: Phase1Stats,
+}
+
+#[derive(Clone)]
+struct Labels {
+    dev: Vec<u64>,
+    net: Vec<u64>,
+}
+
+fn initial_labels(g: &CircuitGraph<'_>) -> Labels {
+    Labels {
+        dev: (0..g.device_count())
+            .map(|i| g.initial_device_label(DeviceId::new(i as u32)))
+            .collect(),
+        net: (0..g.net_count())
+            .map(|i| g.initial_net_label(NetId::new(i as u32)))
+            .collect(),
+    }
+}
+
+/// Relabels every non-global net of `g` from device labels (Jacobi).
+fn relabel_nets(g: &CircuitGraph<'_>, l: &mut Labels) {
+    let mut new = l.net.clone();
+    for (i, slot) in new.iter_mut().enumerate() {
+        let n = NetId::new(i as u32);
+        if g.is_global(n) {
+            continue;
+        }
+        let c = g.net_contribs(n, |d| Some(l.dev[d.index()]));
+        *slot = hashing::relabel(l.net[i], c.sum);
+    }
+    l.net = new;
+}
+
+/// Relabels every device of `g` from net labels (Jacobi).
+fn relabel_devices(g: &CircuitGraph<'_>, l: &mut Labels) {
+    let mut new = l.dev.clone();
+    for (i, slot) in new.iter_mut().enumerate() {
+        let d = DeviceId::new(i as u32);
+        let c = g.device_contribs(d, |n| Some(l.net[n.index()]));
+        *slot = hashing::relabel(l.dev[i], c.sum);
+    }
+    l.dev = new;
+}
+
+/// A lazily extended sequence of `G` label snapshots. Main-graph
+/// relabeling in Phase I is *pattern-independent* (no valid/corrupt
+/// logic applies to `G`), so one trace can serve many patterns — the
+/// basis of [`run_many`].
+///
+/// `step 0` is the initial labeling; odd steps follow a net phase, even
+/// steps a device phase.
+pub struct GTrace<'g, 'n> {
+    g: &'g CircuitGraph<'n>,
+    snaps: Vec<StepData>,
+}
+
+/// One trace step: the labels plus label→members partition maps, cached
+/// so that per-pattern consistency checks cost `O(|S|)` rather than
+/// `O(|G|)`.
+struct StepData {
+    labels: Labels,
+    dev_parts: HashMap<u64, Vec<u32>>,
+    net_parts: HashMap<u64, Vec<u32>>,
+}
+
+impl StepData {
+    fn from_labels(labels: Labels) -> Self {
+        let mut dev_parts: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, &l) in labels.dev.iter().enumerate() {
+            dev_parts.entry(l).or_default().push(i as u32);
+        }
+        let mut net_parts: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, &l) in labels.net.iter().enumerate() {
+            net_parts.entry(l).or_default().push(i as u32);
+        }
+        Self {
+            labels,
+            dev_parts,
+            net_parts,
+        }
+    }
+}
+
+impl<'g, 'n> GTrace<'g, 'n> {
+    /// Starts a trace for `g`.
+    pub fn new(g: &'g CircuitGraph<'n>) -> Self {
+        Self {
+            g,
+            snaps: vec![StepData::from_labels(initial_labels(g))],
+        }
+    }
+
+    /// Step data after `step` relabeling half-phases (extending the
+    /// trace as needed).
+    fn step(&mut self, step: usize) -> &StepData {
+        while self.snaps.len() <= step {
+            let mut next = self
+                .snaps
+                .last()
+                .expect("trace starts non-empty")
+                .labels
+                .clone();
+            if self.snaps.len() % 2 == 1 {
+                // The snapshot being created has an odd index => it
+                // follows a net phase.
+                relabel_nets(self.g, &mut next);
+            } else {
+                relabel_devices(self.g, &mut next);
+            }
+            self.snaps.push(StepData::from_labels(next));
+        }
+        &self.snaps[step]
+    }
+}
+
+struct Validity {
+    dev: Vec<bool>,
+    net: Vec<bool>,
+}
+
+impl Validity {
+    fn new(s: &CircuitGraph<'_>) -> Self {
+        let net = (0..s.net_count())
+            .map(|i| {
+                let n = NetId::new(i as u32);
+                // External nets are corrupt from the start; globals stay
+                // valid forever (their labels are fixed by name).
+                s.is_global(n) || !s.netlist().net_ref(n).is_port()
+            })
+            .collect();
+        Self {
+            dev: vec![true; s.device_count()],
+            net,
+        }
+    }
+
+    /// Marks nets with an invalid device neighbor invalid; returns how
+    /// many were newly invalidated.
+    fn propagate_to_nets(&mut self, s: &CircuitGraph<'_>) -> usize {
+        let mut newly = 0;
+        for i in 0..self.net.len() {
+            let n = NetId::new(i as u32);
+            if !self.net[i] || s.is_global(n) {
+                continue;
+            }
+            if s.net_neighbors(n).any(|(d, _)| !self.dev[d.index()]) {
+                self.net[i] = false;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Marks devices with an invalid net neighbor invalid; returns how
+    /// many were newly invalidated.
+    fn propagate_to_devices(&mut self, s: &CircuitGraph<'_>) -> usize {
+        let mut newly = 0;
+        for i in 0..self.dev.len() {
+            if !self.dev[i] {
+                continue;
+            }
+            let d = DeviceId::new(i as u32);
+            if s.device_neighbors(d).any(|(n, _)| !self.net[n.index()]) {
+                self.dev[i] = false;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    fn live_nets(&self, s: &CircuitGraph<'_>) -> usize {
+        (0..self.net.len())
+            .filter(|&i| self.net[i] && !s.is_global(NetId::new(i as u32)))
+            .count()
+    }
+
+    fn live_devices(&self) -> usize {
+        self.dev.iter().filter(|&&v| v).count()
+    }
+}
+
+/// Checks Label Invariant (1)'s consequence: every valid `S` partition
+/// must be matched in `G` with at least as many members. Returns `false`
+/// when the pattern provably has no instance. `O(|S|)` thanks to the
+/// trace's cached partition maps.
+fn consistent(s_labels: &[u64], s_valid: &[bool], g_parts: &HashMap<u64, Vec<u32>>) -> bool {
+    let mut need: HashMap<u64, usize> = HashMap::new();
+    for (i, &l) in s_labels.iter().enumerate() {
+        if s_valid[i] {
+            *need.entry(l).or_insert(0) += 1;
+        }
+    }
+    need.iter()
+        .all(|(l, &c)| g_parts.get(l).is_some_and(|p| p.len() >= c))
+}
+
+/// Runs Phase I with the paper's smallest-partition key policy.
+pub fn run(s: &CircuitGraph<'_>, g: &CircuitGraph<'_>) -> Phase1Output {
+    run_with_policy(s, g, KeyPolicy::SmallestPartition)
+}
+
+/// Runs Phase I.
+pub fn run_with_policy(
+    s: &CircuitGraph<'_>,
+    g: &CircuitGraph<'_>,
+    policy: KeyPolicy,
+) -> Phase1Output {
+    let mut trace = GTrace::new(g);
+    run_with_trace(s, &mut trace, policy)
+}
+
+/// Runs Phase I for many patterns against one main circuit, relabeling
+/// the main graph only once: its Phase I labels do not depend on the
+/// pattern, so the per-pattern cost drops from `O(|G|·iters)` to the
+/// pattern-side work after the first call.
+pub fn run_many(
+    patterns: &[&CircuitGraph<'_>],
+    g: &CircuitGraph<'_>,
+    policy: KeyPolicy,
+) -> Vec<Phase1Output> {
+    let mut trace = GTrace::new(g);
+    patterns
+        .iter()
+        .map(|s| run_with_trace(s, &mut trace, policy))
+        .collect()
+}
+
+/// Runs Phase I against a (shared, lazily extended) main-graph label
+/// trace.
+///
+/// Globals in either graph never relabel (fixed name-derived labels) and
+/// are excluded from candidate-vector selection: with special-net
+/// semantics they are pre-matched by name, so anchoring Phase II on them
+/// would be useless.
+pub fn run_with_trace(
+    s: &CircuitGraph<'_>,
+    trace: &mut GTrace<'_, '_>,
+    policy: KeyPolicy,
+) -> Phase1Output {
+    let mut stats = Phase1Stats::default();
+    let mut sl = initial_labels(s);
+    let mut valid = Validity::new(s);
+    let mut step = 0usize;
+
+    let empty = |stats: Phase1Stats| Phase1Output {
+        key: None,
+        candidates: Vec::new(),
+        stats: Phase1Stats {
+            proven_empty: true,
+            ..stats
+        },
+    };
+
+    // Consistency on the initial (invariant) labels — the check that
+    // removes the "-" vertices in paper Fig. 4.
+    {
+        let sd = trace.step(0);
+        if !consistent(&sl.dev, &valid.dev, &sd.dev_parts)
+            || !consistent(&sl.net, &valid.net, &sd.net_parts)
+        {
+            return empty(stats);
+        }
+    }
+
+    let max_cycles = s.device_count() + s.net_count() + 2;
+    let mut prev_signature = (0usize, 0usize, 0usize);
+    for _cycle in 0..max_cycles {
+        // --- net phase ---
+        relabel_nets(s, &mut sl);
+        step += 1;
+        let inv_n = valid.propagate_to_nets(s);
+        stats.iterations += 1;
+        if !consistent(&sl.net, &valid.net, &trace.step(step).net_parts) {
+            return empty(stats);
+        }
+        if valid.live_nets(s) == 0 {
+            break;
+        }
+        // --- device phase ---
+        relabel_devices(s, &mut sl);
+        step += 1;
+        let inv_d = valid.propagate_to_devices(s);
+        stats.iterations += 1;
+        if !consistent(&sl.dev, &valid.dev, &trace.step(step).dev_parts) {
+            return empty(stats);
+        }
+        if valid.live_devices() == 0 {
+            break;
+        }
+        // --- stabilization guard (closed patterns never corrupt) ---
+        let distinct_valid = {
+            let mut set = std::collections::HashSet::new();
+            for (i, &l) in sl.dev.iter().enumerate() {
+                if valid.dev[i] {
+                    set.insert((false, l));
+                }
+            }
+            for (i, &l) in sl.net.iter().enumerate() {
+                if valid.net[i] {
+                    set.insert((true, l));
+                }
+            }
+            set.len()
+        };
+        let signature = (inv_n, inv_d, distinct_valid);
+        if inv_n == 0 && inv_d == 0 && signature.2 == prev_signature.2 && _cycle > 0 {
+            break;
+        }
+        prev_signature = signature;
+    }
+
+    // --- candidate-vector selection ---
+    // Use the cached G partitions at the step we stopped on. Global
+    // nets are filtered out of the (at most |S|) partitions we actually
+    // inspect, keeping per-pattern cost independent of |G|.
+    let g = trace.g;
+    let data = trace.step(step);
+    let g_dev_parts = &data.dev_parts;
+    let mut g_net_parts: HashMap<u64, Vec<u32>> = HashMap::new();
+    for (i, &l) in sl.net.iter().enumerate() {
+        if !valid.net[i] || s.is_global(NetId::new(i as u32)) {
+            continue;
+        }
+        g_net_parts.entry(l).or_insert_with(|| {
+            data.net_parts
+                .get(&l)
+                .map(|members| {
+                    members
+                        .iter()
+                        .copied()
+                        .filter(|&gi| !g.is_global(NetId::new(gi)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        });
+    }
+    // Count valid S vertices per label so we can report the key's
+    // partition size and verify |P_g| >= |P_s| one last time.
+    let mut s_dev_counts: HashMap<u64, (u32, u32)> = HashMap::new(); // (count, first index)
+    for (i, &l) in sl.dev.iter().enumerate() {
+        if valid.dev[i] {
+            let e = s_dev_counts.entry(l).or_insert((0, i as u32));
+            e.0 += 1;
+        }
+    }
+    let mut s_net_counts: HashMap<u64, (u32, u32)> = HashMap::new();
+    for (i, &l) in sl.net.iter().enumerate() {
+        if valid.net[i] && !s.is_global(NetId::new(i as u32)) {
+            let e = s_net_counts.entry(l).or_insert((0, i as u32));
+            e.0 += 1;
+        }
+    }
+
+    // Enumerate viable (G-partition size, side, label, first S index)
+    // choices, verifying |P_g| >= |P_s| one last time, then pick per
+    // policy. Tie-breaking is deterministic by (size, side, label).
+    let mut viable: Vec<(usize, u8, u64, u32)> = Vec::new();
+    for (&l, &(sc, first)) in &s_dev_counts {
+        let gp = g_dev_parts.get(&l).map_or(0, Vec::len);
+        if gp < sc as usize {
+            return empty(stats);
+        }
+        viable.push((gp, 0u8, l, first));
+    }
+    for (&l, &(sc, first)) in &s_net_counts {
+        let gp = g_net_parts.get(&l).map_or(0, Vec::len);
+        if gp < sc as usize {
+            return empty(stats);
+        }
+        viable.push((gp, 1u8, l, first));
+    }
+    let best = match policy {
+        KeyPolicy::SmallestPartition => viable
+            .iter()
+            .min_by_key(|&&(gp, side, l, _)| (gp, side, l))
+            .copied(),
+        KeyPolicy::LargestPartition => viable
+            .iter()
+            .max_by_key(|&&(gp, side, l, _)| (gp, side, l))
+            .copied(),
+        KeyPolicy::FirstValid => viable
+            .iter()
+            .min_by_key(|&&(_, side, _, first)| (side, first))
+            .copied(),
+    };
+    let Some((size, side, label, _)) = best else {
+        // No valid vertices at all (pattern without devices): nothing to
+        // anchor on.
+        return Phase1Output {
+            key: None,
+            candidates: Vec::new(),
+            stats,
+        };
+    };
+    let (key, candidates): (Vertex, Vec<Vertex>) = if side == 0 {
+        let first = s_dev_counts[&label].1;
+        (
+            Vertex::Device(DeviceId::new(first)),
+            g_dev_parts
+                .get(&label)
+                .cloned()
+                .unwrap_or_default()
+                .into_iter()
+                .map(|i| Vertex::Device(DeviceId::new(i)))
+                .collect(),
+        )
+    } else {
+        let first = s_net_counts[&label].1;
+        (
+            Vertex::Net(NetId::new(first)),
+            g_net_parts
+                .remove(&label)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|i| Vertex::Net(NetId::new(i)))
+                .collect(),
+        )
+    };
+    stats.cv_size = size;
+    stats.key_partition_size = if side == 0 {
+        s_dev_counts[&label].0 as usize
+    } else {
+        s_net_counts[&label].0 as usize
+    };
+    Phase1Output {
+        key: Some(key),
+        candidates,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgemini_netlist::{instantiate, Netlist};
+
+    fn inverter_cell() -> Netlist {
+        let mut inv = Netlist::new("inv");
+        let mos = inv.add_mos_types();
+        let (a, y, vdd, gnd) = (inv.net("a"), inv.net("y"), inv.net("vdd"), inv.net("gnd"));
+        inv.mark_port(a);
+        inv.mark_port(y);
+        inv.mark_global(vdd);
+        inv.mark_global(gnd);
+        inv.add_device("mp", mos.pmos, &[a, vdd, y]).unwrap();
+        inv.add_device("mn", mos.nmos, &[a, gnd, y]).unwrap();
+        inv
+    }
+
+    fn inverter_chain(n: usize) -> Netlist {
+        let inv = inverter_cell();
+        let mut chip = Netlist::new("chain");
+        let mut prev = chip.net("in");
+        for i in 0..n {
+            let next = chip.net(format!("w{i}"));
+            instantiate(&mut chip, &inv, &format!("u{i}"), &[prev, next]).unwrap();
+            prev = next;
+        }
+        chip
+    }
+
+    #[test]
+    fn candidate_vector_covers_all_instances() {
+        let pat = inverter_cell();
+        let chip = inverter_chain(5);
+        let sp = CircuitGraph::new(&pat);
+        let gp = CircuitGraph::new(&chip);
+        let out = run(&sp, &gp);
+        assert!(!out.stats.proven_empty);
+        let key = out.key.expect("key chosen");
+        // Whatever the key is, completeness demands |CV| >= 5 images.
+        assert!(out.candidates.len() >= 5, "cv={:?}", out.candidates);
+        assert_eq!(out.stats.cv_size, out.candidates.len());
+        // Key must come from the pattern's vertex space.
+        match key {
+            Vertex::Device(d) => assert!(d.index() < pat.device_count()),
+            Vertex::Net(n) => assert!(n.index() < pat.net_count()),
+        }
+    }
+
+    #[test]
+    fn absent_device_type_proves_empty() {
+        // Pattern uses a resistor; main circuit has none.
+        let mut pat = Netlist::new("rc");
+        let res = pat
+            .add_type(subgemini_netlist::DeviceType::two_terminal("res"))
+            .unwrap();
+        let (a, b) = (pat.net("a"), pat.net("b"));
+        pat.mark_port(a);
+        pat.mark_port(b);
+        pat.add_device("r1", res, &[a, b]).unwrap();
+        let chip = inverter_chain(3);
+        let out = run(&CircuitGraph::new(&pat), &CircuitGraph::new(&chip));
+        assert!(out.stats.proven_empty);
+        assert!(out.key.is_none());
+    }
+
+    #[test]
+    fn oversized_pattern_proves_empty() {
+        // Pattern needs 4 pmos; main has 2.
+        let mut pat = Netlist::new("big");
+        let mos = pat.add_mos_types();
+        let vdd = pat.net("vdd");
+        pat.mark_global(vdd);
+        for i in 0..4 {
+            let g = pat.net(format!("g{i}"));
+            let d = pat.net(format!("d{i}"));
+            pat.mark_port(g);
+            pat.mark_port(d);
+            pat.add_device(format!("p{i}"), mos.pmos, &[g, vdd, d])
+                .unwrap();
+        }
+        let chip = inverter_chain(2);
+        let out = run(&CircuitGraph::new(&pat), &CircuitGraph::new(&chip));
+        assert!(out.stats.proven_empty);
+    }
+
+    #[test]
+    fn closed_pattern_terminates() {
+        // A ring oscillator pattern: no ports at all. Phase I must stop
+        // via the stabilization guard, not loop forever.
+        let inv = inverter_cell();
+        let mut ring = Netlist::new("ring");
+        let (a, b, c) = (ring.net("n0"), ring.net("n1"), ring.net("n2"));
+        for (i, (x, y)) in [(a, b), (b, c), (c, a)].iter().enumerate() {
+            instantiate(&mut ring, &inv, &format!("u{i}"), &[*x, *y]).unwrap();
+        }
+        // Pattern = the ring itself (no ports -> no external nets).
+        let mut big = Netlist::new("big");
+        let (p, q, r, s) = (big.net("m0"), big.net("m1"), big.net("m2"), big.net("m3"));
+        for (i, (x, y)) in [(p, q), (q, r), (r, s), (s, p)].iter().enumerate() {
+            instantiate(&mut big, &inv, &format!("v{i}"), &[*x, *y]).unwrap();
+        }
+        let out = run(&CircuitGraph::new(&ring), &CircuitGraph::new(&big));
+        // 3-ring is not a subgraph of a 4-ring; Phase I may or may not
+        // prove it, but it must terminate with *some* answer.
+        assert!(out.stats.iterations < 100);
+    }
+
+    #[test]
+    fn key_prefers_small_partitions() {
+        // One NAND in a sea of inverters: anchoring on the NAND-specific
+        // structure should give a small CV.
+        let inv = inverter_cell();
+        let mut chip = inverter_chain(8);
+        // Plant a distinctive 2-high NMOS stack.
+        let mos = chip.add_mos_types();
+        let (x, y, z, gnd) = (
+            chip.net("x"),
+            chip.net("y9"),
+            chip.net("z"),
+            chip.net("gnd"),
+        );
+        chip.add_device("s1", mos.nmos, &[x, y, z]).unwrap();
+        let w = chip.net("w9");
+        chip.add_device("s2", mos.nmos, &[x, z, gnd]).unwrap();
+        let _ = w;
+        let pat = inv;
+        let out = run(&CircuitGraph::new(&pat), &CircuitGraph::new(&chip));
+        // The inverter pattern's CV must still include all 8 planted
+        // inverters' key images.
+        assert!(out.candidates.len() >= 8);
+    }
+
+    #[test]
+    fn iterations_bounded_by_pattern_size() {
+        let pat = inverter_cell();
+        let chip = inverter_chain(12);
+        let out = run(&CircuitGraph::new(&pat), &CircuitGraph::new(&chip));
+        assert!(out.stats.iterations <= pat.device_count() + pat.net_count() + 4);
+    }
+}

@@ -1,0 +1,718 @@
+//! Phase II — verifying candidates with the safe/suspect labeling
+//! search (§IV of the paper).
+//!
+//! For each candidate `c`, the key vertex and `c` are matched and given
+//! a shared unique label. Labels then spread breadth-first, but only
+//! **safe** labels participate: a `G` partition is safe iff it has the
+//! same size as the equally-labeled pattern partition — then it can
+//! contain only image vertices (pigeonhole over Label Invariant (2)).
+//! Equal safe singleton partitions are **matched** and frozen. When no
+//! progress is possible (paper Fig. 5 symmetry) the algorithm guesses a
+//! match inside an equal-labeled partition and recurses with state
+//! save/restore. Completed mappings are re-verified structurally.
+//!
+//! Efficiency notes mirroring the paper:
+//!
+//! * only *touched* `G` vertices (reached by spreading) are stored, so
+//!   the per-candidate cost is proportional to the pattern size, not
+//!   `|G|` — this is what makes total runtime linear in the matched
+//!   devices;
+//! * special nets are pre-matched by name and never *trigger*
+//!   relabeling, so a power rail's huge fanout is never scanned (§IV.A's
+//!   performance point) — though its fixed label still contributes when
+//!   a vertex is relabeled for other reasons.
+
+use std::collections::{HashMap, HashSet};
+
+use subgemini_netlist::{hashing, CircuitGraph, DeviceId, NetId, Netlist, Vertex};
+
+use crate::instance::{Phase2Stats, SubMatch};
+use crate::options::MatchOptions;
+use crate::trace::{Phase2Trace, TraceCell, TraceSnapshot};
+use crate::verify::verify_instance;
+
+/// Mutable search state for one candidate (cloned on recursion).
+#[derive(Clone)]
+struct State {
+    s_dev: Vec<u64>,
+    s_net: Vec<u64>,
+    s_dev_touched: Vec<bool>,
+    s_net_touched: Vec<bool>,
+    s_dev_safe: Vec<bool>,
+    s_net_safe: Vec<bool>,
+    s_dev_match: Vec<Option<u32>>,
+    s_net_match: Vec<Option<u32>>,
+    /// Labels of touched main-graph devices/nets.
+    g_dev: HashMap<u32, u64>,
+    g_net: HashMap<u32, u64>,
+    g_dev_safe: HashSet<u32>,
+    g_net_safe: HashSet<u32>,
+    g_dev_matched: HashSet<u32>,
+    g_net_matched: HashSet<u32>,
+    /// Main-graph nets matched to *port* (external) pattern nets. Such
+    /// images may have arbitrary main-circuit fanout (think a shared
+    /// clock), so — like global rails — they never trigger spreading
+    /// unless the option re-enables it.
+    g_net_port_image: HashSet<u32>,
+    matched: usize,
+    label_counter: u64,
+    trace: Option<Phase2Trace>,
+}
+
+enum Refined {
+    /// All pattern vertices matched.
+    Complete(State),
+    /// Partition inconsistency: this branch cannot succeed.
+    Fail,
+    /// No progress without a guess.
+    Stuck(State),
+}
+
+/// Phase II driver bound to one (pattern, main) pair.
+pub struct Phase2Runner<'a> {
+    s: &'a CircuitGraph<'a>,
+    g: &'a CircuitGraph<'a>,
+    pattern: &'a Netlist,
+    main: &'a Netlist,
+    opts: &'a MatchOptions,
+}
+
+impl<'a> Phase2Runner<'a> {
+    /// Creates a runner. `s`/`g` must be graphs of `pattern`/`main`.
+    pub fn new(
+        s: &'a CircuitGraph<'a>,
+        g: &'a CircuitGraph<'a>,
+        pattern: &'a Netlist,
+        main: &'a Netlist,
+        opts: &'a MatchOptions,
+    ) -> Self {
+        Self {
+            s,
+            g,
+            pattern,
+            main,
+            opts,
+        }
+    }
+
+    /// Builds the candidate-independent base state with special nets
+    /// pre-matched by name. Returns `None` when a pattern global has no
+    /// counterpart in the main circuit (no instance can exist).
+    pub fn base_state(&self) -> Option<BaseState> {
+        let nd = self.s.device_count();
+        let nn = self.s.net_count();
+        let mut st = State {
+            s_dev: (0..nd)
+                .map(|i| self.s.initial_device_label(DeviceId::new(i as u32)))
+                .collect(),
+            s_net: vec![0; nn],
+            s_dev_touched: vec![false; nd],
+            s_net_touched: vec![false; nn],
+            s_dev_safe: vec![false; nd],
+            s_net_safe: vec![false; nn],
+            s_dev_match: vec![None; nd],
+            s_net_match: vec![None; nn],
+            g_dev: HashMap::new(),
+            g_net: HashMap::new(),
+            g_dev_safe: HashSet::new(),
+            g_net_safe: HashSet::new(),
+            g_dev_matched: HashSet::new(),
+            g_net_matched: HashSet::new(),
+            g_net_port_image: HashSet::new(),
+            matched: 0,
+            label_counter: 0,
+            trace: None,
+        };
+        for i in 0..nn {
+            let n = NetId::new(i as u32);
+            if !self.s.is_global(n) {
+                continue;
+            }
+            let name = self.pattern.net_ref(n).name();
+            let gm = self.main.find_net(name)?;
+            if !self.main.net_ref(gm).is_global() {
+                return None;
+            }
+            let label = self.s.initial_net_label(n);
+            st.s_net[i] = label;
+            st.s_net_touched[i] = true;
+            st.s_net_safe[i] = true;
+            st.s_net_match[i] = Some(gm.raw());
+            st.g_net.insert(gm.raw(), label);
+            st.g_net_safe.insert(gm.raw());
+            st.g_net_matched.insert(gm.raw());
+            st.matched += 1;
+        }
+        Some(BaseState(st))
+    }
+
+    fn total_s(&self) -> usize {
+        self.s.device_count() + self.s.net_count()
+    }
+
+    fn fresh_label(&self, st: &mut State) -> u64 {
+        st.label_counter += 1;
+        hashing::mix(self.opts.seed ^ st.label_counter.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn g_dev_label(&self, st: &State, i: u32) -> u64 {
+        st.g_dev
+            .get(&i)
+            .copied()
+            .unwrap_or_else(|| self.g.initial_device_label(DeviceId::new(i)))
+    }
+
+    fn g_net_label(&self, st: &State, i: u32) -> u64 {
+        let n = NetId::new(i);
+        if self.g.is_global(n) {
+            return self.g.initial_net_label(n);
+        }
+        st.g_net.get(&i).copied().unwrap_or(0)
+    }
+
+    fn do_match(&self, st: &mut State, s_v: Vertex, g_v: Vertex) {
+        let label = self.fresh_label(st);
+        match (s_v, g_v) {
+            (Vertex::Device(sd), Vertex::Device(gd)) => {
+                st.s_dev[sd.index()] = label;
+                st.s_dev_touched[sd.index()] = true;
+                st.s_dev_safe[sd.index()] = true;
+                st.s_dev_match[sd.index()] = Some(gd.raw());
+                st.g_dev.insert(gd.raw(), label);
+                st.g_dev_safe.insert(gd.raw());
+                st.g_dev_matched.insert(gd.raw());
+            }
+            (Vertex::Net(sn), Vertex::Net(gn)) => {
+                st.s_net[sn.index()] = label;
+                st.s_net_touched[sn.index()] = true;
+                st.s_net_safe[sn.index()] = true;
+                st.s_net_match[sn.index()] = Some(gn.raw());
+                st.g_net.insert(gn.raw(), label);
+                st.g_net_safe.insert(gn.raw());
+                st.g_net_matched.insert(gn.raw());
+                if !self.opts.spread_from_port_images && self.pattern.net_ref(sn).is_port() {
+                    st.g_net_port_image.insert(gn.raw());
+                }
+            }
+            _ => unreachable!("guesses always pair same-kind vertices"),
+        }
+        st.matched += 1;
+    }
+
+    /// One Jacobi relabeling pass over both graphs: every unmatched
+    /// vertex with at least one safe, non-global-net neighbor is
+    /// relabeled from the labels of its safe neighbors.
+    fn pass(&self, st: &mut State) {
+        // --- pattern side ---
+        let mut s_dev_new: Vec<(usize, u64)> = Vec::new();
+        for i in 0..st.s_dev.len() {
+            if st.s_dev_match[i].is_some() {
+                continue;
+            }
+            let d = DeviceId::new(i as u32);
+            let triggered = self.s.device_neighbors(d).any(|(n, _)| {
+                st.s_net_safe[n.index()]
+                    && !self.s.is_global(n)
+                    && !(!self.opts.spread_from_port_images
+                        && st.s_net_match[n.index()].is_some()
+                        && self.pattern.net_ref(n).is_port())
+            });
+            if !triggered {
+                continue;
+            }
+            let c = self
+                .s
+                .device_contribs(d, |n| st.s_net_safe[n.index()].then(|| st.s_net[n.index()]));
+            s_dev_new.push((i, hashing::relabel(st.s_dev[i], c.sum)));
+        }
+        let mut s_net_new: Vec<(usize, u64)> = Vec::new();
+        for i in 0..st.s_net.len() {
+            if st.s_net_match[i].is_some() || self.s.is_global(NetId::new(i as u32)) {
+                continue;
+            }
+            let n = NetId::new(i as u32);
+            let triggered = self
+                .s
+                .net_neighbors(n)
+                .any(|(d, _)| st.s_dev_safe[d.index()]);
+            if !triggered {
+                continue;
+            }
+            let c = self
+                .s
+                .net_contribs(n, |d| st.s_dev_safe[d.index()].then(|| st.s_dev[d.index()]));
+            s_net_new.push((i, hashing::relabel(st.s_net[i], c.sum)));
+        }
+        // --- main side: collect frontier from safe vertices ---
+        let mut g_dev_frontier: HashSet<u32> = HashSet::new();
+        for &ni in &st.g_net_safe {
+            let n = NetId::new(ni);
+            if self.g.is_global(n) || st.g_net_port_image.contains(&ni) {
+                continue; // rails and port images never trigger spreading
+            }
+            for (d, _) in self.g.net_neighbors(n) {
+                if !st.g_dev_matched.contains(&d.raw()) {
+                    g_dev_frontier.insert(d.raw());
+                }
+            }
+        }
+        let mut g_net_frontier: HashSet<u32> = HashSet::new();
+        for &di in &st.g_dev_safe {
+            let d = DeviceId::new(di);
+            for (n, _) in self.g.device_neighbors(d) {
+                if !self.g.is_global(n) && !st.g_net_matched.contains(&n.raw()) {
+                    g_net_frontier.insert(n.raw());
+                }
+            }
+        }
+        let mut g_dev_new: Vec<(u32, u64)> = Vec::with_capacity(g_dev_frontier.len());
+        for &i in &g_dev_frontier {
+            let d = DeviceId::new(i);
+            let c = self.g.device_contribs(d, |n| {
+                st.g_net_safe
+                    .contains(&n.raw())
+                    .then(|| self.g_net_label(st, n.raw()))
+            });
+            g_dev_new.push((i, hashing::relabel(self.g_dev_label(st, i), c.sum)));
+        }
+        let mut g_net_new: Vec<(u32, u64)> = Vec::with_capacity(g_net_frontier.len());
+        for &i in &g_net_frontier {
+            let n = NetId::new(i);
+            let c = self.g.net_contribs(n, |d| {
+                st.g_dev_safe
+                    .contains(&d.raw())
+                    .then(|| self.g_dev_label(st, d.raw()))
+            });
+            g_net_new.push((i, hashing::relabel(self.g_net_label(st, i), c.sum)));
+        }
+        // --- commit (Jacobi) ---
+        for (i, l) in s_dev_new {
+            st.s_dev[i] = l;
+            st.s_dev_touched[i] = true;
+        }
+        for (i, l) in s_net_new {
+            st.s_net[i] = l;
+            st.s_net_touched[i] = true;
+        }
+        for (i, l) in g_dev_new {
+            st.g_dev.insert(i, l);
+        }
+        for (i, l) in g_net_new {
+            st.g_net.insert(i, l);
+        }
+    }
+
+    /// Builds the label partitions over unmatched touched vertices.
+    fn partitions(&self, st: &State) -> HashMap<(u8, u64), (Vec<u32>, Vec<u32>)> {
+        let mut parts: HashMap<(u8, u64), (Vec<u32>, Vec<u32>)> = HashMap::new();
+        for i in 0..st.s_dev.len() {
+            if st.s_dev_match[i].is_none() && st.s_dev_touched[i] {
+                parts.entry((0, st.s_dev[i])).or_default().0.push(i as u32);
+            }
+        }
+        for i in 0..st.s_net.len() {
+            if st.s_net_match[i].is_none() && st.s_net_touched[i] {
+                parts.entry((1, st.s_net[i])).or_default().0.push(i as u32);
+            }
+        }
+        for (&i, &l) in &st.g_dev {
+            if !st.g_dev_matched.contains(&i) {
+                parts.entry((0, l)).or_default().1.push(i);
+            }
+        }
+        for (&i, &l) in &st.g_net {
+            if !st.g_net_matched.contains(&i) {
+                parts.entry((1, l)).or_default().1.push(i);
+            }
+        }
+        // Deterministic member order regardless of hash iteration.
+        for (sv, gv) in parts.values_mut() {
+            sv.sort_unstable();
+            gv.sort_unstable();
+        }
+        parts
+    }
+
+    /// Consistency + safety + singleton matching. `Err(())` on a proven
+    /// inconsistency; otherwise returns `(progress, complete)`.
+    fn analyze(&self, st: &mut State) -> Result<(bool, bool), ()> {
+        let parts = self.partitions(st);
+        let mut progress = false;
+        let mut to_match: Vec<(u8, u32, u32)> = Vec::new();
+        for (&(kind, _label), (sv, gv)) in &parts {
+            if sv.is_empty() {
+                continue; // main-graph-only garbage partition
+            }
+            if sv.len() > gv.len() {
+                return Err(()); // Label Invariant (2) violated
+            }
+            if sv.len() == gv.len() {
+                // Equal sizes: the G partition holds only images — safe.
+                for &i in sv {
+                    let safe = if kind == 0 {
+                        &mut st.s_dev_safe[i as usize]
+                    } else {
+                        &mut st.s_net_safe[i as usize]
+                    };
+                    if !*safe {
+                        *safe = true;
+                        progress = true;
+                    }
+                }
+                for &i in gv {
+                    let inserted = if kind == 0 {
+                        st.g_dev_safe.insert(i)
+                    } else {
+                        st.g_net_safe.insert(i)
+                    };
+                    progress |= inserted;
+                }
+                if sv.len() == 1 {
+                    to_match.push((kind, sv[0], gv[0]));
+                }
+            }
+        }
+        for (kind, si, gi) in to_match {
+            if kind == 0 {
+                self.do_match(
+                    st,
+                    Vertex::Device(DeviceId::new(si)),
+                    Vertex::Device(DeviceId::new(gi)),
+                );
+            } else {
+                self.do_match(st, Vertex::Net(NetId::new(si)), Vertex::Net(NetId::new(gi)));
+            }
+            progress = true;
+        }
+        Ok((progress, st.matched == self.total_s()))
+    }
+
+    fn snapshot(&self, st: &State) -> TraceSnapshot {
+        let cell_s_dev = |i: usize| TraceCell {
+            label: st.s_dev[i],
+            touched: st.s_dev_touched[i],
+            safe: st.s_dev_safe[i],
+            matched: st.s_dev_match[i].is_some(),
+        };
+        let cell_s_net = |i: usize| TraceCell {
+            label: st.s_net[i],
+            touched: st.s_net_touched[i],
+            safe: st.s_net_safe[i],
+            matched: st.s_net_match[i].is_some(),
+        };
+        let mut g_devices: Vec<(u32, TraceCell)> = st
+            .g_dev
+            .iter()
+            .map(|(&i, &l)| {
+                (
+                    i,
+                    TraceCell {
+                        label: l,
+                        touched: true,
+                        safe: st.g_dev_safe.contains(&i),
+                        matched: st.g_dev_matched.contains(&i),
+                    },
+                )
+            })
+            .collect();
+        g_devices.sort_unstable_by_key(|&(i, _)| i);
+        let mut g_nets: Vec<(u32, TraceCell)> = st
+            .g_net
+            .iter()
+            .map(|(&i, &l)| {
+                (
+                    i,
+                    TraceCell {
+                        label: l,
+                        touched: true,
+                        safe: st.g_net_safe.contains(&i),
+                        matched: st.g_net_matched.contains(&i),
+                    },
+                )
+            })
+            .collect();
+        g_nets.sort_unstable_by_key(|&(i, _)| i);
+        TraceSnapshot {
+            s_devices: (0..st.s_dev.len()).map(cell_s_dev).collect(),
+            s_nets: (0..st.s_net.len()).map(cell_s_net).collect(),
+            g_devices,
+            g_nets,
+        }
+    }
+
+    /// Runs relabeling passes until completion, failure, or a stall.
+    fn refine(&self, mut st: State, stats: &mut Phase2Stats) -> Refined {
+        for _ in 0..self.opts.max_passes_per_candidate {
+            stats.passes += 1;
+            self.pass(&mut st);
+            let analyzed = self.analyze(&mut st);
+            if st.trace.is_some() {
+                let snap = self.snapshot(&st);
+                if let Some(trace) = st.trace.as_mut() {
+                    trace.passes.push(snap);
+                }
+            }
+            match analyzed {
+                Err(()) => return Refined::Fail,
+                Ok((_, true)) => return Refined::Complete(st),
+                Ok((false, false)) => return Refined::Stuck(st),
+                Ok((true, false)) => {}
+            }
+        }
+        // Pass budget exhausted: treat as a stall so guessing may still
+        // resolve it.
+        Refined::Stuck(st)
+    }
+
+    /// Chooses the next ambiguity to guess on: the unmatched pattern
+    /// vertex whose label has the smallest main-graph partition.
+    fn choose_guess(&self, st: &State) -> Option<(Vertex, Vec<Vertex>)> {
+        let parts = self.partitions(st);
+        let mut best: Option<(usize, u8, u64)> = None;
+        for (&(kind, label), (sv, gv)) in &parts {
+            if sv.is_empty() || gv.len() < sv.len() {
+                continue;
+            }
+            let cand = (gv.len(), kind, label);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        if let Some((_, kind, label)) = best {
+            let (sv, gv) = &parts[&(kind, label)];
+            let s_v = if kind == 0 {
+                Vertex::Device(DeviceId::new(sv[0]))
+            } else {
+                Vertex::Net(NetId::new(sv[0]))
+            };
+            let cands = gv
+                .iter()
+                .map(|&i| {
+                    if kind == 0 {
+                        Vertex::Device(DeviceId::new(i))
+                    } else {
+                        Vertex::Net(NetId::new(i))
+                    }
+                })
+                .collect();
+            return Some((s_v, cands));
+        }
+        // Anchored fallback: a pattern device that was never reached by
+        // spreading (all its nets are rails or suppressed port images)
+        // but has at least one *matched* pin. Its image must sit on the
+        // images of those pins, so enumerate the smallest such fanout
+        // instead of relabeling it wholesale — this keeps port-image
+        // suppression linear without losing completeness.
+        let mut best_anchor: Option<(usize, u32, Vec<Vertex>)> = None;
+        for i in 0..st.s_dev.len() {
+            if st.s_dev_match[i].is_some() || st.s_dev_touched[i] {
+                continue;
+            }
+            let sd = DeviceId::new(i as u32);
+            // Matched pins as (class multiplier, image net) requirements.
+            let mut required: Vec<(u64, u32)> = Vec::new();
+            for (pin_idx, (n, mult)) in self.s.device_neighbors(sd).enumerate() {
+                let _ = pin_idx;
+                if let Some(g) = st.s_net_match[n.index()] {
+                    required.push((mult, g));
+                }
+            }
+            if required.is_empty() {
+                continue;
+            }
+            // Anchor on the matched image with the smallest fanout.
+            let &(_, anchor) = required
+                .iter()
+                .min_by_key(|&&(_, g)| self.g.net_degree(NetId::new(g)))
+                .expect("required is non-empty");
+            required.sort_unstable();
+            let want = self.s.initial_device_label(sd);
+            let mut cands: Vec<Vertex> = Vec::new();
+            for (gd, _) in self.g.net_neighbors(NetId::new(anchor)) {
+                if st.g_dev_matched.contains(&gd.raw()) || self.g.initial_device_label(gd) != want {
+                    continue;
+                }
+                // The candidate's pins must cover every matched-pin
+                // requirement (sub-multiset check).
+                let mut have: Vec<(u64, u32)> = self
+                    .g
+                    .device_neighbors(gd)
+                    .map(|(n, mult)| (mult, n.raw()))
+                    .collect();
+                have.sort_unstable();
+                let mut hi = 0;
+                let covered = required.iter().all(|req| {
+                    while hi < have.len() && have[hi] < *req {
+                        hi += 1;
+                    }
+                    if hi < have.len() && have[hi] == *req {
+                        hi += 1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if covered && !cands.contains(&Vertex::Device(gd)) {
+                    cands.push(Vertex::Device(gd));
+                }
+            }
+            if cands.is_empty() {
+                // An unreachable device with no possible image: fail the
+                // branch outright.
+                return None;
+            }
+            if best_anchor
+                .as_ref()
+                .is_none_or(|(n, _, _)| cands.len() < *n)
+            {
+                best_anchor = Some((cands.len(), i as u32, cands));
+            }
+        }
+        if let Some((_, i, cands)) = best_anchor {
+            return Some((Vertex::Device(DeviceId::new(i)), cands));
+        }
+        // Last resort for disconnected patterns: anchor an untouched
+        // pattern device on any unmatched main device still carrying the
+        // same initial label.
+        for i in 0..st.s_dev.len() {
+            if st.s_dev_match[i].is_some() || st.s_dev_touched[i] {
+                continue;
+            }
+            let want = st.s_dev[i]; // untouched: still the initial label
+            let cands: Vec<Vertex> = (0..self.g.device_count() as u32)
+                .filter(|&gi| !st.g_dev_matched.contains(&gi) && self.g_dev_label(st, gi) == want)
+                .map(|gi| Vertex::Device(DeviceId::new(gi)))
+                .collect();
+            if !cands.is_empty() {
+                return Some((Vertex::Device(DeviceId::new(i as u32)), cands));
+            }
+            return None;
+        }
+        None
+    }
+
+    fn build_submatch(&self, st: &State) -> SubMatch {
+        SubMatch {
+            devices: st
+                .s_dev_match
+                .iter()
+                .map(|m| DeviceId::new(m.expect("complete mapping")))
+                .collect(),
+            nets: st
+                .s_net_match
+                .iter()
+                .map(|m| NetId::new(m.expect("complete mapping")))
+                .collect(),
+        }
+    }
+
+    /// The recursive `VerifyImage(K, CV)` of §IV, for one key/candidate
+    /// set. `depth > 0` calls are ambiguity guesses and consume the
+    /// guess budget.
+    fn verify_image(
+        &self,
+        st: &State,
+        s_v: Vertex,
+        cands: &[Vertex],
+        stats: &mut Phase2Stats,
+        guesses_left: &mut usize,
+        depth: usize,
+    ) -> Option<State> {
+        for &c in cands {
+            if depth > 0 {
+                if *guesses_left == 0 {
+                    return None;
+                }
+                *guesses_left -= 1;
+                stats.guesses += 1;
+            }
+            let mut st2 = st.clone();
+            self.do_match(&mut st2, s_v, c);
+            if depth == 0 {
+                if let Some(trace) = st2.trace.as_mut() {
+                    trace.passes.clear();
+                }
+            }
+            if st2.trace.is_some() {
+                let snap = self.snapshot(&st2);
+                if let Some(trace) = st2.trace.as_mut() {
+                    trace.passes.push(snap);
+                }
+            }
+            let failed_branch = match self.refine(st2, stats) {
+                Refined::Complete(done) => {
+                    let m = self.build_submatch(&done);
+                    if verify_instance(self.pattern, self.main, &m, self.opts.respect_globals)
+                        .is_ok()
+                    {
+                        return Some(done);
+                    }
+                    true // label collision survived to completion: reject
+                }
+                Refined::Fail => true,
+                Refined::Stuck(stuck) => match self.choose_guess(&stuck) {
+                    Some((s_next, g_cands)) => {
+                        match self.verify_image(
+                            &stuck,
+                            s_next,
+                            &g_cands,
+                            stats,
+                            guesses_left,
+                            depth + 1,
+                        ) {
+                            Some(done) => return Some(done),
+                            None => true,
+                        }
+                    }
+                    None => true,
+                },
+            };
+            if failed_branch && depth > 0 {
+                stats.backtracks += 1;
+            }
+        }
+        None
+    }
+
+    /// Verifies one candidate from the candidate vector. Returns the
+    /// instance (and its trace if enabled).
+    pub fn run_candidate(
+        &self,
+        base: &BaseState,
+        key: Vertex,
+        candidate: Vertex,
+        stats: &mut Phase2Stats,
+        record_trace: bool,
+    ) -> Option<(SubMatch, Option<Phase2Trace>)> {
+        stats.candidates_tried += 1;
+        // Reject same-kind mismatches immediately (cannot happen with a
+        // well-formed candidate vector, but keeps the API total).
+        if key.is_device() != candidate.is_device() {
+            stats.false_candidates += 1;
+            return None;
+        }
+        // Quick type check for device keys.
+        if let (Vertex::Device(sd), Vertex::Device(gd)) = (key, candidate) {
+            if self.s.initial_device_label(sd) != self.g.initial_device_label(gd) {
+                stats.false_candidates += 1;
+                return None;
+            }
+        }
+        let mut st = base.0.clone();
+        st.trace = record_trace.then(Phase2Trace::default);
+        let mut guesses_left = self.opts.max_guesses_per_candidate;
+        match self.verify_image(&st, key, &[candidate], stats, &mut guesses_left, 0) {
+            Some(done) => {
+                let m = self.build_submatch(&done);
+                Some((m, done.trace))
+            }
+            None => {
+                stats.false_candidates += 1;
+                None
+            }
+        }
+    }
+}
+
+/// Opaque candidate-independent Phase II state (globals pre-matched).
+pub struct BaseState(State);

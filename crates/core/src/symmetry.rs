@@ -1,0 +1,175 @@
+//! Port-symmetry inference for composite device types.
+//!
+//! When extraction replaces a matched subcircuit with a single composite
+//! device, the new device type needs terminal equivalence classes: a
+//! NAND2's two inputs are interchangeable exactly like a transistor's
+//! source and drain. We infer the classes from the cell itself: ports
+//! `p` and `q` are interchangeable iff some automorphism of the cell
+//! maps `p` to `q`, which we decide by attaching a marker device to one
+//! port at a time and asking Gemini whether the two marked variants are
+//! isomorphic.
+
+use subgemini_gemini::are_isomorphic;
+use subgemini_netlist::{DeviceType, Netlist, TerminalSpec};
+
+/// Clones `cell` with a one-off marker device attached to port `p`.
+fn marked(cell: &Netlist, p: usize) -> Netlist {
+    let mut c = cell.clone();
+    let marker = c
+        .add_type(DeviceType::new(
+            "__portmark",
+            vec![TerminalSpec::new("t", "t")],
+        ))
+        .expect("marker type is fresh");
+    let net = c.ports()[p];
+    c.add_device("__mark", marker, &[net])
+        .expect("marker name is fresh");
+    c
+}
+
+/// Groups the ports of `cell` into interchangeability classes.
+///
+/// Returns groups of port indices (into `cell.ports()`); every port
+/// appears in exactly one group, and groups preserve first-port order.
+/// Ports are grouped when an automorphism of the cell exchanges them —
+/// the correct notion of terminal equivalence for the composite device
+/// type built from the cell.
+///
+/// Note: orbits of the automorphism group are used as classes. For
+/// nearly all standard cells (NAND/NOR/XOR/MUX inputs) orbit membership
+/// coincides with free interchangeability; pathological cells where the
+/// group acts transitively but not symmetrically would be over-merged,
+/// which can only make later matching *more* permissive, never unsound
+/// (final mappings are always verified structurally).
+///
+/// Note this is *structural* symmetry: a static CMOS NAND2 is
+/// functionally input-symmetric but not structurally (one series NMOS
+/// sits nearer the output), so its inputs correctly land in distinct
+/// classes. A parallel pull-down pair, by contrast, is symmetric:
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::Netlist;
+///
+/// # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+/// // Pseudo-NMOS NOR pull-down: inputs a/b symmetric, output y alone.
+/// let mut nor = Netlist::new("pd_nor2");
+/// let mos = nor.add_mos_types();
+/// let (a, b, y, gnd) = (nor.net("a"), nor.net("b"), nor.net("y"), nor.net("gnd"));
+/// nor.mark_port(a);
+/// nor.mark_port(b);
+/// nor.mark_port(y);
+/// nor.mark_global(gnd);
+/// nor.add_device("n1", mos.nmos, &[a, gnd, y])?;
+/// nor.add_device("n2", mos.nmos, &[b, gnd, y])?;
+/// let groups = subgemini::port_symmetry_classes(&nor);
+/// assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn port_symmetry_classes(cell: &Netlist) -> Vec<Vec<usize>> {
+    let n = cell.ports().len();
+    let mut assigned = vec![false; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let marks: Vec<Netlist> = (0..n).map(|p| marked(cell, p)).collect();
+    for p in 0..n {
+        if assigned[p] {
+            continue;
+        }
+        let mut group = vec![p];
+        assigned[p] = true;
+        for q in (p + 1)..n {
+            if assigned[q] {
+                continue;
+            }
+            if are_isomorphic(&marks[p], &marks[q]) {
+                group.push(q);
+                assigned[q] = true;
+            }
+        }
+        groups.push(group);
+    }
+    groups
+}
+
+/// Builds the composite [`DeviceType`] for a cell: one terminal per
+/// port (named after the port's net), classed by
+/// [`port_symmetry_classes`].
+pub(crate) fn composite_type(cell: &Netlist) -> DeviceType {
+    let groups = port_symmetry_classes(cell);
+    let mut class_of = vec![0usize; cell.ports().len()];
+    for (gi, group) in groups.iter().enumerate() {
+        for &p in group {
+            class_of[p] = gi;
+        }
+    }
+    let terms: Vec<TerminalSpec> = cell
+        .ports()
+        .iter()
+        .enumerate()
+        .map(|(i, &net)| {
+            TerminalSpec::new(
+                cell.net_ref(net).name().to_string(),
+                format!("c{}", class_of[i]),
+            )
+        })
+        .collect();
+    DeviceType::new(cell.name().to_string(), terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter() -> Netlist {
+        let mut inv = Netlist::new("inv");
+        let mos = inv.add_mos_types();
+        let (a, y, vdd, gnd) = (inv.net("a"), inv.net("y"), inv.net("vdd"), inv.net("gnd"));
+        inv.mark_port(a);
+        inv.mark_port(y);
+        inv.mark_global(vdd);
+        inv.mark_global(gnd);
+        inv.add_device("mp", mos.pmos, &[a, vdd, y]).unwrap();
+        inv.add_device("mn", mos.nmos, &[a, gnd, y]).unwrap();
+        inv
+    }
+
+    #[test]
+    fn inverter_ports_are_asymmetric() {
+        let groups = port_symmetry_classes(&inverter());
+        assert_eq!(groups, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn parallel_resistors_have_symmetric_ends() {
+        let mut cell = Netlist::new("rr");
+        let res = cell.add_type(DeviceType::two_terminal("res")).unwrap();
+        let (a, b) = (cell.net("a"), cell.net("b"));
+        cell.mark_port(a);
+        cell.mark_port(b);
+        cell.add_device("r1", res, &[a, b]).unwrap();
+        cell.add_device("r2", res, &[a, b]).unwrap();
+        let groups = port_symmetry_classes(&cell);
+        assert_eq!(groups, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn composite_type_carries_port_names_and_classes() {
+        let ty = composite_type(&inverter());
+        assert_eq!(ty.name(), "inv");
+        assert_eq!(ty.terminal_count(), 2);
+        assert_eq!(ty.terminal(0).name(), "a");
+        assert_eq!(ty.terminal(1).name(), "y");
+        assert!(!ty.same_class(0, 1));
+    }
+
+    #[test]
+    fn no_ports_yields_empty_groups() {
+        let mut cell = Netlist::new("closed");
+        let mos = cell.add_mos_types();
+        let x = cell.net("x");
+        cell.add_device("m", mos.nmos, &[x, x, x]).unwrap();
+        assert!(port_symmetry_classes(&cell).is_empty());
+    }
+}

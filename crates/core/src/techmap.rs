@@ -1,0 +1,362 @@
+//! Technology mapping: covering a circuit with library components.
+//!
+//! §I of the paper: tree-covering technology mappers require tree
+//! subjects and tree patterns; "a general subgraph isomorphism
+//! algorithm would allow one to find all possible coverings for general
+//! component graphs, including those with feedback and reconvergent
+//! fanout." This module does exactly that: SubGemini enumerates every
+//! match of every library cell (the *cover candidates*), and a
+//! selection pass chooses a disjoint subset — greedily by cost
+//! effectiveness, or exactly by branch-and-bound on small subjects.
+
+use std::collections::HashSet;
+
+use subgemini_netlist::{DeviceId, Netlist};
+
+use crate::instance::SubMatch;
+use crate::matcher::find_all;
+use crate::options::MatchOptions;
+
+/// One possible placement of a library cell on the subject.
+#[derive(Clone, Debug)]
+pub struct CoverCandidate {
+    /// Library cell name.
+    pub cell: String,
+    /// Index into the mapper's library.
+    pub cell_index: usize,
+    /// The match (devices/nets of the subject).
+    pub instance: SubMatch,
+    /// The cell's cost (area, say).
+    pub cost: f64,
+}
+
+impl CoverCandidate {
+    /// Number of subject devices this candidate covers.
+    pub fn size(&self) -> usize {
+        self.instance.devices.len()
+    }
+}
+
+/// Result of a covering run.
+#[derive(Clone, Debug, Default)]
+pub struct CoverResult {
+    /// Chosen, pairwise-disjoint candidates.
+    pub chosen: Vec<CoverCandidate>,
+    /// Subject devices no chosen candidate covers.
+    pub uncovered: Vec<DeviceId>,
+    /// Sum of chosen costs.
+    pub total_cost: f64,
+}
+
+impl CoverResult {
+    /// `true` when every subject device is covered.
+    pub fn is_complete(&self) -> bool {
+        self.uncovered.is_empty()
+    }
+
+    /// Chosen instance count of a given cell.
+    pub fn count_of(&self, cell: &str) -> usize {
+        self.chosen.iter().filter(|c| c.cell == cell).count()
+    }
+}
+
+/// A technology mapper over a costed pattern library.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini::TechMapper;
+/// use subgemini_netlist::{instantiate, Netlist};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let mut inv = Netlist::new("inv");
+/// # let mos = inv.add_mos_types();
+/// # let (a, y, vdd, gnd) = (inv.net("a"), inv.net("y"), inv.net("vdd"), inv.net("gnd"));
+/// # inv.mark_port(a); inv.mark_port(y); inv.mark_global(vdd); inv.mark_global(gnd);
+/// # inv.add_device("mp", mos.pmos, &[a, vdd, y])?;
+/// # inv.add_device("mn", mos.nmos, &[a, gnd, y])?;
+/// # let mut chip = Netlist::new("chip");
+/// # let (i, m, o) = (chip.net("in"), chip.net("m"), chip.net("out"));
+/// # instantiate(&mut chip, &inv, "u1", &[i, m])?;
+/// # instantiate(&mut chip, &inv, "u2", &[m, o])?;
+/// let mut mapper = TechMapper::new();
+/// mapper.add_cell(inv, 1.0);
+/// let cover = mapper.map_greedy(&chip);
+/// assert!(cover.is_complete());
+/// assert_eq!(cover.count_of("inv"), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct TechMapper {
+    library: Vec<(Netlist, f64)>,
+    options: MatchOptions,
+}
+
+impl TechMapper {
+    /// Creates an empty mapper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pattern cell with its cost.
+    pub fn add_cell(&mut self, cell: Netlist, cost: f64) -> &mut Self {
+        self.library.push((cell, cost));
+        self
+    }
+
+    /// Overrides matching options (overlaps are always allowed during
+    /// candidate enumeration — selection handles disjointness).
+    pub fn set_options(&mut self, options: MatchOptions) -> &mut Self {
+        self.options = options;
+        self
+    }
+
+    /// Enumerates every placement of every library cell (with overlaps).
+    pub fn candidates(&self, subject: &Netlist) -> Vec<CoverCandidate> {
+        let opts = MatchOptions {
+            overlap: crate::options::OverlapPolicy::AllowOverlap,
+            ..self.options.clone()
+        };
+        let mut out = Vec::new();
+        for (i, (cell, cost)) in self.library.iter().enumerate() {
+            let found = find_all(cell, subject, &opts);
+            for m in found.instances {
+                out.push(CoverCandidate {
+                    cell: cell.name().to_string(),
+                    cell_index: i,
+                    instance: m,
+                    cost: *cost,
+                });
+            }
+        }
+        out
+    }
+
+    /// Greedy covering: repeatedly takes the disjoint candidate with the
+    /// best cost-per-covered-device ratio.
+    pub fn map_greedy(&self, subject: &Netlist) -> CoverResult {
+        let mut candidates = self.candidates(subject);
+        candidates.sort_by(|a, b| {
+            let ra = a.cost / a.size() as f64;
+            let rb = b.cost / b.size() as f64;
+            ra.partial_cmp(&rb)
+                .expect("costs are finite")
+                .then_with(|| a.instance.device_set().cmp(&b.instance.device_set()))
+        });
+        let mut covered: HashSet<DeviceId> = HashSet::new();
+        let mut result = CoverResult::default();
+        for cand in candidates {
+            if cand.instance.devices.iter().any(|d| covered.contains(d)) {
+                continue;
+            }
+            covered.extend(cand.instance.devices.iter().copied());
+            result.total_cost += cand.cost;
+            result.chosen.push(cand);
+        }
+        result.uncovered = subject
+            .device_ids()
+            .filter(|d| !covered.contains(d))
+            .collect();
+        result
+    }
+
+    /// Exact minimum-cost complete covering by branch-and-bound.
+    ///
+    /// Returns `None` if no complete cover exists or the search exceeds
+    /// `node_budget` explored nodes. Intended for small subjects (a few
+    /// hundred devices); use [`TechMapper::map_greedy`] beyond that.
+    pub fn map_exact(&self, subject: &Netlist, node_budget: usize) -> Option<CoverResult> {
+        let candidates = self.candidates(subject);
+        let nd = subject.device_count();
+        // Per device: which candidates cover it.
+        let mut covers: Vec<Vec<usize>> = vec![Vec::new(); nd];
+        for (ci, cand) in candidates.iter().enumerate() {
+            for d in &cand.instance.devices {
+                covers[d.index()].push(ci);
+            }
+        }
+        if covers.iter().any(Vec::is_empty) {
+            return None; // some device is uncoverable
+        }
+        // Cheapest per-device rate, for an admissible lower bound.
+        let min_rate = candidates
+            .iter()
+            .map(|c| c.cost / c.size() as f64)
+            .fold(f64::INFINITY, f64::min);
+        struct Search<'a> {
+            candidates: &'a [CoverCandidate],
+            covers: &'a [Vec<usize>],
+            min_rate: f64,
+            best_cost: f64,
+            best: Option<Vec<usize>>,
+            nodes: usize,
+            budget: usize,
+        }
+        impl Search<'_> {
+            fn go(&mut self, covered: &mut Vec<bool>, chosen: &mut Vec<usize>, cost: f64) {
+                self.nodes += 1;
+                if self.nodes > self.budget {
+                    return;
+                }
+                // Branch on the lowest uncovered device.
+                let Some(next) = covered.iter().position(|&c| !c) else {
+                    if cost < self.best_cost {
+                        self.best_cost = cost;
+                        self.best = Some(chosen.clone());
+                    }
+                    return;
+                };
+                let remaining = covered.iter().filter(|&&c| !c).count();
+                if cost + remaining as f64 * self.min_rate >= self.best_cost {
+                    return; // bound
+                }
+                for &ci in &self.covers[next] {
+                    let cand = &self.candidates[ci];
+                    if cand.instance.devices.iter().any(|d| covered[d.index()]) {
+                        continue;
+                    }
+                    for d in &cand.instance.devices {
+                        covered[d.index()] = true;
+                    }
+                    chosen.push(ci);
+                    self.go(covered, chosen, cost + cand.cost);
+                    chosen.pop();
+                    for d in &cand.instance.devices {
+                        covered[d.index()] = false;
+                    }
+                }
+            }
+        }
+        let mut search = Search {
+            candidates: &candidates,
+            covers: &covers,
+            min_rate,
+            best_cost: f64::INFINITY,
+            best: None,
+            nodes: 0,
+            budget: node_budget,
+        };
+        search.go(&mut vec![false; nd], &mut Vec::new(), 0.0);
+        let best = search.best?;
+        let chosen: Vec<CoverCandidate> = best.iter().map(|&ci| candidates[ci].clone()).collect();
+        let total_cost = chosen.iter().map(|c| c.cost).sum();
+        Some(CoverResult {
+            chosen,
+            uncovered: Vec::new(),
+            total_cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgemini_netlist::instantiate;
+
+    fn inv() -> Netlist {
+        let mut inv = Netlist::new("inv");
+        let mos = inv.add_mos_types();
+        let (a, y, vdd, gnd) = (inv.net("a"), inv.net("y"), inv.net("vdd"), inv.net("gnd"));
+        inv.mark_port(a);
+        inv.mark_port(y);
+        inv.mark_global(vdd);
+        inv.mark_global(gnd);
+        inv.add_device("mp", mos.pmos, &[a, vdd, y]).unwrap();
+        inv.add_device("mn", mos.nmos, &[a, gnd, y]).unwrap();
+        inv
+    }
+
+    fn buf() -> Netlist {
+        let mut b = Netlist::new("buf");
+        let (a, y) = {
+            let a = b.net("a");
+            let y = b.net("y");
+            (a, y)
+        };
+        b.mark_port(a);
+        b.mark_port(y);
+        let mid = b.net("mid");
+        let mos = b.add_mos_types();
+        let (vdd, gnd) = (b.net("vdd"), b.net("gnd"));
+        b.mark_global(vdd);
+        b.mark_global(gnd);
+        b.add_device("p1", mos.pmos, &[a, vdd, mid]).unwrap();
+        b.add_device("n1", mos.nmos, &[a, gnd, mid]).unwrap();
+        b.add_device("p2", mos.pmos, &[mid, vdd, y]).unwrap();
+        b.add_device("n2", mos.nmos, &[mid, gnd, y]).unwrap();
+        b
+    }
+
+    fn chain(n: usize) -> Netlist {
+        let cell = inv();
+        let mut chip = Netlist::new("chain");
+        let mut prev = chip.net("in");
+        for i in 0..n {
+            let next = chip.net(format!("w{i}"));
+            instantiate(&mut chip, &cell, &format!("u{i}"), &[prev, next]).unwrap();
+            prev = next;
+        }
+        chip
+    }
+
+    #[test]
+    fn greedy_covers_chain_with_cheapest_mix() {
+        let chip = chain(4);
+        let mut mapper = TechMapper::new();
+        mapper.add_cell(inv(), 1.0);
+        mapper.add_cell(buf(), 1.2); // cheaper per device than 2 invs
+        let cover = mapper.map_greedy(&chip);
+        assert!(cover.is_complete());
+        // Buffers at (0,1) and (2,3): cost 2.4 < 4 invs at 4.0.
+        assert_eq!(cover.count_of("buf"), 2);
+        assert_eq!(cover.count_of("inv"), 0);
+        assert!((cover.total_cost - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_matches_greedy_on_easy_input_and_beats_bad_costs() {
+        let chip = chain(3);
+        let mut mapper = TechMapper::new();
+        mapper.add_cell(inv(), 1.0);
+        mapper.add_cell(buf(), 1.2);
+        let exact = mapper.map_exact(&chip, 100_000).expect("coverable");
+        // 3 inverters: buf+inv = 2.2 beats 3 invs = 3.0.
+        assert!((exact.total_cost - 2.2).abs() < 1e-9);
+        assert!(exact.is_complete());
+        let greedy = mapper.map_greedy(&chip);
+        assert!(greedy.total_cost >= exact.total_cost - 1e-9);
+    }
+
+    #[test]
+    fn incomplete_cover_reports_uncovered() {
+        // Library with only bufs cannot cover an odd chain.
+        let chip = chain(3);
+        let mut mapper = TechMapper::new();
+        mapper.add_cell(buf(), 1.0);
+        let cover = mapper.map_greedy(&chip);
+        assert!(!cover.is_complete());
+        assert_eq!(cover.uncovered.len(), 2); // one inverter's 2 devices
+        assert!(mapper.map_exact(&chip, 10_000).is_none());
+    }
+
+    #[test]
+    fn exact_respects_node_budget() {
+        let chip = chain(6);
+        let mut mapper = TechMapper::new();
+        mapper.add_cell(inv(), 1.0);
+        mapper.add_cell(buf(), 1.2);
+        // A budget of one node cannot finish.
+        assert!(mapper.map_exact(&chip, 1).is_none());
+    }
+
+    #[test]
+    fn candidates_enumerate_overlaps() {
+        let chip = chain(3);
+        let mut mapper = TechMapper::new();
+        mapper.add_cell(buf(), 1.0);
+        // Bufs at (0,1) and (1,2) overlap on the middle inverter.
+        let cands = mapper.candidates(&chip);
+        assert_eq!(cands.len(), 2);
+    }
+}

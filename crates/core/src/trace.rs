@@ -1,0 +1,222 @@
+//! Pass-by-pass tracing of Phase II, used to regenerate the paper's
+//! Table 1.
+//!
+//! When [`MatchOptions::record_trace`](crate::MatchOptions) is set, the
+//! first successful candidate's refinement is recorded: after every
+//! relabeling pass a snapshot of all pattern labels and all touched
+//! main-circuit labels is stored, with safe/matched flags. The
+//! `trace_table1` example renders these snapshots with the paper's
+//! symbolic letters (labels named in order of first appearance).
+
+/// The labeling state of one vertex at the end of a pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCell {
+    /// The 64-bit label.
+    pub label: u64,
+    /// Whether the vertex has ever been relabeled or matched.
+    pub touched: bool,
+    /// Whether the vertex's partition is known to contain only images.
+    pub safe: bool,
+    /// Whether the vertex is matched (frozen label).
+    pub matched: bool,
+}
+
+/// Snapshot of both graphs after one Phase II pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// Pattern device cells, indexed by device id.
+    pub s_devices: Vec<TraceCell>,
+    /// Pattern net cells, indexed by net id.
+    pub s_nets: Vec<TraceCell>,
+    /// Touched main-circuit device cells as `(device index, cell)`.
+    pub g_devices: Vec<(u32, TraceCell)>,
+    /// Touched main-circuit net cells as `(net index, cell)`.
+    pub g_nets: Vec<(u32, TraceCell)>,
+}
+
+/// A full Phase II trace: one snapshot per pass (pass 0 is the state
+/// right after the key/candidate pair is matched).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Phase2Trace {
+    /// Snapshots in pass order.
+    pub passes: Vec<TraceSnapshot>,
+}
+
+impl Phase2Trace {
+    /// Number of recorded passes (excluding the initial snapshot).
+    pub fn pass_count(&self) -> usize {
+        self.passes.len().saturating_sub(1)
+    }
+
+    /// Renders the trace in the paper's Table 1 notation: one row per
+    /// vertex, one column per pass, labels shown as letters assigned in
+    /// order of first appearance (`KV` is the initial key/candidate
+    /// label, `*` marks safe labels, `[X]` marks matched vertices).
+    ///
+    /// `pattern` and `main` must be the netlists the trace was recorded
+    /// against; untouched main-graph vertices are omitted.
+    pub fn render(
+        &self,
+        pattern: &subgemini_netlist::Netlist,
+        main: &subgemini_netlist::Netlist,
+    ) -> String {
+        use std::collections::HashMap;
+        use std::fmt::Write as _;
+
+        struct Namer {
+            names: HashMap<u64, String>,
+            next: usize,
+        }
+        impl Namer {
+            fn name(&mut self, label: u64) -> String {
+                if let Some(n) = self.names.get(&label) {
+                    return n.clone();
+                }
+                let mut i = self.next;
+                self.next += 1;
+                let mut s = String::new();
+                loop {
+                    s.insert(0, (b'A' + (i % 26) as u8) as char);
+                    i /= 26;
+                    if i == 0 {
+                        break;
+                    }
+                    i -= 1;
+                }
+                self.names.insert(label, s.clone());
+                s
+            }
+        }
+        let mut namer = Namer {
+            names: HashMap::new(),
+            next: 0,
+        };
+        if let Some(init) = self.passes.first() {
+            for c in init.s_nets.iter().chain(init.s_devices.iter()) {
+                if c.matched {
+                    namer.names.insert(c.label, "KV".to_string());
+                }
+            }
+        }
+        let cell_text = |namer: &mut Namer, c: &TraceCell| -> String {
+            if !c.touched {
+                return String::new();
+            }
+            let base = namer.name(c.label);
+            match (c.matched, c.safe) {
+                (true, _) => format!("[{base}]"),
+                (false, true) => format!("{base}*"),
+                (false, false) => base,
+            }
+        };
+        let passes = self.passes.len();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        rows.push({
+            let mut r = vec!["-- subgraph S --".to_string()];
+            r.extend(vec![String::new(); passes]);
+            r
+        });
+        for d in pattern.device_ids() {
+            let mut r = vec![pattern.device(d).name().to_string()];
+            r.extend(
+                self.passes
+                    .iter()
+                    .map(|p| cell_text(&mut namer, &p.s_devices[d.index()])),
+            );
+            rows.push(r);
+        }
+        for n in pattern.net_ids() {
+            let mut r = vec![pattern.net_ref(n).name().to_string()];
+            r.extend(
+                self.passes
+                    .iter()
+                    .map(|p| cell_text(&mut namer, &p.s_nets[n.index()])),
+            );
+            rows.push(r);
+        }
+        rows.push({
+            let mut r = vec!["-- main graph G --".to_string()];
+            r.extend(vec![String::new(); passes]);
+            r
+        });
+        for d in main.device_ids() {
+            let cells: Vec<String> = self
+                .passes
+                .iter()
+                .map(|p| {
+                    p.g_devices
+                        .iter()
+                        .find(|(i, _)| *i == d.raw())
+                        .map(|(_, c)| cell_text(&mut namer, c))
+                        .unwrap_or_default()
+                })
+                .collect();
+            if cells.iter().any(|c| !c.is_empty()) {
+                let mut r = vec![main.device(d).name().to_string()];
+                r.extend(cells);
+                rows.push(r);
+            }
+        }
+        for n in main.net_ids() {
+            let cells: Vec<String> = self
+                .passes
+                .iter()
+                .map(|p| {
+                    p.g_nets
+                        .iter()
+                        .find(|(i, _)| *i == n.raw())
+                        .map(|(_, c)| cell_text(&mut namer, c))
+                        .unwrap_or_default()
+                })
+                .collect();
+            if cells.iter().any(|c| !c.is_empty()) {
+                let mut r = vec![main.net_ref(n).name().to_string()];
+                r.extend(cells);
+                rows.push(r);
+            }
+        }
+        // Aligned output.
+        let cols = passes + 1;
+        let mut width = vec![0usize; cols];
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len()).max(if i == 1 {
+                    4
+                } else if i > 1 {
+                    7
+                } else {
+                    0
+                });
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{:<w$}", "vertex", w = width[0] + 2);
+        let _ = write!(out, "{:<w$}", "init", w = width[1] + 2);
+        for p in 1..passes {
+            let _ = write!(out, "{:<w$}", format!("pass {p}"), w = width[p + 1] + 2);
+        }
+        out.push('\n');
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", cell, w = width[i] + 2);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_count_excludes_initial_snapshot() {
+        let mut t = Phase2Trace::default();
+        assert_eq!(t.pass_count(), 0);
+        t.passes.push(TraceSnapshot::default());
+        assert_eq!(t.pass_count(), 0);
+        t.passes.push(TraceSnapshot::default());
+        assert_eq!(t.pass_count(), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Property tests: SubGemini agrees with the exhaustive DFS baseline on
+//! randomized circuits, and behaves invariantly under renaming/pin
+//! permutation.
+
+use proptest::prelude::*;
+use subgemini::{MatchOptions, Matcher};
+use subgemini_baseline::{find_all as dfs_find_all, DfsOptions};
+use subgemini_netlist::{instantiate, DeviceId, NetId, Netlist, Vertex};
+
+/// Small library of pattern cells used by the generators.
+fn inverter_cell() -> Netlist {
+    let mut inv = Netlist::new("inv");
+    let mos = inv.add_mos_types();
+    let (a, y, vdd, gnd) = (inv.net("a"), inv.net("y"), inv.net("vdd"), inv.net("gnd"));
+    inv.mark_port(a);
+    inv.mark_port(y);
+    inv.mark_global(vdd);
+    inv.mark_global(gnd);
+    inv.add_device("mp", mos.pmos, &[a, vdd, y]).unwrap();
+    inv.add_device("mn", mos.nmos, &[a, gnd, y]).unwrap();
+    inv
+}
+
+fn nand2_cell() -> Netlist {
+    let mut nand = Netlist::new("nand2");
+    let mos = nand.add_mos_types();
+    let (a, b, y, mid) = (nand.net("a"), nand.net("b"), nand.net("y"), nand.net("mid"));
+    let (vdd, gnd) = (nand.net("vdd"), nand.net("gnd"));
+    nand.mark_port(a);
+    nand.mark_port(b);
+    nand.mark_port(y);
+    nand.mark_global(vdd);
+    nand.mark_global(gnd);
+    nand.add_device("p1", mos.pmos, &[a, vdd, y]).unwrap();
+    nand.add_device("p2", mos.pmos, &[b, vdd, y]).unwrap();
+    nand.add_device("n1", mos.nmos, &[a, y, mid]).unwrap();
+    nand.add_device("n2", mos.nmos, &[b, mid, gnd]).unwrap();
+    nand
+}
+
+/// Builds a random soup: `plants` pattern instances on random nets plus
+/// `noise` random transistors, all over a shared pool of wires.
+fn random_chip(
+    pattern: &Netlist,
+    plants: usize,
+    noise: usize,
+    wires: usize,
+    picks: &[usize],
+) -> Netlist {
+    let mut chip = Netlist::new("soup");
+    let mos = chip.add_mos_types();
+    let nets: Vec<NetId> = (0..wires.max(2))
+        .map(|i| chip.net(format!("w{i}")))
+        .collect();
+    let vdd = chip.net("vdd");
+    let gnd = chip.net("gnd");
+    chip.mark_global(vdd);
+    chip.mark_global(gnd);
+    let mut k = 0usize;
+    let mut pick = |m: usize| {
+        let v = picks[k % picks.len()] % m;
+        k += 1;
+        v
+    };
+    for i in 0..plants {
+        let bindings: Vec<NetId> = (0..pattern.ports().len())
+            .map(|_| nets[pick(nets.len())])
+            .collect();
+        instantiate(&mut chip, pattern, &format!("u{i}"), &bindings).unwrap();
+    }
+    for i in 0..noise {
+        let ty = if pick(2) == 0 { mos.nmos } else { mos.pmos };
+        let g = nets[pick(nets.len())];
+        let rail = match pick(3) {
+            0 => vdd,
+            1 => gnd,
+            _ => nets[pick(nets.len())],
+        };
+        let d = nets[pick(nets.len())];
+        chip.add_device(format!("x{i}"), ty, &[g, rail, d]).unwrap();
+    }
+    chip
+}
+
+/// Key-image sets from both engines must agree.
+fn key_images_agree(pattern: &Netlist, chip: &Netlist, respect_globals: bool) {
+    let opts = MatchOptions {
+        respect_globals,
+        ..MatchOptions::default()
+    };
+    let sub = Matcher::new(pattern, chip).options(opts).find_all();
+    let Some(key) = sub.key else {
+        // Phase I proved emptiness: the baseline must agree.
+        let dfs = dfs_find_all(
+            pattern,
+            chip,
+            &DfsOptions {
+                respect_globals,
+                ..DfsOptions::default()
+            },
+        );
+        assert!(
+            dfs.instances.is_empty(),
+            "subgemini found nothing but baseline found {}",
+            dfs.instances.len()
+        );
+        return;
+    };
+    let dfs = dfs_find_all(
+        pattern,
+        chip,
+        &DfsOptions {
+            respect_globals,
+            ..DfsOptions::default()
+        },
+    );
+    assert!(!dfs.budget_exhausted, "baseline budget too small for test");
+    let dfs_images: Vec<Vertex> = match key {
+        Vertex::Device(d) => dfs
+            .images_of_device(d)
+            .into_iter()
+            .map(Vertex::Device)
+            .collect(),
+        Vertex::Net(n) => dfs.images_of_net(n).into_iter().map(Vertex::Net).collect(),
+    };
+    let sub_images = sub.key_images();
+    assert_eq!(
+        sub_images,
+        dfs_images,
+        "key-image sets diverge for key {key:?} (sub={} dfs={})",
+        sub_images.len(),
+        dfs_images.len()
+    );
+}
+
+/// Phase I completeness: the candidate vector must contain every true
+/// key image the oracle finds.
+fn phase1_is_complete(pattern: &Netlist, chip: &Netlist) {
+    let cv = subgemini::candidates::generate(pattern, chip);
+    let dfs = dfs_find_all(pattern, chip, &DfsOptions::default());
+    let Some(key) = cv.key else {
+        assert!(
+            dfs.instances.is_empty(),
+            "phase 1 found no key but instances exist"
+        );
+        return;
+    };
+    let images: Vec<Vertex> = match key {
+        Vertex::Device(d) => dfs
+            .images_of_device(d)
+            .into_iter()
+            .map(Vertex::Device)
+            .collect(),
+        Vertex::Net(n) => dfs.images_of_net(n).into_iter().map(Vertex::Net).collect(),
+    };
+    for img in images {
+        assert!(
+            cv.candidates.contains(&img),
+            "true image {img:?} missing from CV (|CV|={})",
+            cv.candidates.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn phase1_candidate_vector_is_complete(
+        plants in 0usize..4,
+        noise in 0usize..10,
+        wires in 2usize..8,
+        picks in prop::collection::vec(0usize..997, 32),
+    ) {
+        let pat = nand2_cell();
+        let chip = random_chip(&pat, plants, noise, wires, &picks);
+        phase1_is_complete(&pat, &chip);
+        let pat = inverter_cell();
+        phase1_is_complete(&pat, &chip);
+    }
+
+    #[test]
+    fn subgemini_matches_dfs_on_inverters(
+        plants in 0usize..5,
+        noise in 0usize..12,
+        wires in 2usize..8,
+        picks in prop::collection::vec(0usize..997, 32),
+    ) {
+        let pat = inverter_cell();
+        let chip = random_chip(&pat, plants, noise, wires, &picks);
+        key_images_agree(&pat, &chip, true);
+    }
+
+    #[test]
+    fn subgemini_matches_dfs_on_nands(
+        plants in 0usize..4,
+        noise in 0usize..10,
+        wires in 3usize..9,
+        picks in prop::collection::vec(0usize..997, 32),
+    ) {
+        let pat = nand2_cell();
+        let chip = random_chip(&pat, plants, noise, wires, &picks);
+        key_images_agree(&pat, &chip, true);
+    }
+
+    #[test]
+    fn subgemini_matches_dfs_ignoring_globals(
+        plants in 0usize..3,
+        noise in 0usize..8,
+        wires in 2usize..7,
+        picks in prop::collection::vec(0usize..997, 32),
+    ) {
+        let pat = inverter_cell();
+        let chip = random_chip(&pat, plants, noise, wires, &picks);
+        key_images_agree(&pat, &chip, false);
+    }
+
+    #[test]
+    fn planted_instances_are_always_found(
+        plants in 1usize..6,
+        wires in 6usize..12,
+        picks in prop::collection::vec(0usize..997, 32),
+    ) {
+        // Distinct wires per instance so plants never merge or overlap.
+        let pat = nand2_cell();
+        let mut chip = Netlist::new("grid");
+        let _nets: Vec<NetId> = (0..wires).map(|i| chip.net(format!("w{i}"))).collect();
+        let vdd = chip.net("vdd");
+        let gnd = chip.net("gnd");
+        chip.mark_global(vdd);
+        chip.mark_global(gnd);
+        for i in 0..plants {
+            let a = chip.net(format!("a{i}"));
+            let b = chip.net(format!("b{i}"));
+            let y = chip.net(format!("y{i}"));
+            instantiate(&mut chip, &pat, &format!("u{i}"), &[a, b, y]).unwrap();
+        }
+        let _ = picks;
+        let outcome = Matcher::new(&pat, &chip).find_all();
+        prop_assert_eq!(outcome.count(), plants);
+        // Every reported instance survives independent verification.
+        for m in &outcome.instances {
+            subgemini::verify_instance(&pat, &chip, m, true).map_err(
+                |e| TestCaseError::fail(format!("bad instance: {e}")))?;
+        }
+    }
+
+    #[test]
+    fn device_renumbering_is_invisible(
+        plants in 1usize..4,
+    ) {
+        let pat = inverter_cell();
+        // Build the same chip with two device insertion orders.
+        let build = |reverse: bool| {
+            let mut chip = Netlist::new("chip");
+            let idx: Vec<usize> = if reverse {
+                (0..plants).rev().collect()
+            } else {
+                (0..plants).collect()
+            };
+            for i in idx {
+                let a = chip.net(format!("a{i}"));
+                let y = chip.net(format!("y{i}"));
+                instantiate(&mut chip, &pat, &format!("u{i}"), &[a, y]).unwrap();
+            }
+            chip
+        };
+        let c1 = build(false);
+        let c2 = build(true);
+        let o1 = Matcher::new(&pat, &c1).find_all();
+        let o2 = Matcher::new(&pat, &c2).find_all();
+        prop_assert_eq!(o1.count(), o2.count());
+        // Instance *names* must agree as sets.
+        let names = |chip: &Netlist, o: &subgemini::MatchOutcome| {
+            let mut v: Vec<String> = o
+                .instances
+                .iter()
+                .flat_map(|m| {
+                    m.device_set()
+                        .into_iter()
+                        .map(|d: DeviceId| chip.device(d).name().to_string())
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(names(&c1, &o1), names(&c2, &o2));
+    }
+}

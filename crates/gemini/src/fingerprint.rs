@@ -1,0 +1,217 @@
+//! Canonical netlist fingerprints.
+//!
+//! A fingerprint is an isomorphism-invariant 64-bit hash: two netlists
+//! that [`compare`](crate::compare) as isomorphic always produce equal
+//! fingerprints, and different netlists collide only with hash
+//! probability. Fingerprints make library deduplication and
+//! cache-lookup cheap — compare only the (rare) fingerprint-equal pairs
+//! with the full checker.
+//!
+//! The construction runs the same class-weighted label refinement as
+//! the comparator for a fixed number of rounds (enough to mix any
+//! structure whose diameter fits; beyond that, extra rounds cannot
+//! merge distinct orbits) and hashes the sorted label multisets.
+
+use subgemini_netlist::{hashing, CircuitGraph, DeviceId, NetId, Netlist};
+
+/// Refinement rounds used by [`fingerprint`]. Labels stabilize (as
+/// partitions) within the graph diameter; 24 covers any realistic cell
+/// and keeps the cost `O(24 · pins)`.
+const ROUNDS: usize = 24;
+
+/// Computes the canonical fingerprint of `netlist`.
+///
+/// Equal for isomorphic netlists (same device types, terminal-class
+/// structure, and global-net names); unequal otherwise with
+/// overwhelming probability. Instance and net *names* do not matter,
+/// except for global (special) nets, which are identity-carrying just
+/// like in [`compare`](crate::compare).
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_gemini::fingerprint;
+/// use subgemini_netlist::Netlist;
+///
+/// # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+/// let mut a = Netlist::new("x");
+/// let mos = a.add_mos_types();
+/// let (g, s, d) = (a.net("g"), a.net("s"), a.net("d"));
+/// a.add_device("m", mos.nmos, &[g, s, d])?;
+///
+/// let mut b = Netlist::new("y");
+/// let mos = b.add_mos_types();
+/// let (p, q, r) = (b.net("p"), b.net("q"), b.net("r"));
+/// b.add_device("zz", mos.nmos, &[p, r, q])?; // renamed + s/d swapped
+/// assert_eq!(fingerprint(&a), fingerprint(&b));
+/// # Ok(())
+/// # }
+/// ```
+pub fn fingerprint(netlist: &Netlist) -> u64 {
+    let g = CircuitGraph::new(netlist);
+    let nd = g.device_count();
+    let nn = g.net_count();
+    let mut dev: Vec<u64> = (0..nd)
+        .map(|i| g.initial_device_label(DeviceId::new(i as u32)))
+        .collect();
+    let mut net: Vec<u64> = (0..nn)
+        .map(|i| g.initial_net_label(NetId::new(i as u32)))
+        .collect();
+    for _ in 0..ROUNDS {
+        let new_net: Vec<u64> = (0..nn)
+            .map(|i| {
+                let n = NetId::new(i as u32);
+                if g.is_global(n) {
+                    return net[i];
+                }
+                let c = g.net_contribs(n, |d| Some(dev[d.index()]));
+                hashing::relabel(net[i], c.sum)
+            })
+            .collect();
+        let new_dev: Vec<u64> = (0..nd)
+            .map(|i| {
+                let d = DeviceId::new(i as u32);
+                let c = g.device_contribs(d, |n| Some(new_net[n.index()]));
+                hashing::relabel(dev[i], c.sum)
+            })
+            .collect();
+        net = new_net;
+        dev = new_dev;
+    }
+    dev.sort_unstable();
+    net.sort_unstable();
+    let mut acc = hashing::mix(0x6669_6e67_6572 ^ (nd as u64) ^ ((nn as u64) << 32));
+    for l in dev.iter().chain(net.iter()) {
+        acc = hashing::mix(acc ^ *l);
+    }
+    acc
+}
+
+/// Groups netlists into isomorphism classes: fingerprint buckets first,
+/// then full [`compare`](crate::compare) within each bucket (so hash
+/// collisions cannot produce wrong groups). Returns groups of indices
+/// into `netlists`, each group's members mutually isomorphic, ordered
+/// by first member.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_gemini::dedup_classes;
+/// use subgemini_netlist::Netlist;
+///
+/// let a = Netlist::new("a");
+/// let b = Netlist::new("b");
+/// let groups = dedup_classes(&[&a, &b]);
+/// assert_eq!(groups, vec![vec![0, 1]]); // two empty netlists
+/// ```
+pub fn dedup_classes(netlists: &[&Netlist]) -> Vec<Vec<usize>> {
+    let prints: Vec<u64> = netlists.iter().map(|n| fingerprint(n)).collect();
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (i, &p) in prints.iter().enumerate() {
+        let mut placed = false;
+        for (gp, members) in groups.iter_mut() {
+            if *gp == p && crate::are_isomorphic(netlists[members[0]], netlists[i]) {
+                members.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push((p, vec![i]));
+        }
+    }
+    groups.into_iter().map(|(_, m)| m).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand2(swap_inputs: bool) -> Netlist {
+        let mut nl = Netlist::new("nand2");
+        let mos = nl.add_mos_types();
+        let (a, b) = if swap_inputs {
+            (nl.net("b"), nl.net("a"))
+        } else {
+            (nl.net("a"), nl.net("b"))
+        };
+        let (y, mid) = (nl.net("y"), nl.net("mid"));
+        let (vdd, gnd) = (nl.net("vdd"), nl.net("gnd"));
+        nl.mark_global(vdd);
+        nl.mark_global(gnd);
+        nl.add_device("p1", mos.pmos, &[a, vdd, y]).unwrap();
+        nl.add_device("p2", mos.pmos, &[b, vdd, y]).unwrap();
+        nl.add_device("n1", mos.nmos, &[a, y, mid]).unwrap();
+        nl.add_device("n2", mos.nmos, &[b, mid, gnd]).unwrap();
+        nl
+    }
+
+    fn nor2() -> Netlist {
+        let mut nl = Netlist::new("nor2");
+        let mos = nl.add_mos_types();
+        let (a, b, y, mid) = (nl.net("a"), nl.net("b"), nl.net("y"), nl.net("mid"));
+        let (vdd, gnd) = (nl.net("vdd"), nl.net("gnd"));
+        nl.mark_global(vdd);
+        nl.mark_global(gnd);
+        nl.add_device("p1", mos.pmos, &[a, vdd, mid]).unwrap();
+        nl.add_device("p2", mos.pmos, &[b, mid, y]).unwrap();
+        nl.add_device("n1", mos.nmos, &[a, gnd, y]).unwrap();
+        nl.add_device("n2", mos.nmos, &[b, gnd, y]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn isomorphic_variants_share_a_fingerprint() {
+        assert_eq!(fingerprint(&nand2(false)), fingerprint(&nand2(true)));
+    }
+
+    #[test]
+    fn distinct_cells_differ() {
+        assert_ne!(fingerprint(&nand2(false)), fingerprint(&nor2()));
+    }
+
+    #[test]
+    fn single_edit_changes_fingerprint() {
+        let reference = nand2(false);
+        let mut edited = Netlist::new("bad");
+        let mos = edited.add_mos_types();
+        let (a, b, y, mid) = (
+            edited.net("a"),
+            edited.net("b"),
+            edited.net("y"),
+            edited.net("mid"),
+        );
+        let (vdd, gnd) = (edited.net("vdd"), edited.net("gnd"));
+        edited.mark_global(vdd);
+        edited.mark_global(gnd);
+        edited.add_device("p1", mos.pmos, &[a, vdd, y]).unwrap();
+        edited.add_device("p2", mos.pmos, &[b, vdd, y]).unwrap();
+        edited.add_device("n1", mos.nmos, &[a, y, mid]).unwrap();
+        edited.add_device("n2", mos.nmos, &[b, mid, y]).unwrap(); // y, not gnd
+        assert_ne!(fingerprint(&reference), fingerprint(&edited));
+    }
+
+    #[test]
+    fn global_names_carry_identity() {
+        let mut a = nand2(false);
+        let vdd = a.find_net("vdd").unwrap();
+        a.clear_global(vdd);
+        assert_ne!(fingerprint(&a), fingerprint(&nand2(false)));
+    }
+
+    #[test]
+    fn dedup_groups_isomorphs_together() {
+        let a = nand2(false);
+        let b = nand2(true);
+        let c = nor2();
+        let groups = dedup_classes(&[&a, &c, &b]);
+        assert_eq!(groups, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn empty_netlist_fingerprint_is_stable() {
+        let a = Netlist::new("a");
+        let b = Netlist::new("b");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

@@ -1,0 +1,379 @@
+//! The partition-refinement engine behind [`compare`](crate::compare).
+
+use std::collections::HashMap;
+
+use subgemini_netlist::{hashing, CircuitGraph, DeviceId, NetId, Netlist, Vertex};
+
+use crate::report::{GeminiOutcome, GeminiStats, Mapping, MismatchReport};
+
+/// Tuning knobs for a comparison run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GeminiOptions {
+    /// Maximum individuation guesses before giving up on automorphism
+    /// breaking (prevents exponential blowups on pathological graphs).
+    pub max_guesses: usize,
+}
+
+impl Default for GeminiOptions {
+    fn default() -> Self {
+        Self {
+            max_guesses: 100_000,
+        }
+    }
+}
+
+/// One side's labeling state.
+#[derive(Clone)]
+struct Side<'g, 'n> {
+    graph: &'g CircuitGraph<'n>,
+    dev: Vec<u64>,
+    net: Vec<u64>,
+    dev_pinned: Vec<bool>,
+    net_pinned: Vec<bool>,
+}
+
+impl<'g, 'n> Side<'g, 'n> {
+    fn new(graph: &'g CircuitGraph<'n>) -> Self {
+        let nd = graph.device_count();
+        let nn = graph.net_count();
+        let dev = (0..nd)
+            .map(|i| graph.initial_device_label(DeviceId::new(i as u32)))
+            .collect();
+        let mut net = Vec::with_capacity(nn);
+        let mut net_pinned = Vec::with_capacity(nn);
+        for i in 0..nn {
+            let n = NetId::new(i as u32);
+            net.push(graph.initial_net_label(n));
+            // Global nets carry fixed name-derived labels.
+            net_pinned.push(graph.is_global(n));
+        }
+        Self {
+            graph,
+            dev,
+            net,
+            dev_pinned: vec![false; nd],
+            net_pinned,
+        }
+    }
+
+    /// One relabeling pass: nets from devices, then devices from the
+    /// fresh net labels (Gauss–Seidel order, identical on both sides).
+    fn pass(&mut self) {
+        for i in 0..self.net.len() {
+            if self.net_pinned[i] {
+                continue;
+            }
+            let n = NetId::new(i as u32);
+            let c = self.graph.net_contribs(n, |d| Some(self.dev[d.index()]));
+            self.net[i] = hashing::relabel(self.net[i], c.sum);
+        }
+        for i in 0..self.dev.len() {
+            if self.dev_pinned[i] {
+                continue;
+            }
+            let d = DeviceId::new(i as u32);
+            let c = self.graph.device_contribs(d, |n| Some(self.net[n.index()]));
+            self.dev[i] = hashing::relabel(self.dev[i], c.sum);
+        }
+    }
+
+    fn pin(&mut self, v: Vertex, label: u64) {
+        match v {
+            Vertex::Device(d) => {
+                self.dev[d.index()] = label;
+                self.dev_pinned[d.index()] = true;
+            }
+            Vertex::Net(n) => {
+                self.net[n.index()] = label;
+                self.net_pinned[n.index()] = true;
+            }
+        }
+    }
+}
+
+/// Balance summary of one partition-comparison step.
+struct Balance {
+    partitions: usize,
+    all_singletons: bool,
+    /// Smallest balanced partition with more than one member:
+    /// `(members_in_a, members_in_b)`.
+    ambiguous: Option<(Vec<Vertex>, Vec<Vertex>)>,
+}
+
+/// Groups both sides by label and checks that every partition is
+/// balanced; collects diagnostics on failure.
+fn check_balance(a: &Side<'_, '_>, b: &Side<'_, '_>) -> Result<Balance, MismatchReport> {
+    // Keyed separately per bipartite side to avoid cross-kind collisions.
+    let mut parts: HashMap<(bool, u64), (Vec<Vertex>, Vec<Vertex>)> = HashMap::new();
+    for (i, &l) in a.dev.iter().enumerate() {
+        parts
+            .entry((false, l))
+            .or_default()
+            .0
+            .push(Vertex::Device(DeviceId::new(i as u32)));
+    }
+    for (i, &l) in a.net.iter().enumerate() {
+        parts
+            .entry((true, l))
+            .or_default()
+            .0
+            .push(Vertex::Net(NetId::new(i as u32)));
+    }
+    for (i, &l) in b.dev.iter().enumerate() {
+        parts
+            .entry((false, l))
+            .or_default()
+            .1
+            .push(Vertex::Device(DeviceId::new(i as u32)));
+    }
+    for (i, &l) in b.net.iter().enumerate() {
+        parts
+            .entry((true, l))
+            .or_default()
+            .1
+            .push(Vertex::Net(NetId::new(i as u32)));
+    }
+    let mut suspects_a = Vec::new();
+    let mut suspects_b = Vec::new();
+    let mut all_singletons = true;
+    let mut ambiguous: Option<(Vec<Vertex>, Vec<Vertex>)> = None;
+    for (va, vb) in parts.values() {
+        if va.len() != vb.len() {
+            suspects_a.extend(va.iter().take(8).copied());
+            suspects_b.extend(vb.iter().take(8).copied());
+            continue;
+        }
+        if va.len() > 1 {
+            all_singletons = false;
+            let better = match &ambiguous {
+                None => true,
+                Some((cur, _)) => {
+                    // Prefer smaller partitions; tie-break toward devices
+                    // (their neighborhoods refine faster).
+                    va.len() < cur.len()
+                        || (va.len() == cur.len() && va[0].is_device() && !cur[0].is_device())
+                }
+            };
+            if better {
+                ambiguous = Some((va.clone(), vb.clone()));
+            }
+        }
+    }
+    if !suspects_a.is_empty() || !suspects_b.is_empty() {
+        suspects_a.sort();
+        suspects_b.sort();
+        return Err(MismatchReport {
+            reason: "partition sizes diverged during refinement".into(),
+            suspects_a,
+            suspects_b,
+        });
+    }
+    Ok(Balance {
+        partitions: parts.len(),
+        all_singletons,
+        ambiguous,
+    })
+}
+
+fn build_mapping(a: &Side<'_, '_>, b: &Side<'_, '_>) -> Mapping {
+    let mut dev_of: HashMap<u64, DeviceId> = HashMap::with_capacity(b.dev.len());
+    for (i, &l) in b.dev.iter().enumerate() {
+        dev_of.insert(l, DeviceId::new(i as u32));
+    }
+    let mut net_of: HashMap<u64, NetId> = HashMap::with_capacity(b.net.len());
+    for (i, &l) in b.net.iter().enumerate() {
+        net_of.insert(l, NetId::new(i as u32));
+    }
+    Mapping {
+        devices: a.dev.iter().map(|l| dev_of[l]).collect(),
+        nets: a.net.iter().map(|l| net_of[l]).collect(),
+    }
+}
+
+/// Structurally verifies a candidate mapping (guards against the
+/// negligible-but-possible 64-bit label collision).
+pub(crate) fn verify_mapping(a: &Netlist, b: &Netlist, m: &Mapping) -> Result<(), String> {
+    for da in a.device_ids() {
+        let db = m.device(da);
+        let ta = a.device_type_of(da);
+        let tb = b.device_type_of(db);
+        if ta.name() != tb.name() {
+            return Err(format!(
+                "device {da} type `{}` maps to `{}`",
+                ta.name(),
+                tb.name()
+            ));
+        }
+        let mut pa: Vec<(u64, NetId)> = a
+            .device(da)
+            .pins()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (ta.class_multiplier(i), m.net(n)))
+            .collect();
+        let mut pb: Vec<(u64, NetId)> = b
+            .device(db)
+            .pins()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (tb.class_multiplier(i), n))
+            .collect();
+        pa.sort_unstable();
+        pb.sort_unstable();
+        if pa != pb {
+            return Err(format!("device {da} pin structure does not map onto {db}"));
+        }
+    }
+    for na in a.net_ids() {
+        let nb = m.net(na);
+        let ra = a.net_ref(na);
+        let rb = b.net_ref(nb);
+        if ra.degree() != rb.degree() {
+            return Err(format!("net {na} degree differs from its image {nb}"));
+        }
+        if ra.is_global() != rb.is_global() || (ra.is_global() && ra.name() != rb.name()) {
+            return Err(format!("net {na} global status/name differs from {nb}"));
+        }
+    }
+    Ok(())
+}
+
+fn fresh_guess_label(counter: usize) -> u64 {
+    hashing::mix(0x4745_4d49_4e49_u64 ^ (counter as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+fn solve(
+    mut a: Side<'_, '_>,
+    mut b: Side<'_, '_>,
+    opts: &GeminiOptions,
+    stats: &mut GeminiStats,
+) -> Result<Mapping, MismatchReport> {
+    let mut prev_partitions = 0usize;
+    let ambiguous = loop {
+        a.pass();
+        b.pass();
+        stats.passes += 1;
+        let bal = check_balance(&a, &b)?;
+        if bal.all_singletons {
+            return Ok(build_mapping(&a, &b));
+        }
+        if bal.partitions <= prev_partitions {
+            break bal.ambiguous.expect("non-singleton partitions exist");
+        }
+        prev_partitions = bal.partitions;
+    };
+    // Automorphic tie: individuate one vertex and try each possible
+    // image, backtracking on failure (paper Fig. 5 situation, whole-graph
+    // variant).
+    let (pa, pb) = ambiguous;
+    let anchor = pa[0];
+    let mut last_err = None;
+    for &cand in &pb {
+        if stats.guesses >= opts.max_guesses {
+            return Err(MismatchReport {
+                reason: format!("gave up after {} individuation guesses", stats.guesses),
+                suspects_a: vec![anchor],
+                suspects_b: pb.clone(),
+            });
+        }
+        stats.guesses += 1;
+        let label = fresh_guess_label(stats.guesses);
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        a2.pin(anchor, label);
+        b2.pin(cand, label);
+        match solve(a2, b2, opts, stats) {
+            Ok(m) => return Ok(m),
+            Err(e) => {
+                stats.backtracks += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or(MismatchReport {
+        reason: "ambiguous partition has no members to try".into(),
+        suspects_a: vec![anchor],
+        suspects_b: vec![],
+    }))
+}
+
+/// Compares two netlists, returning the outcome plus effort counters.
+pub(crate) fn run(a: &Netlist, b: &Netlist, opts: &GeminiOptions) -> (GeminiOutcome, GeminiStats) {
+    let mut stats = GeminiStats::default();
+    if a.device_count() != b.device_count() || a.net_count() != b.net_count() {
+        return (
+            GeminiOutcome::Mismatch(MismatchReport {
+                reason: format!(
+                    "size differs: A has {} devices / {} nets, B has {} / {}",
+                    a.device_count(),
+                    a.net_count(),
+                    b.device_count(),
+                    b.net_count()
+                ),
+                suspects_a: vec![],
+                suspects_b: vec![],
+            }),
+            stats,
+        );
+    }
+    if a.device_count() == 0 && a.net_count() == 0 {
+        return (
+            GeminiOutcome::Isomorphic(Mapping {
+                devices: vec![],
+                nets: vec![],
+            }),
+            stats,
+        );
+    }
+    let ga = CircuitGraph::new(a);
+    let gb = CircuitGraph::new(b);
+    let sa = Side::new(&ga);
+    let sb = Side::new(&gb);
+    match solve(sa, sb, opts, &mut stats) {
+        Ok(m) => match verify_mapping(a, b, &m) {
+            Ok(()) => (GeminiOutcome::Isomorphic(m), stats),
+            Err(reason) => (
+                GeminiOutcome::Mismatch(MismatchReport {
+                    reason: format!("label-derived mapping failed verification: {reason}"),
+                    suspects_a: vec![],
+                    suspects_b: vec![],
+                }),
+                stats,
+            ),
+        },
+        Err(e) => (GeminiOutcome::Mismatch(e), stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Size-mismatch fast path (the refinement loop is exercised through
+    /// the public API tests in lib.rs).
+    #[test]
+    fn size_mismatch_short_circuits() {
+        let a = Netlist::new("a");
+        let mut b = Netlist::new("b");
+        b.net("x");
+        let (out, stats) = run(&a, &b, &GeminiOptions::default());
+        assert!(!out.is_isomorphic());
+        assert_eq!(stats.passes, 0);
+        assert!(out.mismatch().unwrap().reason.contains("size differs"));
+    }
+
+    #[test]
+    fn empty_netlists_are_isomorphic() {
+        let a = Netlist::new("a");
+        let b = Netlist::new("b");
+        let (out, _) = run(&a, &b, &GeminiOptions::default());
+        assert!(out.is_isomorphic());
+    }
+
+    #[test]
+    fn guess_labels_are_distinct() {
+        let l1 = fresh_guess_label(1);
+        let l2 = fresh_guess_label(2);
+        assert_ne!(l1, l2);
+    }
+}

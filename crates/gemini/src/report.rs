@@ -1,0 +1,143 @@
+//! Result and diagnostic types for netlist comparison.
+
+use std::fmt;
+
+use subgemini_netlist::{DeviceId, NetId, Vertex};
+
+/// A complete isomorphism mapping from netlist `A` onto netlist `B`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    /// `devices[i]` is the `B` device matched with `A` device `i`.
+    pub devices: Vec<DeviceId>,
+    /// `nets[i]` is the `B` net matched with `A` net `i`.
+    pub nets: Vec<NetId>,
+}
+
+impl Mapping {
+    /// The image in `B` of an `A` device.
+    pub fn device(&self, a: DeviceId) -> DeviceId {
+        self.devices[a.index()]
+    }
+
+    /// The image in `B` of an `A` net.
+    pub fn net(&self, a: NetId) -> NetId {
+        self.nets[a.index()]
+    }
+}
+
+/// Why two netlists failed to match, with pointers at the suspects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MismatchReport {
+    /// Human-readable summary of the first divergence found.
+    pub reason: String,
+    /// Vertices of `A` in unbalanced partitions (up to a small cap).
+    pub suspects_a: Vec<Vertex>,
+    /// Vertices of `B` in unbalanced partitions (up to a small cap).
+    pub suspects_b: Vec<Vertex>,
+}
+
+impl fmt::Display for MismatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.reason)?;
+        if !self.suspects_a.is_empty() {
+            write!(f, "; suspects in A: ")?;
+            for (i, v) in self.suspects_a.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+        }
+        if !self.suspects_b.is_empty() {
+            write!(f, "; suspects in B: ")?;
+            for (i, v) in self.suspects_b.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Effort counters for a comparison run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GeminiStats {
+    /// Relabeling passes performed (across all backtracking branches).
+    pub passes: usize,
+    /// Individuation guesses made to break automorphic ties.
+    pub guesses: usize,
+    /// Guesses that had to be undone.
+    pub backtracks: usize,
+}
+
+/// Outcome of [`compare`](crate::compare).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GeminiOutcome {
+    /// The netlists are isomorphic; a verified mapping is attached.
+    Isomorphic(Mapping),
+    /// The netlists differ; diagnostics attached.
+    Mismatch(MismatchReport),
+}
+
+impl GeminiOutcome {
+    /// `true` if the comparison succeeded.
+    pub fn is_isomorphic(&self) -> bool {
+        matches!(self, GeminiOutcome::Isomorphic(_))
+    }
+
+    /// The mapping, if isomorphic.
+    pub fn mapping(&self) -> Option<&Mapping> {
+        match self {
+            GeminiOutcome::Isomorphic(m) => Some(m),
+            GeminiOutcome::Mismatch(_) => None,
+        }
+    }
+
+    /// The mismatch report, if any.
+    pub fn mismatch(&self) -> Option<&MismatchReport> {
+        match self {
+            GeminiOutcome::Isomorphic(_) => None,
+            GeminiOutcome::Mismatch(r) => Some(r),
+        }
+    }
+}
+
+/// Outcome plus effort counters, returned by
+/// [`compare_with_stats`](crate::compare_with_stats).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeminiReport {
+    /// The comparison outcome.
+    pub outcome: GeminiOutcome,
+    /// Effort counters.
+    pub stats: GeminiStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatch_display_lists_suspects() {
+        let r = MismatchReport {
+            reason: "device count differs".into(),
+            suspects_a: vec![Vertex::Device(DeviceId::new(0))],
+            suspects_b: vec![Vertex::Net(NetId::new(2))],
+        };
+        let s = r.to_string();
+        assert!(s.contains("device count differs"));
+        assert!(s.contains("d0") && s.contains("n2"));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let m = GeminiOutcome::Isomorphic(Mapping {
+            devices: vec![],
+            nets: vec![],
+        });
+        assert!(m.is_isomorphic());
+        assert!(m.mapping().is_some());
+        assert!(m.mismatch().is_none());
+    }
+}

@@ -1,0 +1,112 @@
+//! Graphviz (DOT) export of the bipartite circuit graph.
+//!
+//! Devices render as boxes, nets as ellipses (global nets doubled,
+//! ports bold), and each pin becomes an edge labeled with its terminal
+//! name — the exact picture of the paper's Fig. 2.
+
+use std::fmt::Write as _;
+
+use crate::netlist::Netlist;
+
+/// Renders `netlist` as a Graphviz `graph` document.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::{to_dot, Netlist};
+///
+/// # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+/// let mut nl = Netlist::new("inv");
+/// let mos = nl.add_mos_types();
+/// let (a, y, gnd) = (nl.net("a"), nl.net("y"), nl.net("gnd"));
+/// nl.mark_global(gnd);
+/// nl.add_device("mn", mos.nmos, &[a, gnd, y])?;
+/// let dot = to_dot(&nl);
+/// assert!(dot.starts_with("graph \"inv\""));
+/// assert!(dot.contains("shape=box"));
+/// assert!(dot.contains("label=\"g\""));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", escape(netlist.name()));
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    for d in netlist.device_ids() {
+        let dev = netlist.device(d);
+        let ty = netlist.device_type_of(d);
+        let _ = writeln!(
+            out,
+            "  \"d{}\" [shape=box, label=\"{}\\n{}\"];",
+            d.index(),
+            escape(dev.name()),
+            escape(ty.name())
+        );
+    }
+    for n in netlist.net_ids() {
+        let net = netlist.net_ref(n);
+        let mut attrs = String::from("shape=ellipse");
+        if net.is_global() {
+            attrs.push_str(", peripheries=2");
+        }
+        if net.is_port() {
+            attrs.push_str(", style=bold");
+        }
+        let _ = writeln!(
+            out,
+            "  \"n{}\" [{attrs}, label=\"{}\"];",
+            n.index(),
+            escape(net.name())
+        );
+    }
+    for d in netlist.device_ids() {
+        let dev = netlist.device(d);
+        let ty = netlist.device_type_of(d);
+        for (i, &n) in dev.pins().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  \"d{}\" -- \"n{}\" [label=\"{}\"];",
+                d.index(),
+                n.index(),
+                escape(ty.terminal(i).name())
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let mut nl = Netlist::new("x");
+        let mos = nl.add_mos_types();
+        let (a, b, c) = (nl.net("a"), nl.net("b"), nl.net("c"));
+        nl.mark_port(a);
+        nl.mark_global(c);
+        nl.add_device("m1", mos.nmos, &[a, b, c]).unwrap();
+        let dot = to_dot(&nl);
+        assert_eq!(dot.matches("shape=box").count(), 1);
+        assert_eq!(dot.matches("shape=ellipse").count(), 3);
+        assert_eq!(dot.matches(" -- ").count(), 3);
+        assert!(dot.contains("peripheries=2")); // global
+        assert!(dot.contains("style=bold")); // port
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut nl = Netlist::new("we\"ird");
+        nl.net("a\"b");
+        let dot = to_dot(&nl);
+        assert!(dot.contains("we\\\"ird"));
+        assert!(dot.contains("a\\\"b"));
+    }
+}

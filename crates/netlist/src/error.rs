@@ -1,0 +1,126 @@
+//! Error type for netlist construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`Netlist`](crate::Netlist).
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::{Netlist, NetlistError};
+///
+/// let mut nl = Netlist::new("chip");
+/// let ty = nl.add_mos_types();
+/// let a = nl.net("a");
+/// // An NMOS has exactly three terminals (g, s, d); two pins is an error.
+/// let err = nl.add_device("m1", ty.nmos, &[a, a]).unwrap_err();
+/// assert!(matches!(err, NetlistError::PinCountMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A device with the same name already exists.
+    DuplicateDevice {
+        /// The offending device name.
+        name: String,
+    },
+    /// A device type with the same name already exists.
+    DuplicateType {
+        /// The offending type name.
+        name: String,
+    },
+    /// A referenced device type id is not in this netlist's type table.
+    UnknownType {
+        /// The offending type name or id rendering.
+        name: String,
+    },
+    /// A referenced net does not exist.
+    UnknownNet {
+        /// The offending net name.
+        name: String,
+    },
+    /// The number of pins supplied does not match the device type's
+    /// terminal count.
+    PinCountMismatch {
+        /// Device being added.
+        device: String,
+        /// Terminals declared by the device type.
+        expected: usize,
+        /// Pins supplied by the caller.
+        got: usize,
+    },
+    /// A device type must declare at least one terminal.
+    EmptyType {
+        /// The offending type name.
+        name: String,
+    },
+    /// Structural validation found an inconsistency (message explains).
+    Inconsistent {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateDevice { name } => {
+                write!(f, "duplicate device name `{name}`")
+            }
+            NetlistError::DuplicateType { name } => {
+                write!(f, "duplicate device type `{name}`")
+            }
+            NetlistError::UnknownType { name } => {
+                write!(f, "unknown device type `{name}`")
+            }
+            NetlistError::UnknownNet { name } => write!(f, "unknown net `{name}`"),
+            NetlistError::PinCountMismatch {
+                device,
+                expected,
+                got,
+            } => write!(
+                f,
+                "device `{device}` supplies {got} pins but its type declares {expected} terminals"
+            ),
+            NetlistError::EmptyType { name } => {
+                write!(f, "device type `{name}` declares no terminals")
+            }
+            NetlistError::Inconsistent { detail } => {
+                write!(f, "inconsistent netlist: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NetlistError::UnknownNet { name: "vdd".into() };
+        let msg = e.to_string();
+        assert!(msg.starts_with("unknown net"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NetlistError>();
+    }
+
+    #[test]
+    fn pin_count_message_mentions_both_counts() {
+        let e = NetlistError::PinCountMismatch {
+            device: "m1".into(),
+            expected: 3,
+            got: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('2') && msg.contains("m1"));
+    }
+}

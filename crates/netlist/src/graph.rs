@@ -1,0 +1,351 @@
+//! [`CircuitGraph`]: a compact bipartite-graph view of a [`Netlist`].
+//!
+//! The graph is stored in CSR (compressed sparse row) form on both sides
+//! with per-pin class multipliers and initial labels precomputed, so that
+//! the labeling loops of Gemini and SubGemini touch only flat arrays.
+//!
+//! Representing nets as first-class vertices (rather than cliques of
+//! device-device edges) is the paper's §II modeling decision: it reduces
+//! `N(N−1)/2` edges to `N` and exposes net structure to partitioning.
+
+use crate::hashing;
+use crate::id::{DeviceId, NetId};
+use crate::netlist::Netlist;
+
+/// The neighbor-contribution accumulator returned by the relabeling
+/// helpers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Contribs {
+    /// Wrapping sum of `class_multiplier × neighbor_label` over the
+    /// neighbors whose labels were supplied.
+    pub sum: u64,
+    /// Number of neighbors whose labels were supplied.
+    pub used: usize,
+    /// Number of neighbors skipped (callback returned `None`).
+    pub skipped: usize,
+}
+
+/// A borrowed, query-optimized bipartite view of a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::{CircuitGraph, Netlist};
+///
+/// # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+/// let mut nl = Netlist::new("inv");
+/// let mos = nl.add_mos_types();
+/// let (a, y, vdd, gnd) = (nl.net("a"), nl.net("y"), nl.net("vdd"), nl.net("gnd"));
+/// nl.add_device("mp", mos.pmos, &[a, vdd, y])?;
+/// nl.add_device("mn", mos.nmos, &[a, gnd, y])?;
+/// let g = CircuitGraph::new(&nl);
+/// assert_eq!(g.device_count(), 2);
+/// assert_eq!(g.net_neighbors(y).count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CircuitGraph<'a> {
+    netlist: &'a Netlist,
+    dev_pin_start: Vec<u32>,
+    dev_pin_net: Vec<NetId>,
+    dev_pin_mult: Vec<u64>,
+    net_pin_start: Vec<u32>,
+    net_pin_dev: Vec<DeviceId>,
+    net_pin_mult: Vec<u64>,
+    dev_init: Vec<u64>,
+    net_init: Vec<u64>,
+    net_global: Vec<bool>,
+}
+
+impl<'a> CircuitGraph<'a> {
+    /// Builds the CSR view of `netlist`.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let nd = netlist.device_count();
+        let nn = netlist.net_count();
+        let mut dev_pin_start = Vec::with_capacity(nd + 1);
+        let mut dev_pin_net = Vec::new();
+        let mut dev_pin_mult = Vec::new();
+        dev_pin_start.push(0);
+        for d in netlist.device_ids() {
+            let dev = netlist.device(d);
+            let ty = netlist.device_type_of(d);
+            for (i, &n) in dev.pins().iter().enumerate() {
+                dev_pin_net.push(n);
+                dev_pin_mult.push(ty.class_multiplier(i));
+            }
+            dev_pin_start.push(dev_pin_net.len() as u32);
+        }
+        let mut net_pin_start = Vec::with_capacity(nn + 1);
+        let mut net_pin_dev = Vec::new();
+        let mut net_pin_mult = Vec::new();
+        net_pin_start.push(0);
+        for n in netlist.net_ids() {
+            for pin in netlist.net_ref(n).pins() {
+                let ty = netlist.device_type_of(pin.device);
+                net_pin_dev.push(pin.device);
+                net_pin_mult.push(ty.class_multiplier(pin.terminal as usize));
+            }
+            net_pin_start.push(net_pin_dev.len() as u32);
+        }
+        let dev_init = netlist
+            .device_ids()
+            .map(|d| netlist.device_type_of(d).initial_label())
+            .collect();
+        let (net_init, net_global): (Vec<u64>, Vec<bool>) = netlist
+            .net_ids()
+            .map(|n| {
+                let net = netlist.net_ref(n);
+                if net.is_global() {
+                    (hashing::global_net_label(net.name()), true)
+                } else {
+                    (hashing::net_degree_label(net.degree()), false)
+                }
+            })
+            .unzip();
+        Self {
+            netlist,
+            dev_pin_start,
+            dev_pin_net,
+            dev_pin_mult,
+            net_pin_start,
+            net_pin_dev,
+            net_pin_mult,
+            dev_init,
+            net_init,
+            net_global,
+        }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Number of device vertices.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.dev_init.len()
+    }
+
+    /// Number of net vertices.
+    #[inline]
+    pub fn net_count(&self) -> usize {
+        self.net_init.len()
+    }
+
+    /// Whether net `n` is a special global signal.
+    #[inline]
+    pub fn is_global(&self, n: NetId) -> bool {
+        self.net_global[n.index()]
+    }
+
+    /// The nets adjacent to device `d`, each with the class multiplier of
+    /// the connecting terminal.
+    #[inline]
+    pub fn device_neighbors(
+        &self,
+        d: DeviceId,
+    ) -> impl ExactSizeIterator<Item = (NetId, u64)> + '_ {
+        let lo = self.dev_pin_start[d.index()] as usize;
+        let hi = self.dev_pin_start[d.index() + 1] as usize;
+        self.dev_pin_net[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.dev_pin_mult[lo..hi].iter().copied())
+    }
+
+    /// The devices adjacent to net `n`, each with the class multiplier of
+    /// the connecting terminal.
+    #[inline]
+    pub fn net_neighbors(&self, n: NetId) -> impl ExactSizeIterator<Item = (DeviceId, u64)> + '_ {
+        let lo = self.net_pin_start[n.index()] as usize;
+        let hi = self.net_pin_start[n.index() + 1] as usize;
+        self.net_pin_dev[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.net_pin_mult[lo..hi].iter().copied())
+    }
+
+    /// Degree of net `n` (number of pins).
+    #[inline]
+    pub fn net_degree(&self, n: NetId) -> usize {
+        (self.net_pin_start[n.index() + 1] - self.net_pin_start[n.index()]) as usize
+    }
+
+    /// Initial (vertex-invariant) label of device `d`: a hash of its type
+    /// name.
+    #[inline]
+    pub fn initial_device_label(&self, d: DeviceId) -> u64 {
+        self.dev_init[d.index()]
+    }
+
+    /// Initial label of net `n`: its degree hash, or the fixed global
+    /// label for special nets.
+    #[inline]
+    pub fn initial_net_label(&self, n: NetId) -> u64 {
+        self.net_init[n.index()]
+    }
+
+    /// Accumulates the weighted label contributions of the nets around
+    /// device `d`. `label_of` returns `None` to skip a neighbor (corrupt
+    /// in Phase I, suspect in Phase II).
+    #[inline]
+    pub fn device_contribs(
+        &self,
+        d: DeviceId,
+        mut label_of: impl FnMut(NetId) -> Option<u64>,
+    ) -> Contribs {
+        let mut c = Contribs::default();
+        for (n, mult) in self.device_neighbors(d) {
+            match label_of(n) {
+                Some(l) => {
+                    c.sum = c.sum.wrapping_add(mult.wrapping_mul(l));
+                    c.used += 1;
+                }
+                None => c.skipped += 1,
+            }
+        }
+        c
+    }
+
+    /// Accumulates the weighted label contributions of the devices around
+    /// net `n`; see [`CircuitGraph::device_contribs`].
+    #[inline]
+    pub fn net_contribs(
+        &self,
+        n: NetId,
+        mut label_of: impl FnMut(DeviceId) -> Option<u64>,
+    ) -> Contribs {
+        let mut c = Contribs::default();
+        for (d, mult) in self.net_neighbors(n) {
+            match label_of(d) {
+                Some(l) => {
+                    c.sum = c.sum.wrapping_add(mult.wrapping_mul(l));
+                    c.used += 1;
+                }
+                None => c.skipped += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::MosTypes;
+
+    fn inverter(globals: bool) -> Netlist {
+        let mut nl = Netlist::new("inv");
+        let MosTypes { nmos, pmos } = nl.add_mos_types();
+        let (a, y, vdd, gnd) = (nl.net("a"), nl.net("y"), nl.net("vdd"), nl.net("gnd"));
+        if globals {
+            nl.mark_global(vdd);
+            nl.mark_global(gnd);
+        }
+        nl.add_device("mp", pmos, &[a, vdd, y]).unwrap();
+        nl.add_device("mn", nmos, &[a, gnd, y]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn csr_shape_matches_netlist() {
+        let nl = inverter(false);
+        let g = CircuitGraph::new(&nl);
+        assert_eq!(g.device_count(), 2);
+        assert_eq!(g.net_count(), 4);
+        let a = nl.find_net("a").unwrap();
+        assert_eq!(g.net_degree(a), 2);
+        assert_eq!(g.net_neighbors(a).len(), 2);
+        let mp = nl.find_device("mp").unwrap();
+        assert_eq!(g.device_neighbors(mp).len(), 3);
+    }
+
+    #[test]
+    fn initial_labels_follow_invariants() {
+        let nl = inverter(false);
+        let g = CircuitGraph::new(&nl);
+        let mp = nl.find_device("mp").unwrap();
+        let mn = nl.find_device("mn").unwrap();
+        assert_ne!(
+            g.initial_device_label(mp),
+            g.initial_device_label(mn),
+            "pmos vs nmos must partition apart"
+        );
+        let a = nl.find_net("a").unwrap();
+        let y = nl.find_net("y").unwrap();
+        // Both degree 2 => same initial partition.
+        assert_eq!(g.initial_net_label(a), g.initial_net_label(y));
+    }
+
+    #[test]
+    fn global_nets_get_fixed_name_labels() {
+        let nl = inverter(true);
+        let g = CircuitGraph::new(&nl);
+        let vdd = nl.find_net("vdd").unwrap();
+        let gnd = nl.find_net("gnd").unwrap();
+        assert!(g.is_global(vdd));
+        assert_ne!(g.initial_net_label(vdd), g.initial_net_label(gnd));
+        assert_eq!(
+            g.initial_net_label(vdd),
+            crate::hashing::global_net_label("vdd")
+        );
+    }
+
+    #[test]
+    fn contribs_respect_skip_and_symmetry() {
+        let nl = inverter(false);
+        let g = CircuitGraph::new(&nl);
+        let mp = nl.find_device("mp").unwrap();
+        let all = g.device_contribs(mp, |_| Some(5));
+        assert_eq!(all.used, 3);
+        assert_eq!(all.skipped, 0);
+        let none = g.device_contribs(mp, |_| None);
+        assert_eq!(none.used, 0);
+        assert_eq!(none.skipped, 3);
+        assert_eq!(none.sum, 0);
+    }
+
+    #[test]
+    fn source_drain_swap_leaves_contribs_unchanged() {
+        // Two inverters whose transistors list source/drain in opposite
+        // orders must accumulate identical device contributions.
+        let mk = |swap: bool| {
+            let mut nl = Netlist::new("inv");
+            let MosTypes { nmos, .. } = nl.add_mos_types();
+            let (a, y, gnd) = (nl.net("a"), nl.net("y"), nl.net("gnd"));
+            let pins = if swap { [a, y, gnd] } else { [a, gnd, y] };
+            nl.add_device("mn", nmos, &pins).unwrap();
+            nl
+        };
+        let nl1 = mk(false);
+        let nl2 = mk(true);
+        let g1 = CircuitGraph::new(&nl1);
+        let g2 = CircuitGraph::new(&nl2);
+        let d = DeviceId::new(0);
+        // Feed the same per-net labels keyed by net name.
+        let label = |nl: &Netlist, n: NetId| match nl.net_ref(n).name() {
+            "a" => Some(11),
+            "y" => Some(22),
+            "gnd" => Some(33),
+            _ => None,
+        };
+        let c1 = g1.device_contribs(d, |n| label(&nl1, n));
+        let c2 = g2.device_contribs(d, |n| label(&nl2, n));
+        assert_eq!(c1.sum, c2.sum);
+    }
+
+    #[test]
+    fn net_contribs_weighted_by_terminal_class() {
+        let nl = inverter(false);
+        let g = CircuitGraph::new(&nl);
+        let a = nl.find_net("a").unwrap(); // two gate pins
+        let y = nl.find_net("y").unwrap(); // two drain pins
+        let ca = g.net_contribs(a, |_| Some(7));
+        let cy = g.net_contribs(y, |_| Some(7));
+        // Gate class multiplier differs from source/drain class, so the
+        // sums must differ even with equal device labels.
+        assert_ne!(ca.sum, cy.sum);
+    }
+}

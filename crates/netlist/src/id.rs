@@ -1,0 +1,214 @@
+//! Typed identifiers for the entities of a [`Netlist`](crate::Netlist).
+//!
+//! All identifiers are plain `u32` indices wrapped in newtypes
+//! (C-NEWTYPE): a [`DeviceId`] can never be confused with a [`NetId`] at
+//! compile time, and [`Vertex`] tags an index with the bipartite side it
+//! belongs to.
+
+use std::fmt;
+
+/// Index of a device (transistor, resistor, composite cell, …) within a
+/// netlist.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::DeviceId;
+/// let d = DeviceId::new(3);
+/// assert_eq!(d.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(u32);
+
+/// Index of a net (wire) within a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::NetId;
+/// let n = NetId::new(0);
+/// assert_eq!(n.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(u32);
+
+/// Index of a device type within a netlist's type table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceTypeId(u32);
+
+macro_rules! impl_id {
+    ($t:ident, $tag:literal) => {
+        impl $t {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index as a `usize`, suitable for slice
+            /// indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw index as a `u32`.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$t> for usize {
+            fn from(id: $t) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+impl_id!(DeviceId, "d");
+impl_id!(NetId, "n");
+impl_id!(DeviceTypeId, "t");
+
+/// A vertex of the bipartite circuit graph: either a device or a net.
+///
+/// SubGemini's partitioning treats the two sides separately (devices are
+/// relabeled from nets and vice versa), but candidate vectors and key
+/// vertices may live on either side, so a tagged union is the natural
+/// representation.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::{DeviceId, NetId, Vertex};
+/// let v = Vertex::Device(DeviceId::new(1));
+/// assert!(v.is_device());
+/// assert_eq!(v.as_device(), Some(DeviceId::new(1)));
+/// assert_eq!(Vertex::Net(NetId::new(0)).as_device(), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Vertex {
+    /// A device vertex.
+    Device(DeviceId),
+    /// A net vertex.
+    Net(NetId),
+}
+
+impl Vertex {
+    /// Returns `true` if this vertex is on the device side.
+    #[inline]
+    pub const fn is_device(self) -> bool {
+        matches!(self, Vertex::Device(_))
+    }
+
+    /// Returns `true` if this vertex is on the net side.
+    #[inline]
+    pub const fn is_net(self) -> bool {
+        matches!(self, Vertex::Net(_))
+    }
+
+    /// Returns the device id if this is a device vertex.
+    #[inline]
+    pub const fn as_device(self) -> Option<DeviceId> {
+        match self {
+            Vertex::Device(d) => Some(d),
+            Vertex::Net(_) => None,
+        }
+    }
+
+    /// Returns the net id if this is a net vertex.
+    #[inline]
+    pub const fn as_net(self) -> Option<NetId> {
+        match self {
+            Vertex::Net(n) => Some(n),
+            Vertex::Device(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vertex::Device(d) => write!(f, "{d}"),
+            Vertex::Net(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<DeviceId> for Vertex {
+    fn from(d: DeviceId) -> Self {
+        Vertex::Device(d)
+    }
+}
+
+impl From<NetId> for Vertex {
+    fn from(n: NetId) -> Self {
+        Vertex::Net(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw_index() {
+        let d = DeviceId::new(7);
+        assert_eq!(d.index(), 7);
+        assert_eq!(d.raw(), 7);
+        assert_eq!(usize::from(d), 7);
+        let n = NetId::new(u32::MAX);
+        assert_eq!(n.raw(), u32::MAX);
+    }
+
+    #[test]
+    fn ids_order_and_format() {
+        assert!(DeviceId::new(1) < DeviceId::new(2));
+        assert_eq!(format!("{}", DeviceId::new(4)), "d4");
+        assert_eq!(format!("{:?}", NetId::new(9)), "n9");
+        assert_eq!(format!("{}", DeviceTypeId::new(0)), "t0");
+    }
+
+    #[test]
+    fn vertex_accessors() {
+        let vd: Vertex = DeviceId::new(2).into();
+        let vn: Vertex = NetId::new(3).into();
+        assert!(vd.is_device() && !vd.is_net());
+        assert!(vn.is_net() && !vn.is_device());
+        assert_eq!(vd.as_device(), Some(DeviceId::new(2)));
+        assert_eq!(vd.as_net(), None);
+        assert_eq!(vn.as_net(), Some(NetId::new(3)));
+        assert_eq!(format!("{vd}/{vn}"), "d2/n3");
+    }
+
+    #[test]
+    fn vertex_ordering_is_total() {
+        let mut vs = vec![
+            Vertex::Net(NetId::new(0)),
+            Vertex::Device(DeviceId::new(1)),
+            Vertex::Device(DeviceId::new(0)),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Vertex::Device(DeviceId::new(0)),
+                Vertex::Device(DeviceId::new(1)),
+                Vertex::Net(NetId::new(0)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Parallel-device merging: collapsing transistor fingers.
+//!
+//! Layout generators routinely split a wide transistor into several
+//! parallel *fingers* — same type, same nets on every terminal (up to
+//! terminal-class symmetry). A pattern drawn with one transistor per
+//! position would otherwise miss such instances, and the paper's Fig. 5
+//! shows exactly this shape as the canonical ambiguity. Merging
+//! parallel devices before matching is the standard normalization: it
+//! removes the ambiguity *and* makes fingered layouts match unfingered
+//! patterns.
+
+use std::collections::HashMap;
+
+use crate::id::{DeviceId, NetId};
+use crate::netlist::Netlist;
+
+/// Report of a [`merge_parallel`] run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Devices in the input.
+    pub devices_before: usize,
+    /// Devices in the output.
+    pub devices_after: usize,
+    /// Groups that actually merged (≥2 members), as
+    /// `(surviving name, absorbed names)`.
+    pub merged: Vec<(String, Vec<String>)>,
+}
+
+impl MergeReport {
+    /// Number of devices removed by merging.
+    pub fn removed(&self) -> usize {
+        self.devices_before - self.devices_after
+    }
+}
+
+/// Returns a copy of `netlist` with parallel devices merged: devices of
+/// the same type whose pins connect to the same nets through the same
+/// terminal classes (in any order within a class) collapse into the
+/// first of their group.
+///
+/// Grouping key: type name plus the class-weighted pin multiset.
+type ParallelKey = (String, Vec<(u64, NetId)>);
+
+/// Returns a copy of `netlist` with parallel devices merged (see the
+/// module docs).
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::{merge_parallel, Netlist};
+///
+/// # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+/// let mut nl = Netlist::new("fingered");
+/// let mos = nl.add_mos_types();
+/// let (g, s, d) = (nl.net("g"), nl.net("s"), nl.net("d"));
+/// nl.add_device("m1a", mos.nmos, &[g, s, d])?;
+/// nl.add_device("m1b", mos.nmos, &[g, d, s])?; // s/d swapped finger
+/// nl.add_device("m2", mos.nmos, &[s, g, d])?; // different gate: kept
+/// let (merged, report) = merge_parallel(&nl);
+/// assert_eq!(merged.device_count(), 2);
+/// assert_eq!(report.removed(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn merge_parallel(netlist: &Netlist) -> (Netlist, MergeReport) {
+    // Group devices by (type name, sorted (class multiplier, net) pins).
+    let mut groups: HashMap<ParallelKey, Vec<DeviceId>> = HashMap::new();
+    for d in netlist.device_ids() {
+        let ty = netlist.device_type_of(d);
+        let mut key_pins: Vec<(u64, NetId)> = netlist
+            .device(d)
+            .pins()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (ty.class_multiplier(i), n))
+            .collect();
+        key_pins.sort_unstable();
+        groups
+            .entry((ty.name().to_string(), key_pins))
+            .or_default()
+            .push(d);
+    }
+    let mut survivor_of: HashMap<DeviceId, DeviceId> = HashMap::new();
+    let mut report = MergeReport {
+        devices_before: netlist.device_count(),
+        ..MergeReport::default()
+    };
+    for members in groups.values() {
+        let keep = *members.iter().min().expect("groups are non-empty");
+        for &m in members {
+            survivor_of.insert(m, keep);
+        }
+        if members.len() > 1 {
+            let mut absorbed: Vec<String> = members
+                .iter()
+                .filter(|&&m| m != keep)
+                .map(|&m| netlist.device(m).name().to_string())
+                .collect();
+            absorbed.sort();
+            report
+                .merged
+                .push((netlist.device(keep).name().to_string(), absorbed));
+        }
+    }
+    report.merged.sort();
+    // Rebuild with survivors only (in original order for determinism).
+    let mut out = Netlist::new(netlist.name().to_string());
+    for ty in netlist.device_types() {
+        out.add_type(ty.clone()).expect("types are valid");
+    }
+    for d in netlist.device_ids() {
+        if survivor_of.get(&d) != Some(&d) {
+            continue;
+        }
+        let dev = netlist.device(d);
+        let pins: Vec<NetId> = dev
+            .pins()
+            .iter()
+            .map(|&n| {
+                let net = netlist.net_ref(n);
+                let id = out.net(net.name());
+                if net.is_global() {
+                    out.mark_global(id);
+                }
+                id
+            })
+            .collect();
+        out.add_device(dev.name().to_string(), dev.type_id(), &pins)
+            .expect("copying preserves validity");
+    }
+    // Carry port marks for surviving nets.
+    for &p in netlist.ports() {
+        let name = netlist.net_ref(p).name();
+        if let Some(id) = out.find_net(name) {
+            out.mark_port(id);
+        } else {
+            let id = out.net(name);
+            out.mark_port(id);
+        }
+    }
+    let out = out.compact();
+    report.devices_after = out.device_count();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_fingers_across_sd_swap() {
+        let mut nl = Netlist::new("x");
+        let mos = nl.add_mos_types();
+        let (g, s, d) = (nl.net("g"), nl.net("s"), nl.net("d"));
+        for (i, pins) in [[g, s, d], [g, d, s], [g, s, d]].iter().enumerate() {
+            nl.add_device(format!("f{i}"), mos.nmos, pins).unwrap();
+        }
+        let (merged, report) = merge_parallel(&nl);
+        assert_eq!(merged.device_count(), 1);
+        assert_eq!(report.removed(), 2);
+        assert_eq!(report.merged.len(), 1);
+        assert_eq!(report.merged[0].0, "f0");
+        assert_eq!(report.merged[0].1, vec!["f1", "f2"]);
+        merged.validate().unwrap();
+    }
+
+    #[test]
+    fn distinct_gates_do_not_merge() {
+        let mut nl = Netlist::new("x");
+        let mos = nl.add_mos_types();
+        let (g1, g2, s, d) = (nl.net("g1"), nl.net("g2"), nl.net("s"), nl.net("d"));
+        nl.add_device("a", mos.nmos, &[g1, s, d]).unwrap();
+        nl.add_device("b", mos.nmos, &[g2, s, d]).unwrap();
+        let (merged, report) = merge_parallel(&nl);
+        assert_eq!(merged.device_count(), 2);
+        assert!(report.merged.is_empty());
+    }
+
+    #[test]
+    fn gate_vs_sd_position_not_confused() {
+        // Same three nets, but one device has the gate on `s`: the
+        // class-weighted key must keep them apart.
+        let mut nl = Netlist::new("x");
+        let mos = nl.add_mos_types();
+        let (g, s, d) = (nl.net("g"), nl.net("s"), nl.net("d"));
+        nl.add_device("a", mos.nmos, &[g, s, d]).unwrap();
+        nl.add_device("b", mos.nmos, &[s, g, d]).unwrap();
+        let (merged, _) = merge_parallel(&nl);
+        assert_eq!(merged.device_count(), 2);
+    }
+
+    #[test]
+    fn different_types_do_not_merge() {
+        let mut nl = Netlist::new("x");
+        let mos = nl.add_mos_types();
+        let (g, s, d) = (nl.net("g"), nl.net("s"), nl.net("d"));
+        nl.add_device("a", mos.nmos, &[g, s, d]).unwrap();
+        nl.add_device("b", mos.pmos, &[g, s, d]).unwrap();
+        let (merged, _) = merge_parallel(&nl);
+        assert_eq!(merged.device_count(), 2);
+    }
+
+    #[test]
+    fn ports_and_globals_survive() {
+        let mut nl = Netlist::new("x");
+        let mos = nl.add_mos_types();
+        let (g, s, d) = (nl.net("g"), nl.net("vdd"), nl.net("d"));
+        nl.mark_global(s);
+        nl.mark_port(g);
+        nl.mark_port(d);
+        nl.add_device("a", mos.pmos, &[g, s, d]).unwrap();
+        nl.add_device("b", mos.pmos, &[g, s, d]).unwrap();
+        let (merged, _) = merge_parallel(&nl);
+        let vdd = merged.find_net("vdd").unwrap();
+        assert!(merged.net_ref(vdd).is_global());
+        assert_eq!(merged.ports().len(), 2);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut nl = Netlist::new("x");
+        let mos = nl.add_mos_types();
+        let (g, s, d) = (nl.net("g"), nl.net("s"), nl.net("d"));
+        nl.add_device("a", mos.nmos, &[g, s, d]).unwrap();
+        nl.add_device("b", mos.nmos, &[g, d, s]).unwrap();
+        let (m1, _) = merge_parallel(&nl);
+        let (m2, r2) = merge_parallel(&m1);
+        assert_eq!(m1.device_count(), m2.device_count());
+        assert_eq!(r2.removed(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Summary statistics over a netlist, used by reports and benches.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::netlist::Netlist;
+
+/// Aggregate counts describing a [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::{Netlist, NetlistStats};
+///
+/// # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+/// let mut nl = Netlist::new("inv");
+/// let mos = nl.add_mos_types();
+/// let (a, y, vdd, gnd) = (nl.net("a"), nl.net("y"), nl.net("vdd"), nl.net("gnd"));
+/// nl.add_device("mp", mos.pmos, &[a, vdd, y])?;
+/// nl.add_device("mn", mos.nmos, &[a, gnd, y])?;
+/// let stats = NetlistStats::of(&nl);
+/// assert_eq!(stats.devices, 2);
+/// assert_eq!(stats.devices_by_type["nmos"], 1);
+/// assert_eq!(stats.max_net_degree, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total device count.
+    pub devices: usize,
+    /// Total net count.
+    pub nets: usize,
+    /// Total pin (edge) count.
+    pub pins: usize,
+    /// Port net count.
+    pub ports: usize,
+    /// Global (special) net count.
+    pub globals: usize,
+    /// Device counts keyed by type name (sorted for stable display).
+    pub devices_by_type: BTreeMap<String, usize>,
+    /// Largest net degree.
+    pub max_net_degree: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut devices_by_type = BTreeMap::new();
+        for d in netlist.device_ids() {
+            *devices_by_type
+                .entry(netlist.device_type_of(d).name().to_string())
+                .or_insert(0) += 1;
+        }
+        let mut max_net_degree = 0;
+        let mut globals = 0;
+        for n in netlist.net_ids() {
+            let net = netlist.net_ref(n);
+            max_net_degree = max_net_degree.max(net.degree());
+            if net.is_global() {
+                globals += 1;
+            }
+        }
+        Self {
+            devices: netlist.device_count(),
+            nets: netlist.net_count(),
+            pins: netlist.pin_count(),
+            ports: netlist.ports().len(),
+            globals,
+            devices_by_type,
+            max_net_degree,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} devices / {} nets / {} pins (ports {}, globals {}, max degree {})",
+            self.devices, self.nets, self.pins, self.ports, self.globals, self.max_net_degree
+        )?;
+        for (ty, n) in &self.devices_by_type {
+            write!(f, "\n  {ty}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_netlist() {
+        let nl = Netlist::new("empty");
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s, NetlistStats::default());
+        assert!(s.to_string().contains("0 devices"));
+    }
+
+    #[test]
+    fn stats_count_by_type_and_degree() {
+        let mut nl = Netlist::new("x");
+        let mos = nl.add_mos_types();
+        let shared = nl.net("shared");
+        let other = nl.net("other");
+        nl.mark_global(shared);
+        for i in 0..3 {
+            nl.add_device(format!("m{i}"), mos.nmos, &[shared, shared, other])
+                .unwrap();
+        }
+        nl.add_device("p0", mos.pmos, &[other, other, other])
+            .unwrap();
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.devices, 4);
+        assert_eq!(s.devices_by_type["nmos"], 3);
+        assert_eq!(s.devices_by_type["pmos"], 1);
+        assert_eq!(s.pins, 12);
+        assert_eq!(s.globals, 1);
+        assert_eq!(s.max_net_degree, 6);
+        assert!(s.to_string().contains("nmos: 3"));
+    }
+}

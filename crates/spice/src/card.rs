@@ -1,0 +1,135 @@
+//! Parsed card (statement) model for the supported SPICE subset.
+
+/// One parsed element card.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Card {
+    /// `Mname d g s [b] model ...` — MOS transistor. The optional bulk
+    /// node is parsed and discarded (the circuit model uses 3-terminal
+    /// MOS devices; see DESIGN.md).
+    Mos {
+        /// Instance name (including the `M` prefix).
+        name: String,
+        /// Drain net.
+        drain: String,
+        /// Gate net.
+        gate: String,
+        /// Source net.
+        source: String,
+        /// Model name; decides `nmos` vs `pmos`.
+        model: String,
+    },
+    /// `Rname a b ...` / `Cname a b ...` / `Lname a b ...` — symmetric
+    /// two-terminal element.
+    TwoTerminal {
+        /// Instance name.
+        name: String,
+        /// Device type name (`res`, `cap`, `ind`).
+        kind: &'static str,
+        /// First net.
+        a: String,
+        /// Second net.
+        b: String,
+    },
+    /// `Dname p n ...` — diode (polarized two-terminal).
+    Diode {
+        /// Instance name.
+        name: String,
+        /// Anode net.
+        p: String,
+        /// Cathode net.
+        n: String,
+        /// Model name (becomes part of the device type: `diode:<model>`;
+        /// empty model yields plain `diode`).
+        model: String,
+    },
+    /// `Qname c b e [s] model` — bipolar transistor.
+    Bjt {
+        /// Instance name.
+        name: String,
+        /// Collector net.
+        c: String,
+        /// Base net.
+        b: String,
+        /// Emitter net.
+        e: String,
+        /// Model name; decides the type (`npn`/`pnp` by leading letter).
+        model: String,
+    },
+    /// `Xname n1 n2 ... subckt` — subcircuit instance.
+    Instance {
+        /// Instance name (including the `X` prefix).
+        name: String,
+        /// Connection nets, in the subcircuit's port order.
+        nets: Vec<String>,
+        /// Referenced subcircuit name.
+        subckt: String,
+    },
+}
+
+impl Card {
+    /// The instance name of the card.
+    pub fn name(&self) -> &str {
+        match self {
+            Card::Mos { name, .. }
+            | Card::TwoTerminal { name, .. }
+            | Card::Diode { name, .. }
+            | Card::Bjt { name, .. }
+            | Card::Instance { name, .. } => name,
+        }
+    }
+}
+
+/// A `.subckt` definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubcktDef {
+    /// The subcircuit name (lowercased).
+    pub name: String,
+    /// Port nets in declaration order.
+    pub ports: Vec<String>,
+    /// Body cards.
+    pub cards: Vec<Card>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_name_accessor_covers_all_variants() {
+        let cards = [
+            Card::Mos {
+                name: "m1".into(),
+                drain: "d".into(),
+                gate: "g".into(),
+                source: "s".into(),
+                model: "nch".into(),
+            },
+            Card::TwoTerminal {
+                name: "r1".into(),
+                kind: "res",
+                a: "a".into(),
+                b: "b".into(),
+            },
+            Card::Diode {
+                name: "d1".into(),
+                p: "p".into(),
+                n: "n".into(),
+                model: String::new(),
+            },
+            Card::Bjt {
+                name: "q1".into(),
+                c: "c".into(),
+                b: "b".into(),
+                e: "e".into(),
+                model: "npn".into(),
+            },
+            Card::Instance {
+                name: "x1".into(),
+                nets: vec!["a".into()],
+                subckt: "inv".into(),
+            },
+        ];
+        let names: Vec<&str> = cards.iter().map(Card::name).collect();
+        assert_eq!(names, vec!["m1", "r1", "d1", "q1", "x1"]);
+    }
+}

@@ -1,0 +1,360 @@
+//! Elaboration: turning a parsed [`SpiceDoc`] into [`Netlist`]s.
+
+use std::collections::{HashMap, HashSet};
+
+use subgemini_netlist::{instantiate, DeviceType, Netlist, TerminalSpec};
+
+use crate::card::{Card, SubcktDef};
+use crate::error::SpiceError;
+use crate::parse::SpiceDoc;
+
+/// Elaboration options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElaborateOptions {
+    /// If `true` (default), `X` instances are flattened recursively down
+    /// to primitive devices. If `false`, each `X` instance becomes a
+    /// composite device whose type is the subcircuit name and whose
+    /// terminals are its ports (each port its own equivalence class).
+    pub flatten: bool,
+    /// Additional net names treated as global even without `.global`
+    /// (defaults: `vdd`, `vss`, `gnd`, `vcc`, `0`).
+    pub implicit_globals: Vec<String>,
+}
+
+impl Default for ElaborateOptions {
+    fn default() -> Self {
+        Self {
+            flatten: true,
+            implicit_globals: ["vdd", "vss", "gnd", "vcc", "0"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+impl ElaborateOptions {
+    /// Hierarchical (non-flattening) elaboration.
+    pub fn hierarchical() -> Self {
+        Self {
+            flatten: false,
+            ..Self::default()
+        }
+    }
+}
+
+struct Elaborator<'a> {
+    subckts: HashMap<&'a str, &'a SubcktDef>,
+    opts: &'a ElaborateOptions,
+    globals: HashSet<String>,
+    /// Memoized fully-elaborated cell netlists (flatten mode).
+    cells: HashMap<String, Netlist>,
+    /// Cycle-detection stack.
+    visiting: Vec<String>,
+}
+
+impl<'a> Elaborator<'a> {
+    fn new(doc: &'a SpiceDoc, opts: &'a ElaborateOptions) -> Self {
+        let mut globals: HashSet<String> =
+            doc.globals.iter().map(|s| s.to_ascii_lowercase()).collect();
+        globals.extend(opts.implicit_globals.iter().map(|s| s.to_ascii_lowercase()));
+        Self {
+            subckts: doc.subckt_index(),
+            opts,
+            globals,
+            cells: HashMap::new(),
+            visiting: Vec::new(),
+        }
+    }
+
+    fn is_global(&self, net: &str) -> bool {
+        self.globals.contains(net)
+    }
+
+    fn mos_type_name(model: &str) -> &'static str {
+        if model.starts_with('p') {
+            "pmos"
+        } else {
+            "nmos"
+        }
+    }
+
+    fn bjt_type_name(model: &str) -> &'static str {
+        if model.starts_with('p') {
+            "pnp"
+        } else {
+            "npn"
+        }
+    }
+
+    fn add_card(&mut self, nl: &mut Netlist, card: &Card) -> Result<(), SpiceError> {
+        match card {
+            Card::Mos {
+                name,
+                drain,
+                gate,
+                source,
+                model,
+            } => {
+                let ty = nl.add_type(DeviceType::mos(Self::mos_type_name(model)))?;
+                let pins = [
+                    self.net(nl, gate),
+                    self.net(nl, source),
+                    self.net(nl, drain),
+                ];
+                nl.add_device(name.clone(), ty, &pins)?;
+            }
+            Card::TwoTerminal { name, kind, a, b } => {
+                let ty = nl.add_type(DeviceType::two_terminal(*kind))?;
+                let pins = [self.net(nl, a), self.net(nl, b)];
+                nl.add_device(name.clone(), ty, &pins)?;
+            }
+            Card::Diode { name, p, n, model } => {
+                let tyname = if model.is_empty() {
+                    "diode".to_string()
+                } else {
+                    format!("diode:{model}")
+                };
+                let ty = nl.add_type(DeviceType::polarized(tyname))?;
+                let pins = [self.net(nl, p), self.net(nl, n)];
+                nl.add_device(name.clone(), ty, &pins)?;
+            }
+            Card::Bjt {
+                name,
+                c,
+                b,
+                e,
+                model,
+                ..
+            } => {
+                let ty = nl.add_type(DeviceType::bjt(Self::bjt_type_name(model)))?;
+                let pins = [self.net(nl, c), self.net(nl, b), self.net(nl, e)];
+                nl.add_device(name.clone(), ty, &pins)?;
+            }
+            Card::Instance { name, nets, subckt } => {
+                if self.opts.flatten {
+                    let cell = self.cell(subckt)?.clone();
+                    let bindings: Vec<_> = nets.iter().map(|n| self.net(nl, n)).collect();
+                    instantiate(nl, &cell, name, &bindings)?;
+                } else {
+                    let def = *self.subckts.get(subckt.as_str()).ok_or_else(|| {
+                        SpiceError::UnknownSubckt {
+                            name: subckt.clone(),
+                        }
+                    })?;
+                    let terms = def
+                        .ports
+                        .iter()
+                        .map(|p| TerminalSpec::new(p.clone(), p.clone()))
+                        .collect();
+                    let ty = nl.add_type(
+                        DeviceType::try_new(def.name.clone(), terms)
+                            .map_err(|detail| SpiceError::Parse { line: 0, detail })?,
+                    )?;
+                    if nets.len() != def.ports.len() {
+                        return Err(SpiceError::Parse {
+                            line: 0,
+                            detail: format!(
+                                "instance `{name}` has {} nets, subckt `{}` has {} ports",
+                                nets.len(),
+                                def.name,
+                                def.ports.len()
+                            ),
+                        });
+                    }
+                    let pins: Vec<_> = nets.iter().map(|n| self.net(nl, n)).collect();
+                    nl.add_device(name.clone(), ty, &pins)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn net(&self, nl: &mut Netlist, name: &str) -> subgemini_netlist::NetId {
+        let id = nl.net(name);
+        if self.is_global(name) {
+            nl.mark_global(id);
+        }
+        id
+    }
+
+    /// Fully elaborates a subcircuit into a cell netlist (ports marked,
+    /// memoized).
+    fn cell(&mut self, name: &str) -> Result<&Netlist, SpiceError> {
+        let name = name.to_ascii_lowercase();
+        if self.cells.contains_key(&name) {
+            return Ok(&self.cells[&name]);
+        }
+        if self.visiting.contains(&name) {
+            return Err(SpiceError::RecursiveSubckt { name });
+        }
+        let def = *self
+            .subckts
+            .get(name.as_str())
+            .ok_or_else(|| SpiceError::UnknownSubckt { name: name.clone() })?;
+        self.visiting.push(name.clone());
+        let mut nl = Netlist::new(def.name.clone());
+        for p in &def.ports {
+            let id = self.net(&mut nl, p);
+            nl.mark_port(id);
+        }
+        for card in &def.cards {
+            self.add_card(&mut nl, card)?;
+        }
+        self.visiting.pop();
+        self.cells.insert(name.clone(), nl);
+        Ok(&self.cells[&name])
+    }
+}
+
+impl SpiceDoc {
+    /// Elaborates the top-level cards into a netlist named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown/recursive subcircuits or netlist construction
+    /// problems.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let doc = subgemini_spice::parse(
+    ///     ".subckt inv a y\nMp y a vdd vdd p\nMn y a gnd gnd n\n.ends\n\
+    ///      Xu1 in mid inv\nXu2 mid out inv\n",
+    /// )?;
+    /// let nl = doc.elaborate_top("buf", &Default::default())?;
+    /// assert_eq!(nl.device_count(), 4);
+    /// # Ok::<(), subgemini_spice::SpiceError>(())
+    /// ```
+    pub fn elaborate_top(
+        &self,
+        name: &str,
+        opts: &ElaborateOptions,
+    ) -> Result<Netlist, SpiceError> {
+        let mut el = Elaborator::new(self, opts);
+        let mut nl = Netlist::new(name);
+        for card in &self.top {
+            el.add_card(&mut nl, card)?;
+        }
+        Ok(nl)
+    }
+
+    /// Elaborates the subcircuit `name` into a standalone cell netlist
+    /// with its ports marked — the natural way to obtain a SubGemini
+    /// *pattern*.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownCell`] if no such subcircuit exists,
+    /// otherwise as [`SpiceDoc::elaborate_top`].
+    pub fn elaborate_cell(
+        &self,
+        name: &str,
+        opts: &ElaborateOptions,
+    ) -> Result<Netlist, SpiceError> {
+        if self.subckt(name).is_none() {
+            return Err(SpiceError::UnknownCell {
+                name: name.to_string(),
+            });
+        }
+        let mut el = Elaborator::new(self, opts);
+        el.cell(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const DECK: &str = "\
+.global vdd gnd
+.subckt inv a y
+Mp y a vdd vdd pch
+Mn y a gnd gnd nch
+.ends
+.subckt buf a y
+Xi1 a m inv
+Xi2 m y inv
+.ends
+Xu1 in out buf
+R1 out 0 10k
+";
+
+    #[test]
+    fn flatten_recurses_through_hierarchy() {
+        let doc = parse(DECK).unwrap();
+        let nl = doc
+            .elaborate_top("chip", &ElaborateOptions::default())
+            .unwrap();
+        assert_eq!(nl.device_count(), 5); // 4 MOS + 1 R
+        assert!(nl.find_device("xu1.xi1.mp").is_some());
+        assert!(nl.find_net("xu1.m").is_some());
+        let vdd = nl.find_net("vdd").unwrap();
+        assert!(nl.net_ref(vdd).is_global());
+        assert_eq!(nl.net_ref(vdd).degree(), 2);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn hierarchical_mode_keeps_composites() {
+        let doc = parse(DECK).unwrap();
+        let nl = doc
+            .elaborate_top("chip", &ElaborateOptions::hierarchical())
+            .unwrap();
+        assert_eq!(nl.device_count(), 2); // Xu1 composite + R1
+        let x = nl.find_device("xu1").unwrap();
+        assert_eq!(nl.device_type_of(x).name(), "buf");
+        assert_eq!(nl.device_type_of(x).terminal_count(), 2);
+    }
+
+    #[test]
+    fn elaborate_cell_marks_ports() {
+        let doc = parse(DECK).unwrap();
+        let inv = doc
+            .elaborate_cell("inv", &ElaborateOptions::default())
+            .unwrap();
+        assert_eq!(inv.device_count(), 2);
+        assert_eq!(inv.ports().len(), 2);
+        assert_eq!(inv.net_ref(inv.ports()[0]).name(), "a");
+        // Globals inside the cell are marked.
+        assert!(inv.net_ref(inv.find_net("vdd").unwrap()).is_global());
+    }
+
+    #[test]
+    fn unknown_subckt_reported() {
+        let doc = parse("Xu1 a b nosuch\n").unwrap();
+        let err = doc
+            .elaborate_top("chip", &ElaborateOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SpiceError::UnknownSubckt { name } if name == "nosuch"));
+    }
+
+    #[test]
+    fn recursive_subckt_reported() {
+        let doc = parse(".subckt a x\nXq x a\n.ends\nXu1 n a\n").unwrap();
+        let err = doc
+            .elaborate_top("chip", &ElaborateOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SpiceError::RecursiveSubckt { .. }));
+    }
+
+    #[test]
+    fn unknown_cell_reported() {
+        let doc = parse(DECK).unwrap();
+        let err = doc
+            .elaborate_cell("nand9", &ElaborateOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SpiceError::UnknownCell { .. }));
+    }
+
+    #[test]
+    fn net_zero_is_global_by_default() {
+        let doc = parse("R1 a 0 1k\n").unwrap();
+        let nl = doc
+            .elaborate_top("t", &ElaborateOptions::default())
+            .unwrap();
+        let zero = nl.find_net("0").unwrap();
+        assert!(nl.net_ref(zero).is_global());
+    }
+}

@@ -1,0 +1,158 @@
+//! Filesystem front end: parsing decks with `.include` resolution.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use crate::error::SpiceError;
+use crate::parse::{parse, SpiceDoc};
+
+/// Reads a deck from disk, textually splicing `.include "file"` /
+/// `.inc` / `.lib` directives (paths resolve relative to the including
+/// file), then parses the result.
+///
+/// # Errors
+///
+/// * I/O failures are reported as [`SpiceError::Parse`] with the path
+///   in the message.
+/// * Circular includes are detected and rejected.
+/// * Everything [`parse`] rejects.
+///
+/// # Examples
+///
+/// ```no_run
+/// let doc = subgemini_spice::parse_file("designs/chip.sp")?;
+/// println!("{} subcircuits", doc.subckts.len());
+/// # Ok::<(), subgemini_spice::SpiceError>(())
+/// ```
+pub fn parse_file(path: impl AsRef<Path>) -> Result<SpiceDoc, SpiceError> {
+    let mut visiting = HashSet::new();
+    let text = splice(path.as_ref(), &mut visiting)?;
+    parse(&text)
+}
+
+fn io_err(path: &Path, e: impl std::fmt::Display) -> SpiceError {
+    SpiceError::Parse {
+        line: 0,
+        detail: format!("{}: {e}", path.display()),
+    }
+}
+
+fn splice(path: &Path, visiting: &mut HashSet<PathBuf>) -> Result<String, SpiceError> {
+    let canonical = path.canonicalize().map_err(|e| io_err(path, e))?;
+    if !visiting.insert(canonical.clone()) {
+        return Err(SpiceError::Parse {
+            line: 0,
+            detail: format!("circular include of {}", path.display()),
+        });
+    }
+    let text = std::fs::read_to_string(&canonical).map_err(|e| io_err(path, e))?;
+    let base = canonical
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        let lower = trimmed.to_ascii_lowercase();
+        let is_include = lower.starts_with(".include")
+            || lower.starts_with(".inc ")
+            || lower.starts_with(".lib ");
+        if is_include {
+            let arg = trimmed
+                .split_whitespace()
+                .nth(1)
+                .ok_or_else(|| SpiceError::Parse {
+                    line: i + 1,
+                    detail: format!("{}: .include needs a path", path.display()),
+                })?
+                .trim_matches(['"', '\'']);
+            let child = base.join(arg);
+            out.push_str(&splice(&child, visiting)?);
+            out.push('\n');
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    visiting.remove(&canonical);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spice_inc_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn includes_are_spliced_relative_to_includer() {
+        let dir = scratch("basic");
+        fs::create_dir_all(dir.join("lib")).unwrap();
+        fs::write(
+            dir.join("lib/cells.sp"),
+            ".subckt inv a y\nmp y a vdd vdd pmos\nmn y a gnd gnd nmos\n.ends\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("top.sp"),
+            "* top\n.include \"lib/cells.sp\"\nXu1 in out inv\n",
+        )
+        .unwrap();
+        let doc = parse_file(dir.join("top.sp")).unwrap();
+        assert_eq!(doc.subckts.len(), 1);
+        assert_eq!(doc.top.len(), 1);
+    }
+
+    #[test]
+    fn nested_includes_work() {
+        let dir = scratch("nested");
+        fs::write(dir.join("c.sp"), "R3 a b 1\n").unwrap();
+        fs::write(dir.join("b.sp"), "R2 a b 1\n.include c.sp\n").unwrap();
+        fs::write(dir.join("a.sp"), "R1 a b 1\n.include b.sp\n").unwrap();
+        let doc = parse_file(dir.join("a.sp")).unwrap();
+        assert_eq!(doc.top.len(), 3);
+    }
+
+    #[test]
+    fn circular_include_detected() {
+        let dir = scratch("circular");
+        fs::write(dir.join("x.sp"), ".include y.sp\n").unwrap();
+        fs::write(dir.join("y.sp"), ".include x.sp\n").unwrap();
+        let err = parse_file(dir.join("x.sp")).unwrap_err();
+        assert!(err.to_string().contains("circular"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_reported_with_path() {
+        let dir = scratch("missing");
+        fs::write(dir.join("top.sp"), ".include nope.sp\n").unwrap();
+        let err = parse_file(dir.join("top.sp")).unwrap_err();
+        assert!(err.to_string().contains("nope.sp"), "{err}");
+    }
+
+    #[test]
+    fn diamond_includes_are_allowed() {
+        // a includes b and c; both include d. Not circular.
+        let dir = scratch("diamond");
+        fs::write(dir.join("d.sp"), "R9 x y 1\n").unwrap();
+        fs::write(dir.join("b.sp"), ".include d.sp\n").unwrap();
+        fs::write(dir.join("c.sp"), ".include d.sp\n").unwrap();
+        fs::write(dir.join("a.sp"), ".include b.sp\n.include c.sp\n").unwrap();
+        let doc = parse_file(dir.join("a.sp"));
+        // R9 appears twice -> duplicate device name error from
+        // elaboration would come later; parsing itself must succeed.
+        assert!(doc.is_ok(), "{doc:?}");
+    }
+
+    #[test]
+    fn inline_parse_rejects_unresolved_includes() {
+        let err = parse(".include foo.sp\n").unwrap_err();
+        assert!(err.to_string().contains("parse_file"), "{err}");
+    }
+}

@@ -1,0 +1,414 @@
+//! Elaboration: turning parsed Verilog into [`Netlist`]s.
+
+use std::collections::{HashMap, HashSet};
+
+use subgemini_netlist::{instantiate, DeviceType, NetId, Netlist, TerminalSpec};
+
+use crate::ast::{is_primitive, Conns, Instance, Module, Source};
+use crate::error::VerilogError;
+
+/// Elaboration options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerilogOptions {
+    /// Flatten module instances recursively (default) or keep them as
+    /// composite devices.
+    pub flatten: bool,
+    /// Net names treated as global even without `supply0`/`supply1`
+    /// declarations.
+    pub implicit_globals: Vec<String>,
+}
+
+impl Default for VerilogOptions {
+    fn default() -> Self {
+        Self {
+            flatten: true,
+            implicit_globals: ["vdd", "vss", "gnd", "vcc"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+impl VerilogOptions {
+    /// Hierarchical (non-flattening) elaboration.
+    pub fn hierarchical() -> Self {
+        Self {
+            flatten: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The device type for a gate primitive of the given input arity:
+/// output terminal `y` in its own class, inputs `i1…iN` in a shared
+/// class (primitive gate inputs are interchangeable).
+pub fn primitive_type(gate: &str, inputs: usize) -> DeviceType {
+    let name = match gate {
+        "not" | "buf" => format!("${gate}"),
+        _ => format!("${gate}{inputs}"),
+    };
+    let mut terms = vec![TerminalSpec::new("y", "y")];
+    for i in 1..=inputs {
+        terms.push(TerminalSpec::new(format!("i{i}"), "i"));
+    }
+    DeviceType::new(name, terms)
+}
+
+struct Elaborator<'a> {
+    src: &'a Source,
+    opts: &'a VerilogOptions,
+    cells: HashMap<String, Netlist>,
+    visiting: Vec<String>,
+}
+
+impl<'a> Elaborator<'a> {
+    fn new(src: &'a Source, opts: &'a VerilogOptions) -> Self {
+        Self {
+            src,
+            opts,
+            cells: HashMap::new(),
+            visiting: Vec::new(),
+        }
+    }
+
+    fn build(&mut self, m: &Module) -> Result<Netlist, VerilogError> {
+        let mut nl = Netlist::new(m.name.clone());
+        let globals: HashSet<&str> = m
+            .supply0
+            .iter()
+            .chain(m.supply1.iter())
+            .map(String::as_str)
+            .chain(self.opts.implicit_globals.iter().map(String::as_str))
+            .collect();
+        let net = |nl: &mut Netlist, name: &str| -> NetId {
+            let id = nl.net(name);
+            if globals.contains(name) {
+                nl.mark_global(id);
+            }
+            id
+        };
+        for p in &m.ports {
+            let id = net(&mut nl, p);
+            nl.mark_port(id);
+        }
+        for w in &m.wires {
+            net(&mut nl, w);
+        }
+        for s in m.supply0.iter().chain(m.supply1.iter()) {
+            net(&mut nl, s);
+        }
+        for inst in &m.instances {
+            self.add_instance(&mut nl, m, inst, &globals)?;
+        }
+        // Wires may be declared but unused; match the SPICE pipeline's
+        // normalization and drop them.
+        Ok(nl.compact())
+    }
+
+    fn add_instance(
+        &mut self,
+        nl: &mut Netlist,
+        parent: &Module,
+        inst: &Instance,
+        globals: &HashSet<&str>,
+    ) -> Result<(), VerilogError> {
+        let resolve = |nl: &mut Netlist, name: &str| -> NetId {
+            let id = nl.net(name);
+            if globals.contains(name) {
+                nl.mark_global(id);
+            }
+            id
+        };
+        if is_primitive(&inst.module) {
+            let Conns::Positional(nets) = &inst.conns else {
+                return Err(VerilogError::Parse {
+                    line: inst.line,
+                    detail: format!(
+                        "gate primitive `{}` requires positional connections",
+                        inst.module
+                    ),
+                });
+            };
+            let min = if matches!(inst.module.as_str(), "not" | "buf") {
+                2
+            } else {
+                3
+            };
+            if nets.len() < min {
+                return Err(VerilogError::PortCountMismatch {
+                    instance: inst.name.clone(),
+                    expected: min,
+                    got: nets.len(),
+                });
+            }
+            if matches!(inst.module.as_str(), "not" | "buf") && nets.len() != 2 {
+                return Err(VerilogError::PortCountMismatch {
+                    instance: inst.name.clone(),
+                    expected: 2,
+                    got: nets.len(),
+                });
+            }
+            let ty = nl.add_type(primitive_type(&inst.module, nets.len() - 1))?;
+            let pins: Vec<NetId> = nets.iter().map(|n| resolve(nl, n)).collect();
+            nl.add_device(inst.name.clone(), ty, &pins)?;
+            return Ok(());
+        }
+        let Some(def) = self.src.module(&inst.module) else {
+            // Unknown module: with *named* connections we can still
+            // synthesize a composite device type from the port names —
+            // this lets a single gate-level module (as written by
+            // [`write_module`](crate::write_module)) stand alone
+            // without leaf definitions.
+            if let Conns::Named(pairs) = &inst.conns {
+                let terms: Vec<TerminalSpec> = pairs
+                    .iter()
+                    .map(|(p, _)| TerminalSpec::new(p.clone(), p.clone()))
+                    .collect();
+                let ty = nl.add_type(DeviceType::try_new(inst.module.clone(), terms).map_err(
+                    |detail| VerilogError::Parse {
+                        line: inst.line,
+                        detail,
+                    },
+                )?)?;
+                let pins: Vec<NetId> = pairs.iter().map(|(_, n)| resolve(nl, n)).collect();
+                nl.add_device(inst.name.clone(), ty, &pins)?;
+                return Ok(());
+            }
+            return Err(VerilogError::UnknownModule {
+                name: inst.module.clone(),
+            });
+        };
+        // Order the connection nets by the module's port order.
+        let ordered: Vec<String> = match &inst.conns {
+            Conns::Positional(nets) => {
+                if nets.len() != def.ports.len() {
+                    return Err(VerilogError::PortCountMismatch {
+                        instance: inst.name.clone(),
+                        expected: def.ports.len(),
+                        got: nets.len(),
+                    });
+                }
+                nets.clone()
+            }
+            Conns::Named(pairs) => {
+                let map: HashMap<&str, &str> = pairs
+                    .iter()
+                    .map(|(p, n)| (p.as_str(), n.as_str()))
+                    .collect();
+                for (p, _) in pairs {
+                    if !def.ports.contains(p) {
+                        return Err(VerilogError::UnknownPort {
+                            instance: inst.name.clone(),
+                            port: p.clone(),
+                        });
+                    }
+                }
+                if map.len() != def.ports.len() {
+                    return Err(VerilogError::PortCountMismatch {
+                        instance: inst.name.clone(),
+                        expected: def.ports.len(),
+                        got: map.len(),
+                    });
+                }
+                def.ports
+                    .iter()
+                    .map(|p| map[p.as_str()].to_string())
+                    .collect()
+            }
+        };
+        if self.opts.flatten {
+            let cell = self.cell(&inst.module)?.clone();
+            let bindings: Vec<NetId> = ordered.iter().map(|n| resolve(nl, n)).collect();
+            instantiate(nl, &cell, &inst.name, &bindings)?;
+        } else {
+            let terms: Vec<TerminalSpec> = def
+                .ports
+                .iter()
+                .map(|p| TerminalSpec::new(p.clone(), p.clone()))
+                .collect();
+            let ty = nl.add_type(DeviceType::try_new(def.name.clone(), terms).map_err(
+                |detail| VerilogError::Parse {
+                    line: inst.line,
+                    detail,
+                },
+            )?)?;
+            let pins: Vec<NetId> = ordered.iter().map(|n| resolve(nl, n)).collect();
+            nl.add_device(inst.name.clone(), ty, &pins)?;
+        }
+        let _ = parent;
+        Ok(())
+    }
+
+    fn cell(&mut self, name: &str) -> Result<&Netlist, VerilogError> {
+        if self.cells.contains_key(name) {
+            return Ok(&self.cells[name]);
+        }
+        if self.visiting.iter().any(|v| v == name) {
+            return Err(VerilogError::RecursiveModule {
+                name: name.to_string(),
+            });
+        }
+        let Some(def) = self.src.module(name) else {
+            return Err(VerilogError::UnknownModule {
+                name: name.to_string(),
+            });
+        };
+        self.visiting.push(name.to_string());
+        let built = self.build(&def.clone())?;
+        self.visiting.pop();
+        self.cells.insert(name.to_string(), built);
+        Ok(&self.cells[name])
+    }
+}
+
+impl Source {
+    /// Elaborates the named module (or the inferred top when `name` is
+    /// `None`) into a flat or hierarchical netlist.
+    ///
+    /// # Errors
+    ///
+    /// Unknown/recursive modules, port mismatches, netlist errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use subgemini_verilog::{parse, VerilogOptions};
+    ///
+    /// let src = parse(
+    ///     "module top(input a, output y);\n\
+    ///        wire w;\n\
+    ///        nand g1(w, a, a);\n\
+    ///        not g2(y, w);\n\
+    ///      endmodule\n",
+    /// )?;
+    /// let nl = src.elaborate(None, &VerilogOptions::default())?;
+    /// assert_eq!(nl.device_count(), 2);
+    /// # Ok::<(), subgemini_verilog::VerilogError>(())
+    /// ```
+    pub fn elaborate(
+        &self,
+        name: Option<&str>,
+        opts: &VerilogOptions,
+    ) -> Result<Netlist, VerilogError> {
+        let module = match name {
+            Some(n) => self.module(n).ok_or_else(|| VerilogError::UnknownTop {
+                name: n.to_string(),
+            })?,
+            None => self.infer_top().ok_or_else(|| VerilogError::UnknownTop {
+                name: "<inferred top>".to_string(),
+            })?,
+        };
+        let mut el = Elaborator::new(self, opts);
+        el.build(module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const SRC: &str = "\
+module inv(input a, output y);
+  supply1 vdd;
+  supply0 gnd;
+  not g(y, a);
+endmodule
+module top(input a, b, output y);
+  wire w1, w2;
+  nand g1(w1, a, b);
+  inv u1(.a(w1), .y(w2));
+  inv u2(w2, y);
+endmodule
+";
+
+    #[test]
+    fn flatten_resolves_hierarchy_and_primitives() {
+        let src = parse(SRC).unwrap();
+        let nl = src.elaborate(None, &VerilogOptions::default()).unwrap();
+        assert_eq!(nl.name(), "top");
+        assert_eq!(nl.device_count(), 3); // nand + 2 flattened not-gates
+        assert!(nl.find_device("u1.g").is_some());
+        let stats = subgemini_netlist::NetlistStats::of(&nl);
+        assert_eq!(stats.devices_by_type["$nand2"], 1);
+        assert_eq!(stats.devices_by_type["$not"], 2);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn hierarchical_keeps_composites() {
+        let src = parse(SRC).unwrap();
+        let nl = src
+            .elaborate(Some("top"), &VerilogOptions::hierarchical())
+            .unwrap();
+        assert_eq!(nl.device_count(), 3); // nand primitive + 2 inv composites
+        let u1 = nl.find_device("u1").unwrap();
+        assert_eq!(nl.device_type_of(u1).name(), "inv");
+    }
+
+    #[test]
+    fn primitive_inputs_share_a_class() {
+        let ty = primitive_type("nand", 3);
+        assert_eq!(ty.name(), "$nand3");
+        assert_eq!(ty.terminal_count(), 4);
+        assert!(!ty.same_class(0, 1));
+        assert!(ty.same_class(1, 2) && ty.same_class(2, 3));
+    }
+
+    #[test]
+    fn named_connection_errors() {
+        let src = parse(
+            "module inv(input a, output y);\nnot g(y, a);\nendmodule\n\
+             module top(input x, output z);\ninv u(.bogus(x), .y(z));\nendmodule\n",
+        )
+        .unwrap();
+        let err = src
+            .elaborate(Some("top"), &VerilogOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, VerilogError::UnknownPort { .. }));
+    }
+
+    #[test]
+    fn positional_count_checked() {
+        let src = parse(
+            "module inv(input a, output y);\nnot g(y, a);\nendmodule\n\
+             module top(input x);\ninv u(x);\nendmodule\n",
+        )
+        .unwrap();
+        let err = src
+            .elaborate(Some("top"), &VerilogOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, VerilogError::PortCountMismatch { .. }));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let src = parse(
+            "module a(input x);\nb u(x);\nendmodule\nmodule b(input x);\na u(x);\nendmodule\n\
+             module top(input x);\na u(x);\nendmodule\n",
+        )
+        .unwrap();
+        let err = src
+            .elaborate(Some("top"), &VerilogOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, VerilogError::RecursiveModule { .. }));
+    }
+
+    #[test]
+    fn supplies_become_globals() {
+        let src = parse(SRC).unwrap();
+        let inv = src
+            .elaborate(Some("inv"), &VerilogOptions::default())
+            .unwrap();
+        // not-gate doesn't touch the rails, so compact() drops them; but
+        // an instance netlist that *uses* them keeps the global flag.
+        assert!(inv.find_net("vdd").is_none());
+        let src2 =
+            parse("module m(input a, output y);\nsupply0 gnd;\nnand g(y, a, gnd);\nendmodule\n")
+                .unwrap();
+        let m = src2.elaborate(None, &VerilogOptions::default()).unwrap();
+        let gnd = m.find_net("gnd").unwrap();
+        assert!(m.net_ref(gnd).is_global());
+    }
+}

@@ -1,0 +1,168 @@
+//! Tokenizer for the structural Verilog subset.
+
+use crate::error::VerilogError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character: `( ) ; , . =`.
+    Sym(char),
+}
+
+/// A token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Tokenizes `src`, skipping whitespace, `//` and `/* */` comments, and
+/// compiler directives (backtick to end of line).
+///
+/// # Errors
+///
+/// Rejects characters outside the structural subset (notably `[`, which
+/// would start a vector range).
+pub fn lex(src: &str) -> Result<Vec<Token>, VerilogError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            '`' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ';' | ',' | '.' | '=' => {
+                out.push(Token {
+                    tok: Tok::Sym(c),
+                    line,
+                });
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '\\' => {
+                let mut s = String::new();
+                if c == '\\' {
+                    // Escaped identifier: up to whitespace.
+                    i += 1;
+                    while i < bytes.len() && !bytes[i].is_whitespace() {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+                    {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                return Err(VerilogError::Unsupported {
+                    line,
+                    construct: format!("numeric literal starting with `{c}`"),
+                });
+            }
+            '[' | ']' => {
+                return Err(VerilogError::Unsupported {
+                    line,
+                    construct: "vector range `[...]` (scalar nets only)".into(),
+                });
+            }
+            '#' => {
+                return Err(VerilogError::Unsupported {
+                    line,
+                    construct: "delay/parameter `#`".into(),
+                });
+            }
+            other => {
+                return Err(VerilogError::Parse {
+                    line,
+                    detail: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                Tok::Sym(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let toks = lex("module m(a);\nendmodule\n").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("module".into()));
+        assert_eq!(toks[2].tok, Tok::Sym('('));
+        let last = toks.last().unwrap();
+        assert_eq!(last.tok, Tok::Ident("endmodule".into()));
+        assert_eq!(last.line, 2);
+    }
+
+    #[test]
+    fn comments_and_directives_skipped() {
+        let ids = idents("// c\n/* multi\nline */ `timescale 1ns/1ps\nwire w;\n");
+        assert_eq!(ids, vec!["wire", "w"]);
+    }
+
+    #[test]
+    fn escaped_identifiers() {
+        let ids = idents("wire \\weird$name ;\n");
+        assert_eq!(ids, vec!["wire", "weird$name"]);
+    }
+
+    #[test]
+    fn vectors_rejected() {
+        let err = lex("wire [3:0] bus;\n").unwrap_err();
+        assert!(matches!(err, VerilogError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn delays_rejected() {
+        assert!(lex("not #1 g(y, a);").is_err());
+    }
+}

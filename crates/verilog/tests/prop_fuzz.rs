@@ -1,0 +1,45 @@
+//! Robustness: the Verilog parser must never panic on arbitrary input.
+
+use proptest::prelude::*;
+use subgemini_verilog::VerilogOptions;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_garbage(input in "[ -~\n]{0,400}") {
+        let _ = subgemini_verilog::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tokens(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "module", "endmodule", "input", "output", "inout", "wire",
+                "supply0", "supply1", "nand", "not", "inv", "u1", "a", "b",
+                "(", ")", ";", ",", ".", "top",
+            ]),
+            0..80,
+        ),
+    ) {
+        let text = words.join(" ");
+        if let Ok(src) = subgemini_verilog::parse(&text) {
+            let _ = src.elaborate(None, &VerilogOptions::default());
+            for m in &src.modules {
+                let _ = src.elaborate(Some(&m.name), &VerilogOptions::hierarchical());
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_valid_modules_elaborate(
+        a in "[a-z][a-z0-9]{0,6}",
+        y in "[a-z][a-z0-9]{0,6}",
+    ) {
+        prop_assume!(a != y);
+        let text = format!("module t(input {a}, output {y});\nnot g({y}, {a});\nendmodule\n");
+        let src = subgemini_verilog::parse(&text).unwrap();
+        let nl = src.elaborate(None, &VerilogOptions::default()).unwrap();
+        prop_assert_eq!(nl.device_count(), 1);
+    }
+}

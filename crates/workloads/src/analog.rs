@@ -1,0 +1,264 @@
+//! Analog cell library and generators.
+//!
+//! The paper's core selling point is technology independence: nothing
+//! in the algorithm knows about digital CMOS, so analog building
+//! blocks (current mirrors, differential pairs, OTAs) are found the
+//! same way gates are. This module provides transistor/passive-level
+//! analog cells and a mixed-signal generator — including the classic
+//! "pattern inside a bigger pattern" situations (a 5T OTA *contains* a
+//! current mirror and a differential pair).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subgemini_netlist::{DeviceType, Netlist};
+
+use crate::gen::Generated;
+
+fn mos_netlist(name: &str) -> Netlist {
+    let mut nl = Netlist::new(name);
+    nl.add_mos_types();
+    nl
+}
+
+/// NMOS current mirror (2T): `iin` is diode-connected, `iout` mirrors.
+/// Ports: `iin iout`.
+pub fn nmos_mirror() -> Netlist {
+    let mut nl = mos_netlist("nmos_mirror");
+    let nmos = nl.type_id("nmos").expect("registered");
+    let (iin, iout) = (nl.net("iin"), nl.net("iout"));
+    let gnd = nl.net("gnd");
+    nl.mark_port(iin);
+    nl.mark_port(iout);
+    nl.mark_global(gnd);
+    nl.add_device("m1", nmos, &[iin, gnd, iin]).unwrap(); // diode-connected
+    nl.add_device("m2", nmos, &[iin, gnd, iout]).unwrap();
+    nl
+}
+
+/// PMOS current mirror (2T). Ports: `iin iout`.
+pub fn pmos_mirror() -> Netlist {
+    let mut nl = mos_netlist("pmos_mirror");
+    let pmos = nl.type_id("pmos").expect("registered");
+    let (iin, iout) = (nl.net("iin"), nl.net("iout"));
+    let vdd = nl.net("vdd");
+    nl.mark_port(iin);
+    nl.mark_port(iout);
+    nl.mark_global(vdd);
+    nl.add_device("m1", pmos, &[iin, vdd, iin]).unwrap();
+    nl.add_device("m2", pmos, &[iin, vdd, iout]).unwrap();
+    nl
+}
+
+/// Cascode NMOS mirror (4T). Ports: `iin iout`.
+pub fn cascode_mirror() -> Netlist {
+    let mut nl = mos_netlist("cascode_mirror");
+    let nmos = nl.type_id("nmos").expect("registered");
+    let (iin, iout) = (nl.net("iin"), nl.net("iout"));
+    let (x, y) = (nl.net("x"), nl.net("y"));
+    let gnd = nl.net("gnd");
+    nl.mark_port(iin);
+    nl.mark_port(iout);
+    nl.mark_global(gnd);
+    nl.add_device("m1", nmos, &[x, gnd, x]).unwrap();
+    nl.add_device("m2", nmos, &[x, gnd, y]).unwrap();
+    nl.add_device("m3", nmos, &[iin, x, iin]).unwrap();
+    nl.add_device("m4", nmos, &[iin, y, iout]).unwrap();
+    nl
+}
+
+/// NMOS differential pair (2T, no tail device). Ports:
+/// `inp inn outp outn tail`.
+pub fn diff_pair() -> Netlist {
+    let mut nl = mos_netlist("diff_pair");
+    let nmos = nl.type_id("nmos").expect("registered");
+    let (inp, inn) = (nl.net("inp"), nl.net("inn"));
+    let (outp, outn) = (nl.net("outp"), nl.net("outn"));
+    let tail = nl.net("tail");
+    for p in [inp, inn, outp, outn, tail] {
+        nl.mark_port(p);
+    }
+    nl.add_device("m1", nmos, &[inp, tail, outn]).unwrap();
+    nl.add_device("m2", nmos, &[inn, tail, outp]).unwrap();
+    nl
+}
+
+/// Five-transistor OTA: NMOS diff pair, PMOS mirror load, NMOS tail
+/// source. Ports: `inp inn out bias`.
+pub fn ota5t() -> Netlist {
+    let mut nl = mos_netlist("ota5t");
+    let nmos = nl.type_id("nmos").expect("registered");
+    let pmos = nl.type_id("pmos").expect("registered");
+    let (inp, inn, out, bias) = (nl.net("inp"), nl.net("inn"), nl.net("out"), nl.net("bias"));
+    let (x, tail) = (nl.net("x"), nl.net("tail"));
+    let (vdd, gnd) = (nl.net("vdd"), nl.net("gnd"));
+    for p in [inp, inn, out, bias] {
+        nl.mark_port(p);
+    }
+    nl.mark_global(vdd);
+    nl.mark_global(gnd);
+    nl.add_device("m1", nmos, &[inp, tail, x]).unwrap();
+    nl.add_device("m2", nmos, &[inn, tail, out]).unwrap();
+    nl.add_device("m3", pmos, &[x, vdd, x]).unwrap(); // mirror diode
+    nl.add_device("m4", pmos, &[x, vdd, out]).unwrap();
+    nl.add_device("m5", nmos, &[bias, gnd, tail]).unwrap(); // tail
+    nl
+}
+
+/// Two-stage Miller opamp (8 devices: 7 MOS + compensation cap).
+/// Ports: `inp inn out bias`.
+pub fn two_stage_opamp() -> Netlist {
+    let mut nl = mos_netlist("two_stage_opamp");
+    let nmos = nl.type_id("nmos").expect("registered");
+    let pmos = nl.type_id("pmos").expect("registered");
+    let cap = nl.add_type(DeviceType::two_terminal("cap")).unwrap();
+    let (inp, inn, out, bias) = (nl.net("inp"), nl.net("inn"), nl.net("out"), nl.net("bias"));
+    let (x, y, tail) = (nl.net("x"), nl.net("y"), nl.net("tail"));
+    let (vdd, gnd) = (nl.net("vdd"), nl.net("gnd"));
+    for p in [inp, inn, out, bias] {
+        nl.mark_port(p);
+    }
+    nl.mark_global(vdd);
+    nl.mark_global(gnd);
+    // First stage: diff pair + mirror load + tail.
+    nl.add_device("m1", nmos, &[inp, tail, x]).unwrap();
+    nl.add_device("m2", nmos, &[inn, tail, y]).unwrap();
+    nl.add_device("m3", pmos, &[x, vdd, x]).unwrap();
+    nl.add_device("m4", pmos, &[x, vdd, y]).unwrap();
+    nl.add_device("m5", nmos, &[bias, gnd, tail]).unwrap();
+    // Second stage: common-source PMOS with NMOS current-source load.
+    nl.add_device("m6", pmos, &[y, vdd, out]).unwrap();
+    nl.add_device("m7", nmos, &[bias, gnd, out]).unwrap();
+    // Miller compensation.
+    nl.add_device("cc", cap, &[y, out]).unwrap();
+    nl
+}
+
+/// Darlington pair (2 NPN BJTs). Ports: `b c e`.
+pub fn darlington() -> Netlist {
+    let mut nl = Netlist::new("darlington");
+    let npn = nl.add_type(DeviceType::bjt("npn")).unwrap();
+    let (b, c, e) = (nl.net("b"), nl.net("c"), nl.net("e"));
+    let mid = nl.net("mid");
+    nl.mark_port(b);
+    nl.mark_port(c);
+    nl.mark_port(e);
+    nl.add_device("q1", npn, &[c, b, mid]).unwrap();
+    nl.add_device("q2", npn, &[c, mid, e]).unwrap();
+    nl
+}
+
+/// First-order RC low-pass. Ports: `in out`.
+pub fn rc_lowpass() -> Netlist {
+    let mut nl = Netlist::new("rc_lowpass");
+    let res = nl.add_type(DeviceType::two_terminal("res")).unwrap();
+    let cap = nl.add_type(DeviceType::two_terminal("cap")).unwrap();
+    let (i, o) = (nl.net("in"), nl.net("out"));
+    let gnd = nl.net("gnd");
+    nl.mark_port(i);
+    nl.mark_port(o);
+    nl.mark_global(gnd);
+    nl.add_device("r1", res, &[i, o]).unwrap();
+    nl.add_device("c1", cap, &[o, gnd]).unwrap();
+    nl
+}
+
+/// The analog cell library, largest first.
+pub fn analog_library() -> Vec<Netlist> {
+    let mut cells = vec![
+        nmos_mirror(),
+        pmos_mirror(),
+        cascode_mirror(),
+        diff_pair(),
+        ota5t(),
+        two_stage_opamp(),
+        darlington(),
+        rc_lowpass(),
+    ];
+    cells.sort_by(|a, b| {
+        b.device_count()
+            .cmp(&a.device_count())
+            .then_with(|| a.name().cmp(b.name()))
+    });
+    cells
+}
+
+/// A seeded mixed-signal block: `channels` analog front-end channels
+/// (opamp + RC filter) plus digital glue from the standard library.
+pub fn mixed_signal_chip(seed: u64, channels: usize) -> Generated {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Generated::new("mixed_signal");
+    let opamp = two_stage_opamp();
+    let filt = rc_lowpass();
+    let inv = crate::cells::inv();
+    let nand = crate::cells::nand2();
+    let bias = g.netlist.net("bias");
+    for ch in 0..channels {
+        let inp = g.netlist.net(format!("ain{ch}"));
+        let fb = g.netlist.net(format!("fb{ch}"));
+        let aout = g.netlist.net(format!("aout{ch}"));
+        let filtered = g.netlist.net(format!("filt{ch}"));
+        g.plant(&opamp, &format!("amp{ch}"), &[inp, fb, aout, bias]);
+        g.plant(&filt, &format!("lp{ch}"), &[aout, filtered]);
+        // Comparator-ish digital side: inverter chain + enable gate.
+        let d1 = g.netlist.net(format!("d1_{ch}"));
+        let den = g.netlist.net("enable");
+        let dout = g.netlist.net(format!("dout{ch}"));
+        g.plant(&inv, &format!("cmp{ch}"), &[filtered, d1]);
+        g.plant(&nand, &format!("gate{ch}"), &[d1, den, dout]);
+        // A little wiring noise so channels are not perfectly identical.
+        if rng.gen_bool(0.5) {
+            let spare = g.netlist.net(format!("spare{ch}"));
+            g.plant(&inv, &format!("sp{ch}"), &[dout, spare]);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analog_cells_are_wellformed() {
+        for cell in analog_library() {
+            cell.validate().unwrap();
+            assert!(!cell.ports().is_empty(), "{}", cell.name());
+            for n in cell.net_ids() {
+                assert!(cell.net_ref(n).degree() > 0, "{}", cell.name());
+            }
+        }
+    }
+
+    #[test]
+    fn library_sizes() {
+        let expect = [
+            ("nmos_mirror", 2),
+            ("pmos_mirror", 2),
+            ("cascode_mirror", 4),
+            ("diff_pair", 2),
+            ("ota5t", 5),
+            ("two_stage_opamp", 8),
+            ("darlington", 2),
+            ("rc_lowpass", 2),
+        ];
+        let lib = analog_library();
+        for (name, n) in expect {
+            let cell = lib
+                .iter()
+                .find(|c| c.name() == name)
+                .unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(cell.device_count(), n, "{name}");
+        }
+    }
+
+    #[test]
+    fn mixed_signal_is_deterministic() {
+        let a = mixed_signal_chip(9, 4);
+        let b = mixed_signal_chip(9, 4);
+        assert_eq!(a.planted, b.planted);
+        assert_eq!(a.netlist.device_count(), b.netlist.device_count());
+        a.netlist.validate().unwrap();
+        assert_eq!(a.planted_count("two_stage_opamp"), 4);
+        assert_eq!(a.planted_count("rc_lowpass"), 4);
+    }
+}

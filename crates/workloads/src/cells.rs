@@ -1,0 +1,540 @@
+//! A transistor-level CMOS standard-cell library.
+//!
+//! Every cell is a [`Netlist`] with ordered ports, `vdd`/`gnd` marked
+//! global, and conventional topologies (series/parallel stacks,
+//! transmission gates, mirror adder). These are the patterns the
+//! benchmark circuits plant and the matcher hunts.
+
+use subgemini_netlist::{MosTypes, NetId, Netlist};
+
+/// Builder-ish helper holding the netlist plus the rail nets.
+struct CellBuilder {
+    nl: Netlist,
+    mos: MosTypes,
+    vdd: NetId,
+    gnd: NetId,
+    seq: usize,
+}
+
+impl CellBuilder {
+    fn new(name: &str) -> Self {
+        let mut nl = Netlist::new(name);
+        let mos = nl.add_mos_types();
+        let vdd = nl.net("vdd");
+        let gnd = nl.net("gnd");
+        nl.mark_global(vdd);
+        nl.mark_global(gnd);
+        Self {
+            nl,
+            mos,
+            vdd,
+            gnd,
+            seq: 0,
+        }
+    }
+
+    fn port(&mut self, name: &str) -> NetId {
+        let id = self.nl.net(name);
+        self.nl.mark_port(id);
+        id
+    }
+
+    fn net(&mut self, name: &str) -> NetId {
+        self.nl.net(name)
+    }
+
+    fn nmos(&mut self, g: NetId, s: NetId, d: NetId) {
+        self.seq += 1;
+        let name = format!("mn{}", self.seq);
+        self.nl
+            .add_device(name, self.mos.nmos, &[g, s, d])
+            .expect("cell device names are unique");
+    }
+
+    fn pmos(&mut self, g: NetId, s: NetId, d: NetId) {
+        self.seq += 1;
+        let name = format!("mp{}", self.seq);
+        self.nl
+            .add_device(name, self.mos.pmos, &[g, s, d])
+            .expect("cell device names are unique");
+    }
+
+    /// Static CMOS inverter between `a` and `y`.
+    fn inv(&mut self, a: NetId, y: NetId) {
+        let (vdd, gnd) = (self.vdd, self.gnd);
+        self.pmos(a, vdd, y);
+        self.nmos(a, gnd, y);
+    }
+
+    /// Transmission gate between `x` and `y` with control `c` (NMOS
+    /// gate) and `cb` (PMOS gate).
+    fn tgate(&mut self, x: NetId, y: NetId, c: NetId, cb: NetId) {
+        self.nmos(c, x, y);
+        self.pmos(cb, x, y);
+    }
+
+    fn finish(self) -> Netlist {
+        self.nl
+    }
+}
+
+/// CMOS inverter (2T). Ports: `a y`.
+pub fn inv() -> Netlist {
+    let mut c = CellBuilder::new("inv");
+    let (a, y) = (c.port("a"), c.port("y"));
+    c.inv(a, y);
+    c.finish()
+}
+
+/// Two-stage buffer (4T). Ports: `a y`.
+pub fn buf() -> Netlist {
+    let mut c = CellBuilder::new("buf");
+    let (a, y) = (c.port("a"), c.port("y"));
+    let mid = c.net("mid");
+    c.inv(a, mid);
+    c.inv(mid, y);
+    c.finish()
+}
+
+/// 2-input NAND (4T). Ports: `a b y`.
+pub fn nand2() -> Netlist {
+    let mut c = CellBuilder::new("nand2");
+    let (a, b, y) = (c.port("a"), c.port("b"), c.port("y"));
+    let mid = c.net("mid");
+    let (vdd, gnd) = (c.vdd, c.gnd);
+    c.pmos(a, vdd, y);
+    c.pmos(b, vdd, y);
+    c.nmos(a, y, mid);
+    c.nmos(b, mid, gnd);
+    c.finish()
+}
+
+/// 3-input NAND (6T). Ports: `a b c y`.
+pub fn nand3() -> Netlist {
+    let mut c = CellBuilder::new("nand3");
+    let (a, b, cc, y) = (c.port("a"), c.port("b"), c.port("c"), c.port("y"));
+    let (m1, m2) = (c.net("m1"), c.net("m2"));
+    let (vdd, gnd) = (c.vdd, c.gnd);
+    c.pmos(a, vdd, y);
+    c.pmos(b, vdd, y);
+    c.pmos(cc, vdd, y);
+    c.nmos(a, y, m1);
+    c.nmos(b, m1, m2);
+    c.nmos(cc, m2, gnd);
+    c.finish()
+}
+
+/// 2-input NOR (4T). Ports: `a b y`.
+pub fn nor2() -> Netlist {
+    let mut c = CellBuilder::new("nor2");
+    let (a, b, y) = (c.port("a"), c.port("b"), c.port("y"));
+    let mid = c.net("mid");
+    let (vdd, gnd) = (c.vdd, c.gnd);
+    c.pmos(a, vdd, mid);
+    c.pmos(b, mid, y);
+    c.nmos(a, gnd, y);
+    c.nmos(b, gnd, y);
+    c.finish()
+}
+
+/// 3-input NOR (6T). Ports: `a b c y`.
+pub fn nor3() -> Netlist {
+    let mut c = CellBuilder::new("nor3");
+    let (a, b, cc, y) = (c.port("a"), c.port("b"), c.port("c"), c.port("y"));
+    let (m1, m2) = (c.net("m1"), c.net("m2"));
+    let (vdd, gnd) = (c.vdd, c.gnd);
+    c.pmos(a, vdd, m1);
+    c.pmos(b, m1, m2);
+    c.pmos(cc, m2, y);
+    c.nmos(a, gnd, y);
+    c.nmos(b, gnd, y);
+    c.nmos(cc, gnd, y);
+    c.finish()
+}
+
+/// AND-OR-INVERT 21: `y = !((a & b) | c)` (6T). Ports: `a b c y`.
+pub fn aoi21() -> Netlist {
+    let mut cell = CellBuilder::new("aoi21");
+    let (a, b, c, y) = (
+        cell.port("a"),
+        cell.port("b"),
+        cell.port("c"),
+        cell.port("y"),
+    );
+    let (mu, md) = (cell.net("mu"), cell.net("md"));
+    let (vdd, gnd) = (cell.vdd, cell.gnd);
+    // Pull-up: (a||b in parallel is wrong for AOI — duals:) series c
+    // with parallel(a, b)? y pulls up when !c && !(a&b) -> (pa || pb)
+    // series pc.
+    cell.pmos(a, vdd, mu);
+    cell.pmos(b, vdd, mu);
+    cell.pmos(c, mu, y);
+    // Pull-down: (a&b) || c.
+    cell.nmos(a, y, md);
+    cell.nmos(b, md, gnd);
+    cell.nmos(c, gnd, y);
+    cell.finish()
+}
+
+/// OR-AND-INVERT 21: `y = !((a | b) & c)` (6T). Ports: `a b c y`.
+pub fn oai21() -> Netlist {
+    let mut cell = CellBuilder::new("oai21");
+    let (a, b, c, y) = (
+        cell.port("a"),
+        cell.port("b"),
+        cell.port("c"),
+        cell.port("y"),
+    );
+    let (mu, md) = (cell.net("mu"), cell.net("md"));
+    let (vdd, gnd) = (cell.vdd, cell.gnd);
+    // Pull-up: (pa series pb)? y high when !(a|b) || !c -> (pa,pb series) || pc.
+    cell.pmos(a, vdd, mu);
+    cell.pmos(b, mu, y);
+    cell.pmos(c, vdd, y);
+    // Pull-down: (a||b) series c.
+    cell.nmos(a, y, md);
+    cell.nmos(b, y, md);
+    cell.nmos(c, md, gnd);
+    cell.finish()
+}
+
+/// Transmission-gate 2:1 MUX (6T). Ports: `a b s y`.
+pub fn mux2() -> Netlist {
+    let mut c = CellBuilder::new("mux2");
+    let (a, b, s, y) = (c.port("a"), c.port("b"), c.port("s"), c.port("y"));
+    let sb = c.net("sb");
+    c.inv(s, sb);
+    // s=0 selects a, s=1 selects b.
+    c.tgate(a, y, sb, s);
+    c.tgate(b, y, s, sb);
+    c.finish()
+}
+
+/// Transmission-gate XOR (8T). Ports: `a b y`.
+pub fn xor2() -> Netlist {
+    let mut c = CellBuilder::new("xor2");
+    let (a, b, y) = (c.port("a"), c.port("b"), c.port("y"));
+    let (ab, bb) = (c.net("ab"), c.net("bb"));
+    c.inv(a, ab);
+    c.inv(b, bb);
+    // y = b when a=0 (via tg1), y = !b when a=1 (via tg2).
+    c.tgate(b, y, ab, a);
+    c.tgate(bb, y, a, ab);
+    c.finish()
+}
+
+/// Level-sensitive D latch (8T). Ports: `d clk clkb q`.
+pub fn dlatch() -> Netlist {
+    let mut c = CellBuilder::new("dlatch");
+    let (d, clk, clkb, q) = (c.port("d"), c.port("clk"), c.port("clkb"), c.port("q"));
+    let (x, qb) = (c.net("x"), c.net("qb"));
+    c.tgate(d, x, clk, clkb); // open when clk=1
+    c.inv(x, qb);
+    c.inv(qb, q);
+    c.tgate(q, x, clkb, clk); // feedback when clk=0
+    c.finish()
+}
+
+/// Master-slave D flip-flop (18T). Ports: `d clk q`.
+pub fn dff() -> Netlist {
+    let mut c = CellBuilder::new("dff");
+    let (d, clk, q) = (c.port("d"), c.port("clk"), c.port("q"));
+    let clkb = c.net("clkb");
+    c.inv(clk, clkb);
+    // Master (transparent clk=0).
+    let (mx, mqb, mq) = (c.net("mx"), c.net("mqb"), c.net("mq"));
+    c.tgate(d, mx, clkb, clk);
+    c.inv(mx, mqb);
+    c.inv(mqb, mq);
+    c.tgate(mq, mx, clk, clkb);
+    // Slave (transparent clk=1).
+    let (sx, sqb) = (c.net("sx"), c.net("sqb"));
+    c.tgate(mq, sx, clk, clkb);
+    c.inv(sx, sqb);
+    c.inv(sqb, q);
+    c.tgate(q, sx, clkb, clk);
+    c.finish()
+}
+
+/// Mirror full adder (28T). Ports: `a b cin sum cout`.
+pub fn full_adder() -> Netlist {
+    let mut c = CellBuilder::new("full_adder");
+    let (a, b, cin) = (c.port("a"), c.port("b"), c.port("cin"));
+    let (sum, cout) = (c.port("sum"), c.port("cout"));
+    let (vdd, gnd) = (c.vdd, c.gnd);
+    let cb = c.net("cb"); // carry-bar
+                          // --- carry stage: cb = !(a·b + cin·(a+b)), 10T ---
+    let nx = c.net("nx");
+    c.pmos(a, vdd, nx);
+    c.pmos(b, vdd, nx);
+    c.pmos(cin, nx, cb);
+    let ny = c.net("ny");
+    c.pmos(a, vdd, ny);
+    c.pmos(b, ny, cb);
+    let nu = c.net("nu");
+    c.nmos(a, gnd, nu);
+    c.nmos(b, gnd, nu);
+    c.nmos(cin, nu, cb);
+    let nv = c.net("nv");
+    c.nmos(a, gnd, nv);
+    c.nmos(b, nv, cb);
+    // cout inverter
+    c.inv(cb, cout);
+    // --- sum stage: sb = !((a+b+cin)·cb + a·b·cin), 14T ---
+    let sb = c.net("sb");
+    let m1 = c.net("m1");
+    c.pmos(a, vdd, m1);
+    c.pmos(b, vdd, m1);
+    c.pmos(cin, vdd, m1);
+    c.pmos(cb, m1, sb);
+    let m2 = c.net("m2");
+    let m3 = c.net("m3");
+    c.pmos(a, vdd, m2);
+    c.pmos(b, m2, m3);
+    c.pmos(cin, m3, sb);
+    let m4 = c.net("m4");
+    c.nmos(a, gnd, m4);
+    c.nmos(b, gnd, m4);
+    c.nmos(cin, gnd, m4);
+    c.nmos(cb, m4, sb);
+    let m5 = c.net("m5");
+    let m6 = c.net("m6");
+    c.nmos(a, gnd, m5);
+    c.nmos(b, m5, m6);
+    c.nmos(cin, m6, sb);
+    // sum inverter
+    c.inv(sb, sum);
+    c.finish()
+}
+
+/// Six-transistor SRAM bit cell. Ports: `bl blb wl`.
+pub fn sram6t() -> Netlist {
+    let mut c = CellBuilder::new("sram6t");
+    let (bl, blb, wl) = (c.port("bl"), c.port("blb"), c.port("wl"));
+    let (q, qb) = (c.net("q"), c.net("qb"));
+    c.inv(q, qb);
+    c.inv(qb, q);
+    c.nmos(wl, bl, q); // access transistors
+    c.nmos(wl, blb, qb);
+    c.finish()
+}
+
+/// Generic `k`-input NAND (2k transistors): parallel pull-ups, series
+/// pull-down. `nand_k(2)` is topologically identical to [`nand2`] but
+/// named `nandk2`, so the two can coexist in one netlist's type table.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn nand_k(k: usize) -> Netlist {
+    assert!(k > 0, "a NAND needs at least one input");
+    let mut c = CellBuilder::new(&format!("nandk{k}"));
+    let inputs: Vec<NetId> = (0..k).map(|i| c.port(&format!("i{i}"))).collect();
+    let y = c.port("y");
+    let (vdd, gnd) = (c.vdd, c.gnd);
+    for &a in &inputs {
+        c.pmos(a, vdd, y);
+    }
+    let mut prev = y;
+    for (n, &a) in inputs.iter().enumerate() {
+        let next = if n + 1 == k {
+            gnd
+        } else {
+            c.net(&format!("m{n}"))
+        };
+        c.nmos(a, prev, next);
+        prev = next;
+    }
+    c.finish()
+}
+
+/// Generic `k`-input NOR (2k transistors): series pull-ups, parallel
+/// pull-down.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn nor_k(k: usize) -> Netlist {
+    assert!(k > 0, "a NOR needs at least one input");
+    let mut c = CellBuilder::new(&format!("nork{k}"));
+    let inputs: Vec<NetId> = (0..k).map(|i| c.port(&format!("i{i}"))).collect();
+    let y = c.port("y");
+    let (vdd, gnd) = (c.vdd, c.gnd);
+    let mut prev = vdd;
+    for (n, &a) in inputs.iter().enumerate() {
+        let next = if n + 1 == k {
+            y
+        } else {
+            c.net(&format!("m{n}"))
+        };
+        c.pmos(a, prev, next);
+        prev = next;
+    }
+    for &a in &inputs {
+        c.nmos(a, gnd, y);
+    }
+    c.finish()
+}
+
+/// The whole library, largest cells first (the extraction order of
+/// §IV.A).
+pub fn library() -> Vec<Netlist> {
+    let mut cells = vec![
+        inv(),
+        buf(),
+        nand2(),
+        nand3(),
+        nor2(),
+        nor3(),
+        aoi21(),
+        oai21(),
+        mux2(),
+        xor2(),
+        dlatch(),
+        dff(),
+        full_adder(),
+        sram6t(),
+    ];
+    cells.sort_by(|a, b| {
+        b.device_count()
+            .cmp(&a.device_count())
+            .then_with(|| a.name().cmp(b.name()))
+    });
+    cells
+}
+
+/// Looks up a library cell by name.
+pub fn by_name(name: &str) -> Option<Netlist> {
+    library().into_iter().find(|c| c.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_counts_match_topologies() {
+        let expect = [
+            ("inv", 2),
+            ("buf", 4),
+            ("nand2", 4),
+            ("nand3", 6),
+            ("nor2", 4),
+            ("nor3", 6),
+            ("aoi21", 6),
+            ("oai21", 6),
+            ("mux2", 6),
+            ("xor2", 8),
+            ("dlatch", 8),
+            ("dff", 18),
+            ("full_adder", 28),
+            ("sram6t", 6),
+        ];
+        for (name, n) in expect {
+            let cell = by_name(name).unwrap_or_else(|| panic!("{name} in library"));
+            assert_eq!(cell.device_count(), n, "{name}");
+            cell.validate().unwrap();
+            assert!(!cell.ports().is_empty(), "{name} has ports");
+        }
+    }
+
+    #[test]
+    fn generic_k_gates() {
+        for k in 1..=6 {
+            let nand = nand_k(k);
+            assert_eq!(nand.device_count(), 2 * k, "nand_k({k})");
+            nand.validate().unwrap();
+            let nor = nor_k(k);
+            assert_eq!(nor.device_count(), 2 * k, "nor_k({k})");
+            nor.validate().unwrap();
+        }
+        // nand_k(2) is isomorphic in shape to nand2 (different type
+        // names are irrelevant; both use nmos/pmos).
+        let a = nand_k(2);
+        let b = nand2();
+        assert_eq!(a.device_count(), b.device_count());
+    }
+
+    #[test]
+    fn library_is_sorted_largest_first() {
+        let lib = library();
+        for w in lib.windows(2) {
+            assert!(w[0].device_count() >= w[1].device_count());
+        }
+        assert_eq!(lib[0].name(), "full_adder");
+    }
+
+    #[test]
+    fn every_cell_has_global_rails() {
+        for cell in library() {
+            // All cells use at least one rail.
+            assert!(
+                cell.global_nets().count() >= 1,
+                "{} lacks rails",
+                cell.name()
+            );
+        }
+    }
+
+    #[test]
+    fn nets_are_all_connected() {
+        for cell in library() {
+            for n in cell.net_ids() {
+                assert!(
+                    cell.net_ref(n).degree() > 0,
+                    "{} has isolated net {}",
+                    cell.name(),
+                    cell.net_ref(n).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_cells_are_not_isomorphic() {
+        // nand2 vs nor2: same device histogram, different wiring.
+        assert!(!subgemini_gemini_stub::isomorphic(&nand2(), &nor2()));
+    }
+
+    /// Tiny local stand-in so the workloads crate does not depend on the
+    /// gemini crate just for one test: structural fingerprint compare.
+    mod subgemini_gemini_stub {
+        use subgemini_netlist::{Netlist, NetlistStats};
+
+        pub fn isomorphic(a: &Netlist, b: &Netlist) -> bool {
+            // Coarse but sufficient here: degree histograms diverge for
+            // nand2 (y has degree 3) vs nor2 (y has degree 3 too)...
+            // compare sorted (degree, pin-class multiset) signatures.
+            signature(a) == signature(b)
+        }
+
+        fn signature(nl: &Netlist) -> (Vec<(String, Vec<usize>)>, NetlistStats) {
+            let mut devs: Vec<(String, Vec<usize>)> = nl
+                .device_ids()
+                .map(|d| {
+                    let ty = nl.device_type_of(d).name().to_string();
+                    let mut degs: Vec<usize> = nl
+                        .device(d)
+                        .pins()
+                        .iter()
+                        .map(|&n| nl.net_ref(n).degree())
+                        .collect();
+                    degs.sort_unstable();
+                    (ty, degs)
+                })
+                .collect();
+            devs.sort();
+            (devs, NetlistStats::of(nl))
+        }
+    }
+
+    #[test]
+    fn full_adder_has_expected_structure() {
+        let fa = full_adder();
+        // 14 PMOS + 14 NMOS.
+        let stats = subgemini_netlist::NetlistStats::of(&fa);
+        assert_eq!(stats.devices_by_type["pmos"], 14);
+        assert_eq!(stats.devices_by_type["nmos"], 14);
+        assert_eq!(fa.ports().len(), 5);
+    }
+}

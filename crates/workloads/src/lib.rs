@@ -1,0 +1,31 @@
+//! Workloads for the SubGemini reproduction: a transistor-level CMOS
+//! cell library, deterministic circuit generators with planted ground
+//! truth, and the exact circuits of the paper's figures.
+//!
+//! The 1993 evaluation used proprietary chip netlists; these generators
+//! are the documented substitution (see DESIGN.md §2): seeded,
+//! reproducible CMOS circuits of the same family — datapaths
+//! ([`gen::ripple_adder`], [`gen::array_multiplier`]), sequential logic
+//! ([`gen::shift_register`]), memory ([`gen::sram_array`]) and random
+//! standard-cell logic ([`gen::random_soup`]) — each knowing exactly
+//! what was planted where.
+//!
+//! # Examples
+//!
+//! ```
+//! use subgemini_workloads::{cells, gen};
+//!
+//! let adder = gen::ripple_adder(4);
+//! assert_eq!(adder.planted_count("full_adder"), 4);
+//! assert_eq!(adder.netlist.device_count(), 4 * cells::full_adder().device_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analog;
+pub mod cells;
+pub mod gen;
+pub mod paper;
+
+pub use gen::Generated;

@@ -1,0 +1,164 @@
+//! The exact circuits of the paper's figures.
+//!
+//! * **Fig. 1/2/4 + Table 1** — the running example: a 4-transistor
+//!   subcircuit and a 7-transistor main circuit containing one
+//!   instance. Reconstructed vertex-for-vertex from the relabeling
+//!   formulas of Table 1 (device/net names match the paper: `d1…d4`,
+//!   `n1…n6` in the pattern; `d5…d11`, `n7…n15` in the main graph).
+//!   Phase I on this pair selects key vertex `n4` and candidate vector
+//!   `{n13, n14}`, exactly as reported in §IV.
+//! * **Fig. 5** — the symmetric parallel-transistor pair that forces a
+//!   Phase II guess but no backtracking.
+//! * **Fig. 7** — the CMOS inverter that is wrongly found inside a NAND
+//!   unless `Vdd`/`GND` are treated as special.
+
+use subgemini_netlist::Netlist;
+
+use crate::cells;
+
+/// The subcircuit `S` of Fig. 1 (left): devices `d1…d4`, nets `n1…n6`.
+///
+/// `n4` is the single internal net (the paper's "net labeled 2"); every
+/// other net is external.
+pub fn fig1_pattern() -> Netlist {
+    let mut s = Netlist::new("fig1_sub");
+    let mos = s.add_mos_types();
+    let n: Vec<_> = (1..=6).map(|i| s.net(format!("n{i}"))).collect();
+    let net = |i: usize| n[i - 1];
+    for &i in &[1usize, 2, 3, 5, 6] {
+        s.mark_port(net(i));
+    }
+    // (gate, source, drain)
+    s.add_device("d1", mos.pmos, &[net(5), net(1), net(2)])
+        .unwrap();
+    s.add_device("d2", mos.pmos, &[net(3), net(1), net(2)])
+        .unwrap();
+    s.add_device("d3", mos.nmos, &[net(3), net(2), net(4)])
+        .unwrap();
+    s.add_device("d4", mos.nmos, &[net(5), net(4), net(6)])
+        .unwrap();
+    s
+}
+
+/// The main circuit `G` of Fig. 1 (right): devices `d5…d11`, nets
+/// `n7…n15`, containing exactly one instance of [`fig1_pattern`]
+/// (devices `d6, d7, d9, d11`).
+pub fn fig1_main() -> Netlist {
+    let mut g = Netlist::new("fig1_main");
+    let mos = g.add_mos_types();
+    let nets: Vec<_> = (7..=15).map(|i| g.net(format!("n{i}"))).collect();
+    let net = |i: usize| nets[i - 7];
+    g.add_device("d5", mos.pmos, &[net(11), net(8), net(12)])
+        .unwrap();
+    g.add_device("d6", mos.pmos, &[net(9), net(7), net(10)])
+        .unwrap();
+    g.add_device("d7", mos.pmos, &[net(8), net(7), net(10)])
+        .unwrap();
+    g.add_device("d8", mos.nmos, &[net(12), net(9), net(13)])
+        .unwrap();
+    g.add_device("d9", mos.nmos, &[net(8), net(10), net(14)])
+        .unwrap();
+    g.add_device("d10", mos.nmos, &[net(11), net(10), net(13)])
+        .unwrap();
+    g.add_device("d11", mos.nmos, &[net(9), net(14), net(15)])
+        .unwrap();
+    g
+}
+
+/// The expected image of each [`fig1_pattern`] vertex inside
+/// [`fig1_main`], as `(pattern name, main name)` pairs.
+pub fn fig1_expected_mapping() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("d1", "d6"),
+        ("d2", "d7"),
+        ("d3", "d9"),
+        ("d4", "d11"),
+        ("n1", "n7"),
+        ("n2", "n10"),
+        ("n3", "n8"),
+        ("n4", "n14"),
+        ("n5", "n9"),
+        ("n6", "n15"),
+    ]
+}
+
+/// Fig. 5: two parallel transistors between the same nets — the
+/// ambiguity example. Returned as `(pattern, main)`; matching requires
+/// one guess and zero backtracks.
+pub fn fig5_pair() -> (Netlist, Netlist) {
+    let build = |name: &str| {
+        let mut nl = Netlist::new(name);
+        let mos = nl.add_mos_types();
+        let (g, s, d) = (nl.net("g"), nl.net("s"), nl.net("d"));
+        nl.mark_port(g);
+        nl.mark_port(s);
+        nl.mark_port(d);
+        nl.add_device("a", mos.nmos, &[g, s, d]).unwrap();
+        nl.add_device("b", mos.nmos, &[g, s, d]).unwrap();
+        nl
+    };
+    (build("fig5_pattern"), build("fig5_main"))
+}
+
+/// Fig. 7: the inverter pattern (left).
+pub fn fig7_inverter() -> Netlist {
+    cells::inv()
+}
+
+/// Fig. 7: the NAND main circuit (right).
+pub fn fig7_nand() -> Netlist {
+    cells::nand2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shapes_match_paper() {
+        let s = fig1_pattern();
+        let g = fig1_main();
+        assert_eq!(s.device_count(), 4);
+        assert_eq!(s.net_count(), 6);
+        assert_eq!(g.device_count(), 7);
+        assert_eq!(g.net_count(), 9);
+        s.validate().unwrap();
+        g.validate().unwrap();
+        // n4 is internal with degree 2 (the paper's "net labeled 2").
+        let n4 = s.find_net("n4").unwrap();
+        assert!(!s.net_ref(n4).is_port());
+        assert_eq!(s.net_ref(n4).degree(), 2);
+        // Candidate-vector shape: n13 and n14 are the only degree-2
+        // main nets flanked by two nmos source/drain pins.
+        for name in ["n13", "n14"] {
+            let n = g.find_net(name).unwrap();
+            assert_eq!(g.net_ref(n).degree(), 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn fig1_image_nets_have_expected_degrees() {
+        let g = fig1_main();
+        let deg = |name: &str| g.net_ref(g.find_net(name).unwrap()).degree();
+        // External images may have extra connections (paper Fig. 2).
+        assert_eq!(deg("n7"), 2);
+        assert_eq!(deg("n8"), 3);
+        assert_eq!(deg("n9"), 3);
+        assert_eq!(deg("n10"), 4);
+        assert_eq!(deg("n14"), 2);
+        assert_eq!(deg("n15"), 1);
+    }
+
+    #[test]
+    fn fig5_is_symmetric() {
+        let (p, m) = fig5_pair();
+        assert_eq!(p.device_count(), 2);
+        assert_eq!(m.device_count(), 2);
+    }
+
+    #[test]
+    fn fig7_cells_are_library_cells() {
+        assert_eq!(fig7_inverter().device_count(), 2);
+        assert_eq!(fig7_nand().device_count(), 4);
+    }
+}

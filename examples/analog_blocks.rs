@@ -1,0 +1,48 @@
+//! Technology independence: the same matcher on analog circuitry.
+//!
+//! Finds current mirrors, differential pairs and whole opamps inside a
+//! mixed-signal front end, with zero analog-specific code anywhere in
+//! the matching engine.
+//!
+//! Run with: `cargo run --example analog_blocks`
+
+use subgemini::Matcher;
+use subgemini_workloads::analog;
+
+fn main() {
+    let chip = analog::mixed_signal_chip(2024, 3);
+    println!(
+        "mixed-signal front end: {} devices, {} nets ({} channels)",
+        chip.netlist.device_count(),
+        chip.netlist.net_count(),
+        3
+    );
+
+    for pattern in [
+        analog::two_stage_opamp(),
+        analog::ota5t(),
+        analog::pmos_mirror(),
+        analog::diff_pair(),
+        analog::rc_lowpass(),
+        analog::nmos_mirror(),
+    ] {
+        let outcome = Matcher::new(&pattern, &chip.netlist).find_all();
+        println!(
+            "{:<18} {:>2} instance(s)   (|CV|={}, phase2 passes={})",
+            pattern.name(),
+            outcome.count(),
+            outcome.phase1.cv_size,
+            outcome.phase2.passes
+        );
+    }
+
+    // The opamps dominate: each contains a mirror and a diff pair, so
+    // block-level counts nest exactly.
+    let amps = Matcher::new(&analog::two_stage_opamp(), &chip.netlist).find_all();
+    let mirrors = Matcher::new(&analog::pmos_mirror(), &chip.netlist).find_all();
+    let pairs = Matcher::new(&analog::diff_pair(), &chip.netlist).find_all();
+    assert_eq!(amps.count(), 3);
+    assert_eq!(mirrors.count(), 3);
+    assert_eq!(pairs.count(), 3);
+    println!("\nnesting holds: every mirror/diff-pair sits inside an opamp");
+}

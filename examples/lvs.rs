@@ -1,0 +1,93 @@
+//! Layout-vs-schematic style netlist comparison with the Gemini
+//! engine, including extraction round-tripping: a transistor netlist is
+//! extracted to gates and the result is checked against a reference
+//! gate netlist built independently.
+//!
+//! Run with: `cargo run --example lvs`
+
+use subgemini::Extractor;
+use subgemini_gemini::{compare, compare_with_stats, GeminiOptions};
+use subgemini_netlist::{instantiate, Netlist};
+use subgemini_workloads::{cells, gen};
+
+fn main() {
+    // ---- 1. Plain netlist comparison. ----
+    let a = gen::ripple_adder(6).netlist;
+    let b = gen::ripple_adder(6).netlist;
+    let report = compare_with_stats(&a, &b, &GeminiOptions::default());
+    println!(
+        "adder6 vs adder6: isomorphic={} (passes {}, guesses {})",
+        report.outcome.is_isomorphic(),
+        report.stats.passes,
+        report.stats.guesses
+    );
+    assert!(report.outcome.is_isomorphic());
+
+    // A one-transistor difference must be caught.
+    let mut c = gen::ripple_adder(6).netlist;
+    let mos = c.add_mos_types();
+    let (x, y) = (c.net("a0"), c.net("s5"));
+    let gnd = c.net("gnd");
+    c.add_device("sneaky", mos.nmos, &[x, gnd, y]).unwrap();
+    let bad = compare(&a, &c);
+    println!("tampered copy: isomorphic={}", bad.is_isomorphic());
+    assert!(!bad.is_isomorphic());
+    println!("  reason: {}", bad.mismatch().unwrap().reason);
+
+    // ---- 2. Extraction round-trip. ----
+    // Transistor-level chain of inverters -> extract -> compare against
+    // an independently built gate-level reference.
+    let chain = gen::inverter_chain(10).netlist;
+    let mut extractor = Extractor::new();
+    extractor.add_cell(cells::inv());
+    let (gates, report) = extractor.extract(&chain).expect("extracts");
+    println!(
+        "\nextracted {} inverters from {} transistors ({} unabsorbed)",
+        report.count_of("inv"),
+        chain.device_count(),
+        report.unabsorbed_devices
+    );
+
+    // Reference gate netlist: 10 composite `inv` devices in a chain.
+    let mut reference = Netlist::new("reference");
+    // Reuse the extractor's composite type by extracting a 1-cell chain
+    // and copying its type table — or simply instantiate the same shape:
+    let proto = {
+        let one = gen::inverter_chain(1).netlist;
+        let mut e = Extractor::new();
+        e.add_cell(cells::inv());
+        e.extract(&one).expect("extracts").0
+    };
+    let comp_ty = proto.type_id("inv").expect("composite type exists");
+    let comp = proto.device_type(comp_ty).clone();
+    let ty = reference.add_type(comp).unwrap();
+    let mut prev = reference.net("in");
+    for i in 0..10 {
+        let next = reference.net(format!("w{i}"));
+        reference
+            .add_device(format!("g{i}"), ty, &[prev, next])
+            .unwrap();
+        prev = next;
+    }
+    // The extracted netlist retains vdd/gnd as (now unused) global nets?
+    // No: collapsed interior nets vanish and rails disappear with them,
+    // so both sides should be 10 devices / 11 nets.
+    let outcome = compare(&gates, &reference);
+    println!(
+        "extracted-vs-reference: isomorphic={}",
+        outcome.is_isomorphic()
+    );
+    if let Some(m) = outcome.mismatch() {
+        println!("  mismatch: {m}");
+    }
+    assert!(outcome.is_isomorphic());
+
+    // ---- 3. Hierarchical comparison through instantiate. ----
+    let mut flat_a = Netlist::new("two_by_hand");
+    let (p, q, r) = (flat_a.net("p"), flat_a.net("q"), flat_a.net("r"));
+    instantiate(&mut flat_a, &cells::inv(), "u0", &[p, q]).unwrap();
+    instantiate(&mut flat_a, &cells::inv(), "u1", &[q, r]).unwrap();
+    let flat_b = gen::inverter_chain(2).netlist;
+    assert!(compare(&flat_a, &flat_b).is_isomorphic());
+    println!("\nhierarchical stamp vs generator: isomorphic=true");
+}

@@ -1,0 +1,70 @@
+//! Multi-level hierarchy recovery: transistors → gates → macro blocks.
+//!
+//! The extraction engine is technology-independent, so it can be run
+//! *again* on its own gate-level output with gate-level patterns —
+//! recovering two levels of hierarchy from a flat transistor netlist
+//! (the paper's §I hierarchy-construction application, taken one level
+//! further).
+//!
+//! Run with: `cargo run --example multilevel_hierarchy`
+
+use subgemini::Extractor;
+use subgemini_netlist::{Netlist, NetlistStats};
+use subgemini_workloads::{cells, gen};
+
+/// Builds the gate-level "AND row" macro pattern: decoder rows are a
+/// NAND3 followed by an inverter, as composite gate devices.
+fn and_row_pattern(gates: &Netlist) -> Netlist {
+    let nand3_ty = gates.type_id("nand3").expect("nand3 composites exist");
+    let inv_ty = gates.type_id("inv").expect("inv composites exist");
+    let mut pat = Netlist::new("and_row");
+    let nand3 = pat.add_type(gates.device_type(nand3_ty).clone()).unwrap();
+    let inv = pat.add_type(gates.device_type(inv_ty).clone()).unwrap();
+    let (a, b, c, y) = (pat.net("a"), pat.net("b"), pat.net("c"), pat.net("y"));
+    let n = pat.net("n");
+    for p in [a, b, c, y] {
+        pat.mark_port(p);
+    }
+    pat.add_device("g1", nand3, &[a, b, c, n]).unwrap();
+    pat.add_device("g2", inv, &[n, y]).unwrap();
+    pat
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Level 0: a 3-to-8 row decoder, flat transistors.
+    let decoder = gen::decoder(3);
+    println!(
+        "level 0 (transistors): {}",
+        NetlistStats::of(&decoder.netlist)
+    );
+
+    // Level 1: transistor → gate extraction with the standard library.
+    let mut tran_extractor = Extractor::new();
+    for cell in cells::library() {
+        tran_extractor.add_cell(cell);
+    }
+    let (gates, report) = tran_extractor.extract(&decoder.netlist)?;
+    println!("\nlevel 1 (gates): {}", NetlistStats::of(&gates));
+    assert_eq!(report.count_of("nand3"), 8);
+    assert_eq!(report.count_of("inv"), 11);
+    assert_eq!(report.unabsorbed_devices, 0);
+
+    // Level 2: gate → macro extraction with a gate-level pattern.
+    let and_row = and_row_pattern(&gates);
+    let mut gate_extractor = Extractor::new();
+    gate_extractor.add_cell(and_row);
+    let (macros, report2) = gate_extractor.extract(&gates)?;
+    println!("\nlevel 2 (macros): {}", NetlistStats::of(&macros));
+    assert_eq!(report2.count_of("and_row"), 8);
+    // Left over: the 3 address inverters.
+    assert_eq!(report2.unabsorbed_devices, 3);
+
+    println!(
+        "\nrecovered hierarchy: {} transistors -> {} gates -> {} macros + {} loose gates",
+        decoder.netlist.device_count(),
+        gates.device_count(),
+        report2.count_of("and_row"),
+        report2.unabsorbed_devices
+    );
+    Ok(())
+}

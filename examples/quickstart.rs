@@ -1,0 +1,63 @@
+//! Quickstart: build a pattern and a circuit, find all instances.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use subgemini::{MatchOptions, Matcher};
+use subgemini_netlist::{instantiate, Netlist, NetlistError};
+
+fn main() -> Result<(), NetlistError> {
+    // ---- 1. Describe the pattern: a CMOS inverter. ----
+    // Ports are the external nets; vdd/gnd are special global signals.
+    let mut inv = Netlist::new("inv");
+    let mos = inv.add_mos_types();
+    let (a, y) = (inv.net("a"), inv.net("y"));
+    let (vdd, gnd) = (inv.net("vdd"), inv.net("gnd"));
+    inv.mark_port(a);
+    inv.mark_port(y);
+    inv.mark_global(vdd);
+    inv.mark_global(gnd);
+    inv.add_device("mp", mos.pmos, &[a, vdd, y])?; // (gate, source, drain)
+    inv.add_device("mn", mos.nmos, &[a, gnd, y])?;
+
+    // ---- 2. Build a main circuit: an 8-stage inverter ring. ----
+    let mut ring = Netlist::new("ring8");
+    let nets: Vec<_> = (0..8).map(|i| ring.net(format!("n{i}"))).collect();
+    for i in 0..8 {
+        instantiate(
+            &mut ring,
+            &inv,
+            &format!("u{i}"),
+            &[nets[i], nets[(i + 1) % 8]],
+        )?;
+    }
+    println!("main circuit: {}", ring);
+
+    // ---- 3. Search. ----
+    let outcome = Matcher::new(&inv, &ring)
+        .options(MatchOptions::default())
+        .find_all();
+
+    println!("found {} inverter instances", outcome.count());
+    println!(
+        "phase I: {} iterations, candidate vector of {} (key partition {})",
+        outcome.phase1.iterations, outcome.phase1.cv_size, outcome.phase1.key_partition_size
+    );
+    println!(
+        "phase II: {} candidates, {} false, {} passes, {} guesses, {} backtracks",
+        outcome.phase2.candidates_tried,
+        outcome.phase2.false_candidates,
+        outcome.phase2.passes,
+        outcome.phase2.guesses,
+        outcome.phase2.backtracks
+    );
+    for (i, m) in outcome.instances.iter().enumerate() {
+        let devs: Vec<&str> = m
+            .device_set()
+            .iter()
+            .map(|&d| ring.device(d).name())
+            .collect();
+        println!("  instance {i}: {}", devs.join(" + "));
+    }
+    assert_eq!(outcome.count(), 8);
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Circuit rule checking with a pattern library (paper §I: "review
+//! circuits for the use of questionable circuit constructs").
+//!
+//! Run with: `cargo run --example rule_check`
+
+use subgemini::RuleChecker;
+use subgemini_netlist::{Netlist, NetlistError};
+
+/// Rule: NMOS sourcing from Vdd (passes a degraded high level).
+fn nmos_pullup() -> Result<Netlist, NetlistError> {
+    let mut p = Netlist::new("nmos_pullup");
+    let mos = p.add_mos_types();
+    let (g, d, vdd) = (p.net("g"), p.net("d"), p.net("vdd"));
+    p.mark_port(g);
+    p.mark_port(d);
+    p.mark_global(vdd);
+    p.add_device("m", mos.nmos, &[g, vdd, d])?;
+    Ok(p)
+}
+
+/// Rule: PMOS pulling to GND (degraded low).
+fn pmos_pulldown() -> Result<Netlist, NetlistError> {
+    let mut p = Netlist::new("pmos_pulldown");
+    let mos = p.add_mos_types();
+    let (g, d, gnd) = (p.net("g"), p.net("d"), p.net("gnd"));
+    p.mark_port(g);
+    p.mark_port(d);
+    p.mark_global(gnd);
+    p.add_device("m", mos.pmos, &[g, gnd, d])?;
+    Ok(p)
+}
+
+/// Rule: a transistor whose gate is tied to its own drain *and* whose
+/// source sits on a rail — a diode-connected device, questionable in
+/// pure digital logic.
+fn diode_connected() -> Result<Netlist, NetlistError> {
+    let mut p = Netlist::new("diode_connected");
+    let mos = p.add_mos_types();
+    let (d, gnd) = (p.net("d"), p.net("gnd"));
+    p.mark_port(d);
+    p.mark_global(gnd);
+    p.add_device("m", mos.nmos, &[d, gnd, d])?;
+    Ok(p)
+}
+
+fn main() -> Result<(), NetlistError> {
+    let mut checker = RuleChecker::new();
+    checker.add_rule(
+        "nmos-pullup",
+        "nmos sources from vdd: output high is degraded by Vt",
+        nmos_pullup()?,
+    );
+    checker.add_rule(
+        "pmos-pulldown",
+        "pmos pulls to gnd: output low is degraded by Vt",
+        pmos_pulldown()?,
+    );
+    checker.add_rule(
+        "diode-connected",
+        "gate tied to drain with source on a rail",
+        diode_connected()?,
+    );
+
+    // A circuit with two planted violations among healthy logic.
+    let mut chip = Netlist::new("suspect_chip");
+    let mos = chip.add_mos_types();
+    let (a, b, q1, q2, w) = (
+        chip.net("a"),
+        chip.net("b"),
+        chip.net("q1"),
+        chip.net("q2"),
+        chip.net("w"),
+    );
+    let (vdd, gnd) = (chip.net("vdd"), chip.net("gnd"));
+    chip.mark_global(vdd);
+    chip.mark_global(gnd);
+    // Healthy inverter.
+    chip.add_device("good_p", mos.pmos, &[a, vdd, w])?;
+    chip.add_device("good_n", mos.nmos, &[a, gnd, w])?;
+    // Violation 1: NMOS pass-up.
+    chip.add_device("bad1", mos.nmos, &[b, vdd, q1])?;
+    // Violation 2: diode-connected NMOS.
+    chip.add_device("bad2", mos.nmos, &[q2, gnd, q2])?;
+
+    let violations = checker.check(&chip);
+    println!(
+        "{} rules, {} violations:",
+        checker.rule_count(),
+        violations.len()
+    );
+    for v in &violations {
+        println!(
+            "  [{}] {} -> devices {:?}",
+            v.rule, v.description, v.devices
+        );
+    }
+    assert_eq!(violations.len(), 2);
+    assert!(violations.iter().any(|v| v.devices == ["bad1"]));
+    assert!(violations.iter().any(|v| v.devices == ["bad2"]));
+    Ok(())
+}

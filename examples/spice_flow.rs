@@ -1,0 +1,52 @@
+//! End-to-end SPICE flow: parse a deck, hunt a pattern, write results.
+//!
+//! Run with: `cargo run --example spice_flow`
+
+use subgemini::Matcher;
+use subgemini_spice::{parse, write_netlist, ElaborateOptions, SpiceError};
+
+const DECK: &str = "\
+* two-bit toggle pipeline
+.global vdd gnd
+.subckt inv a y
+Mp y a vdd vdd pch W=4u L=0.5u
+Mn y a gnd gnd nch W=2u L=0.5u
+.ends
+.subckt nand2 a b y
+Mp1 y a vdd vdd pch
+Mp2 y b vdd vdd pch
+Mn1 mid a y gnd nch
+Mn2 gnd b mid gnd nch
+.ends
+Xi0 in w0 inv
+Xi1 w0 w1 inv
+Xg0 w1 in w2 nand2
+Xi2 w2 out inv
+";
+
+fn main() -> Result<(), SpiceError> {
+    // ---- parse + flatten ----
+    let doc = parse(DECK)?;
+    let chip = doc.elaborate_top("pipeline", &ElaborateOptions::default())?;
+    println!("flattened deck: {}", chip);
+
+    // ---- pattern from the same deck ----
+    let inv = doc.elaborate_cell("inv", &ElaborateOptions::default())?;
+    let nand = doc.elaborate_cell("nand2", &ElaborateOptions::default())?;
+
+    let invs = Matcher::new(&inv, &chip).find_all();
+    let nands = Matcher::new(&nand, &chip).find_all();
+    println!("inverters found: {}", invs.count());
+    println!("nand2 found:     {}", nands.count());
+    assert_eq!(invs.count(), 3);
+    assert_eq!(nands.count(), 1);
+
+    // ---- write the flattened circuit back out ----
+    let text = write_netlist(&chip);
+    println!("\nround-tripped SPICE:\n{text}");
+    let doc2 = parse(&text)?;
+    let chip2 = doc2.elaborate_top("pipeline", &ElaborateOptions::default())?;
+    assert_eq!(chip.device_count(), chip2.device_count());
+    assert_eq!(chip.net_count(), chip2.net_count());
+    Ok(())
+}

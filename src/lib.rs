@@ -1,0 +1,28 @@
+//! Umbrella crate for the SubGemini reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! integration tests can use a single dependency. Library users should
+//! depend on the individual crates ([`subgemini`], [`subgemini_netlist`],
+//! …) directly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use subgemini_suite::subgemini::Matcher;
+//! use subgemini_suite::workloads::{cells, gen};
+//!
+//! let pattern = cells::full_adder();
+//! let main = gen::ripple_adder(4);
+//! let outcome = Matcher::new(&pattern, &main.netlist).find_all();
+//! assert_eq!(outcome.count(), 4);
+//! ```
+
+pub mod hier;
+
+pub use subgemini;
+pub use subgemini_baseline as baseline;
+pub use subgemini_gemini as gemini;
+pub use subgemini_netlist as netlist;
+pub use subgemini_spice as spice;
+pub use subgemini_verilog as verilog;
+pub use subgemini_workloads as workloads;

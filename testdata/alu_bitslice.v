@@ -1,0 +1,21 @@
+// one ALU bit-slice, structural gates only
+module alu_slice(input a, b, cin, op, output sum, cout, y);
+  wire axb, g1o, g2o, nop;
+  // adder core
+  xor  x1(axb, a, b);
+  xor  x2(sum, axb, cin);
+  nand n1(g1o, a, b);
+  nand n2(g2o, axb, cin);
+  nand n3(cout, g1o, g2o);
+  // op mux: y = op ? sum : axb
+  not  i1(nop, op);
+  nand m1(g3o, sum, op);
+  nand m2(g4o, axb, nop);
+  nand m3(y, g3o, g4o);
+endmodule
+
+module alu2(input a0, a1, b0, b1, c0, op, output s0, s1, y0, y1, cout);
+  wire c1;
+  alu_slice u0(.a(a0), .b(b0), .cin(c0), .op(op), .sum(s0), .cout(c1), .y(y0));
+  alu_slice u1(.a(a1), .b(b1), .cin(c1), .op(op), .sum(s1), .cout(cout), .y(y1));
+endmodule

@@ -1,0 +1,27 @@
+* analog bias distribution — mirrors and a two-stage amplifier
+.global vdd gnd
+.subckt nmirror iin iout
+M1 iin iin gnd gnd nmos
+M2 iout iin gnd gnd nmos
+.ends
+.subckt pmirror iin iout
+M1 iin iin vdd vdd pmos
+M2 iout iin vdd vdd pmos
+.ends
+
+* reference branch
+Rref vdd nref 10k
+Xm0 nref nbias1 nmirror
+Xm1 nref nbias2 nmirror
+
+* mirrored loads
+Xp0 pbias tail1 pmirror
+
+* five-transistor amplifier, written flat
+M1 x inp tail ab nmos
+M2 outn inn tail ab nmos
+M3 x x vdd vdd pmos
+M4 outn x vdd vdd pmos
+M5 tail nbias1 gnd gnd nmos
+Cload outn gnd 1p
+.end

@@ -1,0 +1,4 @@
+* deliberately broken deck used by parser error tests
+.subckt dangling a b
+Mn1 a b
+.ends

@@ -1,0 +1,51 @@
+* two-stage pipelined datapath slice — hand-written realistic deck
+.global vdd gnd
+.subckt inv a y
+Mp y a vdd vdd pmos W=4u L=0.18u
+Mn y a gnd gnd nmos W=2u L=0.18u
+.ends
+
+.subckt nand2 a b y
+Mp1 y a vdd vdd pmos
+Mp2 y b vdd vdd pmos
+Mn1 mid a y gnd nmos
+Mn2 gnd b mid gnd nmos
+.ends
+
+.subckt aoi21 a b c y
+Mp1 mu a vdd vdd pmos
+Mp2 mu b vdd vdd pmos
+Mp3 y c mu vdd pmos
+Mn1 md a y gnd nmos
+Mn2 gnd b md gnd nmos
+Mn3 y c gnd gnd nmos
+.ends
+
+.subckt dlatch d clk clkb q
+Mtn x clk d gnd nmos
+Mtp x clkb d vdd pmos
+Mp1 qb x vdd vdd pmos
+Mn1 qb x gnd gnd nmos
+Mp2 q qb vdd vdd pmos
+Mn2 q qb gnd gnd nmos
+Mfn x clkb q gnd nmos
+Mfp x clk q vdd pmos
+.ends
+
+* stage 1: combinational cone
+Xg1 in1 in2 n1 nand2
+Xg2 n1 in3 n2 nand2
+Xa1 n2 in4 in1 n3 aoi21
+Xi1 n3 n4 inv
+
+* clock distribution
+Xc1 clk clkb inv
+
+* stage boundary latches
+Xl1 n4 clk clkb q1 dlatch
+Xl2 n2 clk clkb q2 dlatch
+
+* stage 2
+Xg3 q1 q2 out_pre nand2
+Xi2 out_pre out inv
+.end

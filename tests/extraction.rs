@@ -1,0 +1,133 @@
+//! Integration tests for the extraction engine (experiment E9) across
+//! crates: extract, then independently validate with Gemini.
+
+use subgemini::Extractor;
+use subgemini_gemini::compare;
+use subgemini_netlist::NetlistStats;
+use subgemini_workloads::{cells, gen};
+
+fn full_library_extractor() -> Extractor {
+    let mut e = Extractor::new();
+    for cell in cells::library() {
+        e.add_cell(cell);
+    }
+    e
+}
+
+#[test]
+fn adder_extracts_to_exactly_its_full_adders() {
+    let adder = gen::ripple_adder(6);
+    let (gates, report) = full_library_extractor().extract(&adder.netlist).unwrap();
+    assert_eq!(report.count_of("full_adder"), 6);
+    assert_eq!(report.unabsorbed_devices, 0);
+    // All transistors gone; 6 composite gates remain.
+    let stats = NetlistStats::of(&gates);
+    assert_eq!(stats.devices, 6);
+    assert!(stats.devices_by_type.contains_key("full_adder"));
+    assert!(!stats.devices_by_type.contains_key("nmos"));
+}
+
+#[test]
+fn shift_register_extracts_to_dffs_not_latches() {
+    // Largest-first ordering must let dff claim its transistors before
+    // the smaller dlatch/inv/buf patterns can eat them.
+    let sreg = gen::shift_register(5);
+    let (gates, report) = full_library_extractor().extract(&sreg.netlist).unwrap();
+    assert_eq!(report.count_of("dff"), 5);
+    assert_eq!(report.count_of("dlatch"), 0);
+    assert_eq!(report.count_of("inv"), 0);
+    assert_eq!(report.unabsorbed_devices, 0);
+    assert_eq!(gates.device_count(), 5);
+}
+
+#[test]
+fn sram_extracts_to_bit_cells() {
+    let sram = gen::sram_array(3, 4);
+    let (gates, report) = full_library_extractor().extract(&sram.netlist).unwrap();
+    assert_eq!(report.count_of("sram6t"), 12);
+    assert_eq!(report.unabsorbed_devices, 0);
+    assert_eq!(gates.device_count(), 12);
+    // Word/bit lines survive as shared nets.
+    assert!(gates.find_net("wl0").is_some());
+    assert!(gates.find_net("bl3").is_some());
+}
+
+#[test]
+fn soup_extraction_covers_every_planted_gate() {
+    let soup = gen::random_soup(31337, 40);
+    let (gates, report) = full_library_extractor().extract(&soup.netlist).unwrap();
+    // Largest-first extraction may repartition smaller cells into
+    // larger-cell matches (e.g. chained planted inverters form a `buf`),
+    // but every primitive transistor must be absorbed into some gate.
+    assert_eq!(report.unabsorbed_devices, 0, "all transistors absorbed");
+    let absorbed: usize = report
+        .instances
+        .iter()
+        .map(|inst| inst.absorbed.len())
+        .sum();
+    assert_eq!(absorbed, soup.netlist.device_count());
+    assert_eq!(gates.device_count(), report.instances.len());
+    gates.validate().unwrap();
+}
+
+#[test]
+fn extracted_instance_absorbs_correct_transistors() {
+    let adder = gen::ripple_adder(2);
+    let (_gates, report) = full_library_extractor().extract(&adder.netlist).unwrap();
+    for inst in &report.instances {
+        assert_eq!(inst.cell, "full_adder");
+        assert_eq!(inst.absorbed.len(), 28);
+        // All absorbed transistors share the instance prefix.
+        let prefix: Vec<&str> = inst
+            .absorbed
+            .iter()
+            .map(|n| n.split('.').next().unwrap())
+            .collect();
+        assert!(prefix.windows(2).all(|w| w[0] == w[1]), "{prefix:?}");
+    }
+}
+
+#[test]
+fn two_equal_chips_extract_to_isomorphic_gate_netlists() {
+    let a = gen::ripple_adder(4);
+    let b = gen::ripple_adder(4);
+    let (ga, _) = full_library_extractor().extract(&a.netlist).unwrap();
+    let (gb, _) = full_library_extractor().extract(&b.netlist).unwrap();
+    assert!(compare(&ga, &gb).is_isomorphic());
+}
+
+#[test]
+fn extraction_is_idempotent_on_gate_netlists() {
+    // Running the extractor again on the gate-level output must be a
+    // no-op: no transistors remain to match.
+    let adder = gen::ripple_adder(3);
+    let extractor = full_library_extractor();
+    let (gates, _) = extractor.extract(&adder.netlist).unwrap();
+    let (gates2, report2) = extractor.extract(&gates).unwrap();
+    assert_eq!(report2.instances.len(), 0);
+    assert_eq!(gates2.device_count(), gates.device_count());
+}
+
+#[test]
+fn mixed_logic_block_extracts_fully() {
+    // adder + registers + a few planted discrete gates.
+    let mut chip = gen::ripple_adder(2).netlist;
+    let clk = chip.net("clk");
+    for i in 0..2 {
+        let d = chip.net(format!("s{i}"));
+        let q = chip.net(format!("q{i}"));
+        subgemini_netlist::instantiate(&mut chip, &cells::dff(), &format!("r{i}"), &[d, clk, q])
+            .unwrap();
+    }
+    let a = chip.net("q0");
+    let b = chip.net("q1");
+    let y = chip.net("alarm");
+    subgemini_netlist::instantiate(&mut chip, &cells::nand2(), "alarm_gate", &[a, b, y]).unwrap();
+
+    let (gates, report) = full_library_extractor().extract(&chip).unwrap();
+    assert_eq!(report.count_of("full_adder"), 2);
+    assert_eq!(report.count_of("dff"), 2);
+    assert_eq!(report.count_of("nand2"), 1);
+    assert_eq!(report.unabsorbed_devices, 0);
+    assert_eq!(gates.device_count(), 5);
+}

@@ -1,0 +1,105 @@
+//! Fingered-layout matching: merge_parallel as matching preprocessing.
+
+use subgemini::Matcher;
+use subgemini_netlist::{merge_parallel, Netlist};
+use subgemini_workloads::cells;
+
+/// An inverter whose transistors are split into parallel fingers, as a
+/// layout extractor would produce.
+fn fingered_inverter(
+    chip: &mut Netlist,
+    prefix: &str,
+    a: subgemini_netlist::NetId,
+    y: subgemini_netlist::NetId,
+    fingers: usize,
+) {
+    let mos = chip.add_mos_types();
+    let vdd = chip.net("vdd");
+    let gnd = chip.net("gnd");
+    chip.mark_global(vdd);
+    chip.mark_global(gnd);
+    for f in 0..fingers {
+        // Alternate source/drain listing like real fingers do.
+        let ppins = if f % 2 == 0 { [a, vdd, y] } else { [a, y, vdd] };
+        let npins = if f % 2 == 0 { [a, gnd, y] } else { [a, y, gnd] };
+        chip.add_device(format!("{prefix}_p{f}"), mos.pmos, &ppins)
+            .unwrap();
+        chip.add_device(format!("{prefix}_n{f}"), mos.nmos, &npins)
+            .unwrap();
+    }
+}
+
+#[test]
+fn fingered_inverters_match_after_merging() {
+    let mut chip = Netlist::new("fingered_chain");
+    let mut prev = chip.net("in");
+    for i in 0..5 {
+        let next = chip.net(format!("w{i}"));
+        fingered_inverter(&mut chip, &format!("u{i}"), prev, next, 3);
+        prev = next;
+    }
+    assert_eq!(chip.device_count(), 5 * 6);
+
+    let inv = cells::inv();
+    // Unmerged: the 3-finger pull-ups give `y` degree 6, so the plain
+    // inverter pattern cannot close (inverter's pull-up must be the
+    // *only* pmos... actually y is a port, but the pattern pmos/nmos
+    // pair maps 1:1 onto single fingers — which DOES structurally
+    // match (one finger pair forms an inverter with extra fanout on
+    // external nets). Pin down the behavior first:
+    let unmerged = Matcher::new(&inv, &chip).find_all();
+    // Each candidate key image yields at most one instance; with 3×3
+    // finger pair combinations per stage overlapping heavily, the count
+    // is implementation-defined but nonzero. The *merged* count is the
+    // meaningful one:
+    let (merged, report) = merge_parallel(&chip);
+    assert_eq!(report.removed(), 5 * 4); // 3 fingers -> 1, twice per stage
+    let found = Matcher::new(&inv, &merged).find_all();
+    assert_eq!(found.count(), 5, "merged chain matches cleanly");
+    assert!(unmerged.count() >= 5, "unmerged still finds finger pairs");
+}
+
+#[test]
+fn merging_removes_fig5_ambiguity() {
+    // Fig. 5's parallel pair merges to a single device, so matching a
+    // single-transistor pattern no longer needs a guess.
+    let mut main = Netlist::new("pair");
+    let mos = main.add_mos_types();
+    let (g, s, d) = (main.net("g"), main.net("s"), main.net("d"));
+    main.add_device("a", mos.nmos, &[g, s, d]).unwrap();
+    main.add_device("b", mos.nmos, &[g, s, d]).unwrap();
+
+    let mut pat = Netlist::new("single");
+    let mos = pat.add_mos_types();
+    let (pg, ps, pd) = (pat.net("g"), pat.net("s"), pat.net("d"));
+    pat.mark_port(pg);
+    pat.mark_port(ps);
+    pat.mark_port(pd);
+    pat.add_device("m", mos.nmos, &[pg, ps, pd]).unwrap();
+
+    let (merged, _) = merge_parallel(&main);
+    let outcome = Matcher::new(&pat, &merged).find_all();
+    assert_eq!(outcome.count(), 1);
+    // The device-pair ambiguity is gone; only the transistor's own
+    // source/drain interchangeability can still force one net guess.
+    assert!(outcome.phase2.guesses <= 1, "{:?}", outcome.phase2);
+    assert_eq!(outcome.phase2.backtracks, 0);
+
+    // Compare with the unmerged pair, which needs strictly more
+    // guessing (device pair plus nets).
+    let unmerged = Matcher::new(&pat, &main).find_all();
+    assert!(unmerged.phase2.guesses > outcome.phase2.guesses);
+}
+
+#[test]
+fn merge_preserves_matching_on_unfingered_circuits() {
+    // On a circuit without parallel devices, merging is the identity
+    // for matching purposes.
+    let chip = subgemini_workloads::gen::ripple_adder(4).netlist;
+    let (merged, report) = merge_parallel(&chip);
+    assert_eq!(report.removed(), 0);
+    let fa = cells::full_adder();
+    let a = Matcher::new(&fa, &chip).find_all();
+    let b = Matcher::new(&fa, &merged).find_all();
+    assert_eq!(a.count(), b.count());
+}

@@ -1,0 +1,102 @@
+//! Ground-truth validation (experiment E4's correctness half): for
+//! every generator × cell combination with an exact expected count, the
+//! matcher must find exactly that many instances.
+
+use subgemini::Matcher;
+use subgemini_workloads::{cells, gen, Generated};
+
+fn check(g: &Generated, cell_name: &str) {
+    let cell = cells::by_name(cell_name).expect("library cell");
+    let outcome = Matcher::new(&cell, &g.netlist).find_all();
+    assert_eq!(
+        outcome.count(),
+        g.structural_count(cell_name),
+        "{} in {}",
+        cell_name,
+        g.netlist.name()
+    );
+    // Every instance independently verifies.
+    for m in &outcome.instances {
+        subgemini::verify_instance(&cell, &g.netlist, m, true)
+            .unwrap_or_else(|e| panic!("{cell_name} instance invalid: {e}"));
+    }
+}
+
+#[test]
+fn adder_ground_truth() {
+    let g = gen::ripple_adder(10);
+    check(&g, "full_adder");
+    check(&g, "inv"); // 2 per FA
+    check(&g, "nand2"); // none
+    check(&g, "dff"); // none
+}
+
+#[test]
+fn shift_register_ground_truth() {
+    let g = gen::shift_register(6);
+    check(&g, "dff");
+    check(&g, "dlatch"); // 2 per dff
+    check(&g, "inv"); // 5 per dff
+    check(&g, "buf"); // 2 per dff
+    check(&g, "sram6t"); // none
+}
+
+#[test]
+fn multiplier_ground_truth() {
+    let g = gen::array_multiplier(3);
+    check(&g, "full_adder");
+    check(&g, "nand2");
+}
+
+#[test]
+fn sram_ground_truth() {
+    let g = gen::sram_array(5, 5);
+    check(&g, "sram6t");
+    check(&g, "inv"); // 2 per bit cell
+    check(&g, "dff"); // none
+}
+
+#[test]
+fn decoder_ground_truth() {
+    let g = gen::decoder(3);
+    check(&g, "nand3");
+    check(&g, "inv");
+    check(&g, "nand2"); // none: 3-input rows only
+}
+
+#[test]
+fn ripple_counter_ground_truth() {
+    let g = gen::ripple_counter(4);
+    check(&g, "dff");
+    check(&g, "xor2");
+    check(&g, "dlatch"); // 2 per dff
+    check(&g, "mux2"); // 1 per xor2
+}
+
+#[test]
+fn soup_ground_truth_across_seeds() {
+    for seed in [1u64, 7, 99, 12345] {
+        let g = gen::random_soup(seed, 35);
+        for cell in [
+            "nand2",
+            "nor2",
+            "xor2",
+            "mux2",
+            "dff",
+            "full_adder",
+            "sram6t",
+        ] {
+            check(&g, cell);
+        }
+    }
+}
+
+#[test]
+fn inverter_chain_ground_truth() {
+    let g = gen::inverter_chain(20);
+    check(&g, "inv");
+    // A chain of inverters contains buf instances at every interior pair.
+    let buf = cells::buf();
+    let outcome = Matcher::new(&buf, &g.netlist).find_all();
+    assert_eq!(outcome.count(), 19);
+}

@@ -1,0 +1,193 @@
+//! Behavioral tests for the matcher's safety valves and option
+//! combinations.
+
+use subgemini::{MatchOptions, Matcher};
+use subgemini_netlist::{instantiate, Netlist};
+use subgemini_workloads::{cells, gen};
+
+/// A heavily symmetric workload that forces guessing.
+fn symmetric_fan(n: usize) -> Netlist {
+    let mut nl = Netlist::new("fan");
+    let mos = nl.add_mos_types();
+    let (g, s, d) = (nl.net("g"), nl.net("s"), nl.net("d"));
+    nl.mark_port(g);
+    nl.mark_port(s);
+    nl.mark_port(d);
+    for i in 0..n {
+        nl.add_device(format!("t{i}"), mos.nmos, &[g, s, d])
+            .unwrap();
+    }
+    nl
+}
+
+#[test]
+fn guess_budget_exhaustion_fails_cleanly() {
+    // An 8-fold symmetric pattern with a 1-guess budget cannot finish,
+    // but must terminate and report zero instances — never hang or
+    // panic.
+    let pat = symmetric_fan(8);
+    let main = symmetric_fan(8);
+    let outcome = Matcher::new(&pat, &main)
+        .options(MatchOptions {
+            max_guesses_per_candidate: 1,
+            ..MatchOptions::default()
+        })
+        .find_all();
+    assert_eq!(outcome.count(), 0);
+    assert!(outcome.phase2.candidates_tried >= 1);
+}
+
+#[test]
+fn tiny_pass_budget_still_terminates() {
+    // max_passes=1 forces a stall after every single pass; the guess
+    // machinery must still drive matching to completion (or clean
+    // failure) on a simple chain.
+    let chip = gen::inverter_chain(4).netlist;
+    let outcome = Matcher::new(&cells::inv(), &chip)
+        .options(MatchOptions {
+            max_passes_per_candidate: 1,
+            max_guesses_per_candidate: 10_000,
+            ..MatchOptions::default()
+        })
+        .find_all();
+    assert_eq!(outcome.count(), 4, "{:?}", outcome.phase2);
+}
+
+#[test]
+fn option_combinations_do_not_interfere() {
+    let chip = gen::random_soup(11, 30);
+    let cell = cells::nand2();
+    let reference = Matcher::new(&cell, &chip.netlist).find_all();
+    // ignore_globals + threads + first
+    let combo = Matcher::new(&cell, &chip.netlist)
+        .options(MatchOptions {
+            threads: 3,
+            max_instances: 1,
+            ..MatchOptions::default()
+        })
+        .find_all();
+    assert_eq!(combo.count(), reference.count().min(1));
+    // Different seeds with claiming.
+    for seed in [3u64, 9999] {
+        let o = Matcher::new(&cell, &chip.netlist)
+            .options(MatchOptions {
+                seed,
+                ..MatchOptions::extraction()
+            })
+            .find_all();
+        assert_eq!(o.count(), reference.count(), "seed {seed}");
+    }
+}
+
+#[test]
+fn find_first_is_prefix_of_find_all() {
+    let chip = gen::ripple_adder(5).netlist;
+    let fa = cells::full_adder();
+    let all = Matcher::new(&fa, &chip).find_all();
+    let first = Matcher::new(&fa, &chip).find_first().expect("exists");
+    assert!(all.instances.contains(&first));
+}
+
+#[test]
+fn extraction_options_respected_through_extractor() {
+    // A custom seed via set_options must not change extraction results.
+    let chip = gen::ripple_adder(3).netlist;
+    let run = |seed: u64| {
+        let mut e = subgemini::Extractor::new();
+        e.add_cell(cells::full_adder());
+        e.set_options(MatchOptions {
+            seed,
+            ..MatchOptions::extraction()
+        });
+        let (gates, report) = e.extract(&chip).unwrap();
+        (gates.device_count(), report.count_of("full_adder"))
+    };
+    assert_eq!(run(1), run(0xfeed));
+}
+
+#[test]
+fn port_marking_order_is_irrelevant() {
+    // The same cell with ports declared in a different order matches
+    // identically (port order matters for instantiation, not matching).
+    let build = |swap: bool| {
+        let mut inv = Netlist::new("inv");
+        let mos = inv.add_mos_types();
+        let (a, y) = (inv.net("a"), inv.net("y"));
+        let (vdd, gnd) = (inv.net("vdd"), inv.net("gnd"));
+        if swap {
+            inv.mark_port(y);
+            inv.mark_port(a);
+        } else {
+            inv.mark_port(a);
+            inv.mark_port(y);
+        }
+        inv.mark_global(vdd);
+        inv.mark_global(gnd);
+        inv.add_device("mp", mos.pmos, &[a, vdd, y]).unwrap();
+        inv.add_device("mn", mos.nmos, &[a, gnd, y]).unwrap();
+        inv
+    };
+    let mut chip = Netlist::new("chip");
+    let (i, o) = (chip.net("in"), chip.net("out"));
+    instantiate(&mut chip, &build(false), "u1", &[i, o]).unwrap();
+    let a = Matcher::new(&build(false), &chip).find_all();
+    let b = Matcher::new(&build(true), &chip).find_all();
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.instances[0].device_set(), b.instances[0].device_set());
+}
+
+/// §I: tree-based technology mappers cannot handle feedback; the
+/// subgraph-isomorphism mapper covers a ring (pure feedback) exactly.
+#[test]
+fn techmap_covers_feedback_loops() {
+    use subgemini::TechMapper;
+    // A 6-inverter ring: no tree decomposition exists.
+    let inv = cells::inv();
+    let mut ring = Netlist::new("ring6");
+    let nets: Vec<_> = (0..6).map(|i| ring.net(format!("n{i}"))).collect();
+    for i in 0..6 {
+        instantiate(
+            &mut ring,
+            &inv,
+            &format!("u{i}"),
+            &[nets[i], nets[(i + 1) % 6]],
+        )
+        .unwrap();
+    }
+    let mut mapper = TechMapper::new();
+    mapper.add_cell(cells::inv(), 1.0);
+    mapper.add_cell(cells::buf(), 1.5);
+    let exact = mapper.map_exact(&ring, 1_000_000).expect("ring coverable");
+    assert!(exact.is_complete());
+    // 3 bufs (4.5) beat 6 invs (6.0) and any mix.
+    assert!(
+        (exact.total_cost - 4.5).abs() < 1e-9,
+        "{}",
+        exact.total_cost
+    );
+    assert_eq!(exact.count_of("buf"), 3);
+}
+
+/// Reconvergent fanout (the other §I tree-mapper blind spot): a NAND
+/// whose two inputs derive from the same source still maps.
+#[test]
+fn techmap_covers_reconvergent_fanout() {
+    use subgemini::TechMapper;
+    let mut chip = Netlist::new("reconv");
+    let (src, w1, w2, out) = (
+        chip.net("src"),
+        chip.net("w1"),
+        chip.net("w2"),
+        chip.net("out"),
+    );
+    instantiate(&mut chip, &cells::inv(), "i1", &[src, w1]).unwrap();
+    instantiate(&mut chip, &cells::inv(), "i2", &[src, w2]).unwrap();
+    instantiate(&mut chip, &cells::nand2(), "g", &[w1, w2, out]).unwrap();
+    let mut mapper = TechMapper::new();
+    mapper.add_cell(cells::inv(), 1.0);
+    mapper.add_cell(cells::nand2(), 2.0);
+    let cover = mapper.map_greedy(&chip);
+    assert!(cover.is_complete());
+    assert_eq!(cover.count_of("inv"), 2);
+    assert_eq!(cover.count_of("nand2"), 1);
+}

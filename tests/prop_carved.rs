@@ -1,0 +1,142 @@
+//! The strongest completeness property: carve a random connected
+//! region out of a random circuit, use it as the pattern, and the
+//! matcher must find at least the carved instance (and every reported
+//! instance must verify).
+
+use proptest::prelude::*;
+use subgemini::Matcher;
+use subgemini_netlist::{DeviceId, DeviceType, NetId, Netlist};
+
+/// Random circuit over MOS + resistor types with power rails.
+fn random_circuit(n_nets: usize, devices: &[(u8, [usize; 3])]) -> Netlist {
+    let mut nl = Netlist::new("g");
+    let mos = nl.add_mos_types();
+    let res = nl.add_type(DeviceType::two_terminal("res")).unwrap();
+    let nets: Vec<NetId> = (0..n_nets.max(2))
+        .map(|i| nl.net(format!("w{i}")))
+        .collect();
+    let (vdd, gnd) = (nl.net("vdd"), nl.net("gnd"));
+    nl.mark_global(vdd);
+    nl.mark_global(gnd);
+    for (i, (kind, pins)) in devices.iter().enumerate() {
+        let p = |k: usize| nets[pins[k] % nets.len()];
+        match kind % 4 {
+            0 => {
+                nl.add_device(format!("n{i}"), mos.nmos, &[p(0), gnd, p(2)])
+                    .unwrap();
+            }
+            1 => {
+                nl.add_device(format!("p{i}"), mos.pmos, &[p(0), vdd, p(2)])
+                    .unwrap();
+            }
+            2 => {
+                nl.add_device(format!("m{i}"), mos.nmos, &[p(0), p(1), p(2)])
+                    .unwrap();
+            }
+            _ => {
+                nl.add_device(format!("r{i}"), res, &[p(0), p(1)]).unwrap();
+            }
+        }
+    }
+    nl
+}
+
+/// Grows a connected device region of up to `target` devices starting
+/// from `seed`, walking through non-global nets.
+fn carve_region(nl: &Netlist, seed: usize, target: usize) -> Vec<DeviceId> {
+    let start = DeviceId::new((seed % nl.device_count()) as u32);
+    let mut selected = vec![start];
+    let mut frontier = vec![start];
+    while selected.len() < target {
+        let Some(d) = frontier.pop() else { break };
+        for &n in nl.device(d).pins() {
+            if nl.net_ref(n).is_global() {
+                continue;
+            }
+            for pin in nl.net_ref(n).pins() {
+                if !selected.contains(&pin.device) && selected.len() < target {
+                    selected.push(pin.device);
+                    frontier.push(pin.device);
+                }
+            }
+        }
+    }
+    selected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn carved_regions_are_always_found(
+        n_nets in 2usize..9,
+        devices in prop::collection::vec(
+            (0u8..4, [any::<usize>(), any::<usize>(), any::<usize>()]),
+            2..14,
+        ),
+        seed in any::<usize>(),
+        target in 1usize..6,
+    ) {
+        let g = random_circuit(n_nets, &devices);
+        let region = carve_region(&g, seed, target);
+        let pattern = g.subnetlist("carved", &region);
+        pattern
+            .validate()
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let outcome = Matcher::new(&pattern, &g).find_all();
+        prop_assert!(
+            outcome.count() >= 1,
+            "carved {} devices, found none (phase1 {:?}, phase2 {:?})",
+            region.len(),
+            outcome.phase1,
+            outcome.phase2
+        );
+        // Cross-validate against the exhaustive oracle with automorphic
+        // dedup OFF, so it reports the *exact* set of valid key images.
+        // The precisely guaranteed relationship is:
+        //   (a) soundness — every SubGemini key image is a true image;
+        //   (b) coverage — every true key image either anchors a
+        //       reported instance, or lies inside one (its own instance
+        //       was merged with an automorphic twin's device set).
+        if let Some(key) = outcome.key {
+            use subgemini_baseline::{find_all as dfs_find_all, DfsOptions};
+            use subgemini_netlist::Vertex;
+            let dfs = dfs_find_all(
+                &pattern,
+                &g,
+                &DfsOptions {
+                    dedup_automorphs: false,
+                    ..DfsOptions::default()
+                },
+            );
+            if !dfs.budget_exhausted {
+                let oracle: Vec<Vertex> = match key {
+                    Vertex::Device(d) => dfs
+                        .images_of_device(d)
+                        .into_iter()
+                        .map(Vertex::Device)
+                        .collect(),
+                    Vertex::Net(n) => {
+                        dfs.images_of_net(n).into_iter().map(Vertex::Net).collect()
+                    }
+                };
+                for ki in outcome.key_images() {
+                    prop_assert!(oracle.contains(&ki), "false key image {ki:?}");
+                }
+                for c in &oracle {
+                    let covered = outcome.key_images().contains(c)
+                        || outcome.instances.iter().any(|m| match *c {
+                            Vertex::Device(d) => m.devices.contains(&d),
+                            Vertex::Net(n) => m.nets.contains(&n),
+                        });
+                    prop_assert!(covered, "true key image {c:?} unreported and uncovered");
+                }
+            }
+        }
+        // Every reported instance independently verifies.
+        for m in &outcome.instances {
+            subgemini::verify_instance(&pattern, &g, m, true)
+                .map_err(|e| TestCaseError::fail(format!("invalid instance: {e}")))?;
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Scale tests: moderate sizes in the default run, chip-scale sizes
+//! behind `--ignored` (run with `cargo test --release -- --ignored`).
+
+use std::time::Instant;
+
+use subgemini::Matcher;
+use subgemini_workloads::{cells, gen};
+
+#[test]
+fn ten_thousand_device_sram() {
+    // 42×42 → 1764 cells → 10584 devices.
+    let sram = gen::sram_array(42, 42);
+    assert!(sram.netlist.device_count() > 10_000);
+    let start = Instant::now();
+    let outcome = Matcher::new(&cells::sram6t(), &sram.netlist).find_all();
+    assert_eq!(outcome.count(), 42 * 42);
+    // Generous bound: even a debug build does this in well under a
+    // minute; a regression to quadratic behavior would blow it.
+    assert!(
+        start.elapsed().as_secs() < 120,
+        "took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn wide_adder_with_registers() {
+    let mut chip = gen::ripple_adder(64).netlist; // 1792 devices
+    let clk = chip.net("clk");
+    for i in 0..64 {
+        let d = chip.net(format!("s{i}"));
+        let q = chip.net(format!("rq{i}"));
+        subgemini_netlist::instantiate(&mut chip, &cells::dff(), &format!("r{i}"), &[d, clk, q])
+            .unwrap();
+    }
+    assert_eq!(chip.device_count(), 64 * 28 + 64 * 18);
+    let fa = Matcher::new(&cells::full_adder(), &chip).find_all();
+    assert_eq!(fa.count(), 64);
+    let ff = Matcher::new(&cells::dff(), &chip).find_all();
+    assert_eq!(ff.count(), 64);
+}
+
+/// Chip-scale run: ~100k devices. `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "chip-scale; run with --release -- --ignored"]
+fn hundred_thousand_device_fabric() {
+    let sram = gen::sram_array(130, 130); // 101 400 devices
+    assert!(sram.netlist.device_count() > 100_000);
+    let start = Instant::now();
+    let outcome = Matcher::new(&cells::sram6t(), &sram.netlist).find_all();
+    assert_eq!(outcome.count(), 130 * 130);
+    let per_dev = start.elapsed().as_nanos() / outcome.matched_device_total() as u128;
+    println!(
+        "100k fabric: {} instances in {:?} ({per_dev} ns per matched device)",
+        outcome.count(),
+        start.elapsed()
+    );
+}
+
+/// Large extraction run behind --ignored.
+#[test]
+#[ignore = "chip-scale; run with --release -- --ignored"]
+fn extract_large_mixed_chip() {
+    let soup = gen::random_soup(77, 2000);
+    let mut extractor = subgemini::Extractor::new();
+    for cell in cells::library() {
+        extractor.add_cell(cell);
+    }
+    let start = Instant::now();
+    let (gates, report) = extractor.extract(&soup.netlist).unwrap();
+    println!(
+        "extracted {} gates from {} devices in {:?} ({} unabsorbed)",
+        gates.device_count(),
+        soup.netlist.device_count(),
+        start.elapsed(),
+        report.unabsorbed_devices
+    );
+    assert_eq!(report.unabsorbed_devices, 0);
+}
