@@ -5,9 +5,9 @@
 //! * `key_policy` — Phase I key selection: the paper's smallest
 //!   partition vs first-valid vs the adversarial largest partition.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use subgemini::{KeyPolicy, MatchOptions, Matcher};
+use subgemini_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subgemini_workloads::{cells, gen};
 
 fn port_spreading(c: &mut Criterion) {

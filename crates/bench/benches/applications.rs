@@ -2,9 +2,9 @@
 //! the paper's special-case micro-benchmarks (Fig. 5 guess, Fig. 7
 //! special nets).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use subgemini::{MatchOptions, Matcher, RuleChecker, TechMapper};
+use subgemini_bench::harness::{criterion_group, criterion_main, Criterion};
 use subgemini_netlist::Netlist;
 use subgemini_workloads::{cells, gen, paper};
 

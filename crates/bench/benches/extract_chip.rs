@@ -1,8 +1,8 @@
 //! E9: full-library transistor→gate extraction throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use subgemini::Extractor;
+use subgemini_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subgemini_workloads::{cells, gen};
 
 fn bench(c: &mut Criterion) {

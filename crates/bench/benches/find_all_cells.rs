@@ -1,9 +1,9 @@
 //! E4: the results-table workloads under Criterion — one benchmark per
 //! (circuit, cell) pair.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use subgemini::Matcher;
+use subgemini_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subgemini_workloads::{cells, gen};
 
 fn bench(c: &mut Criterion) {

@@ -3,9 +3,11 @@
 //! directly visible: elements/second should stay roughly constant as
 //! the circuit grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use subgemini::Matcher;
+use subgemini_bench::harness::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use subgemini_workloads::{cells, gen};
 
 fn bench(c: &mut Criterion) {

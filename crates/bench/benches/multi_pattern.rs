@@ -2,9 +2,9 @@
 //! against one chip, with and without the shared main-graph label
 //! trace.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use subgemini::candidates;
+use subgemini_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subgemini_netlist::Netlist;
 use subgemini_workloads::{cells, gen};
 

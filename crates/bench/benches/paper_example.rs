@@ -1,8 +1,8 @@
 //! E1: the paper's running example (Fig. 1 / Table 1) end to end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use subgemini::Matcher;
+use subgemini_bench::harness::{criterion_group, criterion_main, Criterion};
 use subgemini_workloads::paper;
 
 fn bench(c: &mut Criterion) {

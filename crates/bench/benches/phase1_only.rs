@@ -1,9 +1,9 @@
 //! E7: Phase I in isolation — the cost and quality of the candidate
 //! filter.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use subgemini::candidates;
+use subgemini_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subgemini_workloads::{cells, gen};
 
 fn bench(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! E3/E8: the cost and effect of treating Vdd/GND as special signals.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use subgemini::{MatchOptions, Matcher};
+use subgemini_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subgemini_workloads::{cells, gen};
 
 fn bench(c: &mut Criterion) {

@@ -1,8 +1,8 @@
 //! Substrate benches: the Gemini comparator and the SPICE pipeline,
 //! whose costs underlie every application experiment.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use subgemini_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subgemini_gemini::compare;
 use subgemini_spice::{parse, write_netlist, ElaborateOptions};
 use subgemini_workloads::gen;

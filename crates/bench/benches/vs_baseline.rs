@@ -1,10 +1,10 @@
 //! E6: SubGemini against the exhaustive DFS matcher on the same
 //! workload — who wins and by what factor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use subgemini::Matcher;
 use subgemini_baseline::{find_all as dfs_find_all, DfsOptions};
+use subgemini_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use subgemini_workloads::{cells, gen};
 
 fn bench(c: &mut Criterion) {

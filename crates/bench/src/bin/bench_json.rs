@@ -1,0 +1,166 @@
+//! Machine-readable phase-timing benchmark: runs the linearity sweep
+//! and the library survey with metrics collection on, then writes a
+//! single JSON artifact (`BENCH_phase_timings.json` by default) whose
+//! schema is documented in EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_json [--scale N] [--threads N] [--out FILE]
+//! ```
+//!
+//! `--scale` multiplies the sweep sizes (default 1), `--threads`
+//! selects the Phase II worker count (default 1: serial, deterministic
+//! busy times), `--out -` writes the report to stdout.
+
+use std::collections::BTreeMap;
+
+use subgemini::metrics::json::Value;
+use subgemini::metrics::{MetricsReport, REPORT_SCHEMA_VERSION};
+use subgemini::{MatchOptions, Matcher};
+use subgemini_netlist::Netlist;
+use subgemini_workloads::{cells, gen};
+
+fn metrics_value(m: &MetricsReport) -> Value {
+    Value::Obj(vec![
+        ("total_ns".into(), Value::int(m.total_ns)),
+        ("phase1_refine_ns".into(), Value::int(m.phase1_refine_ns)),
+        ("phase1_select_ns".into(), Value::int(m.phase1_select_ns)),
+        ("phase2_verify_ns".into(), Value::int(m.phase2_verify_ns)),
+        (
+            "phase2_max_candidate_ns".into(),
+            Value::int(m.phase2_max_candidate_ns),
+        ),
+        ("phase2_wall_ns".into(), Value::int(m.phase2_wall_ns)),
+        ("threads_used".into(), Value::int(m.threads_used as u64)),
+        (
+            "worker_utilization".into(),
+            Value::Num(m.worker_utilization()),
+        ),
+    ])
+}
+
+fn run_one(pattern: &Netlist, main: &Netlist, threads: usize) -> (u64, u64, MetricsReport) {
+    let outcome = Matcher::new(pattern, main)
+        .options(MatchOptions {
+            collect_metrics: true,
+            threads,
+            ..MatchOptions::default()
+        })
+        .find_all();
+    let found = outcome.count() as u64;
+    let cv = outcome.phase1.cv_size as u64;
+    let metrics = outcome.metrics.expect("collect_metrics was set");
+    (found, cv, metrics)
+}
+
+/// Runtime vs circuit size on ripple adders (the paper's Fig. 5
+/// linearity claim): matched work should grow linearly with the number
+/// of planted full adders.
+fn linearity(scale: usize, threads: usize) -> Value {
+    let pattern = cells::full_adder();
+    let mut rows = Vec::new();
+    for &bits in &[4usize, 8, 16, 32] {
+        let bits = bits * scale.max(1);
+        let g = gen::ripple_adder(bits);
+        let (found, cv, m) = run_one(&pattern, &g.netlist, threads);
+        rows.push(Value::Obj(vec![
+            ("bits".into(), Value::int(bits as u64)),
+            (
+                "main_devices".into(),
+                Value::int(g.netlist.device_count() as u64),
+            ),
+            (
+                "planted".into(),
+                Value::int(g.planted_count("full_adder") as u64),
+            ),
+            ("found".into(), Value::int(found)),
+            ("cv_size".into(), Value::int(cv)),
+            ("metrics".into(), metrics_value(&m)),
+        ]));
+    }
+    Value::Arr(rows)
+}
+
+/// Every library cell against one mixed circuit: per-pattern timing
+/// split plus candidate-filter quality (|CV| vs instances found).
+fn survey(scale: usize, threads: usize) -> Value {
+    let g = gen::ripple_adder(8 * scale.max(1));
+    let mut rows = Vec::new();
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for cell in cells::library() {
+        let (found, cv, m) = run_one(&cell, &g.netlist, threads);
+        *totals.entry("total_ns").or_insert(0) += m.total_ns;
+        *totals.entry("phase2_verify_ns").or_insert(0) += m.phase2_verify_ns;
+        rows.push(Value::Obj(vec![
+            ("cell".into(), Value::Str(cell.name().to_string())),
+            (
+                "pattern_devices".into(),
+                Value::int(cell.device_count() as u64),
+            ),
+            ("cv_size".into(), Value::int(cv)),
+            ("found".into(), Value::int(found)),
+            ("metrics".into(), metrics_value(&m)),
+        ]));
+    }
+    Value::Obj(vec![
+        (
+            "main_devices".into(),
+            Value::int(g.netlist.device_count() as u64),
+        ),
+        (
+            "aggregate".into(),
+            Value::Obj(
+                totals
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Value::int(v)))
+                    .collect(),
+            ),
+        ),
+        ("cells".into(), Value::Arr(rows)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1usize;
+    let mut threads = 1usize;
+    let mut out_path = "BENCH_phase_timings.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{what} requires a value"))
+        };
+        match a.as_str() {
+            "--scale" => scale = take("--scale").parse().expect("--scale takes a count"),
+            "--threads" => threads = take("--threads").parse().expect("--threads takes a count"),
+            "--out" => out_path = take("--out").clone(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("bench_json: linearity sweep (scale {scale}, threads {threads})...");
+    let lin = linearity(scale, threads);
+    eprintln!("bench_json: library survey...");
+    let sur = survey(scale, threads);
+    let report = Value::Obj(vec![
+        ("schema_version".into(), Value::int(REPORT_SCHEMA_VERSION)),
+        (
+            "generated_by".into(),
+            Value::Str(format!("bench_json --scale {scale} --threads {threads}")),
+        ),
+        ("linearity".into(), lin),
+        ("survey".into(), sur),
+    ]);
+    let text = report.pretty();
+    if out_path == "-" {
+        print!("{text}");
+    } else {
+        std::fs::write(&out_path, text).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+        eprintln!("bench_json: wrote {out_path}");
+    }
+}

@@ -2,13 +2,14 @@
 //!
 //! Every table and figure of the paper's evaluation maps to a function
 //! here (see DESIGN.md §4 for the experiment index). The `paper_tables`
-//! binary renders them as text tables / CSV; the Criterion benches
-//! measure the same workloads under a statistics-grade timer.
+//! binary renders them as text tables / CSV; the benches in `benches/`
+//! measure the same workloads under the internal timing harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use experiments::*;

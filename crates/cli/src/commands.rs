@@ -37,7 +37,7 @@ fn library_from(args: &Args) -> Result<Vec<Netlist>, String> {
     Ok(cells)
 }
 
-fn match_options(args: &Args) -> MatchOptions {
+fn match_options(args: &Args) -> Result<MatchOptions, String> {
     let mut opts = MatchOptions::default();
     if args.switch("--ignore-globals") {
         opts.respect_globals = false;
@@ -45,7 +45,28 @@ fn match_options(args: &Args) -> MatchOptions {
     if args.switch("--first") {
         opts.max_instances = 1;
     }
-    opts
+    if let Some(n) = args.option("--threads") {
+        opts.threads = n
+            .parse()
+            .map_err(|_| format!("--threads: `{n}` is not a count"))?;
+    }
+    // A report implies metrics collection; text output stays untouched
+    // (and the match byte-identical) without one.
+    if report_mode(args)?.is_some() {
+        opts.collect_metrics = true;
+    }
+    Ok(opts)
+}
+
+/// The validated `--report` value, if any.
+fn report_mode(args: &Args) -> Result<Option<&str>, String> {
+    match args.option("--report") {
+        None => Ok(None),
+        Some(m @ ("json" | "text")) => Ok(Some(m)),
+        Some(other) => Err(format!(
+            "--report: expected `json` or `text`, got `{other}`"
+        )),
+    }
 }
 
 /// `subg find`: locate all instances of a pattern.
@@ -54,8 +75,20 @@ pub fn find(args: &Args) -> Result<u8, String> {
     let main = load_main(main_path)?;
     let pattern = pattern_from(args, main_path)?;
     let outcome = Matcher::new(&pattern, &main)
-        .options(match_options(args))
+        .options(match_options(args)?)
         .find_all();
+    match report_mode(args)? {
+        Some("json") => {
+            // Machine-readable: the report is the whole stdout.
+            print!("{}", subgemini::metrics::outcome_to_json(&outcome).pretty());
+            return Ok(if outcome.count() > 0 { 0 } else { 1 });
+        }
+        Some(_) => {
+            print!("{}", subgemini::metrics::outcome_to_text(&outcome));
+            return Ok(if outcome.count() > 0 { 0 } else { 1 });
+        }
+        None => {}
+    }
     if args.switch("--csv") {
         println!("instance,devices");
         for (i, m) in outcome.instances.iter().enumerate() {
@@ -307,7 +340,7 @@ pub fn trace(args: &Args) -> Result<u8, String> {
         .options(MatchOptions {
             record_trace: true,
             spread_from_port_images: true, // paper-literal spreading
-            ..match_options(args)
+            ..match_options(args)?
         })
         .find_all();
     let count = outcome.count();

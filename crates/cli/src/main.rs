@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
+//!           [--report json|text] [--threads <n>]
 //! subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
 //! subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
 //! subg check <main.sp> --rules <rules.sp>
@@ -27,6 +28,7 @@ subg — SubGemini subcircuit tools
 
 USAGE:
   subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
+            [--report json|text] [--threads <n>]
   subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
   subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
   subg check <main.sp> --rules <rules.sp>

@@ -320,6 +320,169 @@ fn survey_and_trace_subcommands() {
 }
 
 #[test]
+fn find_report_json_schema_is_stable_and_consistent() {
+    use subgemini::metrics::json::Value;
+    let dir = scratch("report");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--report",
+            "json",
+            "--threads",
+            "2",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let v = subgemini::metrics::json::parse(&stdout).expect("stdout is valid JSON");
+
+    // Top-level schema contract.
+    for field in [
+        "schema_version",
+        "instances",
+        "matched_device_total",
+        "key",
+        "phase1",
+        "phase2",
+        "metrics",
+    ] {
+        assert!(v.get(field).is_some(), "missing `{field}` in {stdout}");
+    }
+    assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(1));
+    let instances = v.get("instances").unwrap().as_u64().unwrap();
+    assert_eq!(instances, 2, "{stdout}");
+    assert_eq!(
+        v.get("matched_device_total").unwrap().as_u64(),
+        Some(4),
+        "{stdout}"
+    );
+
+    let p1 = v.get("phase1").unwrap();
+    let cv_size = p1.get("cv_size").unwrap().as_u64().unwrap();
+    let p2 = v.get("phase2").unwrap();
+    let tried = p2.get("candidates_tried").unwrap().as_u64().unwrap();
+    let false_c = p2.get("false_candidates").unwrap().as_u64().unwrap();
+    assert!(tried <= cv_size, "tried {tried} > |CV| {cv_size}");
+    assert!(false_c <= tried);
+    let rate = p2.get("false_candidate_rate").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&rate));
+
+    // Metrics present (the report forces collection) and consistent.
+    let m = v.get("metrics").unwrap();
+    assert!(!matches!(m, Value::Null), "metrics null despite --report");
+    let total = m.get("total_ns").unwrap().as_u64().unwrap();
+    let wall = m.get("phase2_wall_ns").unwrap().as_u64().unwrap();
+    let refine = m.get("phase1_refine_ns").unwrap().as_u64().unwrap();
+    let select = m.get("phase1_select_ns").unwrap().as_u64().unwrap();
+    assert!(total >= wall + refine + select, "{stdout}");
+    let max_cand = m.get("phase2_max_candidate_ns").unwrap().as_u64().unwrap();
+    let busy: u64 = m
+        .get("worker_busy_ns")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|b| b.as_u64().unwrap())
+        .sum();
+    assert_eq!(m.get("phase2_verify_ns").unwrap().as_u64(), Some(busy));
+    assert!(max_cand <= busy.max(1), "{stdout}");
+    let util = m.get("worker_utilization").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&util));
+    let threads = m.get("threads_used").unwrap().as_u64().unwrap();
+    assert!((1..=2).contains(&threads), "{stdout}");
+
+    let counters = m.get("counters").unwrap();
+    assert_eq!(
+        counters.get("instances.reported").unwrap().as_u64(),
+        Some(instances)
+    );
+    let checked = counters
+        .get("candidates.checked")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(checked <= cv_size);
+    let matched = counters
+        .get("candidates.matched")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(matched >= instances && matched <= checked);
+
+    // Text mode: human-readable timing block instead of JSON.
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--report",
+            "text",
+        ],
+    );
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("timings: total"), "{stdout}");
+    assert!(stdout.contains("counter candidates.checked"), "{stdout}");
+
+    // Zero matches still reports (exit 1), and a bogus mode is usage
+    // error (exit 2).
+    fs::write(
+        dir.join("none.sp"),
+        ".global vdd\n.subckt pup g d\nm1 d g vdd vdd nmos\n.ends\n",
+    )
+    .unwrap();
+    let cells = fs::read_to_string(dir.join("cells.sp")).unwrap()
+        + ".subckt pup g d\nm1 d g vdd vdd nmos\n.ends\n";
+    fs::write(dir.join("cells.sp"), cells).unwrap();
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "pup",
+            "--lib",
+            "cells.sp",
+            "--report",
+            "json",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let v = subgemini::metrics::json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(v.get("instances").unwrap().as_u64(), Some(0));
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--report",
+            "yaml",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--report"));
+}
+
+#[test]
 fn usage_on_no_args_and_unknown_command() {
     let dir = scratch("usage");
     let out = subg(&dir, &[]);

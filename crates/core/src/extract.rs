@@ -43,6 +43,9 @@ pub struct ExtractReport {
     pub per_cell: Vec<(String, usize)>,
     /// Devices of the input that no cell covered.
     pub unabsorbed_devices: usize,
+    /// Per-cell and total timings, when the extractor's options set
+    /// [`MatchOptions::collect_metrics`](crate::MatchOptions).
+    pub metrics: Option<crate::metrics::ExtractMetrics>,
 }
 
 impl ExtractReport {
@@ -125,6 +128,10 @@ impl Extractor {
     /// Propagates netlist construction errors from the rebuild (only
     /// possible if input names collide with generated composite names).
     pub fn extract(&self, main: &Netlist) -> Result<(Netlist, ExtractReport), NetlistError> {
+        use crate::metrics::{ExtractCellMetrics, ExtractMetrics, PhaseTimer, ProgressEvent};
+        let collect = self.options.collect_metrics;
+        let progress = self.options.on_progress.as_ref();
+        let total_timer = collect.then(PhaseTimer::start);
         let mut cells: Vec<&Netlist> = self.cells.iter().collect();
         // Largest first; ties broken by name for determinism.
         cells.sort_by(|a, b| {
@@ -134,14 +141,45 @@ impl Extractor {
         });
         let mut current = main.clone();
         let mut report = ExtractReport::default();
-        for cell in cells {
-            let outcome = find_all(cell, &current, &self.options);
+        let mut metrics = collect.then(ExtractMetrics::default);
+        let n_cells = cells.len();
+        for (ci, cell) in cells.into_iter().enumerate() {
+            if let Some(hook) = progress {
+                hook.call(&ProgressEvent::ExtractCellStarted {
+                    cell: cell.name().to_string(),
+                    index: ci,
+                    total: n_cells,
+                });
+            }
+            let match_timer = collect.then(PhaseTimer::start);
+            let mut outcome = find_all(cell, &current, &self.options);
+            let match_ns = match_timer.map_or(0, |t| t.elapsed_ns());
             let found = outcome.instances.len();
             report.per_cell.push((cell.name().to_string(), found));
+            let replace_timer = collect.then(PhaseTimer::start);
             if found > 0 {
                 current = replace_instances(&current, cell, &outcome.instances, &mut report)?;
             }
+            if let Some(m) = metrics.as_mut() {
+                m.cells.push(ExtractCellMetrics {
+                    cell: cell.name().to_string(),
+                    found,
+                    match_ns,
+                    replace_ns: replace_timer.map_or(0, |t| t.elapsed_ns()),
+                    match_metrics: outcome.metrics.take(),
+                });
+            }
+            if let Some(hook) = progress {
+                hook.call(&ProgressEvent::ExtractCellFinished {
+                    cell: cell.name().to_string(),
+                    found,
+                });
+            }
         }
+        if let (Some(m), Some(t)) = (metrics.as_mut(), total_timer) {
+            m.total_ns = t.elapsed_ns();
+        }
+        report.metrics = metrics;
         report.unabsorbed_devices = current
             .device_ids()
             .filter(|&d| {

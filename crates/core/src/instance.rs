@@ -87,6 +87,9 @@ pub struct MatchOutcome {
     /// Pass-by-pass trace of the first successful candidate, when
     /// [`MatchOptions::record_trace`](crate::MatchOptions) was set.
     pub trace: Option<crate::trace::Phase2Trace>,
+    /// Phase timings and effort counters, when
+    /// [`MatchOptions::collect_metrics`](crate::MatchOptions) was set.
+    pub metrics: Option<crate::metrics::MetricsReport>,
 }
 
 impl MatchOutcome {

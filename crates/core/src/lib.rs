@@ -58,6 +58,7 @@
 mod extract;
 mod instance;
 mod matcher;
+pub mod metrics;
 mod options;
 mod phase1;
 mod phase2;
@@ -70,6 +71,7 @@ mod verify;
 pub use extract::{ExtractReport, ExtractedInstance, Extractor};
 pub use instance::{MatchOutcome, Phase1Stats, Phase2Stats, SubMatch};
 pub use matcher::{find_all, Matcher};
+pub use metrics::{Counters, MetricsReport, ProgressEvent, ProgressHook};
 pub use options::{KeyPolicy, MatchOptions, OverlapPolicy};
 pub use rules::{RuleChecker, RuleViolation};
 pub use symmetry::port_symmetry_classes;

@@ -5,6 +5,7 @@ use std::collections::HashSet;
 use subgemini_netlist::{CircuitGraph, DeviceId, Netlist};
 
 use crate::instance::{MatchOutcome, SubMatch};
+use crate::metrics::{MetricsReport, PhaseTimer, ProgressEvent};
 use crate::options::{MatchOptions, OverlapPolicy};
 use crate::phase1;
 use crate::phase2::Phase2Runner;
@@ -102,6 +103,20 @@ pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> Ma
             pattern.net_ref(n).name()
         );
     }
+    let total_timer = options.collect_metrics.then(PhaseTimer::start);
+    let mut outcome = find_all_unprepared(pattern, main, options);
+    if let Some(t) = total_timer {
+        let m = outcome.metrics.get_or_insert_with(|| MetricsReport {
+            threads_requested: options.threads,
+            threads_used: 1,
+            ..MetricsReport::default()
+        });
+        m.total_ns = t.elapsed_ns();
+    }
+    outcome
+}
+
+fn find_all_unprepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> MatchOutcome {
     if pattern.device_count() == 0 {
         return MatchOutcome::default();
     }
@@ -128,14 +143,36 @@ pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> Ma
 
 fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> MatchOutcome {
     let mut outcome = MatchOutcome::default();
+    let collect = options.collect_metrics;
+    let progress = options.on_progress.as_ref();
     let s = CircuitGraph::new(pattern);
     let g = CircuitGraph::new(main);
 
     // ---- Phase I ----
-    let p1 = phase1::run_with_policy(&s, &g, options.key_policy);
+    if let Some(hook) = progress {
+        hook.call(&ProgressEvent::Phase1Started {
+            pattern_devices: pattern.device_count(),
+            main_devices: main.device_count(),
+        });
+    }
+    let (p1, p1_timing) = phase1::run_with_policy_timed(&s, &g, options.key_policy, collect);
+    let mut metrics = collect.then(|| MetricsReport {
+        phase1_refine_ns: p1_timing.refine_ns,
+        phase1_select_ns: p1_timing.select_ns,
+        threads_requested: options.threads,
+        threads_used: 1,
+        ..MetricsReport::default()
+    });
     outcome.phase1 = p1.stats;
     outcome.key = p1.key;
+    if let Some(hook) = progress {
+        hook.call(&ProgressEvent::Phase1Finished {
+            iterations: outcome.phase1.iterations,
+            cv_size: outcome.phase1.cv_size,
+        });
+    }
     let Some(key) = p1.key else {
+        outcome.metrics = metrics;
         return outcome;
     };
 
@@ -144,6 +181,7 @@ fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) 
     let Some(base) = runner.base_state() else {
         // A pattern global has no counterpart in the main circuit.
         outcome.phase1.proven_empty = true;
+        outcome.metrics = metrics;
         return outcome;
     };
     // Optional parallel pre-pass: candidates are independent, so their
@@ -156,49 +194,72 @@ fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) 
         0 => std::thread::available_parallelism().map_or(1, usize::from),
         n => n,
     };
-    let precomputed: Option<Vec<Option<crate::instance::SubMatch>>> =
-        if !options.record_trace && worker_count > 1 && p1.candidates.len() > 1 {
-            let n = p1.candidates.len();
-            let mut results: Vec<Option<crate::instance::SubMatch>> = Vec::new();
-            results.resize_with(n, || None);
-            let chunk = n.div_ceil(worker_count.min(n));
-            let stats_parts = std::sync::Mutex::new(Vec::<crate::instance::Phase2Stats>::new());
-            std::thread::scope(|scope| {
-                for (slot_chunk, cand_chunk) in
-                    results.chunks_mut(chunk).zip(p1.candidates.chunks(chunk))
-                {
-                    let runner = &runner;
-                    let base = &base;
-                    let stats_parts = &stats_parts;
-                    scope.spawn(move || {
-                        let mut stats = crate::instance::Phase2Stats::default();
-                        for (slot, &c) in slot_chunk.iter_mut().zip(cand_chunk) {
-                            *slot = runner
-                                .run_candidate(base, key, c, &mut stats, false)
-                                .map(|(m, _)| m);
-                        }
-                        stats_parts
-                            .lock()
-                            .expect("no panics while holding the lock")
-                            .push(stats);
-                    });
-                }
-            });
-            for part in stats_parts.into_inner().expect("threads joined") {
-                outcome.phase2.candidates_tried += part.candidates_tried;
-                outcome.phase2.false_candidates += part.false_candidates;
-                outcome.phase2.passes += part.passes;
-                outcome.phase2.guesses += part.guesses;
-                outcome.phase2.backtracks += part.backtracks;
+    let phase2_timer = collect.then(PhaseTimer::start);
+    let precomputed: Option<Vec<Option<crate::instance::SubMatch>>> = if !options.record_trace
+        && worker_count > 1
+        && p1.candidates.len() > 1
+    {
+        let n = p1.candidates.len();
+        let mut results: Vec<Option<crate::instance::SubMatch>> = Vec::new();
+        results.resize_with(n, || None);
+        let chunk = n.div_ceil(worker_count.min(n));
+        // Per-worker (stats, busy_ns, max_candidate_ns), pushed on
+        // worker exit; busy times are zero unless collecting.
+        let stats_parts =
+            std::sync::Mutex::new(Vec::<(crate::instance::Phase2Stats, u64, u64)>::new());
+        let mut workers_used = 0usize;
+        std::thread::scope(|scope| {
+            for (slot_chunk, cand_chunk) in
+                results.chunks_mut(chunk).zip(p1.candidates.chunks(chunk))
+            {
+                workers_used += 1;
+                let runner = &runner;
+                let base = &base;
+                let stats_parts = &stats_parts;
+                scope.spawn(move || {
+                    let mut stats = crate::instance::Phase2Stats::default();
+                    let mut timing = collect.then_some((0u64, 0u64));
+                    for (slot, &c) in slot_chunk.iter_mut().zip(cand_chunk) {
+                        *slot = runner
+                            .run_candidate_timed(base, key, c, &mut stats, false, timing.as_mut())
+                            .map(|(m, _)| m);
+                    }
+                    let (busy, max) = timing.unwrap_or_default();
+                    stats_parts
+                        .lock()
+                        .expect("no panics while holding the lock")
+                        .push((stats, busy, max));
+                });
             }
-            Some(results)
-        } else {
-            None
-        };
+        });
+        for (part, busy, max) in stats_parts.into_inner().expect("threads joined") {
+            outcome.phase2.candidates_tried += part.candidates_tried;
+            outcome.phase2.false_candidates += part.false_candidates;
+            outcome.phase2.passes += part.passes;
+            outcome.phase2.guesses += part.guesses;
+            outcome.phase2.backtracks += part.backtracks;
+            if let Some(m) = metrics.as_mut() {
+                m.worker_busy_ns.push(busy);
+                m.phase2_verify_ns += busy;
+                m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(max);
+            }
+        }
+        if let Some(m) = metrics.as_mut() {
+            m.threads_used = workers_used;
+        }
+        Some(results)
+    } else {
+        None
+    };
 
     let mut claimed: HashSet<DeviceId> = HashSet::new();
     let mut seen_sets: HashSet<Vec<DeviceId>> = HashSet::new();
     let mut trace: Option<Phase2Trace> = None;
+    let mut serial_timing = (collect && precomputed.is_none()).then_some((0u64, 0u64));
+    let mut checked = 0u64;
+    let mut matched = 0u64;
+    let mut dedup_dropped = 0u64;
+    let total = p1.candidates.len();
     for (i, &c) in p1.candidates.iter().enumerate() {
         if options.max_instances > 0 && outcome.instances.len() >= options.max_instances {
             break;
@@ -212,18 +273,32 @@ fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) 
             }
         }
         let want_trace = options.record_trace && trace.is_none();
-        let (m, t) = match &precomputed {
-            Some(results) => match results[i].clone() {
-                Some(m) => (m, None),
-                None => continue,
-            },
-            None => match runner.run_candidate(&base, key, c, &mut outcome.phase2, want_trace) {
-                Some((m, t)) => (m, t),
-                None => continue,
-            },
+        let verified = match &precomputed {
+            Some(results) => results[i].clone().map(|m| (m, None)),
+            None => runner.run_candidate_timed(
+                &base,
+                key,
+                c,
+                &mut outcome.phase2,
+                want_trace,
+                serial_timing.as_mut(),
+            ),
         };
+        checked += 1;
+        if let Some(hook) = progress {
+            hook.call(&ProgressEvent::CandidateChecked {
+                index: i,
+                total,
+                matched: verified.is_some(),
+            });
+        }
+        let Some((m, t)) = verified else {
+            continue;
+        };
+        matched += 1;
         let set = m.device_set();
         if !seen_sets.insert(set.clone()) {
+            dedup_dropped += 1;
             continue; // same instance reached through another candidate
         }
         if options.overlap == OverlapPolicy::ClaimDevices {
@@ -237,8 +312,33 @@ fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) 
             trace = t;
         }
         outcome.instances.push(m);
+        if let Some(hook) = progress {
+            hook.call(&ProgressEvent::InstanceFound {
+                count: outcome.instances.len(),
+            });
+        }
     }
     outcome.instances.sort_by_key(|a| a.device_set());
     outcome.trace = trace;
+    if let Some(m) = metrics.as_mut() {
+        if let Some((busy, max)) = serial_timing {
+            m.worker_busy_ns.push(busy);
+            m.phase2_verify_ns += busy;
+            m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(max);
+        }
+        if let Some(t) = &phase2_timer {
+            m.phase2_wall_ns = t.elapsed_ns();
+        }
+        m.counters.bump("candidates.checked", checked);
+        m.counters.bump("candidates.matched", matched);
+        m.counters
+            .bump("instances.reported", outcome.instances.len() as u64);
+        m.counters.bump("instances.dedup_dropped", dedup_dropped);
+        m.counters.bump(
+            "instances.claim_dropped",
+            outcome.phase2.overlap_dropped as u64,
+        );
+    }
+    outcome.metrics = metrics;
     outcome
 }

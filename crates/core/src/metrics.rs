@@ -1,0 +1,791 @@
+//! Observability: phase timers, a counter registry, progress events,
+//! and a machine-readable report.
+//!
+//! Collection is opt-in via
+//! [`MatchOptions::collect_metrics`](crate::MatchOptions): when off
+//! (the default), the matcher takes no timestamps, allocates no
+//! registry, and [`MatchOutcome::metrics`](crate::MatchOutcome) stays
+//! `None`, so results and effort counters are identical to a run
+//! without this subsystem. When on, the matcher records monotonic
+//! wall-clock time for each phase (Phase I refinement, candidate-vector
+//! selection, Phase II verification) plus per-worker busy time, and
+//! attaches a [`MetricsReport`].
+//!
+//! The [`json`] submodule is a dependency-free JSON emitter/parser used
+//! by the report serializers (`subg --report json`, the `bench_json`
+//! binary) and by tests that check schema stability.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::instance::MatchOutcome;
+
+/// A monotonic phase timer. Thin wrapper over [`Instant`] so call sites
+/// read as instrumentation rather than clock arithmetic.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseTimer(Instant);
+
+impl PhaseTimer {
+    /// Starts the timer.
+    pub fn start() -> Self {
+        PhaseTimer(Instant::now())
+    }
+
+    /// Nanoseconds since `start`, saturated to `u64`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// An ordered registry of named counters. Names are registered on first
+/// bump; iteration order is first-bump order, so reports are stable for
+/// a fixed code path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters(Vec<(String, u64)>);
+
+impl Counters {
+    /// Adds `by` to `name`, registering it at zero first if new.
+    pub fn bump(&mut self, name: &str, by: u64) {
+        match self.0.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += by,
+            None => self.0.push((name.to_string(), by)),
+        }
+    }
+
+    /// Current value of `name` (0 if never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Iterates `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.0.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no counter has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Structured timing/effort metrics for one matching run. All times are
+/// monotonic wall-clock nanoseconds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// End-to-end `find_all` time, including netlist preparation.
+    pub total_ns: u64,
+    /// Phase I iterative-relabeling (partition refinement) time.
+    pub phase1_refine_ns: u64,
+    /// Phase I candidate-vector / key-vertex selection time.
+    pub phase1_select_ns: u64,
+    /// Summed Phase II per-candidate verification time across workers.
+    pub phase2_verify_ns: u64,
+    /// Longest single-candidate verification.
+    pub phase2_max_candidate_ns: u64,
+    /// Wall-clock time of the Phase II candidate stage (parallel
+    /// pre-pass plus serial merge).
+    pub phase2_wall_ns: u64,
+    /// Thread count requested via [`MatchOptions::threads`](crate::MatchOptions)
+    /// (0 = auto).
+    pub threads_requested: usize,
+    /// Worker threads actually used for candidate verification.
+    pub threads_used: usize,
+    /// Busy (verification) time per worker, one entry per worker; a
+    /// single entry on the serial path.
+    pub worker_busy_ns: Vec<u64>,
+    /// Named effort counters.
+    pub counters: Counters,
+}
+
+impl MetricsReport {
+    /// Fraction of the Phase II wall-clock during which workers were
+    /// busy, in `[0, 1]`: `sum(busy) / (threads_used * wall)`. Returns 1
+    /// for degenerate (zero-time) runs.
+    pub fn worker_utilization(&self) -> f64 {
+        let busy: u64 = self.worker_busy_ns.iter().sum();
+        let denom = self.threads_used as u64 * self.phase2_wall_ns;
+        if denom == 0 {
+            return 1.0;
+        }
+        (busy as f64 / denom as f64).min(1.0)
+    }
+}
+
+/// Timings for one extraction run
+/// ([`ExtractReport::metrics`](crate::ExtractReport)).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtractMetrics {
+    /// End-to-end extraction time.
+    pub total_ns: u64,
+    /// Per-cell breakdown, in (largest-first) processing order.
+    pub cells: Vec<ExtractCellMetrics>,
+}
+
+/// Per-cell slice of an extraction run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtractCellMetrics {
+    /// Library cell name.
+    pub cell: String,
+    /// Instances found for the cell.
+    pub found: usize,
+    /// Wall-clock of the cell's `find_all` round.
+    pub match_ns: u64,
+    /// Wall-clock of collapsing the found instances into composites.
+    pub replace_ns: u64,
+    /// The match's own [`MetricsReport`].
+    pub match_metrics: Option<MetricsReport>,
+}
+
+/// A progress notification from the matcher or extractor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgressEvent {
+    /// Phase I is starting.
+    Phase1Started {
+        /// Devices in the pattern.
+        pattern_devices: usize,
+        /// Devices in the main circuit.
+        main_devices: usize,
+    },
+    /// Phase I finished and produced a candidate vector.
+    Phase1Finished {
+        /// Relabeling iterations executed.
+        iterations: usize,
+        /// Candidate-vector size (0 when proven empty).
+        cv_size: usize,
+    },
+    /// One candidate has been fully processed (post-verification).
+    CandidateChecked {
+        /// Index in the candidate vector.
+        index: usize,
+        /// Candidate-vector size.
+        total: usize,
+        /// Whether the candidate verified into an instance.
+        matched: bool,
+    },
+    /// A new (deduplicated, unclaimed) instance was accepted.
+    InstanceFound {
+        /// Instances accepted so far, including this one.
+        count: usize,
+    },
+    /// The extractor is starting a library cell.
+    ExtractCellStarted {
+        /// Cell name.
+        cell: String,
+        /// Index in largest-first processing order.
+        index: usize,
+        /// Number of library cells.
+        total: usize,
+    },
+    /// The extractor finished a library cell.
+    ExtractCellFinished {
+        /// Cell name.
+        cell: String,
+        /// Instances found for this cell.
+        found: usize,
+    },
+}
+
+/// A shareable progress callback
+/// ([`MatchOptions::on_progress`](crate::MatchOptions)).
+///
+/// Equality is pointer identity (two hooks are equal iff they share the
+/// same closure), which keeps `MatchOptions` comparable.
+#[derive(Clone)]
+pub struct ProgressHook(Arc<dyn Fn(&ProgressEvent) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> Self {
+        ProgressHook(Arc::new(f))
+    }
+
+    /// Invokes the callback.
+    pub fn call(&self, event: &ProgressEvent) {
+        (self.0)(event);
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
+impl PartialEq for ProgressHook {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for ProgressHook {}
+
+/// Dependency-free JSON tree, emitter, and parser — just enough for the
+/// stable report schema.
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// A JSON value. Objects preserve insertion order so emitted
+    /// documents are byte-stable.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number (emitted without trailing `.0` when integral).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object (ordered key/value pairs).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Convenience: an integer number.
+        pub fn int(v: u64) -> Value {
+            Value::Num(v as f64)
+        }
+
+        /// Member lookup on objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::Num(n) => Some(n),
+                _ => None,
+            }
+        }
+
+        /// The value as a non-negative integer, if integral.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::Num(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
+                _ => None,
+            }
+        }
+
+        /// The string value, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Serializes with two-space indentation and a trailing newline.
+        pub fn pretty(&self) -> String {
+            let mut out = String::new();
+            self.emit(&mut out, 0);
+            out.push('\n');
+            out
+        }
+
+        fn emit(&self, out: &mut String, indent: usize) {
+            let pad = |out: &mut String, n: usize| {
+                for _ in 0..n {
+                    out.push_str("  ");
+                }
+            };
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Num(n) => {
+                    if n.fract() == 0.0 && n.abs() < 9e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                }
+                Value::Str(s) => emit_string(out, s),
+                Value::Arr(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                        return;
+                    }
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                        pad(out, indent + 1);
+                        item.emit(out, indent + 1);
+                    }
+                    out.push('\n');
+                    pad(out, indent);
+                    out.push(']');
+                }
+                Value::Obj(members) => {
+                    if members.is_empty() {
+                        out.push_str("{}");
+                        return;
+                    }
+                    out.push('{');
+                    for (i, (k, v)) in members.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                        pad(out, indent + 1);
+                        emit_string(out, k);
+                        out.push_str(": ");
+                        v.emit(out, indent + 1);
+                    }
+                    out.push('\n');
+                    pad(out, indent);
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    fn emit_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut members = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, b':')?;
+                    let v = parse_value(b, pos)?;
+                    members.push((key, v));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(members));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+                s.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| format!("bad number `{s}` at byte {start}"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        let mut chunk_start = *pos;
+        while *pos < b.len() {
+            match b[*pos] {
+                b'"' => {
+                    out.push_str(
+                        std::str::from_utf8(&b[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                    );
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    out.push_str(
+                        std::str::from_utf8(&b[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                    );
+                    *pos += 1;
+                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape")
+                                .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!("unknown escape `\\{}`", other as char));
+                        }
+                    }
+                    chunk_start = *pos;
+                }
+                _ => *pos += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+}
+
+/// Version tag written into every JSON report. Bump only on breaking
+/// schema changes.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Builds the stable machine-readable report for a match outcome.
+///
+/// Top-level fields (`schema_version`, `instances`,
+/// `matched_device_total`, `key`, `phase1`, `phase2`, `metrics`) are
+/// part of the schema contract; `metrics` is `null` unless the run
+/// collected metrics.
+pub fn outcome_to_json(outcome: &MatchOutcome) -> json::Value {
+    use json::Value;
+    let key = match outcome.key {
+        Some(subgemini_netlist::Vertex::Device(d)) => Value::Str(format!("device:{}", d.index())),
+        Some(subgemini_netlist::Vertex::Net(n)) => Value::Str(format!("net:{}", n.index())),
+        None => Value::Null,
+    };
+    let p2 = &outcome.phase2;
+    let false_rate = if p2.candidates_tried == 0 {
+        0.0
+    } else {
+        p2.false_candidates as f64 / p2.candidates_tried as f64
+    };
+    let metrics = match &outcome.metrics {
+        None => Value::Null,
+        Some(m) => Value::Obj(vec![
+            ("total_ns".into(), Value::int(m.total_ns)),
+            ("phase1_refine_ns".into(), Value::int(m.phase1_refine_ns)),
+            ("phase1_select_ns".into(), Value::int(m.phase1_select_ns)),
+            ("phase2_verify_ns".into(), Value::int(m.phase2_verify_ns)),
+            (
+                "phase2_max_candidate_ns".into(),
+                Value::int(m.phase2_max_candidate_ns),
+            ),
+            ("phase2_wall_ns".into(), Value::int(m.phase2_wall_ns)),
+            (
+                "threads_requested".into(),
+                Value::int(m.threads_requested as u64),
+            ),
+            ("threads_used".into(), Value::int(m.threads_used as u64)),
+            (
+                "worker_busy_ns".into(),
+                Value::Arr(m.worker_busy_ns.iter().map(|&n| Value::int(n)).collect()),
+            ),
+            (
+                "worker_utilization".into(),
+                Value::Num(m.worker_utilization()),
+            ),
+            (
+                "counters".into(),
+                Value::Obj(
+                    m.counters
+                        .iter()
+                        .map(|(n, v)| (n.to_string(), Value::int(v)))
+                        .collect(),
+                ),
+            ),
+        ]),
+    };
+    Value::Obj(vec![
+        ("schema_version".into(), Value::int(REPORT_SCHEMA_VERSION)),
+        ("instances".into(), Value::int(outcome.count() as u64)),
+        (
+            "matched_device_total".into(),
+            Value::int(outcome.matched_device_total() as u64),
+        ),
+        ("key".into(), key),
+        (
+            "phase1".into(),
+            Value::Obj(vec![
+                (
+                    "iterations".into(),
+                    Value::int(outcome.phase1.iterations as u64),
+                ),
+                ("cv_size".into(), Value::int(outcome.phase1.cv_size as u64)),
+                (
+                    "key_partition_size".into(),
+                    Value::int(outcome.phase1.key_partition_size as u64),
+                ),
+                (
+                    "proven_empty".into(),
+                    Value::Bool(outcome.phase1.proven_empty),
+                ),
+            ]),
+        ),
+        (
+            "phase2".into(),
+            Value::Obj(vec![
+                (
+                    "candidates_tried".into(),
+                    Value::int(p2.candidates_tried as u64),
+                ),
+                (
+                    "false_candidates".into(),
+                    Value::int(p2.false_candidates as u64),
+                ),
+                ("passes".into(), Value::int(p2.passes as u64)),
+                ("guesses".into(), Value::int(p2.guesses as u64)),
+                ("backtracks".into(), Value::int(p2.backtracks as u64)),
+                (
+                    "overlap_dropped".into(),
+                    Value::int(p2.overlap_dropped as u64),
+                ),
+                ("false_candidate_rate".into(), Value::Num(false_rate)),
+            ]),
+        ),
+        ("metrics".into(), metrics),
+    ])
+}
+
+/// Renders the human-readable (`--report text`) form of the same data.
+pub fn outcome_to_text(outcome: &MatchOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{outcome}");
+    if let Some(m) = &outcome.metrics {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "timings: total {:.3} ms = phase1 refine {:.3} ms + select {:.3} ms + phase2 {:.3} ms wall",
+            ms(m.total_ns),
+            ms(m.phase1_refine_ns),
+            ms(m.phase1_select_ns),
+            ms(m.phase2_wall_ns),
+        );
+        let _ = writeln!(
+            out,
+            "phase2 verify: {:.3} ms busy across {} worker(s) (max candidate {:.3} ms, utilization {:.0}%)",
+            ms(m.phase2_verify_ns),
+            m.threads_used,
+            ms(m.phase2_max_candidate_ns),
+            m.worker_utilization() * 100.0,
+        );
+        for (name, v) in m.counters.iter() {
+            let _ = writeln!(out, "counter {name} = {v}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_in_bump_order() {
+        let mut c = Counters::default();
+        c.bump("b", 2);
+        c.bump("a", 1);
+        c.bump("b", 3);
+        assert_eq!(c.get("b"), 5);
+        assert_eq!(c.get("a"), 1);
+        assert_eq!(c.get("missing"), 0);
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["b", "a"]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let m = MetricsReport {
+            phase2_wall_ns: 100,
+            threads_used: 2,
+            worker_busy_ns: vec![90, 70],
+            ..MetricsReport::default()
+        };
+        let u = m.worker_utilization();
+        assert!((0.0..=1.0).contains(&u));
+        assert!((u - 0.8).abs() < 1e-9);
+        assert_eq!(MetricsReport::default().worker_utilization(), 1.0);
+    }
+
+    #[test]
+    fn progress_hook_equality_is_identity() {
+        let a = ProgressHook::new(|_| {});
+        let b = ProgressHook::new(|_| {});
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
+        assert_eq!(format!("{a:?}"), "ProgressHook(..)");
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        use json::Value;
+        let v = Value::Obj(vec![
+            ("a".into(), Value::int(3)),
+            ("b".into(), Value::Arr(vec![Value::Null, Value::Bool(true)])),
+            ("s".into(), Value::Str("he\"llo\n".into())),
+            ("f".into(), Value::Num(0.5)),
+            ("e".into(), Value::Obj(vec![])),
+        ]);
+        let text = v.pretty();
+        let back = json::parse(&text).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(back.get("a").unwrap().as_u64(), Some(3));
+        assert_eq!(back.get("s").unwrap().as_str(), Some("he\"llo\n"));
+        assert_eq!(back.get("b").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("\"open").is_err());
+        assert!(json::parse("123 junk").is_err());
+        assert!(json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn outcome_json_has_stable_top_level_schema() {
+        let mut o = MatchOutcome::default();
+        let v = outcome_to_json(&o);
+        for field in [
+            "schema_version",
+            "instances",
+            "matched_device_total",
+            "key",
+            "phase1",
+            "phase2",
+            "metrics",
+        ] {
+            assert!(v.get(field).is_some(), "missing {field}");
+        }
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(REPORT_SCHEMA_VERSION)
+        );
+        assert_eq!(v.get("metrics"), Some(&json::Value::Null));
+        // Round-trips through the parser.
+        assert_eq!(json::parse(&v.pretty()).unwrap(), v);
+
+        o.metrics = Some(MetricsReport {
+            total_ns: 42,
+            threads_used: 1,
+            worker_busy_ns: vec![40],
+            ..MetricsReport::default()
+        });
+        let v = outcome_to_json(&o);
+        let m = v.get("metrics").unwrap();
+        assert_eq!(m.get("total_ns").unwrap().as_u64(), Some(42));
+        let text = outcome_to_text(&o);
+        assert!(text.contains("timings:"));
+    }
+}

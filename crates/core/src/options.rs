@@ -1,5 +1,7 @@
 //! Matching options.
 
+use crate::metrics::ProgressHook;
+
 /// What to do when two instances want the same main-circuit device.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum OverlapPolicy {
@@ -86,6 +88,15 @@ pub struct MatchOptions {
     /// restores the paper's linear scaling; see the `port_spreading`
     /// ablation bench.
     pub spread_from_port_images: bool,
+    /// Collect a [`MetricsReport`](crate::MetricsReport) (phase timers,
+    /// effort counters, worker utilization) on the outcome. Off by
+    /// default: when disabled no timestamps are taken and results are
+    /// identical to a run without the metrics subsystem.
+    pub collect_metrics: bool,
+    /// Progress callback invoked at phase boundaries and per processed
+    /// candidate (see [`ProgressEvent`](crate::ProgressEvent)). `None`
+    /// (default) emits nothing.
+    pub on_progress: Option<ProgressHook>,
 }
 
 impl Default for MatchOptions {
@@ -101,6 +112,8 @@ impl Default for MatchOptions {
             seed: 0x5b6e_1347,
             record_trace: false,
             spread_from_port_images: false,
+            collect_metrics: false,
+            on_progress: None,
         }
     }
 }

@@ -232,6 +232,16 @@ fn consistent(s_labels: &[u64], s_valid: &[bool], g_parts: &HashMap<u64, Vec<u32
         .all(|(l, &c)| g_parts.get(l).is_some_and(|p| p.len() >= c))
 }
 
+/// Wall-clock split of one Phase I run (zeroed unless collection was
+/// requested).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Phase1Timing {
+    /// Iterative-relabeling (partition refinement) time.
+    pub refine_ns: u64,
+    /// Candidate-vector / key-vertex selection time.
+    pub select_ns: u64,
+}
+
 /// Runs Phase I with the paper's smallest-partition key policy.
 pub fn run(s: &CircuitGraph<'_>, g: &CircuitGraph<'_>) -> Phase1Output {
     run_with_policy(s, g, KeyPolicy::SmallestPartition)
@@ -245,6 +255,18 @@ pub fn run_with_policy(
 ) -> Phase1Output {
     let mut trace = GTrace::new(g);
     run_with_trace(s, &mut trace, policy)
+}
+
+/// Runs Phase I, measuring the refinement/selection wall-clock split
+/// when `collect` is set (no timestamps are taken otherwise).
+pub fn run_with_policy_timed(
+    s: &CircuitGraph<'_>,
+    g: &CircuitGraph<'_>,
+    policy: KeyPolicy,
+    collect: bool,
+) -> (Phase1Output, Phase1Timing) {
+    let mut trace = GTrace::new(g);
+    run_with_trace_timed(s, &mut trace, policy, collect)
 }
 
 /// Runs Phase I for many patterns against one main circuit, relabeling
@@ -275,18 +297,62 @@ pub fn run_with_trace(
     trace: &mut GTrace<'_, '_>,
     policy: KeyPolicy,
 ) -> Phase1Output {
+    run_with_trace_timed(s, trace, policy, false).0
+}
+
+/// Timed form of [`run_with_trace`]: refinement and selection are
+/// measured separately when `collect` is set, and skipped entirely (no
+/// clock reads) when it is not.
+pub fn run_with_trace_timed(
+    s: &CircuitGraph<'_>,
+    trace: &mut GTrace<'_, '_>,
+    policy: KeyPolicy,
+    collect: bool,
+) -> (Phase1Output, Phase1Timing) {
+    let mut timing = Phase1Timing::default();
+    let timer = collect.then(crate::metrics::PhaseTimer::start);
+    let refined = refine(s, trace);
+    if let Some(t) = &timer {
+        timing.refine_ns = t.elapsed_ns();
+    }
+    let out = match refined {
+        Err(stats) => Phase1Output {
+            key: None,
+            candidates: Vec::new(),
+            stats,
+        },
+        Ok(refined) => {
+            let timer = collect.then(crate::metrics::PhaseTimer::start);
+            let out = select(s, trace, policy, refined);
+            if let Some(t) = &timer {
+                timing.select_ns = t.elapsed_ns();
+            }
+            out
+        }
+    };
+    (out, timing)
+}
+
+/// Pattern-side state after the refinement loop stops.
+struct Refined {
+    sl: Labels,
+    valid: Validity,
+    step: usize,
+    stats: Phase1Stats,
+}
+
+/// The iterative-relabeling loop: alternating net/device phases with
+/// valid/corrupt propagation and per-phase consistency checks. `Err`
+/// carries the stats of a run that proved no instance can exist.
+fn refine(s: &CircuitGraph<'_>, trace: &mut GTrace<'_, '_>) -> Result<Refined, Phase1Stats> {
     let mut stats = Phase1Stats::default();
     let mut sl = initial_labels(s);
     let mut valid = Validity::new(s);
     let mut step = 0usize;
 
-    let empty = |stats: Phase1Stats| Phase1Output {
-        key: None,
-        candidates: Vec::new(),
-        stats: Phase1Stats {
-            proven_empty: true,
-            ..stats
-        },
+    let empty = |stats: Phase1Stats| Phase1Stats {
+        proven_empty: true,
+        ..stats
     };
 
     // Consistency on the initial (invariant) labels — the check that
@@ -296,7 +362,7 @@ pub fn run_with_trace(
         if !consistent(&sl.dev, &valid.dev, &sd.dev_parts)
             || !consistent(&sl.net, &valid.net, &sd.net_parts)
         {
-            return empty(stats);
+            return Err(empty(stats));
         }
     }
 
@@ -309,7 +375,7 @@ pub fn run_with_trace(
         let inv_n = valid.propagate_to_nets(s);
         stats.iterations += 1;
         if !consistent(&sl.net, &valid.net, &trace.step(step).net_parts) {
-            return empty(stats);
+            return Err(empty(stats));
         }
         if valid.live_nets(s) == 0 {
             break;
@@ -320,7 +386,7 @@ pub fn run_with_trace(
         let inv_d = valid.propagate_to_devices(s);
         stats.iterations += 1;
         if !consistent(&sl.dev, &valid.dev, &trace.step(step).dev_parts) {
-            return empty(stats);
+            return Err(empty(stats));
         }
         if valid.live_devices() == 0 {
             break;
@@ -347,7 +413,36 @@ pub fn run_with_trace(
         prev_signature = signature;
     }
 
-    // --- candidate-vector selection ---
+    Ok(Refined {
+        sl,
+        valid,
+        step,
+        stats,
+    })
+}
+
+/// Candidate-vector selection: picks the key vertex per policy from the
+/// refined partitions and materializes its candidate images.
+fn select(
+    s: &CircuitGraph<'_>,
+    trace: &mut GTrace<'_, '_>,
+    policy: KeyPolicy,
+    refined: Refined,
+) -> Phase1Output {
+    let Refined {
+        sl,
+        valid,
+        step,
+        mut stats,
+    } = refined;
+    let empty = |stats: Phase1Stats| Phase1Output {
+        key: None,
+        candidates: Vec::new(),
+        stats: Phase1Stats {
+            proven_empty: true,
+            ..stats
+        },
+    };
     // Use the cached G partitions at the step we stopped on. Global
     // nets are filtered out of the (at most |S|) partitions we actually
     // inspect, keeping per-pattern cost independent of |G|.

@@ -712,6 +712,30 @@ impl<'a> Phase2Runner<'a> {
             }
         }
     }
+
+    /// [`run_candidate`](Self::run_candidate) with optional per-candidate
+    /// timing: when `timing` is `Some((sum, max))`, the candidate's
+    /// verification wall-clock is added to `sum` and folded into `max`.
+    /// `None` takes no timestamps.
+    pub fn run_candidate_timed(
+        &self,
+        base: &BaseState,
+        key: Vertex,
+        candidate: Vertex,
+        stats: &mut Phase2Stats,
+        record_trace: bool,
+        timing: Option<&mut (u64, u64)>,
+    ) -> Option<(SubMatch, Option<Phase2Trace>)> {
+        let Some((sum, max)) = timing else {
+            return self.run_candidate(base, key, candidate, stats, record_trace);
+        };
+        let timer = crate::metrics::PhaseTimer::start();
+        let out = self.run_candidate(base, key, candidate, stats, record_trace);
+        let ns = timer.elapsed_ns();
+        *sum += ns;
+        *max = (*max).max(ns);
+        out
+    }
 }
 
 /// Opaque candidate-independent Phase II state (globals pre-matched).

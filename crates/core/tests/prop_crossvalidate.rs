@@ -1,10 +1,11 @@
 //! Property tests: SubGemini agrees with the exhaustive DFS baseline on
 //! randomized circuits, and behaves invariantly under renaming/pin
-//! permutation.
+//! permutation. Cases come from a seeded internal PRNG so every run is
+//! reproducible.
 
-use proptest::prelude::*;
 use subgemini::{MatchOptions, Matcher};
 use subgemini_baseline::{find_all as dfs_find_all, DfsOptions};
+use subgemini_netlist::rng::Rng64;
 use subgemini_netlist::{instantiate, DeviceId, NetId, Netlist, Vertex};
 
 /// Small library of pattern cells used by the generators.
@@ -80,6 +81,10 @@ fn random_chip(
         chip.add_device(format!("x{i}"), ty, &[g, rail, d]).unwrap();
     }
     chip
+}
+
+fn draw_picks(rng: &mut Rng64) -> Vec<usize> {
+    (0..32).map(|_| rng.range(0, 997)).collect()
 }
 
 /// Key-image sets from both engines must agree.
@@ -162,69 +167,72 @@ fn phase1_is_complete(pattern: &Netlist, chip: &Netlist) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn phase1_candidate_vector_is_complete(
-        plants in 0usize..4,
-        noise in 0usize..10,
-        wires in 2usize..8,
-        picks in prop::collection::vec(0usize..997, 32),
-    ) {
+#[test]
+fn phase1_candidate_vector_is_complete() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xc0de_1000 + case);
+        let plants = rng.range(0, 4);
+        let noise = rng.range(0, 10);
+        let wires = rng.range(2, 8);
+        let picks = draw_picks(&mut rng);
         let pat = nand2_cell();
         let chip = random_chip(&pat, plants, noise, wires, &picks);
         phase1_is_complete(&pat, &chip);
         let pat = inverter_cell();
         phase1_is_complete(&pat, &chip);
     }
+}
 
-    #[test]
-    fn subgemini_matches_dfs_on_inverters(
-        plants in 0usize..5,
-        noise in 0usize..12,
-        wires in 2usize..8,
-        picks in prop::collection::vec(0usize..997, 32),
-    ) {
+#[test]
+fn subgemini_matches_dfs_on_inverters() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xc0de_2000 + case);
+        let plants = rng.range(0, 5);
+        let noise = rng.range(0, 12);
+        let wires = rng.range(2, 8);
+        let picks = draw_picks(&mut rng);
         let pat = inverter_cell();
         let chip = random_chip(&pat, plants, noise, wires, &picks);
         key_images_agree(&pat, &chip, true);
     }
+}
 
-    #[test]
-    fn subgemini_matches_dfs_on_nands(
-        plants in 0usize..4,
-        noise in 0usize..10,
-        wires in 3usize..9,
-        picks in prop::collection::vec(0usize..997, 32),
-    ) {
+#[test]
+fn subgemini_matches_dfs_on_nands() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xc0de_3000 + case);
+        let plants = rng.range(0, 4);
+        let noise = rng.range(0, 10);
+        let wires = rng.range(3, 9);
+        let picks = draw_picks(&mut rng);
         let pat = nand2_cell();
         let chip = random_chip(&pat, plants, noise, wires, &picks);
         key_images_agree(&pat, &chip, true);
     }
+}
 
-    #[test]
-    fn subgemini_matches_dfs_ignoring_globals(
-        plants in 0usize..3,
-        noise in 0usize..8,
-        wires in 2usize..7,
-        picks in prop::collection::vec(0usize..997, 32),
-    ) {
+#[test]
+fn subgemini_matches_dfs_ignoring_globals() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xc0de_4000 + case);
+        let plants = rng.range(0, 3);
+        let noise = rng.range(0, 8);
+        let wires = rng.range(2, 7);
+        let picks = draw_picks(&mut rng);
         let pat = inverter_cell();
         let chip = random_chip(&pat, plants, noise, wires, &picks);
         key_images_agree(&pat, &chip, false);
     }
+}
 
-    #[test]
-    fn planted_instances_are_always_found(
-        plants in 1usize..6,
-        wires in 6usize..12,
-        picks in prop::collection::vec(0usize..997, 32),
-    ) {
+#[test]
+fn planted_instances_are_always_found() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xc0de_5000 + case);
+        let plants = rng.range(1, 6);
         // Distinct wires per instance so plants never merge or overlap.
         let pat = nand2_cell();
         let mut chip = Netlist::new("grid");
-        let _nets: Vec<NetId> = (0..wires).map(|i| chip.net(format!("w{i}"))).collect();
         let vdd = chip.net("vdd");
         let gnd = chip.net("gnd");
         chip.mark_global(vdd);
@@ -235,20 +243,21 @@ proptest! {
             let y = chip.net(format!("y{i}"));
             instantiate(&mut chip, &pat, &format!("u{i}"), &[a, b, y]).unwrap();
         }
-        let _ = picks;
         let outcome = Matcher::new(&pat, &chip).find_all();
-        prop_assert_eq!(outcome.count(), plants);
+        assert_eq!(outcome.count(), plants, "case {case}");
         // Every reported instance survives independent verification.
         for m in &outcome.instances {
-            subgemini::verify_instance(&pat, &chip, m, true).map_err(
-                |e| TestCaseError::fail(format!("bad instance: {e}")))?;
+            subgemini::verify_instance(&pat, &chip, m, true)
+                .unwrap_or_else(|e| panic!("case {case}: bad instance: {e}"));
         }
     }
+}
 
-    #[test]
-    fn device_renumbering_is_invisible(
-        plants in 1usize..4,
-    ) {
+#[test]
+fn device_renumbering_is_invisible() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xc0de_6000 + case);
+        let plants = rng.range(1, 4);
         let pat = inverter_cell();
         // Build the same chip with two device insertion orders.
         let build = |reverse: bool| {
@@ -269,7 +278,7 @@ proptest! {
         let c2 = build(true);
         let o1 = Matcher::new(&pat, &c1).find_all();
         let o2 = Matcher::new(&pat, &c2).find_all();
-        prop_assert_eq!(o1.count(), o2.count());
+        assert_eq!(o1.count(), o2.count(), "case {case}");
         // Instance *names* must agree as sets.
         let names = |chip: &Netlist, o: &subgemini::MatchOutcome| {
             let mut v: Vec<String> = o
@@ -284,6 +293,6 @@ proptest! {
             v.sort();
             v
         };
-        prop_assert_eq!(names(&c1, &o1), names(&c2, &o2));
+        assert_eq!(names(&c1, &o1), names(&c2, &o2), "case {case}");
     }
 }

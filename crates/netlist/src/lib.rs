@@ -54,6 +54,7 @@ pub mod hashing;
 mod id;
 mod merge;
 mod netlist;
+pub mod rng;
 mod stats;
 mod types;
 

@@ -408,7 +408,6 @@ impl Netlist {
         self.devices.iter().map(|d| d.pins.len()).sum()
     }
 
-
     /// Carves the induced subcircuit over `devices` out as a standalone
     /// pattern netlist: nets whose every pin lies inside the selection
     /// become internal, nets with outside connections become ports, and

@@ -1,7 +1,9 @@
 //! Property tests for the labeling engine's invariants — the
-//! foundations both Gemini and SubGemini rely on.
+//! foundations both Gemini and SubGemini rely on. Cases are generated
+//! from a seeded internal PRNG ([`Rng64`]) so every run explores the
+//! same (reproducible) sample of the input space.
 
-use proptest::prelude::*;
+use subgemini_netlist::rng::Rng64;
 use subgemini_netlist::{CircuitGraph, DeviceType, NetId, Netlist};
 
 /// Builds a random netlist from an opcode stream: `n_nets` wires plus
@@ -30,6 +32,29 @@ fn random_netlist(n_nets: usize, devices: &[(u8, [usize; 3])]) -> Netlist {
         }
     }
     nl
+}
+
+/// Draws the shared `(n_nets, devices)` shape used by most cases.
+fn draw_shape(
+    rng: &mut Rng64,
+    min_devices: usize,
+    max_devices: usize,
+) -> (usize, Vec<(u8, [usize; 3])>) {
+    let n_nets = rng.range(1, 8);
+    let n_dev = rng.range(min_devices, max_devices);
+    let devices = (0..n_dev)
+        .map(|_| {
+            (
+                rng.range(0, 3) as u8,
+                [
+                    rng.next_u64() as usize,
+                    rng.next_u64() as usize,
+                    rng.next_u64() as usize,
+                ],
+            )
+        })
+        .collect();
+    (n_nets, devices)
 }
 
 /// The same netlist with every MOS source/drain pair swapped.
@@ -97,29 +122,31 @@ fn labels_after(nl: &Netlist, k: usize) -> (Vec<u64>, Vec<u64>) {
     (dev, net)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Swapping pins within a terminal equivalence class never changes
-    /// any label, at any refinement depth.
-    #[test]
-    fn labels_invariant_under_class_swaps(
-        n_nets in 1usize..8,
-        devices in prop::collection::vec((0u8..3, [any::<usize>(), any::<usize>(), any::<usize>()]), 1..12),
-        rounds in 1usize..5,
-    ) {
+/// Swapping pins within a terminal equivalence class never changes
+/// any label, at any refinement depth.
+#[test]
+fn labels_invariant_under_class_swaps() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0x1abe_1000 + case);
+        let (n_nets, devices) = draw_shape(&mut rng, 1, 12);
+        let rounds = rng.range(1, 5);
         let a = random_netlist(n_nets, &devices);
         let b = swap_sd(&a);
-        prop_assert_eq!(labels_after(&a, rounds), labels_after(&b, rounds));
+        assert_eq!(
+            labels_after(&a, rounds),
+            labels_after(&b, rounds),
+            "case {case}"
+        );
     }
+}
 
-    /// Renaming nets and devices never changes the label multiset
-    /// (labels derive from structure and type names only).
-    #[test]
-    fn labels_invariant_under_renaming(
-        n_nets in 1usize..8,
-        devices in prop::collection::vec((0u8..3, [any::<usize>(), any::<usize>(), any::<usize>()]), 1..12),
-    ) {
+/// Renaming nets and devices never changes the label multiset
+/// (labels derive from structure and type names only).
+#[test]
+fn labels_invariant_under_renaming() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0x2abe_1000 + case);
+        let (n_nets, devices) = draw_shape(&mut rng, 1, 12);
         let a = random_netlist(n_nets, &devices);
         let mut b = Netlist::new("renamed");
         for ty in a.device_types() {
@@ -137,52 +164,80 @@ proptest! {
         }
         // Isolated nets don't exist in b; compact a to align.
         let a = a.compact();
-        prop_assert_eq!(labels_after(&a, 3), labels_after(&b, 3));
+        assert_eq!(labels_after(&a, 3), labels_after(&b, 3), "case {case}");
     }
+}
 
-    /// `compact` is idempotent and never drops a connected net.
-    #[test]
-    fn compact_idempotent(
-        n_nets in 1usize..10,
-        devices in prop::collection::vec((0u8..3, [any::<usize>(), any::<usize>(), any::<usize>()]), 0..10),
-    ) {
+/// `compact` is idempotent and never drops a connected net.
+#[test]
+fn compact_idempotent() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0x3abe_1000 + case);
+        let n_nets = rng.range(1, 10);
+        let n_dev = rng.range(0, 10);
+        let devices: Vec<(u8, [usize; 3])> = (0..n_dev)
+            .map(|_| {
+                (
+                    rng.range(0, 3) as u8,
+                    [
+                        rng.next_u64() as usize,
+                        rng.next_u64() as usize,
+                        rng.next_u64() as usize,
+                    ],
+                )
+            })
+            .collect();
         let a = random_netlist(n_nets, &devices);
         let c1 = a.compact();
         let c2 = c1.compact();
-        prop_assert_eq!(c1.net_count(), c2.net_count());
-        prop_assert_eq!(c1.device_count(), a.device_count());
+        assert_eq!(c1.net_count(), c2.net_count(), "case {case}");
+        assert_eq!(c1.device_count(), a.device_count(), "case {case}");
         for n in c1.net_ids() {
-            prop_assert!(c1.net_ref(n).degree() > 0);
+            assert!(c1.net_ref(n).degree() > 0, "case {case}");
         }
-        c1.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        c1.validate().unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    /// Validation always passes for netlists built through the API.
-    #[test]
-    fn api_built_netlists_validate(
-        n_nets in 1usize..6,
-        devices in prop::collection::vec((0u8..3, [any::<usize>(), any::<usize>(), any::<usize>()]), 0..16),
-    ) {
+/// Validation always passes for netlists built through the API.
+#[test]
+fn api_built_netlists_validate() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0x4abe_1000 + case);
+        let n_nets = rng.range(1, 6);
+        let n_dev = rng.range(0, 16);
+        let devices: Vec<(u8, [usize; 3])> = (0..n_dev)
+            .map(|_| {
+                (
+                    rng.range(0, 3) as u8,
+                    [
+                        rng.next_u64() as usize,
+                        rng.next_u64() as usize,
+                        rng.next_u64() as usize,
+                    ],
+                )
+            })
+            .collect();
         let a = random_netlist(n_nets, &devices);
-        a.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        a.validate().unwrap_or_else(|e| panic!("case {case}: {e}"));
         let stats = subgemini_netlist::NetlistStats::of(&a);
-        prop_assert_eq!(stats.devices, devices.len());
+        assert_eq!(stats.devices, devices.len(), "case {case}");
     }
+}
 
-    /// Distinct terminal classes must (overwhelmingly) produce distinct
-    /// labels for structurally different wirings: a gate-connected vs a
-    /// source-connected net differ after one round.
-    #[test]
-    fn class_distinction_shows_in_labels(pin in 0usize..3) {
-        let mut nl = Netlist::new("x");
-        let mos = nl.add_mos_types();
-        let (a, b, c) = (nl.net("a"), nl.net("b"), nl.net("c"));
-        nl.add_device("m", mos.nmos, &[a, b, c]).unwrap();
-        let (_, nets) = labels_after(&nl, 1);
-        // a (gate) must differ from b/c (s/d); b and c must agree:
-        // sorted labels give exactly 2 distinct values.
-        let mut uniq = nets.clone();
-        uniq.dedup();
-        prop_assert_eq!(uniq.len(), 2, "pin={} nets={:?}", pin, nets);
-    }
+/// Distinct terminal classes must produce distinct labels for
+/// structurally different wirings: a gate-connected vs a
+/// source-connected net differ after one round.
+#[test]
+fn class_distinction_shows_in_labels() {
+    let mut nl = Netlist::new("x");
+    let mos = nl.add_mos_types();
+    let (a, b, c) = (nl.net("a"), nl.net("b"), nl.net("c"));
+    nl.add_device("m", mos.nmos, &[a, b, c]).unwrap();
+    let (_, nets) = labels_after(&nl, 1);
+    // a (gate) must differ from b/c (s/d); b and c must agree:
+    // sorted labels give exactly 2 distinct values.
+    let mut uniq = nets.clone();
+    uniq.dedup();
+    assert_eq!(uniq.len(), 2, "nets={nets:?}");
 }

@@ -1,35 +1,35 @@
 //! Robustness: the SPICE parser must never panic, only return errors,
-//! and accepted decks must elaborate or fail cleanly.
+//! and accepted decks must elaborate or fail cleanly. Inputs come from
+//! a seeded internal PRNG so every run fuzzes the same reproducible
+//! corpus.
 
-use proptest::prelude::*;
+use subgemini_netlist::rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Arbitrary printable garbage: parse() returns, never panics.
-    #[test]
-    fn parser_never_panics_on_garbage(input in "[ -~\n]{0,400}") {
+/// Arbitrary printable garbage: parse() returns, never panics.
+#[test]
+fn parser_never_panics_on_garbage() {
+    for case in 0..256u64 {
+        let mut rng = Rng64::new(0x59_1ce0 + case);
+        let len = rng.range(0, 401);
+        let input = rng.printable(len);
         let _ = subgemini_spice::parse(&input);
     }
+}
 
-    /// Structured-ish garbage assembled from SPICE-like tokens.
-    #[test]
-    fn parser_never_panics_on_tokens(
-        words in prop::collection::vec(
-            prop::sample::select(vec![
-                ".subckt", ".ends", ".global", ".end", ".include",
-                "m1", "r2", "c3", "x4", "q5", "d6", "inv", "a", "b", "vdd",
-                "nmos", "1k", "+", "*", "w=1",
-            ]),
-            0..60,
-        ),
-        newlines in prop::collection::vec(0usize..6, 0..60),
-    ) {
+/// Structured-ish garbage assembled from SPICE-like tokens.
+#[test]
+fn parser_never_panics_on_tokens() {
+    const TOKENS: &[&str] = &[
+        ".subckt", ".ends", ".global", ".end", ".include", "m1", "r2", "c3", "x4", "q5", "d6",
+        "inv", "a", "b", "vdd", "nmos", "1k", "+", "*", "w=1",
+    ];
+    for case in 0..256u64 {
+        let mut rng = Rng64::new(0x59_2ce0 + case);
+        let n = rng.range(0, 60);
         let mut text = String::new();
-        for (i, w) in words.iter().enumerate() {
-            text.push_str(w);
-            let brk = newlines.get(i).copied().unwrap_or(1);
-            text.push(if brk == 0 { '\n' } else { ' ' });
+        for _ in 0..n {
+            text.push_str(TOKENS[rng.index(TOKENS.len())]);
+            text.push(if rng.range(0, 6) == 0 { '\n' } else { ' ' });
         }
         if let Ok(doc) = subgemini_spice::parse(&text) {
             // Whatever parsed must elaborate or error, not panic.
@@ -39,17 +39,19 @@ proptest! {
             }
         }
     }
+}
 
-    /// Valid single-device decks always round-trip.
-    #[test]
-    fn minimal_valid_decks_elaborate(
-        d in "[a-z][a-z0-9]{0,6}",
-        g in "[a-z][a-z0-9]{0,6}",
-        s in "[a-z][a-z0-9]{0,6}",
-    ) {
+/// Valid single-device decks always round-trip.
+#[test]
+fn minimal_valid_decks_elaborate() {
+    for case in 0..256u64 {
+        let mut rng = Rng64::new(0x59_3ce0 + case);
+        let d = rng.ident(7);
+        let g = rng.ident(7);
+        let s = rng.ident(7);
         let text = format!("M1 {d} {g} {s} nmos\n");
         let doc = subgemini_spice::parse(&text).unwrap();
         let nl = doc.elaborate_top("t", &Default::default()).unwrap();
-        prop_assert_eq!(nl.device_count(), 1);
+        assert_eq!(nl.device_count(), 1, "case {case}: {text}");
     }
 }

@@ -8,8 +8,7 @@
 //! "pattern inside a bigger pattern" situations (a 5T OTA *contains* a
 //! current mirror and a differential pair).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use subgemini_netlist::rng::Rng64;
 use subgemini_netlist::{DeviceType, Netlist};
 
 use crate::gen::Generated;
@@ -185,7 +184,7 @@ pub fn analog_library() -> Vec<Netlist> {
 /// A seeded mixed-signal block: `channels` analog front-end channels
 /// (opamp + RC filter) plus digital glue from the standard library.
 pub fn mixed_signal_chip(seed: u64, channels: usize) -> Generated {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut g = Generated::new("mixed_signal");
     let opamp = two_stage_opamp();
     let filt = rc_lowpass();
@@ -206,7 +205,7 @@ pub fn mixed_signal_chip(seed: u64, channels: usize) -> Generated {
         g.plant(&inv, &format!("cmp{ch}"), &[filtered, d1]);
         g.plant(&nand, &format!("gate{ch}"), &[d1, den, dout]);
         // A little wiring noise so channels are not perfectly identical.
-        if rng.gen_bool(0.5) {
+        if rng.ratio(1, 2) {
             let spare = g.netlist.net(format!("spare{ch}"));
             g.plant(&inv, &format!("sp{ch}"), &[dout, spare]);
         }

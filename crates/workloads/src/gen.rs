@@ -2,8 +2,9 @@
 //!
 //! Each generator returns a [`Generated`] bundle: the flat
 //! transistor-level netlist plus the exact number of instances planted
-//! per library cell. All randomness is seeded (`StdRng`), so a given
-//! call is bit-reproducible.
+//! per library cell. All randomness is seeded
+//! ([`Rng64`](subgemini_netlist::rng::Rng64)), so a given call is
+//! bit-reproducible.
 //!
 //! Note on ground truth: the counts record *planted* cells. Larger
 //! cells structurally contain smaller ones (a `dff` contains four
@@ -14,8 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use subgemini_netlist::rng::Rng64;
 use subgemini_netlist::{instantiate, NetId, Netlist};
 
 use crate::cells;
@@ -261,14 +261,14 @@ pub fn ripple_counter(bits: usize) -> Generated {
 /// the library cells, keeping the ground truth exact).
 pub fn random_soup(seed: u64, gates: usize) -> Generated {
     let lib = cells::library();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut g = Generated::new("random_soup");
     // Input pool: primary inputs plus previously generated outputs.
     let mut pool: Vec<NetId> = (0..8.max(gates / 4))
         .map(|i| g.netlist.net(format!("pi{i}")))
         .collect();
     for i in 0..gates {
-        let cell = lib[rng.gen_range(0..lib.len())].clone();
+        let cell = lib[rng.index(lib.len())].clone();
         let nports = cell.ports().len();
         // Heuristic: the last 1-2 ports of each cell are outputs (y /
         // sum,cout / q); wire them to fresh nets.
@@ -288,7 +288,7 @@ pub fn random_soup(seed: u64, gates: usize) -> Generated {
                 // of its own pattern, which would falsify the ground
                 // truth.
                 let pick = loop {
-                    let cand = pool[rng.gen_range(0..pool.len())];
+                    let cand = pool[rng.index(pool.len())];
                     if !bindings.contains(&cand) {
                         break cand;
                     }
@@ -385,14 +385,14 @@ pub fn mutate_cell(cell: &Netlist, variant: u64) -> Netlist {
 /// true instances of `cell` by construction — the adversarial workload
 /// for filter-quality experiments.
 pub fn near_miss_field(cell: &Netlist, n: usize, seed: u64) -> Generated {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut g = Generated::new("near_miss_field");
     let nports = cell.ports().len();
     let mut pool: Vec<NetId> = (0..(4 + nports))
         .map(|i| g.netlist.net(format!("pi{i}")))
         .collect();
     for i in 0..n {
-        let mutant = mutate_cell(cell, rng.gen::<u64>());
+        let mutant = mutate_cell(cell, rng.next_u64());
         let mports = mutant.ports().len();
         let mut bindings: Vec<NetId> = Vec::with_capacity(mports);
         for p in 0..mports {
@@ -401,7 +401,7 @@ pub fn near_miss_field(cell: &Netlist, n: usize, seed: u64) -> Generated {
                 bindings.push(fresh);
             } else {
                 let pick = loop {
-                    let cand = pool[rng.gen_range(0..pool.len())];
+                    let cand = pool[rng.index(pool.len())];
                     if !bindings.contains(&cand) {
                         break cand;
                     }

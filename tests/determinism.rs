@@ -1,0 +1,127 @@
+//! Determinism guarantees: the reported instance list is independent of
+//! the Phase II worker count, the trace-recording (serial) path agrees
+//! with the parallel one, and metrics collection never perturbs the
+//! match itself.
+
+use subgemini::{MatchOptions, Matcher};
+use subgemini_netlist::Netlist;
+use subgemini_workloads::{analog, cells, gen};
+
+fn workloads() -> Vec<(Netlist, Netlist)> {
+    vec![
+        (cells::full_adder(), gen::ripple_adder(6).netlist),
+        (cells::inv(), gen::ripple_adder(4).netlist),
+        (cells::nand3(), gen::decoder(3).netlist),
+        (cells::dff(), gen::shift_register(8).netlist),
+        (
+            analog::two_stage_opamp(),
+            analog::mixed_signal_chip(7, 3).netlist,
+        ),
+    ]
+}
+
+fn run(pattern: &Netlist, main: &Netlist, opts: MatchOptions) -> subgemini::MatchOutcome {
+    Matcher::new(pattern, main).options(opts).find_all()
+}
+
+#[test]
+fn instances_are_identical_across_thread_counts() {
+    for (pattern, main) in workloads() {
+        let serial = run(
+            &pattern,
+            &main,
+            MatchOptions {
+                threads: 1,
+                ..MatchOptions::default()
+            },
+        );
+        assert!(serial.count() > 0, "workload {} found nothing", main.name());
+        for threads in [2, 8] {
+            let parallel = run(
+                &pattern,
+                &main,
+                MatchOptions {
+                    threads,
+                    ..MatchOptions::default()
+                },
+            );
+            assert_eq!(
+                serial.instances,
+                parallel.instances,
+                "{}: threads 1 vs {threads} disagree",
+                main.name()
+            );
+            assert_eq!(serial.key, parallel.key);
+            assert_eq!(serial.phase1, parallel.phase1, "{}", main.name());
+        }
+    }
+}
+
+#[test]
+fn trace_recording_forces_serial_and_agrees_with_parallel() {
+    for (pattern, main) in workloads() {
+        let traced = run(
+            &pattern,
+            &main,
+            MatchOptions {
+                threads: 8,
+                record_trace: true,
+                ..MatchOptions::default()
+            },
+        );
+        let parallel = run(
+            &pattern,
+            &main,
+            MatchOptions {
+                threads: 8,
+                ..MatchOptions::default()
+            },
+        );
+        assert_eq!(traced.instances, parallel.instances, "{}", main.name());
+        // A found instance must come with a trace when recording; the
+        // trace replays the first verified candidate.
+        let t = traced
+            .trace
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: record_trace set but no trace returned", main.name()));
+        assert!(t.pass_count() >= 1);
+    }
+}
+
+#[test]
+fn metrics_collection_does_not_perturb_results() {
+    for (pattern, main) in workloads() {
+        for threads in [1, 8] {
+            let plain = run(
+                &pattern,
+                &main,
+                MatchOptions {
+                    threads,
+                    ..MatchOptions::default()
+                },
+            );
+            let measured = run(
+                &pattern,
+                &main,
+                MatchOptions {
+                    threads,
+                    collect_metrics: true,
+                    ..MatchOptions::default()
+                },
+            );
+            // Opt-out leaves no trace of the subsystem at all.
+            assert!(plain.metrics.is_none());
+            // Opt-in changes nothing but the metrics field.
+            let m = measured.metrics.as_ref().expect("metrics collected");
+            assert_eq!(plain.instances, measured.instances);
+            assert_eq!(plain.phase1, measured.phase1);
+            assert_eq!(plain.phase2, measured.phase2);
+            assert_eq!(plain.key, measured.key);
+            assert!(m.total_ns > 0);
+            assert!(m.threads_used >= 1);
+            assert_eq!(m.worker_busy_ns.len(), m.threads_used);
+            let util = m.worker_utilization();
+            assert!((0.0..=1.0).contains(&util), "{util}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Differential oracle: `subgemini::find_all` against the exhaustive
+//! DFS baseline on random device soups.
+//!
+//! SubGemini reports one instance per verified key image (the paper's
+//! enumeration semantics), while the baseline enumerates every
+//! overlapping device set, so the reported lists are not expected to
+//! coincide. The exact contract checked here is:
+//!
+//! * **soundness** — every SubGemini device set is also found by the
+//!   baseline (and independently re-verifies);
+//! * **key-image completeness** — with automorphic dedup off, every
+//!   true image of the key vertex either anchors a reported instance or
+//!   lies inside one;
+//! * **emptiness agreement** — the two matchers agree on whether any
+//!   instance exists at all.
+
+use subgemini::Matcher;
+use subgemini_baseline::{find_all as dfs_find_all, DfsOptions};
+use subgemini_netlist::rng::Rng64;
+use subgemini_netlist::{instantiate, DeviceId, DeviceType, NetId, Netlist, Vertex};
+
+/// Random MOS + resistor soup over `n_nets` wires with power rails.
+fn random_soup(rng: &mut Rng64, n_nets: usize, n_dev: usize) -> Netlist {
+    let mut nl = Netlist::new("soup");
+    let mos = nl.add_mos_types();
+    let res = nl.add_type(DeviceType::two_terminal("res")).unwrap();
+    let nets: Vec<NetId> = (0..n_nets.max(2))
+        .map(|i| nl.net(format!("w{i}")))
+        .collect();
+    let (vdd, gnd) = (nl.net("vdd"), nl.net("gnd"));
+    nl.mark_global(vdd);
+    nl.mark_global(gnd);
+    for i in 0..n_dev {
+        let p = |rng: &mut Rng64| nets[rng.index(nets.len())];
+        match rng.range(0, 4) {
+            0 => {
+                let (d, g) = (p(rng), p(rng));
+                nl.add_device(format!("n{i}"), mos.nmos, &[d, gnd, g])
+                    .unwrap();
+            }
+            1 => {
+                let (d, g) = (p(rng), p(rng));
+                nl.add_device(format!("p{i}"), mos.pmos, &[d, vdd, g])
+                    .unwrap();
+            }
+            2 => {
+                let (d, g, s) = (p(rng), p(rng), p(rng));
+                nl.add_device(format!("m{i}"), mos.nmos, &[d, g, s])
+                    .unwrap();
+            }
+            _ => {
+                let (a, b) = (p(rng), p(rng));
+                nl.add_device(format!("r{i}"), res, &[a, b]).unwrap();
+            }
+        }
+    }
+    nl
+}
+
+/// Plants `count` copies of `cell` onto random soup nets.
+fn plant(rng: &mut Rng64, soup: &mut Netlist, cell: &Netlist, count: usize) {
+    for k in 0..count {
+        let bindings: Vec<NetId> = (0..cell.ports().len())
+            .map(|_| soup.net(format!("w{}", rng.range(0, 8))))
+            .collect();
+        instantiate(soup, cell, &format!("u{k}"), &bindings).unwrap();
+    }
+}
+
+fn check_differential(case: u64, pattern: &Netlist, main: &Netlist) {
+    let outcome = Matcher::new(pattern, main).find_all();
+    let dfs = dfs_find_all(pattern, main, &DfsOptions::default());
+    if dfs.budget_exhausted {
+        return; // oracle gave up; nothing to compare against
+    }
+    let oracle_sets: Vec<Vec<DeviceId>> = dfs.instances.iter().map(|m| m.device_set()).collect();
+
+    // Soundness: reported sets are true instances per the oracle and
+    // per the independent structural verifier.
+    for m in &outcome.instances {
+        assert!(
+            oracle_sets.contains(&m.device_set()),
+            "case {case}: set {:?} not found by the oracle",
+            m.device_set()
+        );
+        subgemini::verify_instance(pattern, main, m, true)
+            .unwrap_or_else(|e| panic!("case {case}: invalid instance: {e}"));
+    }
+
+    // Emptiness agreement.
+    assert_eq!(
+        outcome.count() == 0,
+        oracle_sets.is_empty(),
+        "case {case}: found {} but oracle found {}",
+        outcome.count(),
+        oracle_sets.len()
+    );
+
+    // Key-image completeness against the dedup-off oracle.
+    let Some(key) = outcome.key else { return };
+    let full = dfs_find_all(
+        pattern,
+        main,
+        &DfsOptions {
+            dedup_automorphs: false,
+            ..DfsOptions::default()
+        },
+    );
+    if full.budget_exhausted {
+        return;
+    }
+    let true_images: Vec<Vertex> = match key {
+        Vertex::Device(d) => full
+            .images_of_device(d)
+            .into_iter()
+            .map(Vertex::Device)
+            .collect(),
+        Vertex::Net(n) => full.images_of_net(n).into_iter().map(Vertex::Net).collect(),
+    };
+    for img in &true_images {
+        let covered = outcome.key_images().contains(img)
+            || outcome.instances.iter().any(|m| match *img {
+                Vertex::Device(d) => m.devices.contains(&d),
+                Vertex::Net(n) => m.nets.contains(&n),
+            });
+        assert!(
+            covered,
+            "case {case}: true key image {img:?} unreported and uncovered"
+        );
+    }
+}
+
+#[test]
+fn library_cells_against_planted_soups() {
+    let cells = [
+        subgemini_workloads::cells::inv(),
+        subgemini_workloads::cells::nand2(),
+        subgemini_workloads::cells::nor2(),
+        subgemini_workloads::analog::nmos_mirror(),
+    ];
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xd1ff_1000 + case);
+        let cell = &cells[rng.index(cells.len())];
+        let (n_nets, n_dev, n_plant) = (rng.range(4, 10), rng.range(0, 12), rng.range(0, 4));
+        let mut soup = random_soup(&mut rng, n_nets, n_dev);
+        plant(&mut rng, &mut soup, cell, n_plant);
+        check_differential(case, cell, &soup);
+    }
+}
+
+#[test]
+fn carved_patterns_against_pure_soups() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xd1ff_2000 + case);
+        let (n_nets, n_dev) = (rng.range(3, 8), rng.range(3, 14));
+        let soup = random_soup(&mut rng, n_nets, n_dev);
+        // Carve a connected region as the pattern (as in prop_carved,
+        // but here the oracle comparison is the point).
+        let start = DeviceId::new(rng.index(soup.device_count()) as u32);
+        let target = rng.range(1, 5);
+        let mut selected = vec![start];
+        let mut frontier = vec![start];
+        while selected.len() < target {
+            let Some(d) = frontier.pop() else { break };
+            for &n in soup.device(d).pins() {
+                if soup.net_ref(n).is_global() {
+                    continue;
+                }
+                for pin in soup.net_ref(n).pins() {
+                    if !selected.contains(&pin.device) && selected.len() < target {
+                        selected.push(pin.device);
+                        frontier.push(pin.device);
+                    }
+                }
+            }
+        }
+        let pattern = soup.subnetlist("carved", &selected);
+        if pattern.validate().is_err() {
+            continue;
+        }
+        check_differential(case, &pattern, &soup);
+    }
+}
