@@ -6,12 +6,18 @@
 //! Usage:
 //!
 //! ```text
-//! bench_json [--scale N] [--threads N] [--out FILE]
+//! bench_json [--scale N] [--threads N] [--out FILE] [--check BASELINE]
 //! ```
 //!
 //! `--scale` multiplies the sweep sizes (default 1), `--threads`
 //! selects the Phase II worker count (default 1: serial, deterministic
 //! busy times), `--out -` writes the report to stdout.
+//!
+//! `--check BASELINE` compares the fresh linearity sweep against a
+//! committed report: the sum of `compile_ns + phase1_refine_ns +
+//! phase1_select_ns` across the sweep must not exceed 2x the
+//! baseline's, else the process exits 1 (the CI regression smoke).
+//! Unless `--out` is also given, a check run writes nothing.
 
 use std::collections::BTreeMap;
 
@@ -24,6 +30,7 @@ use subgemini_workloads::{cells, gen};
 fn metrics_value(m: &MetricsReport) -> Value {
     Value::Obj(vec![
         ("total_ns".into(), Value::int(m.total_ns)),
+        ("compile_ns".into(), Value::int(m.compile_ns)),
         ("phase1_refine_ns".into(), Value::int(m.phase1_refine_ns)),
         ("phase1_select_ns".into(), Value::int(m.phase1_select_ns)),
         ("phase2_verify_ns".into(), Value::int(m.phase2_verify_ns)),
@@ -121,11 +128,32 @@ fn survey(scale: usize, threads: usize) -> Value {
     ])
 }
 
+/// Sum of `compile_ns + phase1_refine_ns + phase1_select_ns` across a
+/// report's linearity rows. A missing `compile_ns` (pre-CSR baselines)
+/// counts as zero.
+fn linearity_front_ns(report: &Value) -> u64 {
+    let rows = report
+        .get("linearity")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[]);
+    rows.iter()
+        .filter_map(|row| row.get("metrics"))
+        .map(|m| {
+            ["compile_ns", "phase1_refine_ns", "phase1_select_ns"]
+                .iter()
+                .map(|k| m.get(k).and_then(Value::as_u64).unwrap_or(0))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1usize;
     let mut threads = 1usize;
     let mut out_path = "BENCH_phase_timings.json".to_string();
+    let mut out_given = false;
+    let mut check_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |what: &str| {
@@ -135,7 +163,11 @@ fn main() {
         match a.as_str() {
             "--scale" => scale = take("--scale").parse().expect("--scale takes a count"),
             "--threads" => threads = take("--threads").parse().expect("--threads takes a count"),
-            "--out" => out_path = take("--out").clone(),
+            "--out" => {
+                out_path = take("--out").clone();
+                out_given = true;
+            }
+            "--check" => check_path = Some(take("--check").clone()),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -157,10 +189,26 @@ fn main() {
         ("survey".into(), sur),
     ]);
     let text = report.pretty();
-    if out_path == "-" {
-        print!("{text}");
-    } else {
-        std::fs::write(&out_path, text).unwrap_or_else(|e| panic!("{out_path}: {e}"));
-        eprintln!("bench_json: wrote {out_path}");
+    if check_path.is_none() || out_given {
+        if out_path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(&out_path, text).unwrap_or_else(|e| panic!("{out_path}: {e}"));
+            eprintln!("bench_json: wrote {out_path}");
+        }
+    }
+    if let Some(baseline_path) = check_path {
+        let baseline_text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+        let baseline = subgemini::metrics::json::parse(&baseline_text)
+            .unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+        let was = linearity_front_ns(&baseline);
+        let now = linearity_front_ns(&report);
+        eprintln!("bench_json: check compile+phase1 on linearity: {now} ns vs baseline {was} ns");
+        if was > 0 && now > was.saturating_mul(2) {
+            eprintln!("bench_json: REGRESSION: more than 2x the committed baseline");
+            std::process::exit(1);
+        }
+        eprintln!("bench_json: check ok (within 2x)");
     }
 }

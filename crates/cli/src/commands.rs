@@ -360,23 +360,21 @@ pub fn trace(args: &Args) -> Result<u8, String> {
     }
 }
 
-/// `subg survey`: count instances of every library cell in one run,
-/// sharing the main graph's Phase I labeling across patterns.
+/// `subg survey`: count instances of every library cell in one run.
+/// The main circuit is compiled and Phase-I-relabeled exactly once,
+/// shared across every cell.
 pub fn survey(args: &Args) -> Result<u8, String> {
     let main_path = args.need(0, "main netlist file")?;
     let main = load_main(main_path)?;
     let cells = library_from(args)?;
     let refs: Vec<&Netlist> = cells.iter().collect();
-    let cvs = subgemini::candidates::generate_many(&refs, &main);
+    let outcomes = subgemini::find_all_many(&refs, &main, &subgemini::MatchOptions::default());
     println!("{:<18} {:>6} {:>6}", "cell", "|CV|", "found");
-    for (cell, cv) in cells.iter().zip(&cvs) {
-        // Phase II still runs per cell; Phase I (the |G|-proportional
-        // part) was shared.
-        let outcome = Matcher::new(cell, &main).find_all();
+    for (cell, outcome) in cells.iter().zip(&outcomes) {
         println!(
             "{:<18} {:>6} {:>6}",
             cell.name(),
-            cv.candidates.len(),
+            outcome.phase1.cv_size,
             outcome.count()
         );
     }

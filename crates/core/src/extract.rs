@@ -14,14 +14,51 @@
 //! device whose type carries inferred port-symmetry classes, so a later
 //! (gate-level) match can treat NAND inputs as interchangeable.
 
+use std::borrow::Cow;
 use std::collections::HashSet;
+use std::sync::Arc;
 
-use subgemini_netlist::{DeviceId, Netlist, NetlistError};
+use subgemini_netlist::{CompiledCircuit, DeviceId, Netlist, NetlistError};
 
-use crate::instance::SubMatch;
-use crate::matcher::find_all;
+use crate::instance::{MatchOutcome, SubMatch};
+use crate::matcher::{assert_no_isolated_nets, find_all_compiled, strip_globals, PreparedMain};
 use crate::options::{MatchOptions, OverlapPolicy};
+use crate::phase1::GTrace;
 use crate::symmetry::composite_type;
+
+/// The compiled state of the extractor's current netlist: one CSR
+/// snapshot plus one Phase I label trace, shared by every cell round
+/// until a replacement pass actually changes the netlist.
+struct CompiledMain {
+    /// De-globaled copy, present only when `respect_globals` is off.
+    stripped: Option<Netlist>,
+    compiled: Arc<CompiledCircuit>,
+    trace: GTrace,
+    compile_ns: u64,
+    /// Whether `compile_ns` has already been attributed to a cell's
+    /// metrics; later rounds report a cache hit instead.
+    reported: bool,
+}
+
+impl CompiledMain {
+    fn build(current: &Netlist, options: &MatchOptions) -> Self {
+        let timer = options
+            .collect_metrics
+            .then(crate::metrics::PhaseTimer::start);
+        let stripped = (!options.respect_globals).then(|| strip_globals(current, false));
+        let compiled = Arc::new(CompiledCircuit::compile(
+            stripped.as_ref().unwrap_or(current),
+        ));
+        let trace = GTrace::new(Arc::clone(&compiled));
+        CompiledMain {
+            stripped,
+            compiled,
+            trace,
+            compile_ns: timer.map_or(0, |t| t.elapsed_ns()),
+            reported: false,
+        }
+    }
+}
 
 /// One composite device created by extraction.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -123,12 +160,20 @@ impl Extractor {
     /// instances with composite devices, and returns the gate-level
     /// netlist plus a report.
     ///
+    /// The input netlist is never cloned wholesale: rounds that find
+    /// nothing match against the borrowed input (or the previous
+    /// round's rebuild), reusing one compiled CSR snapshot and one
+    /// Phase I label trace. Only a round that actually replaced
+    /// instances rebuilds — and thus recompiles — the netlist.
+    ///
     /// # Errors
     ///
     /// Propagates netlist construction errors from the rebuild (only
     /// possible if input names collide with generated composite names).
     pub fn extract(&self, main: &Netlist) -> Result<(Netlist, ExtractReport), NetlistError> {
-        use crate::metrics::{ExtractCellMetrics, ExtractMetrics, PhaseTimer, ProgressEvent};
+        use crate::metrics::{
+            ExtractCellMetrics, ExtractMetrics, MetricsReport, PhaseTimer, ProgressEvent,
+        };
         let collect = self.options.collect_metrics;
         let progress = self.options.on_progress.as_ref();
         let total_timer = collect.then(PhaseTimer::start);
@@ -139,7 +184,8 @@ impl Extractor {
                 .cmp(&a.device_count())
                 .then_with(|| a.name().cmp(b.name()))
         });
-        let mut current = main.clone();
+        let mut current: Cow<'_, Netlist> = Cow::Borrowed(main);
+        let mut compiled_main: Option<CompiledMain> = None;
         let mut report = ExtractReport::default();
         let mut metrics = collect.then(ExtractMetrics::default);
         let n_cells = cells.len();
@@ -151,14 +197,50 @@ impl Extractor {
                     total: n_cells,
                 });
             }
+            assert_no_isolated_nets(cell);
             let match_timer = collect.then(PhaseTimer::start);
-            let mut outcome = find_all(cell, &current, &self.options);
+            let mut outcome = if cell.device_count() == 0 {
+                MatchOutcome::default()
+            } else {
+                let CompiledMain {
+                    stripped,
+                    compiled,
+                    trace,
+                    compile_ns,
+                    reported,
+                } = compiled_main
+                    .get_or_insert_with(|| CompiledMain::build(&current, &self.options));
+                let main_cached = *reported;
+                let main_ns = if main_cached { 0 } else { *compile_ns };
+                *reported = true;
+                let prepared = PreparedMain {
+                    netlist: Cow::Borrowed(stripped.as_ref().unwrap_or(&current)),
+                    compiled: Arc::clone(compiled),
+                    compile_ns: main_ns,
+                };
+                find_all_compiled(cell, &prepared, trace, &self.options, main_ns, main_cached)
+            };
             let match_ns = match_timer.map_or(0, |t| t.elapsed_ns());
+            if let Some(t) = match_timer {
+                let m = outcome.metrics.get_or_insert_with(|| MetricsReport {
+                    threads_requested: self.options.threads,
+                    threads_used: 1,
+                    ..MetricsReport::default()
+                });
+                m.total_ns = t.elapsed_ns();
+            }
             let found = outcome.instances.len();
             report.per_cell.push((cell.name().to_string(), found));
             let replace_timer = collect.then(PhaseTimer::start);
             if found > 0 {
-                current = replace_instances(&current, cell, &outcome.instances, &mut report)?;
+                current = Cow::Owned(replace_instances(
+                    &current,
+                    cell,
+                    &outcome.instances,
+                    &mut report,
+                )?);
+                // The netlist changed; the next round must recompile.
+                compiled_main = None;
             }
             if let Some(m) = metrics.as_mut() {
                 m.cells.push(ExtractCellMetrics {
@@ -188,7 +270,7 @@ impl Extractor {
                     .all(|c| c.name() != current.device_type_of(d).name())
             })
             .count();
-        Ok((current, report))
+        Ok((current.into_owned(), report))
     }
 }
 

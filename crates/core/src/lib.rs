@@ -70,7 +70,7 @@ mod verify;
 
 pub use extract::{ExtractReport, ExtractedInstance, Extractor};
 pub use instance::{MatchOutcome, Phase1Stats, Phase2Stats, SubMatch};
-pub use matcher::{find_all, Matcher};
+pub use matcher::{find_all, find_all_many, Matcher};
 pub use metrics::{Counters, MetricsReport, ProgressEvent, ProgressHook};
 pub use options::{KeyPolicy, MatchOptions, OverlapPolicy};
 pub use rules::{RuleChecker, RuleViolation};
@@ -83,7 +83,9 @@ pub use verify::verify_instance;
 /// vector without running Phase II. Exposed for the candidate-filter
 /// experiments (DESIGN.md E7) and for diagnostic tooling.
 pub mod candidates {
-    use subgemini_netlist::{CircuitGraph, Netlist, Vertex};
+    use std::sync::Arc;
+
+    use subgemini_netlist::{CompiledCircuit, Netlist, Vertex};
 
     pub use crate::instance::Phase1Stats;
 
@@ -118,8 +120,8 @@ pub mod candidates {
     /// # }
     /// ```
     pub fn generate(pattern: &Netlist, main: &Netlist) -> CandidateVector {
-        let s = CircuitGraph::new(pattern);
-        let g = CircuitGraph::new(main);
+        let s = CompiledCircuit::compile(pattern);
+        let g = Arc::new(CompiledCircuit::compile(main));
         let out = crate::phase1::run(&s, &g);
         CandidateVector {
             key: out.key,
@@ -154,9 +156,12 @@ pub mod candidates {
     /// # }
     /// ```
     pub fn generate_many(patterns: &[&Netlist], main: &Netlist) -> Vec<CandidateVector> {
-        let graphs: Vec<CircuitGraph<'_>> = patterns.iter().map(|p| CircuitGraph::new(p)).collect();
-        let refs: Vec<&CircuitGraph<'_>> = graphs.iter().collect();
-        let g = CircuitGraph::new(main);
+        let compiled: Vec<CompiledCircuit> = patterns
+            .iter()
+            .map(|p| CompiledCircuit::compile(p))
+            .collect();
+        let refs: Vec<&CompiledCircuit> = compiled.iter().collect();
+        let g = Arc::new(CompiledCircuit::compile(main));
         crate::phase1::run_many(&refs, &g, crate::KeyPolicy::SmallestPartition)
             .into_iter()
             .map(|out| CandidateVector {

@@ -1,8 +1,15 @@
 //! The high-level matching API tying Phase I and Phase II together.
+//!
+//! The main circuit is compiled to a [`CompiledCircuit`] exactly once
+//! per search — and exactly once *total* for a multi-pattern search
+//! ([`find_all_many`]), where one Phase I label trace and one compiled
+//! `G` are shared by every pattern.
 
+use std::borrow::Cow;
 use std::collections::HashSet;
+use std::sync::Arc;
 
-use subgemini_netlist::{CircuitGraph, DeviceId, Netlist};
+use subgemini_netlist::{CompiledCircuit, DeviceId, Netlist};
 
 use crate::instance::{MatchOutcome, SubMatch};
 use crate::metrics::{MetricsReport, PhaseTimer, ProgressEvent};
@@ -89,13 +96,46 @@ impl<'a> Matcher<'a> {
     }
 }
 
-/// Free-function form of [`Matcher::find_all`].
-///
-/// # Panics
-///
-/// Panics if the pattern has no devices attached to one of its nets
-/// (see [`Matcher::find_all`]).
-pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> MatchOutcome {
+/// The main circuit, prepared once: de-globaled if requested, compiled
+/// to CSR, with the compilation cost recorded for metrics.
+pub(crate) struct PreparedMain<'a> {
+    pub(crate) netlist: Cow<'a, Netlist>,
+    pub(crate) compiled: Arc<CompiledCircuit>,
+    pub(crate) compile_ns: u64,
+}
+
+/// De-globals a netlist copy. A pattern's power rails become *external*
+/// nets (their images may have any fanout), matching the baseline
+/// matcher's semantics when `respect_globals` is off.
+pub(crate) fn strip_globals(nl: &Netlist, as_ports: bool) -> Netlist {
+    let mut c = nl.clone();
+    let globals: Vec<_> = c.global_nets().collect();
+    for g in globals {
+        if as_ports {
+            c.mark_port(g);
+        }
+        c.clear_global(g);
+    }
+    c
+}
+
+pub(crate) fn prepare_main<'a>(main: &'a Netlist, options: &MatchOptions) -> PreparedMain<'a> {
+    let timer = options.collect_metrics.then(PhaseTimer::start);
+    let netlist: Cow<'a, Netlist> = if options.respect_globals {
+        Cow::Borrowed(main)
+    } else {
+        Cow::Owned(strip_globals(main, false))
+    };
+    let compiled = Arc::new(CompiledCircuit::compile(&netlist));
+    let compile_ns = timer.map_or(0, |t| t.elapsed_ns());
+    PreparedMain {
+        netlist,
+        compiled,
+        compile_ns,
+    }
+}
+
+pub(crate) fn assert_no_isolated_nets(pattern: &Netlist) {
     for n in pattern.net_ids() {
         assert!(
             pattern.net_ref(n).degree() > 0,
@@ -103,8 +143,31 @@ pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> Ma
             pattern.net_ref(n).name()
         );
     }
+}
+
+/// Free-function form of [`Matcher::find_all`].
+///
+/// # Panics
+///
+/// Panics if the pattern has no devices attached to one of its nets
+/// (see [`Matcher::find_all`]).
+pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> MatchOutcome {
+    assert_no_isolated_nets(pattern);
     let total_timer = options.collect_metrics.then(PhaseTimer::start);
-    let mut outcome = find_all_unprepared(pattern, main, options);
+    let mut outcome = if pattern.device_count() == 0 {
+        MatchOutcome::default()
+    } else {
+        let prepared = prepare_main(main, options);
+        let mut trace = phase1::GTrace::new(Arc::clone(&prepared.compiled));
+        find_all_compiled(
+            pattern,
+            &prepared,
+            &mut trace,
+            options,
+            prepared.compile_ns,
+            false,
+        )
+    };
     if let Some(t) = total_timer {
         let m = outcome.metrics.get_or_insert_with(|| MetricsReport {
             threads_requested: options.threads,
@@ -116,53 +179,101 @@ pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> Ma
     outcome
 }
 
-fn find_all_unprepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> MatchOutcome {
-    if pattern.device_count() == 0 {
-        return MatchOutcome::default();
+/// Searches for every pattern of a library inside one main circuit,
+/// compiling (and Phase-I-relabeling) the main circuit **exactly
+/// once**: the compiled CSR and the label trace are shared across
+/// patterns, so per-pattern cost is proportional to the pattern, not
+/// the chip. Outcomes are identical to calling [`find_all`] per
+/// pattern.
+///
+/// # Panics
+///
+/// Panics if any pattern has an isolated net (see
+/// [`Matcher::find_all`]).
+pub fn find_all_many(
+    patterns: &[&Netlist],
+    main: &Netlist,
+    options: &MatchOptions,
+) -> Vec<MatchOutcome> {
+    for p in patterns {
+        assert_no_isolated_nets(p);
     }
-    // Ignoring special nets = matching against de-globaled copies. A
-    // pattern's power rails become *external* nets (their images may
-    // have any fanout), matching the baseline matcher's semantics.
-    if !options.respect_globals {
-        let strip = |nl: &Netlist, as_ports: bool| {
-            let mut c = nl.clone();
-            let globals: Vec<_> = c.global_nets().collect();
-            for g in globals {
-                if as_ports {
-                    c.mark_port(g);
-                }
-                c.clear_global(g);
+    let prepared = prepare_main(main, options);
+    let mut trace = phase1::GTrace::new(Arc::clone(&prepared.compiled));
+    patterns
+        .iter()
+        .enumerate()
+        .map(|(i, pattern)| {
+            let total_timer = options.collect_metrics.then(PhaseTimer::start);
+            let mut outcome = if pattern.device_count() == 0 {
+                MatchOutcome::default()
+            } else {
+                // Only the first pattern pays (and reports) the main
+                // compile; later ones count a cache hit.
+                let main_ns = if i == 0 { prepared.compile_ns } else { 0 };
+                find_all_compiled(pattern, &prepared, &mut trace, options, main_ns, i > 0)
+            };
+            if let Some(t) = total_timer {
+                let m = outcome.metrics.get_or_insert_with(|| MetricsReport {
+                    threads_requested: options.threads,
+                    threads_used: 1,
+                    ..MetricsReport::default()
+                });
+                m.total_ns = t.elapsed_ns();
             }
-            c
-        };
-        let (p, m) = (strip(pattern, true), strip(main, false));
-        return find_all_prepared(&p, &m, options);
-    }
-    find_all_prepared(pattern, main, options)
+            outcome
+        })
+        .collect()
 }
 
-fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> MatchOutcome {
+/// The two-phase search against an already-prepared main circuit and a
+/// shared Phase I label trace. `main_compile_ns` is the compilation
+/// cost to attribute to this outcome's metrics; `main_cached` marks a
+/// reused compilation (counted, not re-measured).
+pub(crate) fn find_all_compiled(
+    pattern: &Netlist,
+    prepared: &PreparedMain<'_>,
+    trace: &mut phase1::GTrace,
+    options: &MatchOptions,
+    main_compile_ns: u64,
+    main_cached: bool,
+) -> MatchOutcome {
     let mut outcome = MatchOutcome::default();
     let collect = options.collect_metrics;
     let progress = options.on_progress.as_ref();
-    let s = CircuitGraph::new(pattern);
-    let g = CircuitGraph::new(main);
+    let main_nl: &Netlist = &prepared.netlist;
+
+    // The pattern is compiled once per search (it is tiny next to G).
+    let compile_timer = collect.then(PhaseTimer::start);
+    let pattern_nl: Cow<'_, Netlist> = if options.respect_globals {
+        Cow::Borrowed(pattern)
+    } else {
+        Cow::Owned(strip_globals(pattern, true))
+    };
+    let s = CompiledCircuit::compile(&pattern_nl);
+    let pattern_compile_ns = compile_timer.map_or(0, |t| t.elapsed_ns());
 
     // ---- Phase I ----
     if let Some(hook) = progress {
         hook.call(&ProgressEvent::Phase1Started {
-            pattern_devices: pattern.device_count(),
-            main_devices: main.device_count(),
+            pattern_devices: pattern_nl.device_count(),
+            main_devices: main_nl.device_count(),
         });
     }
-    let (p1, p1_timing) = phase1::run_with_policy_timed(&s, &g, options.key_policy, collect);
+    let (p1, p1_timing) = phase1::run_with_trace_timed(&s, trace, options.key_policy, collect);
     let mut metrics = collect.then(|| MetricsReport {
+        compile_ns: main_compile_ns + pattern_compile_ns,
         phase1_refine_ns: p1_timing.refine_ns,
         phase1_select_ns: p1_timing.select_ns,
         threads_requested: options.threads,
         threads_used: 1,
         ..MetricsReport::default()
     });
+    if main_cached {
+        if let Some(m) = metrics.as_mut() {
+            m.counters.bump("compile.main_cache_hits", 1);
+        }
+    }
     outcome.phase1 = p1.stats;
     outcome.key = p1.key;
     if let Some(hook) = progress {
@@ -177,7 +288,7 @@ fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) 
     };
 
     // ---- Phase II ----
-    let runner = Phase2Runner::new(&s, &g, pattern, main, options);
+    let runner = Phase2Runner::new(&s, &prepared.compiled, &pattern_nl, main_nl, options);
     let Some(base) = runner.base_state() else {
         // A pattern global has no counterpart in the main circuit.
         outcome.phase1.proven_empty = true;
@@ -185,76 +296,84 @@ fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) 
         return outcome;
     };
     // Optional parallel pre-pass: candidates are independent, so their
-    // verification can run on worker threads. The merge below consumes
-    // the precomputed per-candidate results in candidate-vector order,
-    // so instances are identical to a serial run (tracing forces the
-    // serial path; effort counters may include candidates a serial run
-    // would have skipped after a claim).
+    // verification can run on worker threads — each worker materializes
+    // one reusable search state and drains its candidate chunk through
+    // it. The merge below consumes the precomputed per-candidate
+    // results in candidate-vector order, so instances are identical to
+    // a serial run (tracing forces the serial path; effort counters may
+    // include candidates a serial run would have skipped after a claim).
     let worker_count = match options.threads {
         0 => std::thread::available_parallelism().map_or(1, usize::from),
         n => n,
     };
     let phase2_timer = collect.then(PhaseTimer::start);
-    let precomputed: Option<Vec<Option<crate::instance::SubMatch>>> = if !options.record_trace
-        && worker_count > 1
-        && p1.candidates.len() > 1
-    {
-        let n = p1.candidates.len();
-        let mut results: Vec<Option<crate::instance::SubMatch>> = Vec::new();
-        results.resize_with(n, || None);
-        let chunk = n.div_ceil(worker_count.min(n));
-        // Per-worker (stats, busy_ns, max_candidate_ns), pushed on
-        // worker exit; busy times are zero unless collecting.
-        let stats_parts =
-            std::sync::Mutex::new(Vec::<(crate::instance::Phase2Stats, u64, u64)>::new());
-        let mut workers_used = 0usize;
-        std::thread::scope(|scope| {
-            for (slot_chunk, cand_chunk) in
-                results.chunks_mut(chunk).zip(p1.candidates.chunks(chunk))
-            {
-                workers_used += 1;
-                let runner = &runner;
-                let base = &base;
-                let stats_parts = &stats_parts;
-                scope.spawn(move || {
-                    let mut stats = crate::instance::Phase2Stats::default();
-                    let mut timing = collect.then_some((0u64, 0u64));
-                    for (slot, &c) in slot_chunk.iter_mut().zip(cand_chunk) {
-                        *slot = runner
-                            .run_candidate_timed(base, key, c, &mut stats, false, timing.as_mut())
-                            .map(|(m, _)| m);
-                    }
-                    let (busy, max) = timing.unwrap_or_default();
-                    stats_parts
-                        .lock()
-                        .expect("no panics while holding the lock")
-                        .push((stats, busy, max));
-                });
+    let precomputed: Option<Vec<Option<crate::instance::SubMatch>>> =
+        if !options.record_trace && worker_count > 1 && p1.candidates.len() > 1 {
+            let n = p1.candidates.len();
+            let mut results: Vec<Option<crate::instance::SubMatch>> = Vec::new();
+            results.resize_with(n, || None);
+            let chunk = n.div_ceil(worker_count.min(n));
+            // Per-worker (stats, busy_ns, max_candidate_ns), pushed on
+            // worker exit; busy times are zero unless collecting.
+            let stats_parts =
+                std::sync::Mutex::new(Vec::<(crate::instance::Phase2Stats, u64, u64)>::new());
+            let mut workers_used = 0usize;
+            std::thread::scope(|scope| {
+                for (slot_chunk, cand_chunk) in
+                    results.chunks_mut(chunk).zip(p1.candidates.chunks(chunk))
+                {
+                    workers_used += 1;
+                    let runner = &runner;
+                    let base = &base;
+                    let stats_parts = &stats_parts;
+                    scope.spawn(move || {
+                        let mut search = runner.make_state(base);
+                        let mut stats = crate::instance::Phase2Stats::default();
+                        let mut timing = collect.then_some((0u64, 0u64));
+                        for (slot, &c) in slot_chunk.iter_mut().zip(cand_chunk) {
+                            *slot = runner
+                                .run_candidate_timed(
+                                    &mut search,
+                                    key,
+                                    c,
+                                    &mut stats,
+                                    false,
+                                    timing.as_mut(),
+                                )
+                                .map(|(m, _)| m);
+                        }
+                        let (busy, max) = timing.unwrap_or_default();
+                        stats_parts
+                            .lock()
+                            .expect("no panics while holding the lock")
+                            .push((stats, busy, max));
+                    });
+                }
+            });
+            for (part, busy, max) in stats_parts.into_inner().expect("threads joined") {
+                outcome.phase2.candidates_tried += part.candidates_tried;
+                outcome.phase2.false_candidates += part.false_candidates;
+                outcome.phase2.passes += part.passes;
+                outcome.phase2.guesses += part.guesses;
+                outcome.phase2.backtracks += part.backtracks;
+                if let Some(m) = metrics.as_mut() {
+                    m.worker_busy_ns.push(busy);
+                    m.phase2_verify_ns += busy;
+                    m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(max);
+                }
             }
-        });
-        for (part, busy, max) in stats_parts.into_inner().expect("threads joined") {
-            outcome.phase2.candidates_tried += part.candidates_tried;
-            outcome.phase2.false_candidates += part.false_candidates;
-            outcome.phase2.passes += part.passes;
-            outcome.phase2.guesses += part.guesses;
-            outcome.phase2.backtracks += part.backtracks;
             if let Some(m) = metrics.as_mut() {
-                m.worker_busy_ns.push(busy);
-                m.phase2_verify_ns += busy;
-                m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(max);
+                m.threads_used = workers_used;
             }
-        }
-        if let Some(m) = metrics.as_mut() {
-            m.threads_used = workers_used;
-        }
-        Some(results)
-    } else {
-        None
-    };
+            Some(results)
+        } else {
+            None
+        };
 
+    let mut serial_search = precomputed.is_none().then(|| runner.make_state(&base));
     let mut claimed: HashSet<DeviceId> = HashSet::new();
     let mut seen_sets: HashSet<Vec<DeviceId>> = HashSet::new();
-    let mut trace: Option<Phase2Trace> = None;
+    let mut p2_trace: Option<Phase2Trace> = None;
     let mut serial_timing = (collect && precomputed.is_none()).then_some((0u64, 0u64));
     let mut checked = 0u64;
     let mut matched = 0u64;
@@ -272,11 +391,11 @@ fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) 
                 }
             }
         }
-        let want_trace = options.record_trace && trace.is_none();
+        let want_trace = options.record_trace && p2_trace.is_none();
         let verified = match &precomputed {
             Some(results) => results[i].clone().map(|m| (m, None)),
             None => runner.run_candidate_timed(
-                &base,
+                serial_search.as_mut().expect("serial path has a state"),
                 key,
                 c,
                 &mut outcome.phase2,
@@ -297,19 +416,22 @@ fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) 
         };
         matched += 1;
         let set = m.device_set();
-        if !seen_sets.insert(set.clone()) {
+        if seen_sets.contains(&set) {
             dedup_dropped += 1;
             continue; // same instance reached through another candidate
         }
-        if options.overlap == OverlapPolicy::ClaimDevices {
-            if set.iter().any(|d| claimed.contains(d)) {
-                outcome.phase2.overlap_dropped += 1;
-                continue;
-            }
+        let overlaps = options.overlap == OverlapPolicy::ClaimDevices
+            && set.iter().any(|d| claimed.contains(d));
+        if options.overlap == OverlapPolicy::ClaimDevices && !overlaps {
             claimed.extend(set.iter().copied());
         }
+        seen_sets.insert(set); // move, not clone — the set is consumed here
+        if overlaps {
+            outcome.phase2.overlap_dropped += 1;
+            continue;
+        }
         if want_trace {
-            trace = t;
+            p2_trace = t;
         }
         outcome.instances.push(m);
         if let Some(hook) = progress {
@@ -319,7 +441,7 @@ fn find_all_prepared(pattern: &Netlist, main: &Netlist, options: &MatchOptions) 
         }
     }
     outcome.instances.sort_by_key(|a| a.device_set());
-    outcome.trace = trace;
+    outcome.trace = p2_trace;
     if let Some(m) = metrics.as_mut() {
         if let Some((busy, max)) = serial_timing {
             m.worker_busy_ns.push(busy);

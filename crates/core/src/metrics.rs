@@ -82,6 +82,13 @@ impl Counters {
 pub struct MetricsReport {
     /// End-to-end `find_all` time, including netlist preparation.
     pub total_ns: u64,
+    /// Time spent compiling netlists into
+    /// [`CompiledCircuit`](subgemini_netlist::CompiledCircuit) CSR
+    /// snapshots (main + pattern). When a search reuses a cached main
+    /// compilation (library surveys, extraction passes), only the
+    /// pattern's share appears here and the
+    /// `compile.main_cache_hits` counter is bumped instead.
+    pub compile_ns: u64,
     /// Phase I iterative-relabeling (partition refinement) time.
     pub phase1_refine_ns: u64,
     /// Phase I candidate-vector / key-vertex selection time.
@@ -571,6 +578,7 @@ pub fn outcome_to_json(outcome: &MatchOutcome) -> json::Value {
         None => Value::Null,
         Some(m) => Value::Obj(vec![
             ("total_ns".into(), Value::int(m.total_ns)),
+            ("compile_ns".into(), Value::int(m.compile_ns)),
             ("phase1_refine_ns".into(), Value::int(m.phase1_refine_ns)),
             ("phase1_select_ns".into(), Value::int(m.phase1_select_ns)),
             ("phase2_verify_ns".into(), Value::int(m.phase2_verify_ns)),
@@ -663,8 +671,9 @@ pub fn outcome_to_text(outcome: &MatchOutcome) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
         let _ = writeln!(
             out,
-            "timings: total {:.3} ms = phase1 refine {:.3} ms + select {:.3} ms + phase2 {:.3} ms wall",
+            "timings: total {:.3} ms = compile {:.3} ms + phase1 refine {:.3} ms + select {:.3} ms + phase2 {:.3} ms wall",
             ms(m.total_ns),
+            ms(m.compile_ns),
             ms(m.phase1_refine_ns),
             ms(m.phase1_select_ns),
             ms(m.phase2_wall_ns),

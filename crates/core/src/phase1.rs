@@ -18,10 +18,15 @@
 //!
 //! Consistency checks run after every phase: a valid `S` label that is
 //! missing (or undersupplied) in `G` proves no instance exists.
+//!
+//! All loops run over the flat arrays of a [`CompiledCircuit`]:
+//! relabeling is double-buffered through a reusable scratch vector (no
+//! per-iteration allocation), and partitions are indexed by
+//! sorted-by-label runs ([`PartitionIndex`]) instead of hash maps.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use subgemini_netlist::{hashing, CircuitGraph, DeviceId, NetId, Vertex};
+use subgemini_netlist::{hashing, CompiledCircuit, DeviceId, NetId, Vertex};
 
 use crate::instance::Phase1Stats;
 use crate::options::KeyPolicy;
@@ -44,7 +49,7 @@ struct Labels {
     net: Vec<u64>,
 }
 
-fn initial_labels(g: &CircuitGraph<'_>) -> Labels {
+fn initial_labels(g: &CompiledCircuit) -> Labels {
     Labels {
         dev: (0..g.device_count())
             .map(|i| g.initial_device_label(DeviceId::new(i as u32)))
@@ -55,62 +60,100 @@ fn initial_labels(g: &CircuitGraph<'_>) -> Labels {
     }
 }
 
-/// Relabels every non-global net of `g` from device labels (Jacobi).
-fn relabel_nets(g: &CircuitGraph<'_>, l: &mut Labels) {
-    let mut new = l.net.clone();
-    for (i, slot) in new.iter_mut().enumerate() {
+/// Relabels every non-global net of `g` from device labels (Jacobi),
+/// double-buffering through `scratch` so no allocation happens after
+/// the first pass.
+fn relabel_nets(g: &CompiledCircuit, l: &mut Labels, scratch: &mut Vec<u64>) {
+    scratch.clear();
+    scratch.reserve(l.net.len());
+    for i in 0..l.net.len() {
         let n = NetId::new(i as u32);
-        if g.is_global(n) {
-            continue;
-        }
-        let c = g.net_contribs(n, |d| Some(l.dev[d.index()]));
-        *slot = hashing::relabel(l.net[i], c.sum);
+        let v = if g.is_global(n) {
+            l.net[i]
+        } else {
+            let c = g.net_contribs(n, |d| Some(l.dev[d.index()]));
+            hashing::relabel(l.net[i], c.sum)
+        };
+        scratch.push(v);
     }
-    l.net = new;
+    std::mem::swap(&mut l.net, scratch);
 }
 
-/// Relabels every device of `g` from net labels (Jacobi).
-fn relabel_devices(g: &CircuitGraph<'_>, l: &mut Labels) {
-    let mut new = l.dev.clone();
-    for (i, slot) in new.iter_mut().enumerate() {
+/// Relabels every device of `g` from net labels (Jacobi); see
+/// [`relabel_nets`] for the buffering scheme.
+fn relabel_devices(g: &CompiledCircuit, l: &mut Labels, scratch: &mut Vec<u64>) {
+    scratch.clear();
+    scratch.reserve(l.dev.len());
+    for i in 0..l.dev.len() {
         let d = DeviceId::new(i as u32);
         let c = g.device_contribs(d, |n| Some(l.net[n.index()]));
-        *slot = hashing::relabel(l.dev[i], c.sum);
+        scratch.push(hashing::relabel(l.dev[i], c.sum));
     }
-    l.dev = new;
+    std::mem::swap(&mut l.dev, scratch);
+}
+
+/// Label→members partition map stored as runs of a `(label, index)`
+/// array sorted by label (ties by index, so members come out in
+/// ascending vertex order). Lookup is two binary searches; building is
+/// one sort — cheaper and cache-friendlier than a `HashMap<u64, Vec>`
+/// for the snapshot-heavy trace.
+struct PartitionIndex {
+    entries: Vec<(u64, u32)>,
+}
+
+impl PartitionIndex {
+    fn build(labels: &[u64]) -> Self {
+        let mut entries: Vec<(u64, u32)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i as u32))
+            .collect();
+        entries.sort_unstable();
+        Self { entries }
+    }
+
+    /// The members of `label`'s partition, ascending by vertex index.
+    fn members(&self, label: u64) -> &[(u64, u32)] {
+        let lo = self.entries.partition_point(|&(l, _)| l < label);
+        let hi = self.entries.partition_point(|&(l, _)| l <= label);
+        &self.entries[lo..hi]
+    }
+
+    fn count(&self, label: u64) -> usize {
+        self.members(label).len()
+    }
 }
 
 /// A lazily extended sequence of `G` label snapshots. Main-graph
 /// relabeling in Phase I is *pattern-independent* (no valid/corrupt
 /// logic applies to `G`), so one trace can serve many patterns — the
-/// basis of [`run_many`].
+/// basis of [`run_many`] and the matcher's multi-pattern path.
+///
+/// The trace owns an [`Arc`] of the compiled main graph, so it can
+/// outlive the borrow that produced it (the extractor keeps one alive
+/// across replacement passes).
 ///
 /// `step 0` is the initial labeling; odd steps follow a net phase, even
 /// steps a device phase.
-pub struct GTrace<'g, 'n> {
-    g: &'g CircuitGraph<'n>,
+pub struct GTrace {
+    g: Arc<CompiledCircuit>,
     snaps: Vec<StepData>,
+    scratch: Vec<u64>,
 }
 
-/// One trace step: the labels plus label→members partition maps, cached
-/// so that per-pattern consistency checks cost `O(|S|)` rather than
-/// `O(|G|)`.
+/// One trace step: the labels plus label→members partition indices,
+/// cached so that per-pattern consistency checks cost `O(|S| log |G|)`
+/// rather than `O(|G|)`.
 struct StepData {
     labels: Labels,
-    dev_parts: HashMap<u64, Vec<u32>>,
-    net_parts: HashMap<u64, Vec<u32>>,
+    dev_parts: PartitionIndex,
+    net_parts: PartitionIndex,
 }
 
 impl StepData {
     fn from_labels(labels: Labels) -> Self {
-        let mut dev_parts: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, &l) in labels.dev.iter().enumerate() {
-            dev_parts.entry(l).or_default().push(i as u32);
-        }
-        let mut net_parts: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (i, &l) in labels.net.iter().enumerate() {
-            net_parts.entry(l).or_default().push(i as u32);
-        }
+        let dev_parts = PartitionIndex::build(&labels.dev);
+        let net_parts = PartitionIndex::build(&labels.net);
         Self {
             labels,
             dev_parts,
@@ -119,12 +162,14 @@ impl StepData {
     }
 }
 
-impl<'g, 'n> GTrace<'g, 'n> {
-    /// Starts a trace for `g`.
-    pub fn new(g: &'g CircuitGraph<'n>) -> Self {
+impl GTrace {
+    /// Starts a trace for the compiled main graph `g`.
+    pub fn new(g: Arc<CompiledCircuit>) -> Self {
+        let first = StepData::from_labels(initial_labels(&g));
         Self {
             g,
-            snaps: vec![StepData::from_labels(initial_labels(g))],
+            snaps: vec![first],
+            scratch: Vec::new(),
         }
     }
 
@@ -141,9 +186,9 @@ impl<'g, 'n> GTrace<'g, 'n> {
             if self.snaps.len() % 2 == 1 {
                 // The snapshot being created has an odd index => it
                 // follows a net phase.
-                relabel_nets(self.g, &mut next);
+                relabel_nets(&self.g, &mut next, &mut self.scratch);
             } else {
-                relabel_devices(self.g, &mut next);
+                relabel_devices(&self.g, &mut next, &mut self.scratch);
             }
             self.snaps.push(StepData::from_labels(next));
         }
@@ -157,13 +202,13 @@ struct Validity {
 }
 
 impl Validity {
-    fn new(s: &CircuitGraph<'_>) -> Self {
+    fn new(s: &CompiledCircuit) -> Self {
         let net = (0..s.net_count())
             .map(|i| {
                 let n = NetId::new(i as u32);
                 // External nets are corrupt from the start; globals stay
                 // valid forever (their labels are fixed by name).
-                s.is_global(n) || !s.netlist().net_ref(n).is_port()
+                s.is_global(n) || !s.is_port(n)
             })
             .collect();
         Self {
@@ -174,7 +219,7 @@ impl Validity {
 
     /// Marks nets with an invalid device neighbor invalid; returns how
     /// many were newly invalidated.
-    fn propagate_to_nets(&mut self, s: &CircuitGraph<'_>) -> usize {
+    fn propagate_to_nets(&mut self, s: &CompiledCircuit) -> usize {
         let mut newly = 0;
         for i in 0..self.net.len() {
             let n = NetId::new(i as u32);
@@ -191,7 +236,7 @@ impl Validity {
 
     /// Marks devices with an invalid net neighbor invalid; returns how
     /// many were newly invalidated.
-    fn propagate_to_devices(&mut self, s: &CircuitGraph<'_>) -> usize {
+    fn propagate_to_devices(&mut self, s: &CompiledCircuit) -> usize {
         let mut newly = 0;
         for i in 0..self.dev.len() {
             if !self.dev[i] {
@@ -206,7 +251,7 @@ impl Validity {
         newly
     }
 
-    fn live_nets(&self, s: &CircuitGraph<'_>) -> usize {
+    fn live_nets(&self, s: &CompiledCircuit) -> usize {
         (0..self.net.len())
             .filter(|&i| self.net[i] && !s.is_global(NetId::new(i as u32)))
             .count()
@@ -219,17 +264,37 @@ impl Validity {
 
 /// Checks Label Invariant (1)'s consequence: every valid `S` partition
 /// must be matched in `G` with at least as many members. Returns `false`
-/// when the pattern provably has no instance. `O(|S|)` thanks to the
-/// trace's cached partition maps.
-fn consistent(s_labels: &[u64], s_valid: &[bool], g_parts: &HashMap<u64, Vec<u32>>) -> bool {
-    let mut need: HashMap<u64, usize> = HashMap::new();
-    for (i, &l) in s_labels.iter().enumerate() {
-        if s_valid[i] {
-            *need.entry(l).or_insert(0) += 1;
+/// when the pattern provably has no instance. The valid `S` labels are
+/// gathered into `scratch` and sorted; each equal-label run is checked
+/// against the trace's cached partition index.
+fn consistent(
+    s_labels: &[u64],
+    s_valid: &[bool],
+    g_parts: &PartitionIndex,
+    scratch: &mut Vec<u64>,
+) -> bool {
+    scratch.clear();
+    scratch.extend(
+        s_labels
+            .iter()
+            .zip(s_valid.iter())
+            .filter(|&(_, &v)| v)
+            .map(|(&l, _)| l),
+    );
+    scratch.sort_unstable();
+    let mut i = 0;
+    while i < scratch.len() {
+        let l = scratch[i];
+        let mut j = i + 1;
+        while j < scratch.len() && scratch[j] == l {
+            j += 1;
         }
+        if g_parts.count(l) < j - i {
+            return false;
+        }
+        i = j;
     }
-    need.iter()
-        .all(|(l, &c)| g_parts.get(l).is_some_and(|p| p.len() >= c))
+    true
 }
 
 /// Wall-clock split of one Phase I run (zeroed unless collection was
@@ -243,30 +308,18 @@ pub struct Phase1Timing {
 }
 
 /// Runs Phase I with the paper's smallest-partition key policy.
-pub fn run(s: &CircuitGraph<'_>, g: &CircuitGraph<'_>) -> Phase1Output {
+pub fn run(s: &CompiledCircuit, g: &Arc<CompiledCircuit>) -> Phase1Output {
     run_with_policy(s, g, KeyPolicy::SmallestPartition)
 }
 
 /// Runs Phase I.
 pub fn run_with_policy(
-    s: &CircuitGraph<'_>,
-    g: &CircuitGraph<'_>,
+    s: &CompiledCircuit,
+    g: &Arc<CompiledCircuit>,
     policy: KeyPolicy,
 ) -> Phase1Output {
-    let mut trace = GTrace::new(g);
+    let mut trace = GTrace::new(Arc::clone(g));
     run_with_trace(s, &mut trace, policy)
-}
-
-/// Runs Phase I, measuring the refinement/selection wall-clock split
-/// when `collect` is set (no timestamps are taken otherwise).
-pub fn run_with_policy_timed(
-    s: &CircuitGraph<'_>,
-    g: &CircuitGraph<'_>,
-    policy: KeyPolicy,
-    collect: bool,
-) -> (Phase1Output, Phase1Timing) {
-    let mut trace = GTrace::new(g);
-    run_with_trace_timed(s, &mut trace, policy, collect)
 }
 
 /// Runs Phase I for many patterns against one main circuit, relabeling
@@ -274,11 +327,11 @@ pub fn run_with_policy_timed(
 /// pattern, so the per-pattern cost drops from `O(|G|·iters)` to the
 /// pattern-side work after the first call.
 pub fn run_many(
-    patterns: &[&CircuitGraph<'_>],
-    g: &CircuitGraph<'_>,
+    patterns: &[&CompiledCircuit],
+    g: &Arc<CompiledCircuit>,
     policy: KeyPolicy,
 ) -> Vec<Phase1Output> {
-    let mut trace = GTrace::new(g);
+    let mut trace = GTrace::new(Arc::clone(g));
     patterns
         .iter()
         .map(|s| run_with_trace(s, &mut trace, policy))
@@ -292,11 +345,7 @@ pub fn run_many(
 /// are excluded from candidate-vector selection: with special-net
 /// semantics they are pre-matched by name, so anchoring Phase II on them
 /// would be useless.
-pub fn run_with_trace(
-    s: &CircuitGraph<'_>,
-    trace: &mut GTrace<'_, '_>,
-    policy: KeyPolicy,
-) -> Phase1Output {
+pub fn run_with_trace(s: &CompiledCircuit, trace: &mut GTrace, policy: KeyPolicy) -> Phase1Output {
     run_with_trace_timed(s, trace, policy, false).0
 }
 
@@ -304,8 +353,8 @@ pub fn run_with_trace(
 /// measured separately when `collect` is set, and skipped entirely (no
 /// clock reads) when it is not.
 pub fn run_with_trace_timed(
-    s: &CircuitGraph<'_>,
-    trace: &mut GTrace<'_, '_>,
+    s: &CompiledCircuit,
+    trace: &mut GTrace,
     policy: KeyPolicy,
     collect: bool,
 ) -> (Phase1Output, Phase1Timing) {
@@ -344,11 +393,15 @@ struct Refined {
 /// The iterative-relabeling loop: alternating net/device phases with
 /// valid/corrupt propagation and per-phase consistency checks. `Err`
 /// carries the stats of a run that proved no instance can exist.
-fn refine(s: &CircuitGraph<'_>, trace: &mut GTrace<'_, '_>) -> Result<Refined, Phase1Stats> {
+fn refine(s: &CompiledCircuit, trace: &mut GTrace) -> Result<Refined, Phase1Stats> {
     let mut stats = Phase1Stats::default();
     let mut sl = initial_labels(s);
     let mut valid = Validity::new(s);
     let mut step = 0usize;
+    // Reused buffers: double-buffer for relabeling, sort buffer for
+    // consistency checks. No allocation inside the loop after warmup.
+    let mut relabel_buf: Vec<u64> = Vec::new();
+    let mut sort_buf: Vec<u64> = Vec::new();
 
     let empty = |stats: Phase1Stats| Phase1Stats {
         proven_empty: true,
@@ -359,8 +412,8 @@ fn refine(s: &CircuitGraph<'_>, trace: &mut GTrace<'_, '_>) -> Result<Refined, P
     // removes the "-" vertices in paper Fig. 4.
     {
         let sd = trace.step(0);
-        if !consistent(&sl.dev, &valid.dev, &sd.dev_parts)
-            || !consistent(&sl.net, &valid.net, &sd.net_parts)
+        if !consistent(&sl.dev, &valid.dev, &sd.dev_parts, &mut sort_buf)
+            || !consistent(&sl.net, &valid.net, &sd.net_parts, &mut sort_buf)
         {
             return Err(empty(stats));
         }
@@ -370,22 +423,32 @@ fn refine(s: &CircuitGraph<'_>, trace: &mut GTrace<'_, '_>) -> Result<Refined, P
     let mut prev_signature = (0usize, 0usize, 0usize);
     for _cycle in 0..max_cycles {
         // --- net phase ---
-        relabel_nets(s, &mut sl);
+        relabel_nets(s, &mut sl, &mut relabel_buf);
         step += 1;
         let inv_n = valid.propagate_to_nets(s);
         stats.iterations += 1;
-        if !consistent(&sl.net, &valid.net, &trace.step(step).net_parts) {
+        if !consistent(
+            &sl.net,
+            &valid.net,
+            &trace.step(step).net_parts,
+            &mut sort_buf,
+        ) {
             return Err(empty(stats));
         }
         if valid.live_nets(s) == 0 {
             break;
         }
         // --- device phase ---
-        relabel_devices(s, &mut sl);
+        relabel_devices(s, &mut sl, &mut relabel_buf);
         step += 1;
         let inv_d = valid.propagate_to_devices(s);
         stats.iterations += 1;
-        if !consistent(&sl.dev, &valid.dev, &trace.step(step).dev_parts) {
+        if !consistent(
+            &sl.dev,
+            &valid.dev,
+            &trace.step(step).dev_parts,
+            &mut sort_buf,
+        ) {
             return Err(empty(stats));
         }
         if valid.live_devices() == 0 {
@@ -421,11 +484,31 @@ fn refine(s: &CircuitGraph<'_>, trace: &mut GTrace<'_, '_>) -> Result<Refined, P
     })
 }
 
+/// Sorted `(label, index)` entries of the valid `S` vertices on one
+/// side, collapsed into `(label, count, first_index)` runs.
+fn valid_runs(labels: &[u64], keep: impl Fn(usize) -> bool) -> Vec<(u64, u32, u32)> {
+    let mut entries: Vec<(u64, u32)> = labels
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| keep(i))
+        .map(|(i, &l)| (l, i as u32))
+        .collect();
+    entries.sort_unstable();
+    let mut runs: Vec<(u64, u32, u32)> = Vec::new();
+    for (l, i) in entries {
+        match runs.last_mut() {
+            Some((rl, c, _)) if *rl == l => *c += 1,
+            _ => runs.push((l, 1, i)),
+        }
+    }
+    runs
+}
+
 /// Candidate-vector selection: picks the key vertex per policy from the
 /// refined partitions and materializes its candidate images.
 fn select(
-    s: &CircuitGraph<'_>,
-    trace: &mut GTrace<'_, '_>,
+    s: &CompiledCircuit,
+    trace: &mut GTrace,
     policy: KeyPolicy,
     refined: Refined,
 ) -> Phase1Output {
@@ -443,60 +526,48 @@ fn select(
             ..stats
         },
     };
+    let g = Arc::clone(&trace.g);
     // Use the cached G partitions at the step we stopped on. Global
     // nets are filtered out of the (at most |S|) partitions we actually
-    // inspect, keeping per-pattern cost independent of |G|.
-    let g = trace.g;
+    // inspect, keeping per-pattern cost near-independent of |G|.
     let data = trace.step(step);
-    let g_dev_parts = &data.dev_parts;
-    let mut g_net_parts: HashMap<u64, Vec<u32>> = HashMap::new();
-    for (i, &l) in sl.net.iter().enumerate() {
-        if !valid.net[i] || s.is_global(NetId::new(i as u32)) {
-            continue;
-        }
-        g_net_parts.entry(l).or_insert_with(|| {
-            data.net_parts
-                .get(&l)
-                .map(|members| {
-                    members
-                        .iter()
-                        .copied()
-                        .filter(|&gi| !g.is_global(NetId::new(gi)))
-                        .collect()
-                })
-                .unwrap_or_default()
-        });
-    }
-    // Count valid S vertices per label so we can report the key's
-    // partition size and verify |P_g| >= |P_s| one last time.
-    let mut s_dev_counts: HashMap<u64, (u32, u32)> = HashMap::new(); // (count, first index)
-    for (i, &l) in sl.dev.iter().enumerate() {
-        if valid.dev[i] {
-            let e = s_dev_counts.entry(l).or_insert((0, i as u32));
-            e.0 += 1;
-        }
-    }
-    let mut s_net_counts: HashMap<u64, (u32, u32)> = HashMap::new();
-    for (i, &l) in sl.net.iter().enumerate() {
-        if valid.net[i] && !s.is_global(NetId::new(i as u32)) {
-            let e = s_net_counts.entry(l).or_insert((0, i as u32));
-            e.0 += 1;
-        }
-    }
+
+    // Valid S vertices per label as sorted runs, so we can report the
+    // key's partition size and verify |P_g| >= |P_s| one last time.
+    let s_dev_runs = valid_runs(&sl.dev, |i| valid.dev[i]);
+    let s_net_runs = valid_runs(&sl.net, |i| {
+        valid.net[i] && !s.is_global(NetId::new(i as u32))
+    });
+
+    // Non-global G net partition members for exactly the labels we may
+    // anchor on, keyed in run (= ascending label) order.
+    let mut g_net_parts: Vec<(u64, Vec<u32>)> = s_net_runs
+        .iter()
+        .map(|&(l, _, _)| {
+            let members: Vec<u32> = data
+                .net_parts
+                .members(l)
+                .iter()
+                .map(|&(_, gi)| gi)
+                .filter(|&gi| !g.is_global(NetId::new(gi)))
+                .collect();
+            (l, members)
+        })
+        .collect();
 
     // Enumerate viable (G-partition size, side, label, first S index)
     // choices, verifying |P_g| >= |P_s| one last time, then pick per
     // policy. Tie-breaking is deterministic by (size, side, label).
     let mut viable: Vec<(usize, u8, u64, u32)> = Vec::new();
-    for (&l, &(sc, first)) in &s_dev_counts {
-        let gp = g_dev_parts.get(&l).map_or(0, Vec::len);
+    for &(l, sc, first) in &s_dev_runs {
+        let gp = data.dev_parts.count(l);
         if gp < sc as usize {
             return empty(stats);
         }
         viable.push((gp, 0u8, l, first));
     }
-    for (&l, &(sc, first)) in &s_net_counts {
-        let gp = g_net_parts.get(&l).map_or(0, Vec::len);
+    for (&(l, sc, first), (_, members)) in s_net_runs.iter().zip(&g_net_parts) {
+        let gp = members.len();
         if gp < sc as usize {
             return empty(stats);
         }
@@ -516,7 +587,7 @@ fn select(
             .min_by_key(|&&(_, side, _, first)| (side, first))
             .copied(),
     };
-    let Some((size, side, label, _)) = best else {
+    let Some((size, side, label, first)) = best else {
         // No valid vertices at all (pattern without devices): nothing to
         // anchor on.
         return Phase1Output {
@@ -526,24 +597,21 @@ fn select(
         };
     };
     let (key, candidates): (Vertex, Vec<Vertex>) = if side == 0 {
-        let first = s_dev_counts[&label].1;
         (
             Vertex::Device(DeviceId::new(first)),
-            g_dev_parts
-                .get(&label)
-                .cloned()
-                .unwrap_or_default()
-                .into_iter()
-                .map(|i| Vertex::Device(DeviceId::new(i)))
+            data.dev_parts
+                .members(label)
+                .iter()
+                .map(|&(_, i)| Vertex::Device(DeviceId::new(i)))
                 .collect(),
         )
     } else {
-        let first = s_net_counts[&label].1;
+        let slot = g_net_parts
+            .binary_search_by_key(&label, |&(l, _)| l)
+            .expect("net label came from the same runs");
         (
             Vertex::Net(NetId::new(first)),
-            g_net_parts
-                .remove(&label)
-                .unwrap_or_default()
+            std::mem::take(&mut g_net_parts[slot].1)
                 .into_iter()
                 .map(|i| Vertex::Net(NetId::new(i)))
                 .collect(),
@@ -551,9 +619,15 @@ fn select(
     };
     stats.cv_size = size;
     stats.key_partition_size = if side == 0 {
-        s_dev_counts[&label].0 as usize
+        s_dev_runs
+            .iter()
+            .find(|&&(l, _, _)| l == label)
+            .map_or(0, |&(_, c, _)| c as usize)
     } else {
-        s_net_counts[&label].0 as usize
+        s_net_runs
+            .iter()
+            .find(|&&(l, _, _)| l == label)
+            .map_or(0, |&(_, c, _)| c as usize)
     };
     Phase1Output {
         key: Some(key),
@@ -566,6 +640,10 @@ fn select(
 mod tests {
     use super::*;
     use subgemini_netlist::{instantiate, Netlist};
+
+    fn compile(nl: &Netlist) -> Arc<CompiledCircuit> {
+        Arc::new(CompiledCircuit::compile(nl))
+    }
 
     fn inverter_cell() -> Netlist {
         let mut inv = Netlist::new("inv");
@@ -596,8 +674,8 @@ mod tests {
     fn candidate_vector_covers_all_instances() {
         let pat = inverter_cell();
         let chip = inverter_chain(5);
-        let sp = CircuitGraph::new(&pat);
-        let gp = CircuitGraph::new(&chip);
+        let sp = compile(&pat);
+        let gp = compile(&chip);
         let out = run(&sp, &gp);
         assert!(!out.stats.proven_empty);
         let key = out.key.expect("key chosen");
@@ -623,7 +701,7 @@ mod tests {
         pat.mark_port(b);
         pat.add_device("r1", res, &[a, b]).unwrap();
         let chip = inverter_chain(3);
-        let out = run(&CircuitGraph::new(&pat), &CircuitGraph::new(&chip));
+        let out = run(&compile(&pat), &compile(&chip));
         assert!(out.stats.proven_empty);
         assert!(out.key.is_none());
     }
@@ -644,7 +722,7 @@ mod tests {
                 .unwrap();
         }
         let chip = inverter_chain(2);
-        let out = run(&CircuitGraph::new(&pat), &CircuitGraph::new(&chip));
+        let out = run(&compile(&pat), &compile(&chip));
         assert!(out.stats.proven_empty);
     }
 
@@ -664,7 +742,7 @@ mod tests {
         for (i, (x, y)) in [(p, q), (q, r), (r, s), (s, p)].iter().enumerate() {
             instantiate(&mut big, &inv, &format!("v{i}"), &[*x, *y]).unwrap();
         }
-        let out = run(&CircuitGraph::new(&ring), &CircuitGraph::new(&big));
+        let out = run(&compile(&ring), &compile(&big));
         // 3-ring is not a subgraph of a 4-ring; Phase I may or may not
         // prove it, but it must terminate with *some* answer.
         assert!(out.stats.iterations < 100);
@@ -689,7 +767,7 @@ mod tests {
         chip.add_device("s2", mos.nmos, &[x, z, gnd]).unwrap();
         let _ = w;
         let pat = inv;
-        let out = run(&CircuitGraph::new(&pat), &CircuitGraph::new(&chip));
+        let out = run(&compile(&pat), &compile(&chip));
         // The inverter pattern's CV must still include all 8 planted
         // inverters' key images.
         assert!(out.candidates.len() >= 8);
@@ -699,7 +777,23 @@ mod tests {
     fn iterations_bounded_by_pattern_size() {
         let pat = inverter_cell();
         let chip = inverter_chain(12);
-        let out = run(&CircuitGraph::new(&pat), &CircuitGraph::new(&chip));
+        let out = run(&compile(&pat), &compile(&chip));
         assert!(out.stats.iterations <= pat.device_count() + pat.net_count() + 4);
+    }
+
+    #[test]
+    fn shared_trace_reproduces_isolated_runs() {
+        // run_many over one trace must agree with one-trace-per-pattern.
+        let pats = [inverter_cell(), inverter_cell()];
+        let chip = inverter_chain(6);
+        let g = compile(&chip);
+        let compiled: Vec<Arc<CompiledCircuit>> = pats.iter().map(compile).collect();
+        let refs: Vec<&CompiledCircuit> = compiled.iter().map(|c| c.as_ref()).collect();
+        let many = run_many(&refs, &g, KeyPolicy::SmallestPartition);
+        for (s, out) in refs.iter().zip(&many) {
+            let solo = run(s, &g);
+            assert_eq!(solo.key, out.key);
+            assert_eq!(solo.candidates, out.candidates);
+        }
     }
 }

@@ -8,8 +8,8 @@
 //! contain only image vertices (pigeonhole over Label Invariant (2)).
 //! Equal safe singleton partitions are **matched** and frozen. When no
 //! progress is possible (paper Fig. 5 symmetry) the algorithm guesses a
-//! match inside an equal-labeled partition and recurses with state
-//! save/restore. Completed mappings are re-verified structurally.
+//! match inside an equal-labeled partition and recurses. Completed
+//! mappings are re-verified structurally.
 //!
 //! Efficiency notes mirroring the paper:
 //!
@@ -21,18 +21,61 @@
 //!   relabeling, so a power rail's huge fanout is never scanned (§IV.A's
 //!   performance point) — though its fixed label still contributes when
 //!   a vertex is relabeled for other reasons.
+//!
+//! State is dense `Vec`-indexed over the [`CompiledCircuit`]s, with an
+//! **undo log** instead of per-branch cloning: every mutation during
+//! search records its inverse, a [`Mark`] captures the log position
+//! before a guess, and backtracking truncates the log — `O(touched)`
+//! per branch, with zero allocation on the hot path after the one-time
+//! [`Phase2Runner::make_state`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use subgemini_netlist::{hashing, CircuitGraph, DeviceId, NetId, Netlist, Vertex};
+use subgemini_netlist::{hashing, CompiledCircuit, DeviceId, NetId, Netlist, Vertex};
 
 use crate::instance::{Phase2Stats, SubMatch};
 use crate::options::MatchOptions;
 use crate::trace::{Phase2Trace, TraceCell, TraceSnapshot};
 use crate::verify::verify_instance;
 
-/// Mutable search state for one candidate (cloned on recursion).
-#[derive(Clone)]
+/// One inverse operation on the search state. Rolling the log back in
+/// LIFO order restores the exact prior state (list pushes pair with
+/// their flag sets, so pops stay aligned).
+enum UndoOp {
+    SDevLabel(u32, u64),
+    SNetLabel(u32, u64),
+    SDevTouched(u32),
+    SNetTouched(u32),
+    SDevSafe(u32),
+    SNetSafe(u32),
+    SDevMatch(u32),
+    SNetMatch(u32),
+    /// Restore a previously *touched* G device's label.
+    GDevLabel(u32, u64),
+    GNetLabel(u32, u64),
+    /// First touch of a G vertex: clears the flag and pops the touched
+    /// list (the stale label slot is unreachable once untouched).
+    GDevTouched(u32),
+    GNetTouched(u32),
+    GDevSafe(u32),
+    GNetSafe(u32),
+    GDevMatched(u32),
+    GNetMatched(u32),
+    GNetPortImage(u32),
+}
+
+/// A rollback point: undo-log length plus the scalars the log does not
+/// cover.
+#[derive(Clone, Copy)]
+struct Mark {
+    undo_len: usize,
+    matched: usize,
+    label_counter: u64,
+    trace_len: usize,
+}
+
+/// Mutable search state for one candidate. Dense arrays both sides;
+/// G-side sparsity is recovered through the touched/safe index lists.
 struct State {
     s_dev: Vec<u64>,
     s_net: Vec<u64>,
@@ -42,46 +85,237 @@ struct State {
     s_net_safe: Vec<bool>,
     s_dev_match: Vec<Option<u32>>,
     s_net_match: Vec<Option<u32>>,
-    /// Labels of touched main-graph devices/nets.
-    g_dev: HashMap<u32, u64>,
-    g_net: HashMap<u32, u64>,
-    g_dev_safe: HashSet<u32>,
-    g_net_safe: HashSet<u32>,
-    g_dev_matched: HashSet<u32>,
-    g_net_matched: HashSet<u32>,
+    /// Labels of G vertices; a slot is meaningful only while the
+    /// corresponding touched flag is set.
+    g_dev_label: Vec<u64>,
+    g_net_label: Vec<u64>,
+    g_dev_touched: Vec<bool>,
+    g_net_touched: Vec<bool>,
+    g_dev_safe: Vec<bool>,
+    g_net_safe: Vec<bool>,
+    g_dev_matched: Vec<bool>,
+    g_net_matched: Vec<bool>,
     /// Main-graph nets matched to *port* (external) pattern nets. Such
     /// images may have arbitrary main-circuit fanout (think a shared
     /// clock), so — like global rails — they never trigger spreading
     /// unless the option re-enables it.
-    g_net_port_image: HashSet<u32>,
+    g_net_port_image: Vec<bool>,
+    /// Sparse iteration orders for the dense flags above.
+    g_dev_touched_list: Vec<u32>,
+    g_net_touched_list: Vec<u32>,
+    g_dev_safe_list: Vec<u32>,
+    g_net_safe_list: Vec<u32>,
     matched: usize,
     label_counter: u64,
+    undo: Vec<UndoOp>,
     trace: Option<Phase2Trace>,
 }
 
+impl State {
+    fn mark(&self) -> Mark {
+        Mark {
+            undo_len: self.undo.len(),
+            matched: self.matched,
+            label_counter: self.label_counter,
+            trace_len: self.trace.as_ref().map_or(0, |t| t.passes.len()),
+        }
+    }
+
+    /// Rolls every mutation after `m` back, restoring the state (and
+    /// the trace) exactly as it was when the mark was taken.
+    fn rollback(&mut self, m: &Mark) {
+        while self.undo.len() > m.undo_len {
+            match self.undo.pop().expect("len checked") {
+                UndoOp::SDevLabel(i, l) => self.s_dev[i as usize] = l,
+                UndoOp::SNetLabel(i, l) => self.s_net[i as usize] = l,
+                UndoOp::SDevTouched(i) => self.s_dev_touched[i as usize] = false,
+                UndoOp::SNetTouched(i) => self.s_net_touched[i as usize] = false,
+                UndoOp::SDevSafe(i) => self.s_dev_safe[i as usize] = false,
+                UndoOp::SNetSafe(i) => self.s_net_safe[i as usize] = false,
+                UndoOp::SDevMatch(i) => self.s_dev_match[i as usize] = None,
+                UndoOp::SNetMatch(i) => self.s_net_match[i as usize] = None,
+                UndoOp::GDevLabel(i, l) => self.g_dev_label[i as usize] = l,
+                UndoOp::GNetLabel(i, l) => self.g_net_label[i as usize] = l,
+                UndoOp::GDevTouched(i) => {
+                    self.g_dev_touched[i as usize] = false;
+                    let popped = self.g_dev_touched_list.pop();
+                    debug_assert_eq!(popped, Some(i));
+                }
+                UndoOp::GNetTouched(i) => {
+                    self.g_net_touched[i as usize] = false;
+                    let popped = self.g_net_touched_list.pop();
+                    debug_assert_eq!(popped, Some(i));
+                }
+                UndoOp::GDevSafe(i) => {
+                    self.g_dev_safe[i as usize] = false;
+                    let popped = self.g_dev_safe_list.pop();
+                    debug_assert_eq!(popped, Some(i));
+                }
+                UndoOp::GNetSafe(i) => {
+                    self.g_net_safe[i as usize] = false;
+                    let popped = self.g_net_safe_list.pop();
+                    debug_assert_eq!(popped, Some(i));
+                }
+                UndoOp::GDevMatched(i) => self.g_dev_matched[i as usize] = false,
+                UndoOp::GNetMatched(i) => self.g_net_matched[i as usize] = false,
+                UndoOp::GNetPortImage(i) => self.g_net_port_image[i as usize] = false,
+            }
+        }
+        self.matched = m.matched;
+        self.label_counter = m.label_counter;
+        if let Some(t) = self.trace.as_mut() {
+            t.passes.truncate(m.trace_len);
+        }
+    }
+
+    // --- logged setters (every hot-path mutation goes through these) ---
+
+    fn set_s_dev_label(&mut self, i: usize, l: u64) {
+        if self.s_dev[i] != l {
+            self.undo.push(UndoOp::SDevLabel(i as u32, self.s_dev[i]));
+            self.s_dev[i] = l;
+        }
+    }
+
+    fn set_s_net_label(&mut self, i: usize, l: u64) {
+        if self.s_net[i] != l {
+            self.undo.push(UndoOp::SNetLabel(i as u32, self.s_net[i]));
+            self.s_net[i] = l;
+        }
+    }
+
+    fn touch_s_dev(&mut self, i: usize) {
+        if !self.s_dev_touched[i] {
+            self.s_dev_touched[i] = true;
+            self.undo.push(UndoOp::SDevTouched(i as u32));
+        }
+    }
+
+    fn touch_s_net(&mut self, i: usize) {
+        if !self.s_net_touched[i] {
+            self.s_net_touched[i] = true;
+            self.undo.push(UndoOp::SNetTouched(i as u32));
+        }
+    }
+
+    fn set_s_dev_safe(&mut self, i: usize) -> bool {
+        if self.s_dev_safe[i] {
+            return false;
+        }
+        self.s_dev_safe[i] = true;
+        self.undo.push(UndoOp::SDevSafe(i as u32));
+        true
+    }
+
+    fn set_s_net_safe(&mut self, i: usize) -> bool {
+        if self.s_net_safe[i] {
+            return false;
+        }
+        self.s_net_safe[i] = true;
+        self.undo.push(UndoOp::SNetSafe(i as u32));
+        true
+    }
+
+    fn set_s_dev_match(&mut self, i: usize, g: u32) {
+        debug_assert!(self.s_dev_match[i].is_none());
+        self.s_dev_match[i] = Some(g);
+        self.undo.push(UndoOp::SDevMatch(i as u32));
+    }
+
+    fn set_s_net_match(&mut self, i: usize, g: u32) {
+        debug_assert!(self.s_net_match[i].is_none());
+        self.s_net_match[i] = Some(g);
+        self.undo.push(UndoOp::SNetMatch(i as u32));
+    }
+
+    fn set_g_dev_label(&mut self, i: u32, l: u64) {
+        if self.g_dev_touched[i as usize] {
+            self.undo
+                .push(UndoOp::GDevLabel(i, self.g_dev_label[i as usize]));
+        } else {
+            self.g_dev_touched[i as usize] = true;
+            self.g_dev_touched_list.push(i);
+            self.undo.push(UndoOp::GDevTouched(i));
+        }
+        self.g_dev_label[i as usize] = l;
+    }
+
+    fn set_g_net_label(&mut self, i: u32, l: u64) {
+        if self.g_net_touched[i as usize] {
+            self.undo
+                .push(UndoOp::GNetLabel(i, self.g_net_label[i as usize]));
+        } else {
+            self.g_net_touched[i as usize] = true;
+            self.g_net_touched_list.push(i);
+            self.undo.push(UndoOp::GNetTouched(i));
+        }
+        self.g_net_label[i as usize] = l;
+    }
+
+    fn set_g_dev_safe(&mut self, i: u32) -> bool {
+        if self.g_dev_safe[i as usize] {
+            return false;
+        }
+        self.g_dev_safe[i as usize] = true;
+        self.g_dev_safe_list.push(i);
+        self.undo.push(UndoOp::GDevSafe(i));
+        true
+    }
+
+    fn set_g_net_safe(&mut self, i: u32) -> bool {
+        if self.g_net_safe[i as usize] {
+            return false;
+        }
+        self.g_net_safe[i as usize] = true;
+        self.g_net_safe_list.push(i);
+        self.undo.push(UndoOp::GNetSafe(i));
+        true
+    }
+
+    fn set_g_dev_matched(&mut self, i: u32) {
+        debug_assert!(!self.g_dev_matched[i as usize]);
+        self.g_dev_matched[i as usize] = true;
+        self.undo.push(UndoOp::GDevMatched(i));
+    }
+
+    fn set_g_net_matched(&mut self, i: u32) {
+        debug_assert!(!self.g_net_matched[i as usize]);
+        self.g_net_matched[i as usize] = true;
+        self.undo.push(UndoOp::GNetMatched(i));
+    }
+
+    fn set_g_net_port_image(&mut self, i: u32) {
+        if !self.g_net_port_image[i as usize] {
+            self.g_net_port_image[i as usize] = true;
+            self.undo.push(UndoOp::GNetPortImage(i));
+        }
+    }
+}
+
 enum Refined {
-    /// All pattern vertices matched.
-    Complete(State),
+    /// All pattern vertices matched (state left in the completed
+    /// configuration).
+    Complete,
     /// Partition inconsistency: this branch cannot succeed.
     Fail,
     /// No progress without a guess.
-    Stuck(State),
+    Stuck,
 }
 
 /// Phase II driver bound to one (pattern, main) pair.
 pub struct Phase2Runner<'a> {
-    s: &'a CircuitGraph<'a>,
-    g: &'a CircuitGraph<'a>,
+    s: &'a CompiledCircuit,
+    g: &'a CompiledCircuit,
     pattern: &'a Netlist,
     main: &'a Netlist,
     opts: &'a MatchOptions,
 }
 
 impl<'a> Phase2Runner<'a> {
-    /// Creates a runner. `s`/`g` must be graphs of `pattern`/`main`.
+    /// Creates a runner. `s`/`g` must be compiled from `pattern`/`main`.
     pub fn new(
-        s: &'a CircuitGraph<'a>,
-        g: &'a CircuitGraph<'a>,
+        s: &'a CompiledCircuit,
+        g: &'a CompiledCircuit,
         pattern: &'a Netlist,
         main: &'a Netlist,
         opts: &'a MatchOptions,
@@ -95,12 +329,32 @@ impl<'a> Phase2Runner<'a> {
         }
     }
 
-    /// Builds the candidate-independent base state with special nets
-    /// pre-matched by name. Returns `None` when a pattern global has no
-    /// counterpart in the main circuit (no instance can exist).
+    /// Builds the candidate-independent pre-match recipe: special nets
+    /// matched by name. Returns `None` when a pattern global has no
+    /// global counterpart in the main circuit (no instance can exist).
     pub fn base_state(&self) -> Option<BaseState> {
+        let mut prematch: Vec<(u32, u32, u64)> = Vec::new();
+        for i in 0..self.s.net_count() {
+            let n = NetId::new(i as u32);
+            if !self.s.is_global(n) {
+                continue;
+            }
+            let name = self.pattern.net_ref(n).name();
+            let gm = self.g.find_global(name)?;
+            prematch.push((n.raw(), gm.raw(), self.s.initial_net_label(n)));
+        }
+        Some(BaseState { prematch })
+    }
+
+    /// Materializes the dense search state for `base`, sized to the
+    /// compiled graphs. Expensive relative to a candidate (`O(|G|)`),
+    /// so build it once per worker and reuse it: `run_candidate`
+    /// restores it to the base configuration before returning.
+    pub fn make_state(&self, base: &BaseState) -> SearchState {
         let nd = self.s.device_count();
         let nn = self.s.net_count();
+        let gd = self.g.device_count();
+        let gn = self.g.net_count();
         let mut st = State {
             s_dev: (0..nd)
                 .map(|i| self.s.initial_device_label(DeviceId::new(i as u32)))
@@ -112,38 +366,44 @@ impl<'a> Phase2Runner<'a> {
             s_net_safe: vec![false; nn],
             s_dev_match: vec![None; nd],
             s_net_match: vec![None; nn],
-            g_dev: HashMap::new(),
-            g_net: HashMap::new(),
-            g_dev_safe: HashSet::new(),
-            g_net_safe: HashSet::new(),
-            g_dev_matched: HashSet::new(),
-            g_net_matched: HashSet::new(),
-            g_net_port_image: HashSet::new(),
+            g_dev_label: vec![0; gd],
+            g_net_label: vec![0; gn],
+            g_dev_touched: vec![false; gd],
+            g_net_touched: vec![false; gn],
+            g_dev_safe: vec![false; gd],
+            g_net_safe: vec![false; gn],
+            g_dev_matched: vec![false; gd],
+            g_net_matched: vec![false; gn],
+            g_net_port_image: vec![false; gn],
+            g_dev_touched_list: Vec::new(),
+            g_net_touched_list: Vec::new(),
+            g_dev_safe_list: Vec::new(),
+            g_net_safe_list: Vec::new(),
             matched: 0,
             label_counter: 0,
+            undo: Vec::new(),
             trace: None,
         };
-        for i in 0..nn {
-            let n = NetId::new(i as u32);
-            if !self.s.is_global(n) {
-                continue;
-            }
-            let name = self.pattern.net_ref(n).name();
-            let gm = self.main.find_net(name)?;
-            if !self.main.net_ref(gm).is_global() {
-                return None;
-            }
-            let label = self.s.initial_net_label(n);
-            st.s_net[i] = label;
-            st.s_net_touched[i] = true;
-            st.s_net_safe[i] = true;
-            st.s_net_match[i] = Some(gm.raw());
-            st.g_net.insert(gm.raw(), label);
-            st.g_net_safe.insert(gm.raw());
-            st.g_net_matched.insert(gm.raw());
+        // The pre-matches form the permanent floor of the state: applied
+        // without undo logging, they survive every rollback.
+        for &(si, gi, label) in &base.prematch {
+            let si = si as usize;
+            st.s_net[si] = label;
+            st.s_net_touched[si] = true;
+            st.s_net_safe[si] = true;
+            st.s_net_match[si] = Some(gi);
+            st.g_net_label[gi as usize] = label;
+            st.g_net_touched[gi as usize] = true;
+            st.g_net_touched_list.push(gi);
+            st.g_net_safe[gi as usize] = true;
+            st.g_net_safe_list.push(gi);
+            st.g_net_matched[gi as usize] = true;
             st.matched += 1;
         }
-        Some(BaseState(st))
+        SearchState {
+            state: st,
+            base_matched: base.prematch.len(),
+        }
     }
 
     fn total_s(&self) -> usize {
@@ -156,10 +416,11 @@ impl<'a> Phase2Runner<'a> {
     }
 
     fn g_dev_label(&self, st: &State, i: u32) -> u64 {
-        st.g_dev
-            .get(&i)
-            .copied()
-            .unwrap_or_else(|| self.g.initial_device_label(DeviceId::new(i)))
+        if st.g_dev_touched[i as usize] {
+            st.g_dev_label[i as usize]
+        } else {
+            self.g.initial_device_label(DeviceId::new(i))
+        }
     }
 
     fn g_net_label(&self, st: &State, i: u32) -> u64 {
@@ -167,31 +428,35 @@ impl<'a> Phase2Runner<'a> {
         if self.g.is_global(n) {
             return self.g.initial_net_label(n);
         }
-        st.g_net.get(&i).copied().unwrap_or(0)
+        if st.g_net_touched[i as usize] {
+            st.g_net_label[i as usize]
+        } else {
+            0
+        }
     }
 
     fn do_match(&self, st: &mut State, s_v: Vertex, g_v: Vertex) {
         let label = self.fresh_label(st);
         match (s_v, g_v) {
             (Vertex::Device(sd), Vertex::Device(gd)) => {
-                st.s_dev[sd.index()] = label;
-                st.s_dev_touched[sd.index()] = true;
-                st.s_dev_safe[sd.index()] = true;
-                st.s_dev_match[sd.index()] = Some(gd.raw());
-                st.g_dev.insert(gd.raw(), label);
-                st.g_dev_safe.insert(gd.raw());
-                st.g_dev_matched.insert(gd.raw());
+                st.set_s_dev_label(sd.index(), label);
+                st.touch_s_dev(sd.index());
+                st.set_s_dev_safe(sd.index());
+                st.set_s_dev_match(sd.index(), gd.raw());
+                st.set_g_dev_label(gd.raw(), label);
+                st.set_g_dev_safe(gd.raw());
+                st.set_g_dev_matched(gd.raw());
             }
             (Vertex::Net(sn), Vertex::Net(gn)) => {
-                st.s_net[sn.index()] = label;
-                st.s_net_touched[sn.index()] = true;
-                st.s_net_safe[sn.index()] = true;
-                st.s_net_match[sn.index()] = Some(gn.raw());
-                st.g_net.insert(gn.raw(), label);
-                st.g_net_safe.insert(gn.raw());
-                st.g_net_matched.insert(gn.raw());
-                if !self.opts.spread_from_port_images && self.pattern.net_ref(sn).is_port() {
-                    st.g_net_port_image.insert(gn.raw());
+                st.set_s_net_label(sn.index(), label);
+                st.touch_s_net(sn.index());
+                st.set_s_net_safe(sn.index());
+                st.set_s_net_match(sn.index(), gn.raw());
+                st.set_g_net_label(gn.raw(), label);
+                st.set_g_net_safe(gn.raw());
+                st.set_g_net_matched(gn.raw());
+                if !self.opts.spread_from_port_images && self.s.is_port(sn) {
+                    st.set_g_net_port_image(gn.raw());
                 }
             }
             _ => unreachable!("guesses always pair same-kind vertices"),
@@ -215,7 +480,7 @@ impl<'a> Phase2Runner<'a> {
                     && !self.s.is_global(n)
                     && !(!self.opts.spread_from_port_images
                         && st.s_net_match[n.index()].is_some()
-                        && self.pattern.net_ref(n).is_port())
+                        && self.s.is_port(n))
             });
             if !triggered {
                 continue;
@@ -243,35 +508,37 @@ impl<'a> Phase2Runner<'a> {
                 .net_contribs(n, |d| st.s_dev_safe[d.index()].then(|| st.s_dev[d.index()]));
             s_net_new.push((i, hashing::relabel(st.s_net[i], c.sum)));
         }
-        // --- main side: collect frontier from safe vertices ---
-        let mut g_dev_frontier: HashSet<u32> = HashSet::new();
-        for &ni in &st.g_net_safe {
+        // --- main side: collect frontier from the safe lists ---
+        let mut g_dev_frontier: Vec<u32> = Vec::new();
+        for &ni in &st.g_net_safe_list {
             let n = NetId::new(ni);
-            if self.g.is_global(n) || st.g_net_port_image.contains(&ni) {
+            if self.g.is_global(n) || st.g_net_port_image[ni as usize] {
                 continue; // rails and port images never trigger spreading
             }
             for (d, _) in self.g.net_neighbors(n) {
-                if !st.g_dev_matched.contains(&d.raw()) {
-                    g_dev_frontier.insert(d.raw());
+                if !st.g_dev_matched[d.index()] {
+                    g_dev_frontier.push(d.raw());
                 }
             }
         }
-        let mut g_net_frontier: HashSet<u32> = HashSet::new();
-        for &di in &st.g_dev_safe {
+        g_dev_frontier.sort_unstable();
+        g_dev_frontier.dedup();
+        let mut g_net_frontier: Vec<u32> = Vec::new();
+        for &di in &st.g_dev_safe_list {
             let d = DeviceId::new(di);
             for (n, _) in self.g.device_neighbors(d) {
-                if !self.g.is_global(n) && !st.g_net_matched.contains(&n.raw()) {
-                    g_net_frontier.insert(n.raw());
+                if !self.g.is_global(n) && !st.g_net_matched[n.index()] {
+                    g_net_frontier.push(n.raw());
                 }
             }
         }
+        g_net_frontier.sort_unstable();
+        g_net_frontier.dedup();
         let mut g_dev_new: Vec<(u32, u64)> = Vec::with_capacity(g_dev_frontier.len());
         for &i in &g_dev_frontier {
             let d = DeviceId::new(i);
             let c = self.g.device_contribs(d, |n| {
-                st.g_net_safe
-                    .contains(&n.raw())
-                    .then(|| self.g_net_label(st, n.raw()))
+                st.g_net_safe[n.index()].then(|| self.g_net_label(st, n.raw()))
             });
             g_dev_new.push((i, hashing::relabel(self.g_dev_label(st, i), c.sum)));
         }
@@ -279,26 +546,24 @@ impl<'a> Phase2Runner<'a> {
         for &i in &g_net_frontier {
             let n = NetId::new(i);
             let c = self.g.net_contribs(n, |d| {
-                st.g_dev_safe
-                    .contains(&d.raw())
-                    .then(|| self.g_dev_label(st, d.raw()))
+                st.g_dev_safe[d.index()].then(|| self.g_dev_label(st, d.raw()))
             });
             g_net_new.push((i, hashing::relabel(self.g_net_label(st, i), c.sum)));
         }
         // --- commit (Jacobi) ---
         for (i, l) in s_dev_new {
-            st.s_dev[i] = l;
-            st.s_dev_touched[i] = true;
+            st.set_s_dev_label(i, l);
+            st.touch_s_dev(i);
         }
         for (i, l) in s_net_new {
-            st.s_net[i] = l;
-            st.s_net_touched[i] = true;
+            st.set_s_net_label(i, l);
+            st.touch_s_net(i);
         }
         for (i, l) in g_dev_new {
-            st.g_dev.insert(i, l);
+            st.set_g_dev_label(i, l);
         }
         for (i, l) in g_net_new {
-            st.g_net.insert(i, l);
+            st.set_g_net_label(i, l);
         }
     }
 
@@ -315,14 +580,22 @@ impl<'a> Phase2Runner<'a> {
                 parts.entry((1, st.s_net[i])).or_default().0.push(i as u32);
             }
         }
-        for (&i, &l) in &st.g_dev {
-            if !st.g_dev_matched.contains(&i) {
-                parts.entry((0, l)).or_default().1.push(i);
+        for &i in &st.g_dev_touched_list {
+            if !st.g_dev_matched[i as usize] {
+                parts
+                    .entry((0, st.g_dev_label[i as usize]))
+                    .or_default()
+                    .1
+                    .push(i);
             }
         }
-        for (&i, &l) in &st.g_net {
-            if !st.g_net_matched.contains(&i) {
-                parts.entry((1, l)).or_default().1.push(i);
+        for &i in &st.g_net_touched_list {
+            if !st.g_net_matched[i as usize] {
+                parts
+                    .entry((1, st.g_net_label[i as usize]))
+                    .or_default()
+                    .1
+                    .push(i);
             }
         }
         // Deterministic member order regardless of hash iteration.
@@ -349,21 +622,18 @@ impl<'a> Phase2Runner<'a> {
             if sv.len() == gv.len() {
                 // Equal sizes: the G partition holds only images — safe.
                 for &i in sv {
-                    let safe = if kind == 0 {
-                        &mut st.s_dev_safe[i as usize]
+                    let newly = if kind == 0 {
+                        st.set_s_dev_safe(i as usize)
                     } else {
-                        &mut st.s_net_safe[i as usize]
+                        st.set_s_net_safe(i as usize)
                     };
-                    if !*safe {
-                        *safe = true;
-                        progress = true;
-                    }
+                    progress |= newly;
                 }
                 for &i in gv {
                     let inserted = if kind == 0 {
-                        st.g_dev_safe.insert(i)
+                        st.set_g_dev_safe(i)
                     } else {
-                        st.g_net_safe.insert(i)
+                        st.set_g_net_safe(i)
                     };
                     progress |= inserted;
                 }
@@ -401,32 +671,32 @@ impl<'a> Phase2Runner<'a> {
             matched: st.s_net_match[i].is_some(),
         };
         let mut g_devices: Vec<(u32, TraceCell)> = st
-            .g_dev
+            .g_dev_touched_list
             .iter()
-            .map(|(&i, &l)| {
+            .map(|&i| {
                 (
                     i,
                     TraceCell {
-                        label: l,
+                        label: st.g_dev_label[i as usize],
                         touched: true,
-                        safe: st.g_dev_safe.contains(&i),
-                        matched: st.g_dev_matched.contains(&i),
+                        safe: st.g_dev_safe[i as usize],
+                        matched: st.g_dev_matched[i as usize],
                     },
                 )
             })
             .collect();
         g_devices.sort_unstable_by_key(|&(i, _)| i);
         let mut g_nets: Vec<(u32, TraceCell)> = st
-            .g_net
+            .g_net_touched_list
             .iter()
-            .map(|(&i, &l)| {
+            .map(|&i| {
                 (
                     i,
                     TraceCell {
-                        label: l,
+                        label: st.g_net_label[i as usize],
                         touched: true,
-                        safe: st.g_net_safe.contains(&i),
-                        matched: st.g_net_matched.contains(&i),
+                        safe: st.g_net_safe[i as usize],
+                        matched: st.g_net_matched[i as usize],
                     },
                 )
             })
@@ -441,27 +711,28 @@ impl<'a> Phase2Runner<'a> {
     }
 
     /// Runs relabeling passes until completion, failure, or a stall.
-    fn refine(&self, mut st: State, stats: &mut Phase2Stats) -> Refined {
+    /// On `Fail` the state is left dirty — the caller rolls back.
+    fn refine(&self, st: &mut State, stats: &mut Phase2Stats) -> Refined {
         for _ in 0..self.opts.max_passes_per_candidate {
             stats.passes += 1;
-            self.pass(&mut st);
-            let analyzed = self.analyze(&mut st);
+            self.pass(st);
+            let analyzed = self.analyze(st);
             if st.trace.is_some() {
-                let snap = self.snapshot(&st);
+                let snap = self.snapshot(st);
                 if let Some(trace) = st.trace.as_mut() {
                     trace.passes.push(snap);
                 }
             }
             match analyzed {
                 Err(()) => return Refined::Fail,
-                Ok((_, true)) => return Refined::Complete(st),
-                Ok((false, false)) => return Refined::Stuck(st),
+                Ok((_, true)) => return Refined::Complete,
+                Ok((false, false)) => return Refined::Stuck,
                 Ok((true, false)) => {}
             }
         }
         // Pass budget exhausted: treat as a stall so guessing may still
         // resolve it.
-        Refined::Stuck(st)
+        Refined::Stuck
     }
 
     /// Chooses the next ambiguity to guess on: the unmatched pattern
@@ -511,8 +782,7 @@ impl<'a> Phase2Runner<'a> {
             let sd = DeviceId::new(i as u32);
             // Matched pins as (class multiplier, image net) requirements.
             let mut required: Vec<(u64, u32)> = Vec::new();
-            for (pin_idx, (n, mult)) in self.s.device_neighbors(sd).enumerate() {
-                let _ = pin_idx;
+            for (n, mult) in self.s.device_neighbors(sd) {
                 if let Some(g) = st.s_net_match[n.index()] {
                     required.push((mult, g));
                 }
@@ -529,7 +799,7 @@ impl<'a> Phase2Runner<'a> {
             let want = self.s.initial_device_label(sd);
             let mut cands: Vec<Vertex> = Vec::new();
             for (gd, _) in self.g.net_neighbors(NetId::new(anchor)) {
-                if st.g_dev_matched.contains(&gd.raw()) || self.g.initial_device_label(gd) != want {
+                if st.g_dev_matched[gd.index()] || self.g.initial_device_label(gd) != want {
                     continue;
                 }
                 // The candidate's pins must cover every matched-pin
@@ -580,7 +850,7 @@ impl<'a> Phase2Runner<'a> {
             }
             let want = st.s_dev[i]; // untouched: still the initial label
             let cands: Vec<Vertex> = (0..self.g.device_count() as u32)
-                .filter(|&gi| !st.g_dev_matched.contains(&gi) && self.g_dev_label(st, gi) == want)
+                .filter(|&gi| !st.g_dev_matched[gi as usize] && self.g_dev_label(st, gi) == want)
                 .map(|gi| Vertex::Device(DeviceId::new(gi)))
                 .collect();
             if !cands.is_empty() {
@@ -608,77 +878,70 @@ impl<'a> Phase2Runner<'a> {
 
     /// The recursive `VerifyImage(K, CV)` of §IV, for one key/candidate
     /// set. `depth > 0` calls are ambiguity guesses and consume the
-    /// guess budget.
+    /// guess budget. Returns `true` with the state left in the
+    /// completed configuration; `false` with the state rolled back to
+    /// where the caller left it.
     fn verify_image(
         &self,
-        st: &State,
+        st: &mut State,
         s_v: Vertex,
         cands: &[Vertex],
         stats: &mut Phase2Stats,
         guesses_left: &mut usize,
         depth: usize,
-    ) -> Option<State> {
+    ) -> bool {
         for &c in cands {
             if depth > 0 {
                 if *guesses_left == 0 {
-                    return None;
+                    return false;
                 }
                 *guesses_left -= 1;
                 stats.guesses += 1;
             }
-            let mut st2 = st.clone();
-            self.do_match(&mut st2, s_v, c);
-            if depth == 0 {
-                if let Some(trace) = st2.trace.as_mut() {
-                    trace.passes.clear();
-                }
-            }
-            if st2.trace.is_some() {
-                let snap = self.snapshot(&st2);
-                if let Some(trace) = st2.trace.as_mut() {
+            let mark = st.mark();
+            self.do_match(st, s_v, c);
+            if st.trace.is_some() {
+                let snap = self.snapshot(st);
+                if let Some(trace) = st.trace.as_mut() {
                     trace.passes.push(snap);
                 }
             }
-            let failed_branch = match self.refine(st2, stats) {
-                Refined::Complete(done) => {
-                    let m = self.build_submatch(&done);
+            let failed_branch = match self.refine(st, stats) {
+                Refined::Complete => {
+                    let m = self.build_submatch(st);
                     if verify_instance(self.pattern, self.main, &m, self.opts.respect_globals)
                         .is_ok()
                     {
-                        return Some(done);
+                        return true;
                     }
                     true // label collision survived to completion: reject
                 }
                 Refined::Fail => true,
-                Refined::Stuck(stuck) => match self.choose_guess(&stuck) {
+                Refined::Stuck => match self.choose_guess(st) {
                     Some((s_next, g_cands)) => {
-                        match self.verify_image(
-                            &stuck,
-                            s_next,
-                            &g_cands,
-                            stats,
-                            guesses_left,
-                            depth + 1,
-                        ) {
-                            Some(done) => return Some(done),
-                            None => true,
+                        if self.verify_image(st, s_next, &g_cands, stats, guesses_left, depth + 1) {
+                            return true;
                         }
+                        true
                     }
                     None => true,
                 },
             };
+            st.rollback(&mark);
             if failed_branch && depth > 0 {
                 stats.backtracks += 1;
             }
         }
-        None
+        false
     }
 
-    /// Verifies one candidate from the candidate vector. Returns the
-    /// instance (and its trace if enabled).
+    /// Verifies one candidate from the candidate vector against a
+    /// reusable search state (see [`make_state`](Self::make_state)).
+    /// Returns the instance (and its trace if enabled); the state is
+    /// always restored to the base configuration before returning.
     pub fn run_candidate(
         &self,
-        base: &BaseState,
+        search: &mut SearchState,
         key: Vertex,
         candidate: Vertex,
         stats: &mut Phase2Stats,
@@ -698,28 +961,35 @@ impl<'a> Phase2Runner<'a> {
                 return None;
             }
         }
-        let mut st = base.0.clone();
+        let st = &mut search.state;
         st.trace = record_trace.then(Phase2Trace::default);
+        let base_mark = Mark {
+            undo_len: 0,
+            matched: search.base_matched,
+            label_counter: 0,
+            trace_len: 0,
+        };
         let mut guesses_left = self.opts.max_guesses_per_candidate;
-        match self.verify_image(&st, key, &[candidate], stats, &mut guesses_left, 0) {
-            Some(done) => {
-                let m = self.build_submatch(&done);
-                Some((m, done.trace))
-            }
-            None => {
-                stats.false_candidates += 1;
-                None
-            }
-        }
+        let out = if self.verify_image(st, key, &[candidate], stats, &mut guesses_left, 0) {
+            let m = self.build_submatch(st);
+            Some((m, st.trace.take()))
+        } else {
+            stats.false_candidates += 1;
+            None
+        };
+        st.rollback(&base_mark);
+        st.trace = None;
+        out
     }
 
     /// [`run_candidate`](Self::run_candidate) with optional per-candidate
     /// timing: when `timing` is `Some((sum, max))`, the candidate's
     /// verification wall-clock is added to `sum` and folded into `max`.
     /// `None` takes no timestamps.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_candidate_timed(
         &self,
-        base: &BaseState,
+        search: &mut SearchState,
         key: Vertex,
         candidate: Vertex,
         stats: &mut Phase2Stats,
@@ -727,10 +997,10 @@ impl<'a> Phase2Runner<'a> {
         timing: Option<&mut (u64, u64)>,
     ) -> Option<(SubMatch, Option<Phase2Trace>)> {
         let Some((sum, max)) = timing else {
-            return self.run_candidate(base, key, candidate, stats, record_trace);
+            return self.run_candidate(search, key, candidate, stats, record_trace);
         };
         let timer = crate::metrics::PhaseTimer::start();
-        let out = self.run_candidate(base, key, candidate, stats, record_trace);
+        let out = self.run_candidate(search, key, candidate, stats, record_trace);
         let ns = timer.elapsed_ns();
         *sum += ns;
         *max = (*max).max(ns);
@@ -738,5 +1008,17 @@ impl<'a> Phase2Runner<'a> {
     }
 }
 
-/// Opaque candidate-independent Phase II state (globals pre-matched).
-pub struct BaseState(State);
+/// Opaque candidate-independent Phase II pre-match recipe (globals
+/// matched by name). Materialize with
+/// [`Phase2Runner::make_state`].
+pub struct BaseState {
+    prematch: Vec<(u32, u32, u64)>,
+}
+
+/// A reusable dense search state: build once per worker, pass to
+/// [`Phase2Runner::run_candidate`] for every candidate. The undo log
+/// guarantees each call leaves it back in the base configuration.
+pub struct SearchState {
+    state: State,
+    base_matched: usize,
+}

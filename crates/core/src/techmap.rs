@@ -14,7 +14,7 @@ use std::collections::HashSet;
 use subgemini_netlist::{DeviceId, Netlist};
 
 use crate::instance::SubMatch;
-use crate::matcher::find_all;
+use crate::matcher::find_all_many;
 use crate::options::MatchOptions;
 
 /// One possible placement of a library cell on the subject.
@@ -112,16 +112,22 @@ impl TechMapper {
         self
     }
 
-    /// Enumerates every placement of every library cell (with overlaps).
+    /// Enumerates every placement of every library cell (with
+    /// overlaps). The subject is compiled once and shared across the
+    /// whole library via [`find_all_many`](crate::find_all_many).
     pub fn candidates(&self, subject: &Netlist) -> Vec<CoverCandidate> {
         let opts = MatchOptions {
             overlap: crate::options::OverlapPolicy::AllowOverlap,
             ..self.options.clone()
         };
+        let cells: Vec<&Netlist> = self.library.iter().map(|(cell, _)| cell).collect();
         let mut out = Vec::new();
-        for (i, (cell, cost)) in self.library.iter().enumerate() {
-            let found = find_all(cell, subject, &opts);
-            for m in found.instances {
+        for (i, outcome) in find_all_many(&cells, subject, &opts)
+            .into_iter()
+            .enumerate()
+        {
+            let (cell, cost) = &self.library[i];
+            for m in outcome.instances {
                 out.push(CoverCandidate {
                     cell: cell.name().to_string(),
                     cell_index: i,

@@ -12,7 +12,7 @@
 //! structure whose diameter fits; beyond that, extra rounds cannot
 //! merge distinct orbits) and hashes the sorted label multisets.
 
-use subgemini_netlist::{hashing, CircuitGraph, DeviceId, NetId, Netlist};
+use subgemini_netlist::{hashing, CompiledCircuit, DeviceId, NetId, Netlist};
 
 /// Refinement rounds used by [`fingerprint`]. Labels stabilize (as
 /// partitions) within the graph diameter; 24 covers any realistic cell
@@ -48,7 +48,7 @@ const ROUNDS: usize = 24;
 /// # }
 /// ```
 pub fn fingerprint(netlist: &Netlist) -> u64 {
-    let g = CircuitGraph::new(netlist);
+    let g = CompiledCircuit::compile(netlist);
     let nd = g.device_count();
     let nn = g.net_count();
     let mut dev: Vec<u64> = (0..nd)

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use subgemini_netlist::{hashing, CircuitGraph, DeviceId, NetId, Netlist, Vertex};
+use subgemini_netlist::{hashing, CompiledCircuit, DeviceId, NetId, Netlist, Vertex};
 
 use crate::report::{GeminiOutcome, GeminiStats, Mapping, MismatchReport};
 
@@ -24,16 +24,16 @@ impl Default for GeminiOptions {
 
 /// One side's labeling state.
 #[derive(Clone)]
-struct Side<'g, 'n> {
-    graph: &'g CircuitGraph<'n>,
+struct Side<'g> {
+    graph: &'g CompiledCircuit,
     dev: Vec<u64>,
     net: Vec<u64>,
     dev_pinned: Vec<bool>,
     net_pinned: Vec<bool>,
 }
 
-impl<'g, 'n> Side<'g, 'n> {
-    fn new(graph: &'g CircuitGraph<'n>) -> Self {
+impl<'g> Side<'g> {
+    fn new(graph: &'g CompiledCircuit) -> Self {
         let nd = graph.device_count();
         let nn = graph.net_count();
         let dev = (0..nd)
@@ -102,7 +102,7 @@ struct Balance {
 
 /// Groups both sides by label and checks that every partition is
 /// balanced; collects diagnostics on failure.
-fn check_balance(a: &Side<'_, '_>, b: &Side<'_, '_>) -> Result<Balance, MismatchReport> {
+fn check_balance(a: &Side<'_>, b: &Side<'_>) -> Result<Balance, MismatchReport> {
     // Keyed separately per bipartite side to avoid cross-kind collisions.
     let mut parts: HashMap<(bool, u64), (Vec<Vertex>, Vec<Vertex>)> = HashMap::new();
     for (i, &l) in a.dev.iter().enumerate() {
@@ -175,7 +175,7 @@ fn check_balance(a: &Side<'_, '_>, b: &Side<'_, '_>) -> Result<Balance, Mismatch
     })
 }
 
-fn build_mapping(a: &Side<'_, '_>, b: &Side<'_, '_>) -> Mapping {
+fn build_mapping(a: &Side<'_>, b: &Side<'_>) -> Mapping {
     let mut dev_of: HashMap<u64, DeviceId> = HashMap::with_capacity(b.dev.len());
     for (i, &l) in b.dev.iter().enumerate() {
         dev_of.insert(l, DeviceId::new(i as u32));
@@ -243,8 +243,8 @@ fn fresh_guess_label(counter: usize) -> u64 {
 }
 
 fn solve(
-    mut a: Side<'_, '_>,
-    mut b: Side<'_, '_>,
+    mut a: Side<'_>,
+    mut b: Side<'_>,
     opts: &GeminiOptions,
     stats: &mut GeminiStats,
 ) -> Result<Mapping, MismatchReport> {
@@ -325,8 +325,8 @@ pub(crate) fn run(a: &Netlist, b: &Netlist, opts: &GeminiOptions) -> (GeminiOutc
             stats,
         );
     }
-    let ga = CircuitGraph::new(a);
-    let gb = CircuitGraph::new(b);
+    let ga = CompiledCircuit::compile(a);
+    let gb = CompiledCircuit::compile(b);
     let sa = Side::new(&ga);
     let sb = Side::new(&gb);
     match solve(sa, sb, opts, &mut stats) {

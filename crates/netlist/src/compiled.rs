@@ -1,0 +1,427 @@
+//! [`CompiledCircuit`]: an owned, immutable CSR snapshot of a
+//! [`Netlist`].
+//!
+//! Every hot loop in the workspace — Gemini refinement, Phase I
+//! relabeling, Phase II spreading, extraction — walks the bipartite
+//! device/net graph. Compiling the netlist once into flat
+//! `row_offsets`/`neighbor`/`multiplicity` arrays (both directions),
+//! with initial labels, degrees, and global/port flags precomputed,
+//! makes those loops touch nothing but dense arrays, and the owned
+//! representation is `Arc`-shareable across patterns, worker threads,
+//! and extraction passes.
+//!
+//! Compilation happens in one pass over the netlist and never mutates:
+//! a `CompiledCircuit` is a snapshot. Rebuild it when the netlist
+//! changes (the extractor does so only after a pass actually replaced
+//! devices).
+//!
+//! Invariants (checked by the equivalence test suite):
+//!
+//! * `dev_pin_start.len() == device_count + 1`, and the slice
+//!   `[dev_pin_start[d], dev_pin_start[d+1])` of `dev_pin_net` /
+//!   `dev_pin_mult` lists device `d`'s pins in terminal order;
+//! * symmetrically for nets, in pin-insertion order;
+//! * `dev_init[d]` is the hash of the device's type name;
+//!   `net_init[n]` is the degree hash, or the fixed name-derived label
+//!   for globals;
+//! * class multipliers are odd, so weighted contribution sums are
+//!   invariant under within-class pin swaps.
+
+use std::sync::Arc;
+
+use crate::hashing;
+use crate::id::{DeviceId, NetId};
+use crate::netlist::Netlist;
+
+/// The neighbor-contribution accumulator returned by the relabeling
+/// helpers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Contribs {
+    /// Wrapping sum of `class_multiplier × neighbor_label` over the
+    /// neighbors whose labels were supplied.
+    pub sum: u64,
+    /// Number of neighbors whose labels were supplied.
+    pub used: usize,
+    /// Number of neighbors skipped (callback returned `None`).
+    pub skipped: usize,
+}
+
+/// An owned, immutable, query-optimized bipartite snapshot of a
+/// netlist.
+///
+/// Unlike [`CircuitGraph`](crate::CircuitGraph) (now a thin borrowing
+/// shim over this type), a `CompiledCircuit` does not borrow the
+/// netlist: wrap it in an [`Arc`] and share it across threads and
+/// repeated searches.
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::{CompiledCircuit, Netlist};
+///
+/// # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+/// let mut nl = Netlist::new("inv");
+/// let mos = nl.add_mos_types();
+/// let (a, y, vdd, gnd) = (nl.net("a"), nl.net("y"), nl.net("vdd"), nl.net("gnd"));
+/// nl.add_device("mp", mos.pmos, &[a, vdd, y])?;
+/// nl.add_device("mn", mos.nmos, &[a, gnd, y])?;
+/// let g = std::sync::Arc::new(CompiledCircuit::compile(&nl));
+/// assert_eq!(g.device_count(), 2);
+/// assert_eq!(g.net_degree(y), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledCircuit {
+    // Device -> net CSR.
+    dev_pin_start: Vec<u32>,
+    dev_pin_net: Vec<NetId>,
+    dev_pin_mult: Vec<u64>,
+    // Net -> device CSR.
+    net_pin_start: Vec<u32>,
+    net_pin_dev: Vec<DeviceId>,
+    net_pin_mult: Vec<u64>,
+    // Precomputed labeling material.
+    dev_init: Vec<u64>,
+    net_init: Vec<u64>,
+    // Interned device-type labels: `dev_type[d]` indexes `type_names`.
+    dev_type: Vec<u32>,
+    type_names: Vec<String>,
+    // Net flags.
+    net_global: Vec<bool>,
+    net_port: Vec<bool>,
+    // Global nets as (name, id), sorted by name for binary search.
+    globals: Vec<(String, NetId)>,
+    // Ports in declaration order (the netlist's port contract).
+    ports: Vec<NetId>,
+}
+
+impl CompiledCircuit {
+    /// Compiles `netlist` into its CSR snapshot in one pass.
+    pub fn compile(netlist: &Netlist) -> Self {
+        let nd = netlist.device_count();
+        let nn = netlist.net_count();
+
+        // Intern device types once; per-device work is then index math.
+        let type_names: Vec<String> = netlist
+            .device_types()
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect();
+        let type_inits: Vec<u64> = netlist
+            .device_types()
+            .iter()
+            .map(|t| t.initial_label())
+            .collect();
+
+        let mut dev_pin_start = Vec::with_capacity(nd + 1);
+        let mut dev_pin_net = Vec::with_capacity(netlist.pin_count());
+        let mut dev_pin_mult = Vec::with_capacity(netlist.pin_count());
+        let mut dev_type = Vec::with_capacity(nd);
+        let mut dev_init = Vec::with_capacity(nd);
+        dev_pin_start.push(0);
+        for d in netlist.device_ids() {
+            let dev = netlist.device(d);
+            let ty = netlist.device_type_of(d);
+            for (i, &n) in dev.pins().iter().enumerate() {
+                dev_pin_net.push(n);
+                dev_pin_mult.push(ty.class_multiplier(i));
+            }
+            dev_pin_start.push(dev_pin_net.len() as u32);
+            dev_type.push(dev.type_id().index() as u32);
+            dev_init.push(type_inits[dev.type_id().index()]);
+        }
+
+        let mut net_pin_start = Vec::with_capacity(nn + 1);
+        let mut net_pin_dev = Vec::with_capacity(netlist.pin_count());
+        let mut net_pin_mult = Vec::with_capacity(netlist.pin_count());
+        let mut net_init = Vec::with_capacity(nn);
+        let mut net_global = Vec::with_capacity(nn);
+        let mut net_port = Vec::with_capacity(nn);
+        let mut globals: Vec<(String, NetId)> = Vec::new();
+        net_pin_start.push(0);
+        for n in netlist.net_ids() {
+            let net = netlist.net_ref(n);
+            for pin in net.pins() {
+                let ty = netlist.device_type_of(pin.device);
+                net_pin_dev.push(pin.device);
+                net_pin_mult.push(ty.class_multiplier(pin.terminal as usize));
+            }
+            net_pin_start.push(net_pin_dev.len() as u32);
+            if net.is_global() {
+                net_init.push(hashing::global_net_label(net.name()));
+                globals.push((net.name().to_string(), n));
+            } else {
+                net_init.push(hashing::net_degree_label(net.degree()));
+            }
+            net_global.push(net.is_global());
+            net_port.push(net.is_port());
+        }
+        globals.sort_by(|a, b| a.0.cmp(&b.0));
+
+        Self {
+            dev_pin_start,
+            dev_pin_net,
+            dev_pin_mult,
+            net_pin_start,
+            net_pin_dev,
+            net_pin_mult,
+            dev_init,
+            net_init,
+            dev_type,
+            type_names,
+            net_global,
+            net_port,
+            globals,
+            ports: netlist.ports().to_vec(),
+        }
+    }
+
+    /// Compiles straight into an [`Arc`] for sharing.
+    pub fn compile_shared(netlist: &Netlist) -> Arc<Self> {
+        Arc::new(Self::compile(netlist))
+    }
+
+    /// Number of device vertices.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.dev_init.len()
+    }
+
+    /// Number of net vertices.
+    #[inline]
+    pub fn net_count(&self) -> usize {
+        self.net_init.len()
+    }
+
+    /// Total pin (edge) count.
+    #[inline]
+    pub fn pin_count(&self) -> usize {
+        self.dev_pin_net.len()
+    }
+
+    /// Whether net `n` is a special global signal.
+    #[inline]
+    pub fn is_global(&self, n: NetId) -> bool {
+        self.net_global[n.index()]
+    }
+
+    /// Whether net `n` is an external port.
+    #[inline]
+    pub fn is_port(&self, n: NetId) -> bool {
+        self.net_port[n.index()]
+    }
+
+    /// The ports, in declaration order.
+    #[inline]
+    pub fn ports(&self) -> &[NetId] {
+        &self.ports
+    }
+
+    /// The global nets as `(name, id)`, sorted by name.
+    #[inline]
+    pub fn globals(&self) -> &[(String, NetId)] {
+        &self.globals
+    }
+
+    /// Looks up a global net by name.
+    pub fn find_global(&self, name: &str) -> Option<NetId> {
+        self.globals
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.globals[i].1)
+    }
+
+    /// The interned device-type names, indexed by
+    /// [`device_type_index`](Self::device_type_index).
+    #[inline]
+    pub fn type_names(&self) -> &[String] {
+        &self.type_names
+    }
+
+    /// Index of device `d`'s type into [`type_names`](Self::type_names).
+    #[inline]
+    pub fn device_type_index(&self, d: DeviceId) -> u32 {
+        self.dev_type[d.index()]
+    }
+
+    /// Name of device `d`'s type.
+    #[inline]
+    pub fn device_type_name(&self, d: DeviceId) -> &str {
+        &self.type_names[self.dev_type[d.index()] as usize]
+    }
+
+    /// Degree of device `d` (number of terminals).
+    #[inline]
+    pub fn device_degree(&self, d: DeviceId) -> usize {
+        (self.dev_pin_start[d.index() + 1] - self.dev_pin_start[d.index()]) as usize
+    }
+
+    /// Degree of net `n` (number of pins).
+    #[inline]
+    pub fn net_degree(&self, n: NetId) -> usize {
+        (self.net_pin_start[n.index() + 1] - self.net_pin_start[n.index()]) as usize
+    }
+
+    /// The nets adjacent to device `d`, each with the class multiplier
+    /// of the connecting terminal.
+    #[inline]
+    pub fn device_neighbors(
+        &self,
+        d: DeviceId,
+    ) -> impl ExactSizeIterator<Item = (NetId, u64)> + '_ {
+        let lo = self.dev_pin_start[d.index()] as usize;
+        let hi = self.dev_pin_start[d.index() + 1] as usize;
+        self.dev_pin_net[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.dev_pin_mult[lo..hi].iter().copied())
+    }
+
+    /// The devices adjacent to net `n`, each with the class multiplier
+    /// of the connecting terminal.
+    #[inline]
+    pub fn net_neighbors(&self, n: NetId) -> impl ExactSizeIterator<Item = (DeviceId, u64)> + '_ {
+        let lo = self.net_pin_start[n.index()] as usize;
+        let hi = self.net_pin_start[n.index() + 1] as usize;
+        self.net_pin_dev[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.net_pin_mult[lo..hi].iter().copied())
+    }
+
+    /// Initial (vertex-invariant) label of device `d`: a hash of its
+    /// type name.
+    #[inline]
+    pub fn initial_device_label(&self, d: DeviceId) -> u64 {
+        self.dev_init[d.index()]
+    }
+
+    /// Initial label of net `n`: its degree hash, or the fixed global
+    /// label for special nets.
+    #[inline]
+    pub fn initial_net_label(&self, n: NetId) -> u64 {
+        self.net_init[n.index()]
+    }
+
+    /// Accumulates the weighted label contributions of the nets around
+    /// device `d`. `label_of` returns `None` to skip a neighbor
+    /// (corrupt in Phase I, suspect in Phase II).
+    #[inline]
+    pub fn device_contribs(
+        &self,
+        d: DeviceId,
+        mut label_of: impl FnMut(NetId) -> Option<u64>,
+    ) -> Contribs {
+        let mut c = Contribs::default();
+        for (n, mult) in self.device_neighbors(d) {
+            match label_of(n) {
+                Some(l) => {
+                    c.sum = c.sum.wrapping_add(mult.wrapping_mul(l));
+                    c.used += 1;
+                }
+                None => c.skipped += 1,
+            }
+        }
+        c
+    }
+
+    /// Accumulates the weighted label contributions of the devices
+    /// around net `n`; see [`CompiledCircuit::device_contribs`].
+    #[inline]
+    pub fn net_contribs(
+        &self,
+        n: NetId,
+        mut label_of: impl FnMut(DeviceId) -> Option<u64>,
+    ) -> Contribs {
+        let mut c = Contribs::default();
+        for (d, mult) in self.net_neighbors(n) {
+            match label_of(d) {
+                Some(l) => {
+                    c.sum = c.sum.wrapping_add(mult.wrapping_mul(l));
+                    c.used += 1;
+                }
+                None => c.skipped += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::MosTypes;
+
+    fn inverter(globals: bool) -> Netlist {
+        let mut nl = Netlist::new("inv");
+        let MosTypes { nmos, pmos } = nl.add_mos_types();
+        let (a, y, vdd, gnd) = (nl.net("a"), nl.net("y"), nl.net("vdd"), nl.net("gnd"));
+        if globals {
+            nl.mark_global(vdd);
+            nl.mark_global(gnd);
+        }
+        nl.mark_port(a);
+        nl.mark_port(y);
+        nl.add_device("mp", pmos, &[a, vdd, y]).unwrap();
+        nl.add_device("mn", nmos, &[a, gnd, y]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn compiled_is_owned_and_shareable() {
+        let g = {
+            let nl = inverter(true);
+            CompiledCircuit::compile_shared(&nl)
+        };
+        // The netlist is gone; the snapshot still answers queries.
+        assert_eq!(g.device_count(), 2);
+        assert_eq!(g.net_count(), 4);
+        let g2 = Arc::clone(&g);
+        std::thread::spawn(move || assert_eq!(g2.net_count(), 4))
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn type_interning_and_degrees() {
+        let nl = inverter(false);
+        let g = CompiledCircuit::compile(&nl);
+        let mp = nl.find_device("mp").unwrap();
+        let mn = nl.find_device("mn").unwrap();
+        assert_eq!(g.device_type_name(mp), "pmos");
+        assert_eq!(g.device_type_name(mn), "nmos");
+        assert_ne!(g.device_type_index(mp), g.device_type_index(mn));
+        assert_eq!(g.device_degree(mp), 3);
+        assert_eq!(g.net_degree(nl.find_net("a").unwrap()), 2);
+        assert_eq!(g.pin_count(), 6);
+    }
+
+    #[test]
+    fn global_and_port_flags_survive_compilation() {
+        let nl = inverter(true);
+        let g = CompiledCircuit::compile(&nl);
+        let (a, vdd) = (nl.find_net("a").unwrap(), nl.find_net("vdd").unwrap());
+        assert!(g.is_port(a) && !g.is_global(a));
+        assert!(g.is_global(vdd) && !g.is_port(vdd));
+        assert_eq!(g.find_global("vdd"), Some(vdd));
+        assert_eq!(g.find_global("a"), None);
+        assert_eq!(g.ports(), nl.ports());
+        assert_eq!(g.globals().len(), 2);
+    }
+
+    #[test]
+    fn initial_labels_match_hashing_contract() {
+        let nl = inverter(true);
+        let g = CompiledCircuit::compile(&nl);
+        let vdd = nl.find_net("vdd").unwrap();
+        let a = nl.find_net("a").unwrap();
+        assert_eq!(g.initial_net_label(vdd), hashing::global_net_label("vdd"));
+        assert_eq!(g.initial_net_label(a), hashing::net_degree_label(2));
+        let mp = nl.find_device("mp").unwrap();
+        assert_eq!(
+            g.initial_device_label(mp),
+            nl.device_type_of(mp).initial_label()
+        );
+    }
+}

@@ -1,31 +1,30 @@
-//! [`CircuitGraph`]: a compact bipartite-graph view of a [`Netlist`].
+//! [`CircuitGraph`]: a thin borrowing shim over [`CompiledCircuit`].
 //!
-//! The graph is stored in CSR (compressed sparse row) form on both sides
-//! with per-pin class multipliers and initial labels precomputed, so that
-//! the labeling loops of Gemini and SubGemini touch only flat arrays.
+//! Historically this type owned the CSR arrays itself; the flat storage
+//! now lives in the owned, `Arc`-shareable [`CompiledCircuit`] so that
+//! one compilation can be reused across patterns, worker threads, and
+//! extraction passes. `CircuitGraph` keeps the old borrowed API —
+//! netlist access plus label/adjacency queries — so legacy call sites
+//! migrate mechanically.
 //!
 //! Representing nets as first-class vertices (rather than cliques of
 //! device-device edges) is the paper's §II modeling decision: it reduces
 //! `N(N−1)/2` edges to `N` and exposes net structure to partitioning.
 
-use crate::hashing;
+use std::sync::Arc;
+
+use crate::compiled::CompiledCircuit;
 use crate::id::{DeviceId, NetId};
 use crate::netlist::Netlist;
 
-/// The neighbor-contribution accumulator returned by the relabeling
-/// helpers.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Contribs {
-    /// Wrapping sum of `class_multiplier × neighbor_label` over the
-    /// neighbors whose labels were supplied.
-    pub sum: u64,
-    /// Number of neighbors whose labels were supplied.
-    pub used: usize,
-    /// Number of neighbors skipped (callback returned `None`).
-    pub skipped: usize,
-}
+pub use crate::compiled::Contribs;
 
 /// A borrowed, query-optimized bipartite view of a netlist.
+///
+/// This is a compatibility shim: the CSR arrays live in an
+/// [`Arc<CompiledCircuit>`] reachable via
+/// [`compiled`](CircuitGraph::compiled), and all queries delegate to
+/// it.
 ///
 /// # Examples
 ///
@@ -47,74 +46,25 @@ pub struct Contribs {
 #[derive(Clone, Debug)]
 pub struct CircuitGraph<'a> {
     netlist: &'a Netlist,
-    dev_pin_start: Vec<u32>,
-    dev_pin_net: Vec<NetId>,
-    dev_pin_mult: Vec<u64>,
-    net_pin_start: Vec<u32>,
-    net_pin_dev: Vec<DeviceId>,
-    net_pin_mult: Vec<u64>,
-    dev_init: Vec<u64>,
-    net_init: Vec<u64>,
-    net_global: Vec<bool>,
+    compiled: Arc<CompiledCircuit>,
 }
 
 impl<'a> CircuitGraph<'a> {
-    /// Builds the CSR view of `netlist`.
+    /// Builds the CSR view of `netlist` by compiling it.
     pub fn new(netlist: &'a Netlist) -> Self {
-        let nd = netlist.device_count();
-        let nn = netlist.net_count();
-        let mut dev_pin_start = Vec::with_capacity(nd + 1);
-        let mut dev_pin_net = Vec::new();
-        let mut dev_pin_mult = Vec::new();
-        dev_pin_start.push(0);
-        for d in netlist.device_ids() {
-            let dev = netlist.device(d);
-            let ty = netlist.device_type_of(d);
-            for (i, &n) in dev.pins().iter().enumerate() {
-                dev_pin_net.push(n);
-                dev_pin_mult.push(ty.class_multiplier(i));
-            }
-            dev_pin_start.push(dev_pin_net.len() as u32);
-        }
-        let mut net_pin_start = Vec::with_capacity(nn + 1);
-        let mut net_pin_dev = Vec::new();
-        let mut net_pin_mult = Vec::new();
-        net_pin_start.push(0);
-        for n in netlist.net_ids() {
-            for pin in netlist.net_ref(n).pins() {
-                let ty = netlist.device_type_of(pin.device);
-                net_pin_dev.push(pin.device);
-                net_pin_mult.push(ty.class_multiplier(pin.terminal as usize));
-            }
-            net_pin_start.push(net_pin_dev.len() as u32);
-        }
-        let dev_init = netlist
-            .device_ids()
-            .map(|d| netlist.device_type_of(d).initial_label())
-            .collect();
-        let (net_init, net_global): (Vec<u64>, Vec<bool>) = netlist
-            .net_ids()
-            .map(|n| {
-                let net = netlist.net_ref(n);
-                if net.is_global() {
-                    (hashing::global_net_label(net.name()), true)
-                } else {
-                    (hashing::net_degree_label(net.degree()), false)
-                }
-            })
-            .unzip();
         Self {
             netlist,
-            dev_pin_start,
-            dev_pin_net,
-            dev_pin_mult,
-            net_pin_start,
-            net_pin_dev,
-            net_pin_mult,
-            dev_init,
-            net_init,
-            net_global,
+            compiled: Arc::new(CompiledCircuit::compile(netlist)),
         }
+    }
+
+    /// Wraps an already-compiled snapshot of `netlist`, skipping
+    /// recompilation. The caller must ensure `compiled` was built from
+    /// this exact netlist.
+    pub fn from_compiled(netlist: &'a Netlist, compiled: Arc<CompiledCircuit>) -> Self {
+        debug_assert_eq!(compiled.device_count(), netlist.device_count());
+        debug_assert_eq!(compiled.net_count(), netlist.net_count());
+        Self { netlist, compiled }
     }
 
     /// The underlying netlist.
@@ -122,22 +72,27 @@ impl<'a> CircuitGraph<'a> {
         self.netlist
     }
 
+    /// The shared compiled snapshot backing this view.
+    pub fn compiled(&self) -> &Arc<CompiledCircuit> {
+        &self.compiled
+    }
+
     /// Number of device vertices.
     #[inline]
     pub fn device_count(&self) -> usize {
-        self.dev_init.len()
+        self.compiled.device_count()
     }
 
     /// Number of net vertices.
     #[inline]
     pub fn net_count(&self) -> usize {
-        self.net_init.len()
+        self.compiled.net_count()
     }
 
     /// Whether net `n` is a special global signal.
     #[inline]
     pub fn is_global(&self, n: NetId) -> bool {
-        self.net_global[n.index()]
+        self.compiled.is_global(n)
     }
 
     /// The nets adjacent to device `d`, each with the class multiplier of
@@ -147,44 +102,34 @@ impl<'a> CircuitGraph<'a> {
         &self,
         d: DeviceId,
     ) -> impl ExactSizeIterator<Item = (NetId, u64)> + '_ {
-        let lo = self.dev_pin_start[d.index()] as usize;
-        let hi = self.dev_pin_start[d.index() + 1] as usize;
-        self.dev_pin_net[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.dev_pin_mult[lo..hi].iter().copied())
+        self.compiled.device_neighbors(d)
     }
 
     /// The devices adjacent to net `n`, each with the class multiplier of
     /// the connecting terminal.
     #[inline]
     pub fn net_neighbors(&self, n: NetId) -> impl ExactSizeIterator<Item = (DeviceId, u64)> + '_ {
-        let lo = self.net_pin_start[n.index()] as usize;
-        let hi = self.net_pin_start[n.index() + 1] as usize;
-        self.net_pin_dev[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.net_pin_mult[lo..hi].iter().copied())
+        self.compiled.net_neighbors(n)
     }
 
     /// Degree of net `n` (number of pins).
     #[inline]
     pub fn net_degree(&self, n: NetId) -> usize {
-        (self.net_pin_start[n.index() + 1] - self.net_pin_start[n.index()]) as usize
+        self.compiled.net_degree(n)
     }
 
     /// Initial (vertex-invariant) label of device `d`: a hash of its type
     /// name.
     #[inline]
     pub fn initial_device_label(&self, d: DeviceId) -> u64 {
-        self.dev_init[d.index()]
+        self.compiled.initial_device_label(d)
     }
 
     /// Initial label of net `n`: its degree hash, or the fixed global
     /// label for special nets.
     #[inline]
     pub fn initial_net_label(&self, n: NetId) -> u64 {
-        self.net_init[n.index()]
+        self.compiled.initial_net_label(n)
     }
 
     /// Accumulates the weighted label contributions of the nets around
@@ -194,19 +139,9 @@ impl<'a> CircuitGraph<'a> {
     pub fn device_contribs(
         &self,
         d: DeviceId,
-        mut label_of: impl FnMut(NetId) -> Option<u64>,
+        label_of: impl FnMut(NetId) -> Option<u64>,
     ) -> Contribs {
-        let mut c = Contribs::default();
-        for (n, mult) in self.device_neighbors(d) {
-            match label_of(n) {
-                Some(l) => {
-                    c.sum = c.sum.wrapping_add(mult.wrapping_mul(l));
-                    c.used += 1;
-                }
-                None => c.skipped += 1,
-            }
-        }
-        c
+        self.compiled.device_contribs(d, label_of)
     }
 
     /// Accumulates the weighted label contributions of the devices around
@@ -215,19 +150,9 @@ impl<'a> CircuitGraph<'a> {
     pub fn net_contribs(
         &self,
         n: NetId,
-        mut label_of: impl FnMut(DeviceId) -> Option<u64>,
+        label_of: impl FnMut(DeviceId) -> Option<u64>,
     ) -> Contribs {
-        let mut c = Contribs::default();
-        for (d, mult) in self.net_neighbors(n) {
-            match label_of(d) {
-                Some(l) => {
-                    c.sum = c.sum.wrapping_add(mult.wrapping_mul(l));
-                    c.used += 1;
-                }
-                None => c.skipped += 1,
-            }
-        }
-        c
+        self.compiled.net_contribs(n, label_of)
     }
 }
 
@@ -347,5 +272,19 @@ mod tests {
         // Gate class multiplier differs from source/drain class, so the
         // sums must differ even with equal device labels.
         assert_ne!(ca.sum, cy.sum);
+    }
+
+    #[test]
+    fn shim_delegates_to_shared_compiled_snapshot() {
+        let nl = inverter(true);
+        let g = CircuitGraph::new(&nl);
+        let c = Arc::clone(g.compiled());
+        let g2 = CircuitGraph::from_compiled(&nl, Arc::clone(&c));
+        assert!(Arc::ptr_eq(g2.compiled(), &c));
+        for n in nl.net_ids() {
+            assert_eq!(g.initial_net_label(n), c.initial_net_label(n));
+            assert_eq!(g2.net_degree(n), c.net_degree(n));
+            assert_eq!(g.is_global(n), c.is_global(n));
+        }
     }
 }

@@ -4,8 +4,12 @@
 //!
 //! * [`Netlist`] — a flat circuit: named [`DeviceType`]s with terminal
 //!   equivalence classes, device instances, nets with port/global flags.
-//! * [`CircuitGraph`] — a CSR bipartite view with precomputed labeling
-//!   material (initial labels, per-pin class multipliers).
+//! * [`CompiledCircuit`] — an immutable, `Arc`-shareable CSR snapshot
+//!   with precomputed labeling material (initial labels, per-pin class
+//!   multipliers, global/port flags), compiled from a netlist in one
+//!   pass and reused across patterns, threads, and extraction passes.
+//! * [`CircuitGraph`] — a thin borrowed shim over [`CompiledCircuit`]
+//!   keeping the legacy view API.
 //! * [`hashing`] — the 64-bit labeling primitives implementing the
 //!   relabeling function of the paper's Fig. 3.
 //! * [`instantiate`] — hierarchical composition for generators and the
@@ -46,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod compose;
 mod dot;
 mod error;
@@ -58,6 +63,7 @@ pub mod rng;
 mod stats;
 mod types;
 
+pub use compiled::CompiledCircuit;
 pub use compose::{instantiate, InstantiateReport};
 pub use dot::to_dot;
 pub use error::NetlistError;

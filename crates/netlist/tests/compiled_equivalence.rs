@@ -1,0 +1,161 @@
+//! Equivalence of the compiled CSR snapshot and the legacy
+//! [`CircuitGraph`] view: on seeded random netlists the two must agree
+//! on every query the labeling engine and the matcher rely on —
+//! initial labels, degrees, neighbor multisets (with class
+//! multipliers), global/port flags, and contribution sums. The shim is
+//! also checked to delegate to the shared snapshot bit-for-bit.
+
+use std::sync::Arc;
+
+use subgemini_netlist::rng::Rng64;
+use subgemini_netlist::{CircuitGraph, CompiledCircuit, DeviceType, NetId, Netlist};
+
+/// Builds a random netlist (mos + resistor soup) with some nets marked
+/// port and/or global, following the prop_labeling generator idiom.
+fn random_netlist(rng: &mut Rng64) -> Netlist {
+    let mut nl = Netlist::new("rand");
+    let mos = nl.add_mos_types();
+    let res = nl.add_type(DeviceType::two_terminal("res")).unwrap();
+    let n_nets = rng.range(2, 9);
+    let nets: Vec<NetId> = (0..n_nets).map(|i| nl.net(format!("w{i}"))).collect();
+    for &n in &nets {
+        match rng.range(0, 5) {
+            0 => nl.mark_global(n),
+            1 => nl.mark_port(n),
+            2 => {
+                nl.mark_port(n);
+                nl.mark_global(n);
+            }
+            _ => {}
+        }
+    }
+    let n_dev = rng.range(1, 14);
+    for i in 0..n_dev {
+        let p = |rng: &mut Rng64| nets[rng.index(nets.len())];
+        match rng.range(0, 3) {
+            0 => {
+                let pins = [p(rng), p(rng), p(rng)];
+                nl.add_device(format!("n{i}"), mos.nmos, &pins).unwrap();
+            }
+            1 => {
+                let pins = [p(rng), p(rng), p(rng)];
+                nl.add_device(format!("p{i}"), mos.pmos, &pins).unwrap();
+            }
+            _ => {
+                let pins = [p(rng), p(rng)];
+                nl.add_device(format!("r{i}"), res, &pins).unwrap();
+            }
+        }
+    }
+    nl
+}
+
+#[test]
+fn compiled_agrees_with_circuit_graph_on_all_queries() {
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(0xc0de_5000 + case);
+        let nl = random_netlist(&mut rng);
+        let legacy = CircuitGraph::new(&nl);
+        let compiled = CompiledCircuit::compile(&nl);
+
+        assert_eq!(
+            compiled.device_count(),
+            legacy.device_count(),
+            "case {case}"
+        );
+        assert_eq!(compiled.net_count(), legacy.net_count(), "case {case}");
+        assert_eq!(compiled.pin_count(), nl.pin_count(), "case {case}");
+
+        for d in nl.device_ids() {
+            assert_eq!(
+                compiled.initial_device_label(d),
+                legacy.initial_device_label(d),
+                "case {case}: device {d:?} initial label"
+            );
+            assert_eq!(
+                compiled.device_degree(d),
+                nl.device(d).pins().len(),
+                "case {case}"
+            );
+            // Neighbor multisets with class multipliers.
+            let mut a: Vec<(u32, u64)> = compiled
+                .device_neighbors(d)
+                .map(|(n, w)| (n.raw(), w))
+                .collect();
+            let mut b: Vec<(u32, u64)> = legacy
+                .device_neighbors(d)
+                .map(|(n, w)| (n.raw(), w))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "case {case}: device {d:?} neighbors");
+            let ca = compiled.device_contribs(d, |n| Some(n.raw() as u64 + 1));
+            let cb = legacy.device_contribs(d, |n| Some(n.raw() as u64 + 1));
+            assert_eq!((ca.sum, ca.used, ca.skipped), (cb.sum, cb.used, cb.skipped));
+        }
+
+        for n in nl.net_ids() {
+            assert_eq!(
+                compiled.initial_net_label(n),
+                legacy.initial_net_label(n),
+                "case {case}: net {n:?} initial label"
+            );
+            assert_eq!(compiled.net_degree(n), legacy.net_degree(n), "case {case}");
+            assert_eq!(compiled.is_global(n), nl.net_ref(n).is_global());
+            assert_eq!(compiled.is_port(n), nl.net_ref(n).is_port());
+            let mut a: Vec<(u32, u64)> = compiled
+                .net_neighbors(n)
+                .map(|(d, w)| (d.raw(), w))
+                .collect();
+            let mut b: Vec<(u32, u64)> =
+                legacy.net_neighbors(n).map(|(d, w)| (d.raw(), w)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "case {case}: net {n:?} neighbors");
+            let ca = compiled.net_contribs(n, |d| Some(d.raw() as u64 * 3 + 7));
+            let cb = legacy.net_contribs(n, |d| Some(d.raw() as u64 * 3 + 7));
+            assert_eq!((ca.sum, ca.used, ca.skipped), (cb.sum, cb.used, cb.skipped));
+        }
+
+        // Global directory agrees with the netlist.
+        for n in nl.net_ids() {
+            let net = nl.net_ref(n);
+            if net.is_global() {
+                assert_eq!(
+                    compiled.find_global(net.name()),
+                    Some(n),
+                    "case {case}: global {} not found",
+                    net.name()
+                );
+            } else {
+                assert_eq!(compiled.find_global(net.name()), None, "case {case}");
+            }
+        }
+        assert_eq!(
+            compiled.ports().len(),
+            nl.net_ids().filter(|&n| nl.net_ref(n).is_port()).count(),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn shim_and_direct_compilation_share_results() {
+    for case in 0..16u64 {
+        let mut rng = Rng64::new(0xc0de_6000 + case);
+        let nl = random_netlist(&mut rng);
+        let shim = CircuitGraph::new(&nl);
+        let direct = Arc::new(CompiledCircuit::compile(&nl));
+        let wrapped = CircuitGraph::from_compiled(&nl, Arc::clone(&direct));
+        for n in nl.net_ids() {
+            assert_eq!(shim.initial_net_label(n), direct.initial_net_label(n));
+            assert_eq!(wrapped.net_degree(n), shim.net_degree(n));
+        }
+        for d in nl.device_ids() {
+            assert_eq!(
+                shim.initial_device_label(d),
+                wrapped.initial_device_label(d)
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! `find_all_many` must be observationally identical to per-pattern
+//! `find_all` — the shared compiled main circuit and shared Phase I
+//! label trace are pure caches. Also pins the cache-hit accounting:
+//! a multi-pattern run compiles the main circuit exactly once.
+
+use subgemini::{find_all, find_all_many, MatchOptions};
+use subgemini_netlist::Netlist;
+use subgemini_workloads::{analog, cells, gen};
+
+fn check_equivalence(patterns: &[&Netlist], main: &Netlist, options: &MatchOptions) {
+    let many = find_all_many(patterns, main, options);
+    assert_eq!(many.len(), patterns.len());
+    for (pattern, outcome) in patterns.iter().zip(&many) {
+        let solo = find_all(pattern, main, options);
+        assert_eq!(
+            outcome.instances,
+            solo.instances,
+            "pattern {}: shared-compilation instances diverge",
+            pattern.name()
+        );
+        assert_eq!(outcome.key, solo.key, "pattern {}", pattern.name());
+        assert_eq!(outcome.phase1, solo.phase1, "pattern {}", pattern.name());
+        assert_eq!(outcome.phase2, solo.phase2, "pattern {}", pattern.name());
+    }
+}
+
+#[test]
+fn library_survey_matches_per_pattern_runs() {
+    let library = cells::library();
+    let refs: Vec<&Netlist> = library.iter().collect();
+    let adder = gen::ripple_adder(8);
+    check_equivalence(&refs, &adder.netlist, &MatchOptions::default());
+}
+
+#[test]
+fn analog_cells_match_on_mixed_signal_chip() {
+    let library = analog::analog_library();
+    let refs: Vec<&Netlist> = library.iter().collect();
+    let chip = analog::mixed_signal_chip(7, 3);
+    check_equivalence(&refs, &chip.netlist, &MatchOptions::default());
+}
+
+#[test]
+fn equivalence_holds_across_option_variants() {
+    let library = [cells::inv(), cells::nand2(), cells::full_adder()];
+    let refs: Vec<&Netlist> = library.iter().collect();
+    let adder = gen::ripple_adder(6);
+    for options in [
+        MatchOptions {
+            threads: 1,
+            ..MatchOptions::default()
+        },
+        MatchOptions {
+            threads: 4,
+            ..MatchOptions::default()
+        },
+        MatchOptions {
+            respect_globals: false,
+            ..MatchOptions::default()
+        },
+        MatchOptions::extraction(),
+    ] {
+        check_equivalence(&refs, &adder.netlist, &options);
+    }
+}
+
+#[test]
+fn main_is_compiled_once_across_patterns() {
+    let library = [cells::inv(), cells::nand2(), cells::full_adder()];
+    let refs: Vec<&Netlist> = library.iter().collect();
+    let adder = gen::ripple_adder(6);
+    let options = MatchOptions {
+        collect_metrics: true,
+        ..MatchOptions::default()
+    };
+    let outcomes = find_all_many(&refs, &adder.netlist, &options);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let m = outcome.metrics.as_ref().expect("collect_metrics was set");
+        let hits = m.counters.get("compile.main_cache_hits");
+        if i == 0 {
+            assert_eq!(hits, 0, "first pattern pays the compile");
+        } else {
+            assert_eq!(hits, 1, "pattern {i} must reuse the main compilation");
+        }
+    }
+}

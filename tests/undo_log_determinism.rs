@@ -1,0 +1,176 @@
+//! Backtrack correctness under the Phase II undo log.
+//!
+//! Phase II reuses one dense search state per worker, rolling back via
+//! an inverse-operation log instead of cloning maps (see DESIGN.md).
+//! These workloads are built to exercise the rollback machinery hard —
+//! symmetric patterns in the paper's Fig. 6 style whose ambiguity
+//! forces guessing, plus a trap circuit whose wrong guesses fail deep
+//! and must unwind — and assert that thread counts 1, 2, and 8 return
+//! identical instance sets with identical effort counters.
+
+use subgemini::{MatchOptions, Matcher, SubMatch};
+use subgemini_netlist::{DeviceType, Netlist};
+use subgemini_workloads::{cells, gen};
+
+fn run(pattern: &Netlist, main: &Netlist, threads: usize) -> subgemini::MatchOutcome {
+    Matcher::new(pattern, main)
+        .options(MatchOptions {
+            threads,
+            ..MatchOptions::default()
+        })
+        .find_all()
+}
+
+fn device_sets(instances: &[SubMatch]) -> Vec<Vec<subgemini_netlist::DeviceId>> {
+    instances.iter().map(SubMatch::device_set).collect()
+}
+
+fn assert_thread_invariant(
+    name: &str,
+    pattern: &Netlist,
+    main: &Netlist,
+) -> subgemini::MatchOutcome {
+    let serial = run(pattern, main, 1);
+    for threads in [2usize, 8] {
+        let par = run(pattern, main, threads);
+        assert_eq!(
+            device_sets(&serial.instances),
+            device_sets(&par.instances),
+            "{name}: instances diverge at {threads} threads"
+        );
+        assert_eq!(
+            serial.instances, par.instances,
+            "{name}: full mappings diverge at {threads} threads"
+        );
+        assert_eq!(
+            (serial.phase2.guesses, serial.phase2.backtracks),
+            (par.phase2.guesses, par.phase2.backtracks),
+            "{name}: effort counters diverge at {threads} threads"
+        );
+    }
+    serial
+}
+
+/// A 4-cycle of resistors `a-x-b-y-a` with `a`,`b` as ports, so its
+/// two interior nets are interchangeable — the Fig. 6 shape: symmetry
+/// that labeling cannot break, only guessing can.
+fn square() -> Netlist {
+    let mut nl = Netlist::new("square");
+    let res = nl.add_type(DeviceType::two_terminal("res")).unwrap();
+    let (a, x, b, y) = (nl.net("a"), nl.net("x"), nl.net("b"), nl.net("y"));
+    nl.mark_port(a);
+    nl.mark_port(b);
+    nl.add_device("r1", res, &[a, x]).unwrap();
+    nl.add_device("r2", res, &[x, b]).unwrap();
+    nl.add_device("r3", res, &[b, y]).unwrap();
+    nl.add_device("r4", res, &[y, a]).unwrap();
+    nl
+}
+
+/// A near-complete-bipartite trap: `A` fans out to `X`,`Y`,`Z` and `B`
+/// only to `X`,`Y`; the dangling `Z-W` arm makes `Z` look locally like
+/// `X`/`Y` (same degree), so a guess of `Z` only fails after further
+/// spreading and must backtrack.
+fn trap() -> Netlist {
+    let mut nl = Netlist::new("trap");
+    let res = nl.add_type(DeviceType::two_terminal("res")).unwrap();
+    let (a, b) = (nl.net("A"), nl.net("B"));
+    let (x, y, z, w) = (nl.net("X"), nl.net("Y"), nl.net("Z"), nl.net("W"));
+    nl.add_device("ax", res, &[a, x]).unwrap();
+    nl.add_device("ay", res, &[a, y]).unwrap();
+    nl.add_device("az", res, &[a, z]).unwrap();
+    nl.add_device("bx", res, &[b, x]).unwrap();
+    nl.add_device("by", res, &[b, y]).unwrap();
+    nl.add_device("zw", res, &[z, w]).unwrap();
+    nl
+}
+
+/// A ring of `n` identical resistors: maximal symmetry, zero labels to
+/// anchor on, so Phase II must guess a traversal direction.
+fn ring(nl: &mut Netlist, n: usize, prefix: &str) {
+    let res = match nl.device_types().iter().position(|t| t.name() == "res") {
+        Some(i) => subgemini_netlist::DeviceTypeId::new(i as u32),
+        None => nl.add_type(DeviceType::two_terminal("res")).unwrap(),
+    };
+    let nets: Vec<_> = (0..n).map(|i| nl.net(format!("{prefix}{i}"))).collect();
+    for i in 0..n {
+        nl.add_device(format!("{prefix}r{i}"), res, &[nets[i], nets[(i + 1) % n]])
+            .unwrap();
+    }
+}
+
+#[test]
+fn wrong_guesses_backtrack_and_stay_deterministic() {
+    let outcome = assert_thread_invariant("square-in-trap", &square(), &trap());
+    assert_eq!(outcome.count(), 1, "exactly one 4-cycle avoids Z");
+    assert!(
+        outcome.phase2.guesses > 0,
+        "the X/Y/Z ambiguity must force guessing"
+    );
+    assert!(
+        outcome.phase2.backtracks > 0,
+        "guessing Z must fail deep and unwind through the undo log"
+    );
+    // The surviving instance uses the X/Y arms, never Z or the decoy.
+    let main = trap();
+    let m = &outcome.instances[0];
+    for &d in &m.devices {
+        let name = main.device(d).name();
+        assert!(
+            !name.contains('z') && !name.contains('Z'),
+            "instance absorbed trap arm {name}"
+        );
+    }
+}
+
+#[test]
+fn symmetric_rings_guess_without_divergence() {
+    let mut pattern = Netlist::new("rings44");
+    ring(&mut pattern, 4, "p");
+    ring(&mut pattern, 4, "q");
+    let mut main = Netlist::new("rings446");
+    ring(&mut main, 4, "a");
+    ring(&mut main, 4, "b");
+    ring(&mut main, 6, "c");
+    let outcome = assert_thread_invariant("double-ring", &pattern, &main);
+    assert!(outcome.count() >= 1, "the two 4-rings embed");
+    assert!(
+        outcome.phase2.guesses > 0,
+        "ring symmetry must force guessing"
+    );
+    // No instance may absorb a 6-ring resistor.
+    for m in &outcome.instances {
+        for &d in &m.devices {
+            assert!(!main.device(d).name().starts_with('c'));
+        }
+    }
+}
+
+#[test]
+fn interchangeable_gate_inputs_stay_deterministic() {
+    // NAND inputs are interchangeable (paper Fig. 6): matching nand3
+    // into a decoder guesses among input permutations.
+    let decoder = gen::decoder(3);
+    let outcome = assert_thread_invariant("nand3-in-decoder", &cells::nand3(), &decoder.netlist);
+    assert_eq!(outcome.count(), decoder.structural_count("nand3"));
+    assert!(
+        outcome.phase2.guesses > 0,
+        "input symmetry must force guessing"
+    );
+}
+
+#[test]
+fn repeated_runs_reuse_state_cleanly() {
+    // The same matcher run twice must agree with itself — any residue
+    // left in the per-worker search state by an unbalanced rollback
+    // would show up here.
+    let pattern = square();
+    let main = trap();
+    let first = run(&pattern, &main, 2);
+    let second = run(&pattern, &main, 2);
+    assert_eq!(first.instances, second.instances);
+    assert_eq!(
+        (first.phase2.guesses, first.phase2.backtracks),
+        (second.phase2.guesses, second.phase2.backtracks)
+    );
+}
