@@ -44,6 +44,12 @@ fn metrics_value(m: &MetricsReport) -> Value {
             "worker_utilization".into(),
             Value::Num(m.worker_utilization()),
         ),
+        // Additive since schema v1: log2-bucket latency/depth quantiles.
+        ("verify_ns_hist".into(), m.verify_ns_hist.to_json()),
+        (
+            "backtrack_depth_hist".into(),
+            m.backtrack_depth_hist.to_json(),
+        ),
     ])
 }
 

@@ -22,6 +22,8 @@ const SWITCHES: &[&str] = &[
     "--builtin-lib",
     "--hierarchical",
     "--verbose",
+    "--explain",
+    "--json",
 ];
 
 impl Args {

@@ -55,7 +55,32 @@ fn match_options(args: &Args) -> Result<MatchOptions, String> {
     if report_mode(args)?.is_some() {
         opts.collect_metrics = true;
     }
+    // Any event consumer turns the journal on; without one the search
+    // carries no buffers at all.
+    if args.option("--trace-out").is_some()
+        || args.option("--events-out").is_some()
+        || args.switch("--explain")
+    {
+        opts.trace_events = true;
+    }
     Ok(opts)
+}
+
+/// Writes the requested event exports (`--trace-out`, `--events-out`)
+/// from a finished outcome's journal.
+fn write_event_exports(args: &Args, outcome: &subgemini::MatchOutcome) -> Result<(), String> {
+    let Some(journal) = outcome.events.as_ref() else {
+        return Ok(());
+    };
+    if let Some(path) = args.option("--trace-out") {
+        let doc = subgemini::events::journal_to_chrome_trace(journal);
+        fs::write(path, doc.pretty()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = args.option("--events-out") {
+        let text = subgemini::events::journal_to_ndjson(journal);
+        fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
 }
 
 /// The validated `--report` value, if any.
@@ -77,6 +102,10 @@ pub fn find(args: &Args) -> Result<u8, String> {
     let outcome = Matcher::new(&pattern, &main)
         .options(match_options(args)?)
         .find_all();
+    write_event_exports(args, &outcome)?;
+    let explain_text = args
+        .switch("--explain")
+        .then(|| subgemini::ExplainReport::from_outcome(&outcome).render());
     match report_mode(args)? {
         Some("json") => {
             // Machine-readable: the report is the whole stdout.
@@ -85,6 +114,9 @@ pub fn find(args: &Args) -> Result<u8, String> {
         }
         Some(_) => {
             print!("{}", subgemini::metrics::outcome_to_text(&outcome));
+            if let Some(text) = explain_text {
+                print!("{text}");
+            }
             return Ok(if outcome.count() > 0 { 0 } else { 1 });
         }
         None => {}
@@ -122,6 +154,28 @@ pub fn find(args: &Args) -> Result<u8, String> {
             outcome.phase2.false_candidates,
             outcome.phase2.passes
         );
+    }
+    if let Some(text) = explain_text {
+        print!("{text}");
+    }
+    Ok(if outcome.count() > 0 { 0 } else { 1 })
+}
+
+/// `subg explain`: run the search with the event journal on and answer
+/// "why did (or didn't) this pattern match?" from the merged stream.
+pub fn explain(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let pattern = pattern_from(args, main_path)?;
+    let mut opts = match_options(args)?;
+    opts.trace_events = true;
+    let outcome = Matcher::new(&pattern, &main).options(opts).find_all();
+    write_event_exports(args, &outcome)?;
+    let report = subgemini::ExplainReport::from_outcome(&outcome);
+    if args.switch("--json") {
+        print!("{}", report.to_json().pretty());
+    } else {
+        print!("{}", report.render());
     }
     Ok(if outcome.count() > 0 { 0 } else { 1 })
 }

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
-//!           [--report json|text] [--threads <n>]
+//!           [--report json|text] [--threads <n>] [--trace-out <trace.json>]
+//!           [--events-out <events.ndjson>] [--explain]
+//! subg explain <main.sp> --pattern <cell> [--lib <cells.sp>] [--json]
 //! subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
 //! subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
 //! subg check <main.sp> --rules <rules.sp>
@@ -28,7 +30,9 @@ subg — SubGemini subcircuit tools
 
 USAGE:
   subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
-            [--report json|text] [--threads <n>]
+            [--report json|text] [--threads <n>] [--trace-out <trace.json>]
+            [--events-out <events.ndjson>] [--explain]
+  subg explain <main.sp> --pattern <cell> [--lib <cells.sp>] [--json]
   subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
   subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
   subg check <main.sp> --rules <rules.sp>
@@ -56,6 +60,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "find" => commands::find(&parsed),
+        "explain" => commands::explain(&parsed),
         "candidates" => commands::candidates(&parsed),
         "extract" => commands::extract(&parsed),
         "check" => commands::check(&parsed),

@@ -483,6 +483,109 @@ fn find_report_json_schema_is_stable_and_consistent() {
 }
 
 #[test]
+fn find_trace_out_and_explain() {
+    let dir = scratch("traceout");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--trace-out",
+            "trace.json",
+            "--events-out",
+            "events.ndjson",
+            "--explain",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("explain:"), "{stdout}");
+
+    // The exported trace is a valid Chrome traceEvents document.
+    let text = fs::read_to_string(dir.join("trace.json")).unwrap();
+    let doc = subgemini::metrics::json::parse(&text).expect("trace parses");
+    let n = subgemini::events::validate_chrome_trace(&doc).expect("trace validates");
+    assert!(n > 0);
+
+    // NDJSON: every line parses, trailer closes the stream.
+    let ndjson = fs::read_to_string(dir.join("events.ndjson")).unwrap();
+    let lines: Vec<&str> = ndjson.lines().collect();
+    assert!(lines.len() > 1);
+    for line in &lines {
+        subgemini::metrics::json::parse(line).unwrap_or_else(|e| panic!("`{line}`: {e}"));
+    }
+    assert!(lines.last().unwrap().contains("journal_end"));
+}
+
+#[test]
+fn explain_subcommand_names_reject_reasons() {
+    let dir = scratch("explain");
+    write_files(&dir);
+    // A matching pattern explains itself with instance counts.
+    let out = subg(
+        &dir,
+        &[
+            "explain",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 instance(s)"), "{stdout}");
+
+    // A no-match pattern names the first divergence; --json emits the
+    // machine-readable report instead.
+    let cells = fs::read_to_string(dir.join("cells.sp")).unwrap()
+        + ".subckt pup g d\nm1 d g vdd vdd nmos\n.ends\n";
+    fs::write(dir.join("cells.sp"), cells).unwrap();
+    let out = subg(
+        &dir,
+        &[
+            "explain",
+            "chip.sp",
+            "--pattern",
+            "pup",
+            "--lib",
+            "cells.sp",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 instance(s)"), "{stdout}");
+    assert!(stdout.contains("first divergence"), "{stdout}");
+    let out = subg(
+        &dir,
+        &[
+            "explain",
+            "chip.sp",
+            "--pattern",
+            "pup",
+            "--lib",
+            "cells.sp",
+            "--json",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let v = subgemini::metrics::json::parse(&String::from_utf8(out.stdout).unwrap())
+        .expect("explain --json is valid JSON");
+    assert_eq!(v.get("instances").unwrap().as_u64(), Some(0));
+    assert!(v.get("first_divergence").is_some());
+}
+
+#[test]
 fn usage_on_no_args_and_unknown_command() {
     let dir = scratch("usage");
     let out = subg(&dir, &[]);

@@ -90,6 +90,11 @@ pub struct MatchOutcome {
     /// Phase timings and effort counters, when
     /// [`MatchOptions::collect_metrics`](crate::MatchOptions) was set.
     pub metrics: Option<crate::metrics::MetricsReport>,
+    /// Merged structured event journal, when
+    /// [`MatchOptions::trace_events`](crate::MatchOptions) was set.
+    /// Deterministic across thread counts: events are ordered by
+    /// `(candidate rank, sequence)` regardless of worker assignment.
+    pub events: Option<crate::events::EventJournal>,
 }
 
 impl MatchOutcome {

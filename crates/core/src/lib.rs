@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 mod extract;
 mod instance;
 mod matcher;
@@ -68,10 +69,11 @@ mod techmap;
 mod trace;
 mod verify;
 
+pub use events::{Event, EventJournal, EventKind, EventScope, ExplainReport, RejectReason};
 pub use extract::{ExtractReport, ExtractedInstance, Extractor};
 pub use instance::{MatchOutcome, Phase1Stats, Phase2Stats, SubMatch};
 pub use matcher::{find_all, find_all_many, Matcher};
-pub use metrics::{Counters, MetricsReport, ProgressEvent, ProgressHook};
+pub use metrics::{Counters, Histogram, MetricsReport, ProgressEvent, ProgressHook};
 pub use options::{KeyPolicy, MatchOptions, OverlapPolicy};
 pub use rules::{RuleChecker, RuleViolation};
 pub use symmetry::port_symmetry_classes;

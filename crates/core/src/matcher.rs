@@ -11,11 +11,12 @@ use std::sync::Arc;
 
 use subgemini_netlist::{CompiledCircuit, DeviceId, Netlist};
 
+use crate::events::{EventBuffer, EventJournal, EventKind, RejectTally};
 use crate::instance::{MatchOutcome, SubMatch};
-use crate::metrics::{MetricsReport, PhaseTimer, ProgressEvent};
+use crate::metrics::{Histogram, MetricsReport, PhaseTimer, ProgressEvent};
 use crate::options::{MatchOptions, OverlapPolicy};
 use crate::phase1;
-use crate::phase2::Phase2Runner;
+use crate::phase2::{CandidateTiming, Phase2Runner};
 use crate::trace::Phase2Trace;
 
 /// A configured subcircuit search: find instances of `pattern` inside
@@ -260,7 +261,18 @@ pub(crate) fn find_all_compiled(
             main_devices: main_nl.device_count(),
         });
     }
-    let (p1, p1_timing) = phase1::run_with_trace_timed(&s, trace, options.key_policy, collect);
+    // One serial buffer for Phase I / pre-match events; worker buffers
+    // are created inside their search states and merged at the end.
+    let mut p1_events = options
+        .trace_events
+        .then(|| EventBuffer::new(options.trace_events_cap));
+    let (p1, p1_timing) = phase1::run_with_trace_instrumented(
+        &s,
+        trace,
+        options.key_policy,
+        collect,
+        p1_events.as_mut(),
+    );
     let mut metrics = collect.then(|| MetricsReport {
         compile_ns: main_compile_ns + pattern_compile_ns,
         phase1_refine_ns: p1_timing.refine_ns,
@@ -283,6 +295,9 @@ pub(crate) fn find_all_compiled(
         });
     }
     let Some(key) = p1.key else {
+        if let Some(b) = p1_events {
+            outcome.events = Some(EventJournal::merge(vec![b]));
+        }
         outcome.metrics = metrics;
         return outcome;
     };
@@ -292,6 +307,10 @@ pub(crate) fn find_all_compiled(
     let Some(base) = runner.base_state() else {
         // A pattern global has no counterpart in the main circuit.
         outcome.phase1.proven_empty = true;
+        if let Some(mut b) = p1_events {
+            b.push(EventKind::PrematchFail);
+            outcome.events = Some(EventJournal::merge(vec![b]));
+        }
         outcome.metrics = metrics;
         return outcome;
     };
@@ -307,59 +326,90 @@ pub(crate) fn find_all_compiled(
         n => n,
     };
     let phase2_timer = collect.then(PhaseTimer::start);
+    // Worker-side observability payloads harvested after the pre-pass.
+    struct WorkerPart {
+        stats: crate::instance::Phase2Stats,
+        timing: Option<CandidateTiming>,
+        events: Option<EventBuffer>,
+        backtrack_hist: Option<Histogram>,
+        reject_tally: Option<RejectTally>,
+    }
+    let mut event_buffers: Vec<EventBuffer> = Vec::new();
+    let mut reject_tally = RejectTally::default();
     let precomputed: Option<Vec<Option<crate::instance::SubMatch>>> =
         if !options.record_trace && worker_count > 1 && p1.candidates.len() > 1 {
             let n = p1.candidates.len();
             let mut results: Vec<Option<crate::instance::SubMatch>> = Vec::new();
             results.resize_with(n, || None);
             let chunk = n.div_ceil(worker_count.min(n));
-            // Per-worker (stats, busy_ns, max_candidate_ns), pushed on
-            // worker exit; busy times are zero unless collecting.
-            let stats_parts =
-                std::sync::Mutex::new(Vec::<(crate::instance::Phase2Stats, u64, u64)>::new());
+            let stats_parts = std::sync::Mutex::new(Vec::<WorkerPart>::new());
             let mut workers_used = 0usize;
             std::thread::scope(|scope| {
-                for (slot_chunk, cand_chunk) in
-                    results.chunks_mut(chunk).zip(p1.candidates.chunks(chunk))
+                for (ci, (slot_chunk, cand_chunk)) in results
+                    .chunks_mut(chunk)
+                    .zip(p1.candidates.chunks(chunk))
+                    .enumerate()
                 {
                     workers_used += 1;
                     let runner = &runner;
                     let base = &base;
                     let stats_parts = &stats_parts;
+                    // Global candidate rank of this chunk's first slot:
+                    // journal scopes depend on the candidate's position
+                    // in the CV, never on the worker that ran it.
+                    let rank0 = ci * chunk;
                     scope.spawn(move || {
                         let mut search = runner.make_state(base);
                         let mut stats = crate::instance::Phase2Stats::default();
-                        let mut timing = collect.then_some((0u64, 0u64));
-                        for (slot, &c) in slot_chunk.iter_mut().zip(cand_chunk) {
+                        let mut timing = collect.then(CandidateTiming::default);
+                        for (j, (slot, &c)) in slot_chunk.iter_mut().zip(cand_chunk).enumerate() {
                             *slot = runner
                                 .run_candidate_timed(
                                     &mut search,
                                     key,
                                     c,
+                                    (rank0 + j) as u32,
                                     &mut stats,
                                     false,
                                     timing.as_mut(),
                                 )
                                 .map(|(m, _)| m);
                         }
-                        let (busy, max) = timing.unwrap_or_default();
                         stats_parts
                             .lock()
                             .expect("no panics while holding the lock")
-                            .push((stats, busy, max));
+                            .push(WorkerPart {
+                                stats,
+                                timing,
+                                events: search.take_events(),
+                                backtrack_hist: search.take_backtrack_hist(),
+                                reject_tally: search.take_reject_tally(),
+                            });
                     });
                 }
             });
-            for (part, busy, max) in stats_parts.into_inner().expect("threads joined") {
-                outcome.phase2.candidates_tried += part.candidates_tried;
-                outcome.phase2.false_candidates += part.false_candidates;
-                outcome.phase2.passes += part.passes;
-                outcome.phase2.guesses += part.guesses;
-                outcome.phase2.backtracks += part.backtracks;
+            for part in stats_parts.into_inner().expect("threads joined") {
+                outcome.phase2.candidates_tried += part.stats.candidates_tried;
+                outcome.phase2.false_candidates += part.stats.false_candidates;
+                outcome.phase2.passes += part.stats.passes;
+                outcome.phase2.guesses += part.stats.guesses;
+                outcome.phase2.backtracks += part.stats.backtracks;
+                if let Some(t) = part.reject_tally {
+                    reject_tally.merge(&t);
+                }
+                if let Some(b) = part.events {
+                    event_buffers.push(b);
+                }
                 if let Some(m) = metrics.as_mut() {
-                    m.worker_busy_ns.push(busy);
-                    m.phase2_verify_ns += busy;
-                    m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(max);
+                    if let Some(t) = part.timing {
+                        m.worker_busy_ns.push(t.sum_ns);
+                        m.phase2_verify_ns += t.sum_ns;
+                        m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(t.max_ns);
+                        m.verify_ns_hist.merge(&t.hist);
+                    }
+                    if let Some(h) = part.backtrack_hist {
+                        m.backtrack_depth_hist.merge(&h);
+                    }
                 }
             }
             if let Some(m) = metrics.as_mut() {
@@ -374,7 +424,7 @@ pub(crate) fn find_all_compiled(
     let mut claimed: HashSet<DeviceId> = HashSet::new();
     let mut seen_sets: HashSet<Vec<DeviceId>> = HashSet::new();
     let mut p2_trace: Option<Phase2Trace> = None;
-    let mut serial_timing = (collect && precomputed.is_none()).then_some((0u64, 0u64));
+    let mut serial_timing = (collect && precomputed.is_none()).then(CandidateTiming::default);
     let mut checked = 0u64;
     let mut matched = 0u64;
     let mut dedup_dropped = 0u64;
@@ -398,6 +448,7 @@ pub(crate) fn find_all_compiled(
                 serial_search.as_mut().expect("serial path has a state"),
                 key,
                 c,
+                i as u32,
                 &mut outcome.phase2,
                 want_trace,
                 serial_timing.as_mut(),
@@ -442,11 +493,25 @@ pub(crate) fn find_all_compiled(
     }
     outcome.instances.sort_by_key(|a| a.device_set());
     outcome.trace = p2_trace;
+    if let Some(search) = serial_search.as_mut() {
+        if let Some(t) = search.take_reject_tally() {
+            reject_tally.merge(&t);
+        }
+        if let Some(b) = search.take_events() {
+            event_buffers.push(b);
+        }
+        if let Some(h) = search.take_backtrack_hist() {
+            if let Some(m) = metrics.as_mut() {
+                m.backtrack_depth_hist.merge(&h);
+            }
+        }
+    }
     if let Some(m) = metrics.as_mut() {
-        if let Some((busy, max)) = serial_timing {
-            m.worker_busy_ns.push(busy);
-            m.phase2_verify_ns += busy;
-            m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(max);
+        if let Some(t) = serial_timing {
+            m.worker_busy_ns.push(t.sum_ns);
+            m.phase2_verify_ns += t.sum_ns;
+            m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(t.max_ns);
+            m.verify_ns_hist.merge(&t.hist);
         }
         if let Some(t) = &phase2_timer {
             m.phase2_wall_ns = t.elapsed_ns();
@@ -460,6 +525,19 @@ pub(crate) fn find_all_compiled(
             "instances.claim_dropped",
             outcome.phase2.overlap_dropped as u64,
         );
+        // Reject reasons land as counters in first-bump order;
+        // `nonzero()` yields them in the closed `ALL` order.
+        for (r, v) in reject_tally.nonzero() {
+            m.counters.bump(r.counter_name(), v);
+        }
+    }
+    if options.trace_events {
+        let mut buffers = Vec::with_capacity(event_buffers.len() + 1);
+        if let Some(b) = p1_events {
+            buffers.push(b);
+        }
+        buffers.append(&mut event_buffers);
+        outcome.events = Some(EventJournal::merge(buffers));
     }
     outcome.metrics = metrics;
     outcome

@@ -15,6 +15,7 @@
 //! by the report serializers (`subg --report json`, the `bench_json`
 //! binary) and by tests that check schema stability.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,40 +40,170 @@ impl PhaseTimer {
 
 /// An ordered registry of named counters. Names are registered on first
 /// bump; iteration order is first-bump order, so reports are stable for
-/// a fixed code path.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Counters(Vec<(String, u64)>);
+/// a fixed code path. Lookups go through an index map, so per-candidate
+/// counter traffic (e.g. one bump per Phase II reject) stays O(1)
+/// instead of scanning the registry.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    entries: Vec<(String, u64)>,
+    index: HashMap<String, usize>,
+}
 
 impl Counters {
     /// Adds `by` to `name`, registering it at zero first if new.
     pub fn bump(&mut self, name: &str, by: u64) {
-        match self.0.iter_mut().find(|(n, _)| n == name) {
-            Some((_, v)) => *v += by,
-            None => self.0.push((name.to_string(), by)),
+        match self.index.get(name) {
+            Some(&i) => self.entries[i].1 += by,
+            None => {
+                self.index.insert(name.to_string(), self.entries.len());
+                self.entries.push((name.to_string(), by));
+            }
         }
     }
 
     /// Current value of `name` (0 if never bumped).
     pub fn get(&self, name: &str) -> u64 {
-        self.0
-            .iter()
-            .find(|(n, _)| n == name)
-            .map_or(0, |&(_, v)| v)
+        self.index.get(name).map_or(0, |&i| self.entries[i].1)
     }
 
     /// Iterates `(name, value)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.0.iter().map(|(n, v)| (n.as_str(), *v))
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
     }
 
     /// Number of registered counters.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.entries.len()
     }
 
     /// True when no counter has been registered.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.entries.is_empty()
+    }
+}
+
+// Equality is over the visible registry (names + values in registration
+// order); the index map is a derived lookup structure.
+impl PartialEq for Counters {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for Counters {}
+
+/// A log2-bucket histogram of non-negative integer samples (latencies
+/// in nanoseconds, backtrack depths, …). Bucket 0 holds the value 0;
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]` — i.e. samples
+/// are binned by bit length, so recording is a couple of ALU ops and
+/// the memory footprint is at most 65 counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Upper bound of bucket `i` (the largest value it can hold).
+    fn bucket_max(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if b >= self.buckets.len() {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Folds another histogram in (bucket-wise sum).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`), i.e. the reported percentile overestimates by
+    /// at most 2x — the usual log2-histogram contract. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target sample.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_max(i);
+            }
+        }
+        Self::bucket_max(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The histogram as a JSON object (`count`, `sum`, `p50`, `p95`,
+    /// `p99`).
+    pub fn to_json(&self) -> json::Value {
+        json::Value::Obj(vec![
+            ("count".into(), json::Value::int(self.count)),
+            ("sum".into(), json::Value::int(self.sum)),
+            ("p50".into(), json::Value::int(self.p50())),
+            ("p95".into(), json::Value::int(self.p95())),
+            ("p99".into(), json::Value::int(self.p99())),
+        ])
     }
 }
 
@@ -110,6 +241,10 @@ pub struct MetricsReport {
     pub worker_busy_ns: Vec<u64>,
     /// Named effort counters.
     pub counters: Counters,
+    /// Per-candidate verification latency (ns), log2-bucketed.
+    pub verify_ns_hist: Histogram,
+    /// Backtrack depth at each rollback, log2-bucketed.
+    pub backtrack_depth_hist: Histogram,
 }
 
 impl MetricsReport {
@@ -310,6 +445,51 @@ pub mod json {
             self.emit(&mut out, 0);
             out.push('\n');
             out
+        }
+
+        /// Serializes to a single line with no extra whitespace — the
+        /// NDJSON form used by the event-journal exporter.
+        pub fn compact(&self) -> String {
+            let mut out = String::new();
+            self.emit_compact(&mut out);
+            out
+        }
+
+        fn emit_compact(&self, out: &mut String) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Num(n) => {
+                    if n.fract() == 0.0 && n.abs() < 9e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                }
+                Value::Str(s) => emit_string(out, s),
+                Value::Arr(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.emit_compact(out);
+                    }
+                    out.push(']');
+                }
+                Value::Obj(members) => {
+                    out.push('{');
+                    for (i, (k, v)) in members.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        emit_string(out, k);
+                        out.push(':');
+                        v.emit_compact(out);
+                    }
+                    out.push('}');
+                }
+            }
         }
 
         fn emit(&self, out: &mut String, indent: usize) {
@@ -609,6 +789,11 @@ pub fn outcome_to_json(outcome: &MatchOutcome) -> json::Value {
                         .collect(),
                 ),
             ),
+            ("verify_ns_hist".into(), m.verify_ns_hist.to_json()),
+            (
+                "backtrack_depth_hist".into(),
+                m.backtrack_depth_hist.to_json(),
+            ),
         ]),
     };
     Value::Obj(vec![
@@ -686,8 +871,47 @@ pub fn outcome_to_text(outcome: &MatchOutcome) -> String {
             ms(m.phase2_max_candidate_ns),
             m.worker_utilization() * 100.0,
         );
+        if !m.verify_ns_hist.is_empty() {
+            let h = &m.verify_ns_hist;
+            let _ = writeln!(
+                out,
+                "verify latency: p50 <= {:.3} ms, p95 <= {:.3} ms, p99 <= {:.3} ms over {} candidate(s)",
+                ms(h.p50()),
+                ms(h.p95()),
+                ms(h.p99()),
+                h.count(),
+            );
+        }
+        if !m.backtrack_depth_hist.is_empty() {
+            let h = &m.backtrack_depth_hist;
+            let _ = writeln!(
+                out,
+                "backtrack depth: p50 <= {}, p95 <= {}, p99 <= {} over {} rollback(s)",
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.count(),
+            );
+        }
         for (name, v) in m.counters.iter() {
             let _ = writeln!(out, "counter {name} = {v}");
+        }
+        if outcome.count() == 0 {
+            // A no-match run should say *why*, not just "0 instances":
+            // surface the top reject reasons tallied during Phase II.
+            let mut rejects: Vec<(&str, u64)> = m
+                .counters
+                .iter()
+                .filter_map(|(n, v)| n.strip_prefix("reject.").map(|r| (r, v)))
+                .filter(|&(_, v)| v > 0)
+                .collect();
+            rejects.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            if !rejects.is_empty() {
+                let _ = writeln!(out, "top reject reasons:");
+                for (name, v) in rejects.iter().take(3) {
+                    let _ = writeln!(out, "  {name} x{v}");
+                }
+            }
         }
     }
     out
@@ -710,6 +934,57 @@ mod tests {
         assert_eq!(names, ["b", "a"]);
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1025);
+        // Bucket occupancy: [0]:1, [1]:1, [2,3]:2, [4,7]:2, [8..15]:1, [512..1023]:1.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.p50(), 3); // rank-4 sample closes the [2,3] bucket
+        assert_eq!(h.p99(), 1023);
+        let mut other = Histogram::default();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(9));
+    }
+
+    #[test]
+    fn counters_lookup_matches_scan_semantics() {
+        let mut c = Counters::default();
+        for i in 0..100 {
+            c.bump(&format!("k{i}"), i);
+        }
+        c.bump("k3", 10);
+        assert_eq!(c.get("k3"), 13);
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).take(3).collect();
+        assert_eq!(names, ["k0", "k1", "k2"]);
+        let d = c.clone();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn compact_json_is_single_line_and_parses() {
+        use json::Value;
+        let v = Value::Obj(vec![
+            ("a".into(), Value::int(3)),
+            ("b".into(), Value::Arr(vec![Value::Null, Value::Bool(true)])),
+            ("s".into(), Value::Str("x\ny".into())),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n') || line.contains("\\n"));
+        assert_eq!(line, "{\"a\":3,\"b\":[null,true],\"s\":\"x\\ny\"}");
+        assert_eq!(json::parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -93,6 +93,21 @@ pub struct MatchOptions {
     /// default: when disabled no timestamps are taken and results are
     /// identical to a run without the metrics subsystem.
     pub collect_metrics: bool,
+    /// Record a structured [`EventJournal`](crate::EventJournal) of
+    /// search events (refinement rounds, candidate begin/end, safe-label
+    /// checks, backtracks, reject reasons) on the outcome. Off by
+    /// default: when disabled no event is constructed and results are
+    /// byte-identical to a run without the events subsystem. When on,
+    /// each worker records into its own bounded buffer (no locks, no
+    /// clocks) and the merged journal is identical for every thread
+    /// count.
+    pub trace_events: bool,
+    /// Per-candidate cap on journaled events (also applies to the
+    /// Phase I scope); further events are dropped and counted in
+    /// [`EventJournal::dropped`](crate::EventJournal). The cap is per
+    /// candidate — not per worker — so drops are deterministic across
+    /// thread counts.
+    pub trace_events_cap: usize,
     /// Progress callback invoked at phase boundaries and per processed
     /// candidate (see [`ProgressEvent`](crate::ProgressEvent)). `None`
     /// (default) emits nothing.
@@ -113,6 +128,8 @@ impl Default for MatchOptions {
             record_trace: false,
             spread_from_port_images: false,
             collect_metrics: false,
+            trace_events: false,
+            trace_events_cap: 8192,
             on_progress: None,
         }
     }

@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use subgemini_netlist::{hashing, CompiledCircuit, DeviceId, NetId, Vertex};
 
+use crate::events::{EventBuffer, EventKind};
 use crate::instance::Phase1Stats;
 use crate::options::KeyPolicy;
 
@@ -263,16 +264,17 @@ impl Validity {
 }
 
 /// Checks Label Invariant (1)'s consequence: every valid `S` partition
-/// must be matched in `G` with at least as many members. Returns `false`
-/// when the pattern provably has no instance. The valid `S` labels are
-/// gathered into `scratch` and sorted; each equal-label run is checked
-/// against the trace's cached partition index.
+/// must be matched in `G` with at least as many members. `Err` carries
+/// the first violated `(label, s_count, g_count)` — the pattern
+/// provably has no instance. The valid `S` labels are gathered into
+/// `scratch` and sorted; each equal-label run is checked against the
+/// trace's cached partition index.
 fn consistent(
     s_labels: &[u64],
     s_valid: &[bool],
     g_parts: &PartitionIndex,
     scratch: &mut Vec<u64>,
-) -> bool {
+) -> Result<(), (u64, usize, usize)> {
     scratch.clear();
     scratch.extend(
         s_labels
@@ -289,12 +291,13 @@ fn consistent(
         while j < scratch.len() && scratch[j] == l {
             j += 1;
         }
-        if g_parts.count(l) < j - i {
-            return false;
+        let gc = g_parts.count(l);
+        if gc < j - i {
+            return Err((l, j - i, gc));
         }
         i = j;
     }
-    true
+    Ok(())
 }
 
 /// Wall-clock split of one Phase I run (zeroed unless collection was
@@ -358,9 +361,25 @@ pub fn run_with_trace_timed(
     policy: KeyPolicy,
     collect: bool,
 ) -> (Phase1Output, Phase1Timing) {
+    run_with_trace_instrumented(s, trace, policy, collect, None)
+}
+
+/// Fully instrumented form of [`run_with_trace`]: optional phase timing
+/// (`collect`) and an optional structured event buffer receiving
+/// [`RefineIter`](EventKind::RefineIter) /
+/// [`RefineFail`](EventKind::RefineFail) /
+/// [`CvSelected`](EventKind::CvSelected) events. With `events` `None`
+/// no event is constructed (the hot loop stays event-free).
+pub fn run_with_trace_instrumented(
+    s: &CompiledCircuit,
+    trace: &mut GTrace,
+    policy: KeyPolicy,
+    collect: bool,
+    mut events: Option<&mut EventBuffer>,
+) -> (Phase1Output, Phase1Timing) {
     let mut timing = Phase1Timing::default();
     let timer = collect.then(crate::metrics::PhaseTimer::start);
-    let refined = refine(s, trace);
+    let refined = refine(s, trace, events.as_deref_mut());
     if let Some(t) = &timer {
         timing.refine_ns = t.elapsed_ns();
     }
@@ -372,7 +391,7 @@ pub fn run_with_trace_timed(
         },
         Ok(refined) => {
             let timer = collect.then(crate::metrics::PhaseTimer::start);
-            let out = select(s, trace, policy, refined);
+            let out = select(s, trace, policy, refined, events);
             if let Some(t) = &timer {
                 timing.select_ns = t.elapsed_ns();
             }
@@ -390,10 +409,31 @@ struct Refined {
     stats: Phase1Stats,
 }
 
+/// Distinct labels among valid vertices (both sides) — the event-stream
+/// notion of "live partitions". Only computed when events are on.
+fn distinct_valid_labels(sl: &Labels, valid: &Validity) -> u32 {
+    let mut set = std::collections::HashSet::new();
+    for (i, &l) in sl.dev.iter().enumerate() {
+        if valid.dev[i] {
+            set.insert((false, l));
+        }
+    }
+    for (i, &l) in sl.net.iter().enumerate() {
+        if valid.net[i] {
+            set.insert((true, l));
+        }
+    }
+    set.len() as u32
+}
+
 /// The iterative-relabeling loop: alternating net/device phases with
 /// valid/corrupt propagation and per-phase consistency checks. `Err`
 /// carries the stats of a run that proved no instance can exist.
-fn refine(s: &CompiledCircuit, trace: &mut GTrace) -> Result<Refined, Phase1Stats> {
+fn refine(
+    s: &CompiledCircuit,
+    trace: &mut GTrace,
+    mut events: Option<&mut EventBuffer>,
+) -> Result<Refined, Phase1Stats> {
     let mut stats = Phase1Stats::default();
     let mut sl = initial_labels(s);
     let mut valid = Validity::new(s);
@@ -407,14 +447,27 @@ fn refine(s: &CompiledCircuit, trace: &mut GTrace) -> Result<Refined, Phase1Stat
         proven_empty: true,
         ..stats
     };
+    let fail_event = |events: &mut Option<&mut EventBuffer>,
+                      round: usize,
+                      (label, s_count, g_count): (u64, usize, usize)| {
+        if let Some(ev) = events.as_deref_mut() {
+            ev.push(EventKind::RefineFail {
+                round: round as u32,
+                label,
+                s_count: s_count as u32,
+                g_count: g_count as u32,
+            });
+        }
+    };
 
     // Consistency on the initial (invariant) labels — the check that
     // removes the "-" vertices in paper Fig. 4.
     {
         let sd = trace.step(0);
-        if !consistent(&sl.dev, &valid.dev, &sd.dev_parts, &mut sort_buf)
-            || !consistent(&sl.net, &valid.net, &sd.net_parts, &mut sort_buf)
+        if let Err(v) = consistent(&sl.dev, &valid.dev, &sd.dev_parts, &mut sort_buf)
+            .and_then(|()| consistent(&sl.net, &valid.net, &sd.net_parts, &mut sort_buf))
         {
+            fail_event(&mut events, 0, v);
             return Err(empty(stats));
         }
     }
@@ -427,12 +480,20 @@ fn refine(s: &CompiledCircuit, trace: &mut GTrace) -> Result<Refined, Phase1Stat
         step += 1;
         let inv_n = valid.propagate_to_nets(s);
         stats.iterations += 1;
-        if !consistent(
+        if let Some(ev) = events.as_deref_mut() {
+            ev.push(EventKind::RefineIter {
+                round: stats.iterations as u32,
+                live_partitions: distinct_valid_labels(&sl, &valid),
+                corrupted: inv_n as u32,
+            });
+        }
+        if let Err(v) = consistent(
             &sl.net,
             &valid.net,
             &trace.step(step).net_parts,
             &mut sort_buf,
         ) {
+            fail_event(&mut events, stats.iterations, v);
             return Err(empty(stats));
         }
         if valid.live_nets(s) == 0 {
@@ -443,32 +504,27 @@ fn refine(s: &CompiledCircuit, trace: &mut GTrace) -> Result<Refined, Phase1Stat
         step += 1;
         let inv_d = valid.propagate_to_devices(s);
         stats.iterations += 1;
-        if !consistent(
+        if let Some(ev) = events.as_deref_mut() {
+            ev.push(EventKind::RefineIter {
+                round: stats.iterations as u32,
+                live_partitions: distinct_valid_labels(&sl, &valid),
+                corrupted: inv_d as u32,
+            });
+        }
+        if let Err(v) = consistent(
             &sl.dev,
             &valid.dev,
             &trace.step(step).dev_parts,
             &mut sort_buf,
         ) {
+            fail_event(&mut events, stats.iterations, v);
             return Err(empty(stats));
         }
         if valid.live_devices() == 0 {
             break;
         }
         // --- stabilization guard (closed patterns never corrupt) ---
-        let distinct_valid = {
-            let mut set = std::collections::HashSet::new();
-            for (i, &l) in sl.dev.iter().enumerate() {
-                if valid.dev[i] {
-                    set.insert((false, l));
-                }
-            }
-            for (i, &l) in sl.net.iter().enumerate() {
-                if valid.net[i] {
-                    set.insert((true, l));
-                }
-            }
-            set.len()
-        };
+        let distinct_valid = distinct_valid_labels(&sl, &valid) as usize;
         let signature = (inv_n, inv_d, distinct_valid);
         if inv_n == 0 && inv_d == 0 && signature.2 == prev_signature.2 && _cycle > 0 {
             break;
@@ -511,6 +567,7 @@ fn select(
     trace: &mut GTrace,
     policy: KeyPolicy,
     refined: Refined,
+    mut events: Option<&mut EventBuffer>,
 ) -> Phase1Output {
     let Refined {
         sl,
@@ -562,6 +619,14 @@ fn select(
     for &(l, sc, first) in &s_dev_runs {
         let gp = data.dev_parts.count(l);
         if gp < sc as usize {
+            if let Some(ev) = events.as_deref_mut() {
+                ev.push(EventKind::RefineFail {
+                    round: stats.iterations as u32,
+                    label: l,
+                    s_count: sc,
+                    g_count: gp as u32,
+                });
+            }
             return empty(stats);
         }
         viable.push((gp, 0u8, l, first));
@@ -569,6 +634,14 @@ fn select(
     for (&(l, sc, first), (_, members)) in s_net_runs.iter().zip(&g_net_parts) {
         let gp = members.len();
         if gp < sc as usize {
+            if let Some(ev) = events.as_deref_mut() {
+                ev.push(EventKind::RefineFail {
+                    round: stats.iterations as u32,
+                    label: l,
+                    s_count: sc,
+                    g_count: gp as u32,
+                });
+            }
             return empty(stats);
         }
         viable.push((gp, 1u8, l, first));
@@ -617,6 +690,13 @@ fn select(
                 .collect(),
         )
     };
+    if let Some(ev) = events {
+        ev.push(EventKind::CvSelected {
+            label,
+            size: size as u32,
+            key_vertex: key,
+        });
+    }
     stats.cv_size = size;
     stats.key_partition_size = if side == 0 {
         s_dev_runs

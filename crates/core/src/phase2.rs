@@ -33,7 +33,9 @@ use std::collections::HashMap;
 
 use subgemini_netlist::{hashing, CompiledCircuit, DeviceId, NetId, Netlist, Vertex};
 
+use crate::events::{EventBuffer, EventKind, RejectReason, RejectTally};
 use crate::instance::{Phase2Stats, SubMatch};
+use crate::metrics::Histogram;
 use crate::options::MatchOptions;
 use crate::trace::{Phase2Trace, TraceCell, TraceSnapshot};
 use crate::verify::verify_instance;
@@ -109,6 +111,16 @@ struct State {
     label_counter: u64,
     undo: Vec<UndoOp>,
     trace: Option<Phase2Trace>,
+    /// Structured event journal for this worker
+    /// ([`MatchOptions::trace_events`]); never rolled back — failed
+    /// branches are exactly what the journal is for.
+    events: Option<EventBuffer>,
+    /// Backtrack-depth histogram ([`MatchOptions::collect_metrics`]).
+    backtrack_hist: Option<Histogram>,
+    /// Reject-reason tallies (metrics or events on).
+    reject_tally: Option<RejectTally>,
+    /// Why the most recent candidate's top-level branch failed.
+    last_reject: Option<RejectReason>,
 }
 
 impl State {
@@ -383,6 +395,14 @@ impl<'a> Phase2Runner<'a> {
             label_counter: 0,
             undo: Vec::new(),
             trace: None,
+            events: self
+                .opts
+                .trace_events
+                .then(|| EventBuffer::new(self.opts.trace_events_cap)),
+            backtrack_hist: self.opts.collect_metrics.then(Histogram::default),
+            reject_tally: (self.opts.collect_metrics || self.opts.trace_events)
+                .then(RejectTally::default),
+            last_reject: None,
         };
         // The pre-matches form the permanent floor of the state: applied
         // without undo logging, they survive every rollback.
@@ -608,13 +628,32 @@ impl<'a> Phase2Runner<'a> {
 
     /// Consistency + safety + singleton matching. `Err(())` on a proven
     /// inconsistency; otherwise returns `(progress, complete)`.
+    ///
+    /// Partitions are processed in sorted `(kind, label)` order, not hash
+    /// order: the order determines which singleton gets the next fresh
+    /// match label, and fixing it keeps every label value — and hence the
+    /// event journal — identical across runs and thread counts.
     fn analyze(&self, st: &mut State) -> Result<(bool, bool), ()> {
         let parts = self.partitions(st);
+        let mut keys: Vec<(u8, u64)> = parts.keys().copied().collect();
+        keys.sort_unstable();
         let mut progress = false;
         let mut to_match: Vec<(u8, u32, u32)> = Vec::new();
-        for (&(kind, _label), (sv, gv)) in &parts {
+        for &(kind, label) in &keys {
+            let (sv, gv) = &parts[&(kind, label)];
             if sv.is_empty() {
                 continue; // main-graph-only garbage partition
+            }
+            if st.events.is_some() {
+                let safe = sv.len() == gv.len();
+                if let Some(ev) = st.events.as_mut() {
+                    ev.push(EventKind::SafeLabelCheck {
+                        label,
+                        s_size: sv.len() as u32,
+                        g_size: gv.len() as u32,
+                        safe,
+                    });
+                }
             }
             if sv.len() > gv.len() {
                 return Err(()); // Label Invariant (2) violated
@@ -906,7 +945,7 @@ impl<'a> Phase2Runner<'a> {
                     trace.passes.push(snap);
                 }
             }
-            let failed_branch = match self.refine(st, stats) {
+            let reason = match self.refine(st, stats) {
                 Refined::Complete => {
                     let m = self.build_submatch(st);
                     if verify_instance(self.pattern, self.main, &m, self.opts.respect_globals)
@@ -914,22 +953,39 @@ impl<'a> Phase2Runner<'a> {
                     {
                         return true;
                     }
-                    true // label collision survived to completion: reject
+                    // Label collision survived to completion: reject.
+                    RejectReason::LabelConflict
                 }
-                Refined::Fail => true,
+                Refined::Fail => RejectReason::UnsafePartition,
                 Refined::Stuck => match self.choose_guess(st) {
                     Some((s_next, g_cands)) => {
                         if self.verify_image(st, s_next, &g_cands, stats, guesses_left, depth + 1) {
                             return true;
                         }
-                        true
+                        if *guesses_left == 0 {
+                            RejectReason::BudgetExhausted
+                        } else {
+                            RejectReason::BacktrackExhausted
+                        }
                     }
-                    None => true,
+                    None => RejectReason::NoViableGuess,
                 },
             };
+            let undo_ops = st.undo.len() - mark.undo_len;
             st.rollback(&mark);
-            if failed_branch && depth > 0 {
+            if depth > 0 {
                 stats.backtracks += 1;
+                if let Some(ev) = st.events.as_mut() {
+                    ev.push(EventKind::Backtrack {
+                        depth: depth as u32,
+                        undo_ops: undo_ops as u32,
+                    });
+                }
+                if let Some(h) = st.backtrack_hist.as_mut() {
+                    h.record(depth as u64);
+                }
+            } else {
+                st.last_reject = Some(reason);
             }
         }
         false
@@ -939,30 +995,52 @@ impl<'a> Phase2Runner<'a> {
     /// reusable search state (see [`make_state`](Self::make_state)).
     /// Returns the instance (and its trace if enabled); the state is
     /// always restored to the base configuration before returning.
+    /// `rank` is the candidate's index in the candidate vector — the
+    /// deterministic scope of its journal events.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_candidate(
         &self,
         search: &mut SearchState,
         key: Vertex,
         candidate: Vertex,
+        rank: u32,
         stats: &mut Phase2Stats,
         record_trace: bool,
     ) -> Option<(SubMatch, Option<Phase2Trace>)> {
         stats.candidates_tried += 1;
+        if let Some(ev) = search.state.events.as_mut() {
+            ev.begin_candidate(rank);
+            ev.push(EventKind::CandidateBegin { c: candidate });
+        }
+        let reject = |search: &mut SearchState, stats: &mut Phase2Stats, reason: RejectReason| {
+            stats.false_candidates += 1;
+            if let Some(t) = search.state.reject_tally.as_mut() {
+                t.bump(reason);
+            }
+            if let Some(ev) = search.state.events.as_mut() {
+                ev.push(EventKind::Reject { reason });
+                ev.push(EventKind::CandidateEnd {
+                    c: candidate,
+                    matched: false,
+                });
+            }
+        };
         // Reject same-kind mismatches immediately (cannot happen with a
         // well-formed candidate vector, but keeps the API total).
         if key.is_device() != candidate.is_device() {
-            stats.false_candidates += 1;
+            reject(search, stats, RejectReason::KindMismatch);
             return None;
         }
         // Quick type check for device keys.
         if let (Vertex::Device(sd), Vertex::Device(gd)) = (key, candidate) {
             if self.s.initial_device_label(sd) != self.g.initial_device_label(gd) {
-                stats.false_candidates += 1;
+                reject(search, stats, RejectReason::DegreeMismatch);
                 return None;
             }
         }
         let st = &mut search.state;
         st.trace = record_trace.then(Phase2Trace::default);
+        st.last_reject = None;
         let base_mark = Mark {
             undo_len: 0,
             matched: search.base_matched,
@@ -975,37 +1053,64 @@ impl<'a> Phase2Runner<'a> {
             Some((m, st.trace.take()))
         } else {
             stats.false_candidates += 1;
+            let reason = st.last_reject.unwrap_or(RejectReason::NoViableGuess);
+            if let Some(t) = st.reject_tally.as_mut() {
+                t.bump(reason);
+            }
+            if let Some(ev) = st.events.as_mut() {
+                ev.push(EventKind::Reject { reason });
+            }
             None
         };
+        if let Some(ev) = st.events.as_mut() {
+            ev.push(EventKind::CandidateEnd {
+                c: candidate,
+                matched: out.is_some(),
+            });
+        }
         st.rollback(&base_mark);
         st.trace = None;
         out
     }
 
     /// [`run_candidate`](Self::run_candidate) with optional per-candidate
-    /// timing: when `timing` is `Some((sum, max))`, the candidate's
-    /// verification wall-clock is added to `sum` and folded into `max`.
-    /// `None` takes no timestamps.
+    /// timing: when `timing` is set, the candidate's verification
+    /// wall-clock is added to the accumulator (sum, max, latency
+    /// histogram). `None` takes no timestamps.
     #[allow(clippy::too_many_arguments)]
     pub fn run_candidate_timed(
         &self,
         search: &mut SearchState,
         key: Vertex,
         candidate: Vertex,
+        rank: u32,
         stats: &mut Phase2Stats,
         record_trace: bool,
-        timing: Option<&mut (u64, u64)>,
+        timing: Option<&mut CandidateTiming>,
     ) -> Option<(SubMatch, Option<Phase2Trace>)> {
-        let Some((sum, max)) = timing else {
-            return self.run_candidate(search, key, candidate, stats, record_trace);
+        let Some(t) = timing else {
+            return self.run_candidate(search, key, candidate, rank, stats, record_trace);
         };
         let timer = crate::metrics::PhaseTimer::start();
-        let out = self.run_candidate(search, key, candidate, stats, record_trace);
+        let out = self.run_candidate(search, key, candidate, rank, stats, record_trace);
         let ns = timer.elapsed_ns();
-        *sum += ns;
-        *max = (*max).max(ns);
+        t.sum_ns += ns;
+        t.max_ns = t.max_ns.max(ns);
+        t.hist.record(ns);
         out
     }
+}
+
+/// Per-worker accumulator for candidate verification wall-clock:
+/// summed, maximum, and a log2-bucket latency histogram.
+#[derive(Debug, Default)]
+pub struct CandidateTiming {
+    /// Summed verification time (ns).
+    pub sum_ns: u64,
+    /// Longest single-candidate verification (ns).
+    pub max_ns: u64,
+    /// Per-candidate latency distribution.
+    pub hist: Histogram,
 }
 
 /// Opaque candidate-independent Phase II pre-match recipe (globals
@@ -1021,4 +1126,21 @@ pub struct BaseState {
 pub struct SearchState {
     state: State,
     base_matched: usize,
+}
+
+impl SearchState {
+    /// Takes the worker's event buffer for merging (empties the slot).
+    pub fn take_events(&mut self) -> Option<EventBuffer> {
+        self.state.events.take()
+    }
+
+    /// Takes the worker's backtrack-depth histogram (empties the slot).
+    pub fn take_backtrack_hist(&mut self) -> Option<Histogram> {
+        self.state.backtrack_hist.take()
+    }
+
+    /// Takes the worker's reject-reason tallies (empties the slot).
+    pub fn take_reject_tally(&mut self) -> Option<RejectTally> {
+        self.state.reject_tally.take()
+    }
 }

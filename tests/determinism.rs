@@ -89,6 +89,41 @@ fn trace_recording_forces_serial_and_agrees_with_parallel() {
 }
 
 #[test]
+fn event_tracing_does_not_perturb_results() {
+    for (pattern, main) in workloads() {
+        for threads in [1, 8] {
+            let plain = run(
+                &pattern,
+                &main,
+                MatchOptions {
+                    threads,
+                    ..MatchOptions::default()
+                },
+            );
+            let traced = run(
+                &pattern,
+                &main,
+                MatchOptions {
+                    threads,
+                    trace_events: true,
+                    collect_metrics: true,
+                    ..MatchOptions::default()
+                },
+            );
+            // Off leaves no residue of the subsystem at all.
+            assert!(plain.events.is_none());
+            // On changes nothing about the search itself.
+            assert_eq!(plain.instances, traced.instances, "{}", main.name());
+            assert_eq!(plain.phase1, traced.phase1, "{}", main.name());
+            assert_eq!(plain.phase2, traced.phase2, "{}", main.name());
+            assert_eq!(plain.key, traced.key);
+            let journal = traced.events.as_ref().expect("journal requested");
+            assert!(!journal.events.is_empty(), "{}", main.name());
+        }
+    }
+}
+
+#[test]
 fn metrics_collection_does_not_perturb_results() {
     for (pattern, main) in workloads() {
         for threads in [1, 8] {

@@ -1,0 +1,166 @@
+//! Event-journal contracts: the merged stream is identical across
+//! Phase II thread counts, the exporters produce parseable output, and
+//! the Chrome-trace document honors the traceEvents schema.
+//!
+//! The workloads mirror `undo_log_determinism.rs` — symmetric shapes
+//! that force guessing and deep backtracking — because those are
+//! exactly the searches where worker interleaving could leak into the
+//! journal if the `(candidate rank, seq)` merge order were wrong.
+
+use subgemini::events::{journal_to_chrome_trace, journal_to_ndjson, validate_chrome_trace};
+use subgemini::{EventKind, MatchOptions, Matcher};
+use subgemini_netlist::{DeviceType, Netlist};
+use subgemini_workloads::{cells, gen};
+
+fn run(pattern: &Netlist, main: &Netlist, threads: usize) -> subgemini::MatchOutcome {
+    Matcher::new(pattern, main)
+        .options(MatchOptions {
+            threads,
+            trace_events: true,
+            ..MatchOptions::default()
+        })
+        .find_all()
+}
+
+/// Fig. 6-style symmetric square (see `undo_log_determinism.rs`).
+fn square() -> Netlist {
+    let mut nl = Netlist::new("square");
+    let res = nl.add_type(DeviceType::two_terminal("res")).unwrap();
+    let (a, x, b, y) = (nl.net("a"), nl.net("x"), nl.net("b"), nl.net("y"));
+    nl.mark_port(a);
+    nl.mark_port(b);
+    nl.add_device("r1", res, &[a, x]).unwrap();
+    nl.add_device("r2", res, &[x, b]).unwrap();
+    nl.add_device("r3", res, &[b, y]).unwrap();
+    nl.add_device("r4", res, &[y, a]).unwrap();
+    nl
+}
+
+/// The backtrack trap: guessing `Z` fails only after further spreading.
+fn trap() -> Netlist {
+    let mut nl = Netlist::new("trap");
+    let res = nl.add_type(DeviceType::two_terminal("res")).unwrap();
+    let (a, b) = (nl.net("A"), nl.net("B"));
+    let (x, y, z, w) = (nl.net("X"), nl.net("Y"), nl.net("Z"), nl.net("W"));
+    nl.add_device("ax", res, &[a, x]).unwrap();
+    nl.add_device("ay", res, &[a, y]).unwrap();
+    nl.add_device("az", res, &[a, z]).unwrap();
+    nl.add_device("bx", res, &[b, x]).unwrap();
+    nl.add_device("by", res, &[b, y]).unwrap();
+    nl.add_device("zw", res, &[z, w]).unwrap();
+    nl
+}
+
+fn workloads() -> Vec<(&'static str, Netlist, Netlist)> {
+    vec![
+        ("square-in-trap", square(), trap()),
+        ("nand3-in-decoder", cells::nand3(), gen::decoder(3).netlist),
+        (
+            "fa-in-ripple",
+            cells::full_adder(),
+            gen::ripple_adder(4).netlist,
+        ),
+    ]
+}
+
+#[test]
+fn journal_is_identical_across_thread_counts() {
+    for (name, pattern, main) in workloads() {
+        let serial = run(&pattern, &main, 1);
+        let base = serial.events.as_ref().expect("journal requested");
+        assert!(!base.events.is_empty(), "{name}: journal is empty");
+        for threads in [2usize, 8] {
+            let par = run(&pattern, &main, threads);
+            let j = par.events.as_ref().expect("journal requested");
+            assert_eq!(
+                base.events, j.events,
+                "{name}: journal diverges at {threads} threads"
+            );
+            assert_eq!(base.dropped, j.dropped, "{name}: drop counts diverge");
+            assert_eq!(serial.instances, par.instances, "{name}: results diverge");
+        }
+    }
+}
+
+#[test]
+fn journal_covers_every_candidate_with_balanced_spans() {
+    let outcome = run(&square(), &trap(), 2);
+    let journal = outcome.events.as_ref().expect("journal requested");
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+    let mut backtracks = 0usize;
+    for e in &journal.events {
+        match e.kind {
+            EventKind::CandidateBegin { .. } => begins += 1,
+            EventKind::CandidateEnd { .. } => ends += 1,
+            EventKind::Backtrack { .. } => backtracks += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(begins, ends, "unbalanced candidate spans");
+    assert_eq!(
+        begins, outcome.phase1.cv_size,
+        "every CV entry gets a span (no claim/limit policies active)"
+    );
+    assert_eq!(
+        backtracks, outcome.phase2.backtracks,
+        "journal backtracks agree with the stats counter"
+    );
+}
+
+#[test]
+fn chrome_trace_export_is_valid_and_ndjson_parses() {
+    for (name, pattern, main) in workloads() {
+        let outcome = run(&pattern, &main, 8);
+        let journal = outcome.events.as_ref().expect("journal requested");
+        let doc = journal_to_chrome_trace(journal);
+        let n = validate_chrome_trace(&doc)
+            .unwrap_or_else(|e| panic!("{name}: invalid chrome trace: {e}"));
+        assert!(n > 0, "{name}: empty trace");
+        // The serialized document must round-trip through the parser
+        // and still validate (the schema contract the CI smoke checks).
+        let reparsed = subgemini::metrics::json::parse(&doc.pretty())
+            .unwrap_or_else(|e| panic!("{name}: pretty JSON does not reparse: {e}"));
+        validate_chrome_trace(&reparsed)
+            .unwrap_or_else(|e| panic!("{name}: reparsed trace invalid: {e}"));
+
+        let ndjson = journal_to_ndjson(journal);
+        let lines: Vec<&str> = ndjson.lines().collect();
+        // One line per event plus the journal_end trailer.
+        assert_eq!(lines.len(), journal.events.len() + 1, "{name}");
+        for line in &lines {
+            subgemini::metrics::json::parse(line)
+                .unwrap_or_else(|e| panic!("{name}: bad NDJSON line `{line}`: {e}"));
+        }
+        assert!(
+            lines.last().unwrap().contains("journal_end"),
+            "{name}: missing trailer"
+        );
+    }
+}
+
+#[test]
+fn per_candidate_cap_bounds_the_journal_thread_invariantly() {
+    // A tiny cap truncates every candidate's stream at the same point
+    // regardless of which worker ran it, so the journal (including the
+    // drop count) stays thread-invariant.
+    let opts = |threads| MatchOptions {
+        threads,
+        trace_events: true,
+        trace_events_cap: 4,
+        ..MatchOptions::default()
+    };
+    let pattern = cells::nand3();
+    let main = gen::decoder(3).netlist;
+    let serial = Matcher::new(&pattern, &main).options(opts(1)).find_all();
+    let base = serial.events.as_ref().expect("journal requested");
+    assert!(base.dropped > 0, "cap of 4 must drop events here");
+    for threads in [2usize, 8] {
+        let par = Matcher::new(&pattern, &main)
+            .options(opts(threads))
+            .find_all();
+        let j = par.events.as_ref().expect("journal requested");
+        assert_eq!(base.events, j.events, "capped journal diverges");
+        assert_eq!(base.dropped, j.dropped, "drop counts diverge");
+    }
+}
