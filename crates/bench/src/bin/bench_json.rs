@@ -6,12 +6,15 @@
 //! Usage:
 //!
 //! ```text
-//! bench_json [--scale N] [--threads N] [--out FILE] [--check BASELINE]
+//! bench_json [--scale N] [--threads N] [--out FILE] [--check BASELINE] [--budget-curve]
 //! ```
 //!
 //! `--scale` multiplies the sweep sizes (default 1), `--threads`
 //! selects the Phase II worker count (default 1: serial, deterministic
 //! busy times), `--out -` writes the report to stdout.
+//! `--budget-curve` appends the E13 truncation-vs-budget sweep
+//! (EXPERIMENTS.md) — opt-in, so the committed baseline carries no
+//! budget section.
 //!
 //! `--check BASELINE` compares the fresh linearity sweep against a
 //! committed report: the sum of `compile_ns + phase1_refine_ns +
@@ -134,6 +137,67 @@ fn survey(scale: usize, threads: usize) -> Value {
     ])
 }
 
+/// Truncation-vs-budget curve (EXPERIMENTS.md E13): one stress
+/// workload (DFF in a shift register) swept across effort budgets from
+/// 1% to 100% of the full-run cost, recording how many instances
+/// survive each cut. Opt-in via `--budget-curve`: the section is
+/// deliberately absent from the committed baseline.
+fn budget_curve(scale: usize, threads: usize) -> Value {
+    use subgemini::{Completeness, WorkBudget};
+    let pattern = cells::dff();
+    let g = gen::shift_register(8 * scale.max(1));
+    let full = Matcher::new(&pattern, &g.netlist)
+        .options(MatchOptions {
+            threads,
+            ..MatchOptions::default()
+        })
+        .find_all();
+    let full_effort = (full.phase1.iterations
+        + full.phase2.candidates_tried
+        + full.phase2.passes
+        + full.phase2.guesses
+        + full.phase2.backtracks) as u64;
+    let mut rows = Vec::new();
+    for pct in [1u64, 5, 10, 25, 50, 75, 100] {
+        let budget = (full_effort * pct / 100).max(1);
+        let o = Matcher::new(&pattern, &g.netlist)
+            .options(MatchOptions {
+                threads,
+                budget: Some(WorkBudget::effort(budget)),
+                collect_metrics: true,
+                ..MatchOptions::default()
+            })
+            .find_all();
+        let (truncated, tried, skipped) = match &o.completeness {
+            Completeness::Complete => (false, o.phase2.candidates_tried as u64, 0),
+            Completeness::Truncated {
+                candidates_tried,
+                candidates_skipped,
+                ..
+            } => (true, *candidates_tried as u64, *candidates_skipped as u64),
+        };
+        let m = o.metrics.as_ref().expect("collect_metrics was set");
+        rows.push(Value::Obj(vec![
+            ("budget_pct".into(), Value::int(pct)),
+            ("effort_limit".into(), Value::int(budget)),
+            ("effort_spent".into(), Value::int(m.effort_spent)),
+            ("found".into(), Value::int(o.count() as u64)),
+            ("truncated".into(), Value::Bool(truncated)),
+            ("candidates_tried".into(), Value::int(tried)),
+            ("candidates_skipped".into(), Value::int(skipped)),
+        ]));
+    }
+    Value::Obj(vec![
+        (
+            "main_devices".into(),
+            Value::int(g.netlist.device_count() as u64),
+        ),
+        ("full_found".into(), Value::int(full.count() as u64)),
+        ("full_effort".into(), Value::int(full_effort)),
+        ("rows".into(), Value::Arr(rows)),
+    ])
+}
+
 /// Sum of `compile_ns + phase1_refine_ns + phase1_select_ns` across a
 /// report's linearity rows. A missing `compile_ns` (pre-CSR baselines)
 /// counts as zero.
@@ -160,6 +224,7 @@ fn main() {
     let mut out_path = "BENCH_phase_timings.json".to_string();
     let mut out_given = false;
     let mut check_path: Option<String> = None;
+    let mut with_budget_curve = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |what: &str| {
@@ -174,6 +239,7 @@ fn main() {
                 out_given = true;
             }
             "--check" => check_path = Some(take("--check").clone()),
+            "--budget-curve" => with_budget_curve = true,
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -185,7 +251,7 @@ fn main() {
     let lin = linearity(scale, threads);
     eprintln!("bench_json: library survey...");
     let sur = survey(scale, threads);
-    let report = Value::Obj(vec![
+    let mut fields = vec![
         ("schema_version".into(), Value::int(REPORT_SCHEMA_VERSION)),
         (
             "generated_by".into(),
@@ -193,7 +259,12 @@ fn main() {
         ),
         ("linearity".into(), lin),
         ("survey".into(), sur),
-    ]);
+    ];
+    if with_budget_curve {
+        eprintln!("bench_json: budget curve...");
+        fields.push(("budget_curve".into(), budget_curve(scale, threads)));
+    }
+    let report = Value::Obj(fields);
     let text = report.pretty();
     if check_path.is_none() || out_given {
         if out_path == "-" {

@@ -24,6 +24,7 @@ const SWITCHES: &[&str] = &[
     "--verbose",
     "--explain",
     "--json",
+    "--fail-fast",
 ];
 
 impl Args {

@@ -63,7 +63,41 @@ fn match_options(args: &Args) -> Result<MatchOptions, String> {
     {
         opts.trace_events = true;
     }
+    // Work budget: only constructed when a cap is actually given, so
+    // plain runs stay governor-free.
+    let mut budget = subgemini::WorkBudget::default();
+    if let Some(n) = args.option("--max-effort") {
+        budget.max_effort = Some(
+            n.parse()
+                .map_err(|_| format!("--max-effort: `{n}` is not an effort-unit count"))?,
+        );
+    }
+    if let Some(ms) = args.option("--deadline-ms") {
+        budget.deadline_ms = Some(
+            ms.parse()
+                .map_err(|_| format!("--deadline-ms: `{ms}` is not a millisecond count"))?,
+        );
+    }
+    if !budget.is_unlimited() {
+        opts.budget = Some(budget);
+    }
     Ok(opts)
+}
+
+/// Exit code for a finished search: truncation is not a failure (the
+/// caller asked for a bounded run and got a valid prefix) unless
+/// `--fail-fast` asks to treat it as one, with its own documented code
+/// so scripts can tell "nothing found" (1) from "ran out of budget"
+/// (3).
+fn find_exit_code(args: &Args, outcome: &subgemini::MatchOutcome) -> u8 {
+    if outcome.completeness.is_truncated() {
+        return if args.switch("--fail-fast") { 3 } else { 0 };
+    }
+    if outcome.count() > 0 {
+        0
+    } else {
+        1
+    }
 }
 
 /// Writes the requested event exports (`--trace-out`, `--events-out`)
@@ -110,14 +144,14 @@ pub fn find(args: &Args) -> Result<u8, String> {
         Some("json") => {
             // Machine-readable: the report is the whole stdout.
             print!("{}", subgemini::metrics::outcome_to_json(&outcome).pretty());
-            return Ok(if outcome.count() > 0 { 0 } else { 1 });
+            return Ok(find_exit_code(args, &outcome));
         }
         Some(_) => {
             print!("{}", subgemini::metrics::outcome_to_text(&outcome));
             if let Some(text) = explain_text {
                 print!("{text}");
             }
-            return Ok(if outcome.count() > 0 { 0 } else { 1 });
+            return Ok(find_exit_code(args, &outcome));
         }
         None => {}
     }
@@ -155,10 +189,25 @@ pub fn find(args: &Args) -> Result<u8, String> {
             outcome.phase2.passes
         );
     }
+    if let subgemini::Completeness::Truncated {
+        reason,
+        candidates_tried,
+        candidates_skipped,
+    } = &outcome.completeness
+    {
+        // Keep --csv stdout machine-clean; the exit code still reports
+        // the truncation there.
+        if !args.switch("--csv") {
+            println!(
+                "truncated ({}): {candidates_tried} candidate(s) tried, {candidates_skipped} skipped",
+                reason.as_str()
+            );
+        }
+    }
     if let Some(text) = explain_text {
         print!("{text}");
     }
-    Ok(if outcome.count() > 0 { 0 } else { 1 })
+    Ok(find_exit_code(args, &outcome))
 }
 
 /// `subg explain`: run the search with the event journal on and answer

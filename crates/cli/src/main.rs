@@ -4,6 +4,7 @@
 //! subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
 //!           [--report json|text] [--threads <n>] [--trace-out <trace.json>]
 //!           [--events-out <events.ndjson>] [--explain]
+//!           [--max-effort <n>] [--deadline-ms <ms>] [--fail-fast]
 //! subg explain <main.sp> --pattern <cell> [--lib <cells.sp>] [--json]
 //! subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
 //! subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
@@ -32,6 +33,7 @@ USAGE:
   subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
             [--report json|text] [--threads <n>] [--trace-out <trace.json>]
             [--events-out <events.ndjson>] [--explain]
+            [--max-effort <n>] [--deadline-ms <ms>] [--fail-fast]
   subg explain <main.sp> --pattern <cell> [--lib <cells.sp>] [--json]
   subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
   subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]

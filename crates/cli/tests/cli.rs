@@ -607,3 +607,151 @@ fn fingerprint_groups_duplicate_cells() {
     assert!(stdout.contains("duplicates: inv == inv_copy"), "{stdout}");
     assert!(stdout.contains("1 duplicate group(s)"), "{stdout}");
 }
+
+#[test]
+fn find_zero_deadline_reports_truncation_with_success_exit() {
+    let dir = scratch("deadline");
+    write_files(&dir);
+    // A zero deadline expires before any search work: still exit 0,
+    // with the truncation spelled out in the JSON report.
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--deadline-ms",
+            "0",
+            "--report",
+            "json",
+        ],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"completeness\": \"truncated\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"reason\": \"deadline_expired\""),
+        "{stdout}"
+    );
+
+    // The human report calls out the truncation too.
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--deadline-ms",
+            "0",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("truncated"), "{stdout}");
+}
+
+#[test]
+fn find_fail_fast_turns_truncation_into_exit_3() {
+    let dir = scratch("failfast");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--deadline-ms",
+            "0",
+            "--fail-fast",
+        ],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Without truncation, --fail-fast changes nothing.
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--fail-fast",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 instance(s)"), "{stdout}");
+}
+
+#[test]
+fn find_budgeted_but_complete_run_reports_complete() {
+    let dir = scratch("budget_complete");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--max-effort",
+            "1000000",
+            "--report",
+            "json",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"completeness\": \"complete\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"truncation\": null"), "{stdout}");
+}
+
+#[test]
+fn find_rejects_malformed_budget_values() {
+    let dir = scratch("budget_bad");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--max-effort",
+            "lots",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--max-effort"), "{stderr}");
+}

@@ -72,12 +72,17 @@ pub enum RejectReason {
     /// Every guess branch was explored and failed (backtracking
     /// exhausted the ambiguity).
     BacktrackExhausted,
+    /// The per-candidate pass budget
+    /// ([`MatchOptions::max_passes_per_candidate`](crate::MatchOptions))
+    /// ran out while refinement was still making progress, and guessing
+    /// could not rescue the candidate.
+    PassBudgetExhausted,
 }
 
 impl RejectReason {
     /// Every variant, in the fixed order used for counter registration
     /// and report aggregation.
-    pub const ALL: [RejectReason; 7] = [
+    pub const ALL: [RejectReason; 8] = [
         RejectReason::KindMismatch,
         RejectReason::DegreeMismatch,
         RejectReason::UnsafePartition,
@@ -85,6 +90,7 @@ impl RejectReason {
         RejectReason::NoViableGuess,
         RejectReason::BudgetExhausted,
         RejectReason::BacktrackExhausted,
+        RejectReason::PassBudgetExhausted,
     ];
 
     /// Stable machine name (also the suffix of the `reject.*` counter).
@@ -97,6 +103,7 @@ impl RejectReason {
             RejectReason::NoViableGuess => "no_viable_guess",
             RejectReason::BudgetExhausted => "budget_exhausted",
             RejectReason::BacktrackExhausted => "backtrack_exhausted",
+            RejectReason::PassBudgetExhausted => "pass_budget_exhausted",
         }
     }
 
@@ -110,6 +117,7 @@ impl RejectReason {
             RejectReason::NoViableGuess => "reject.no_viable_guess",
             RejectReason::BudgetExhausted => "reject.budget_exhausted",
             RejectReason::BacktrackExhausted => "reject.backtrack_exhausted",
+            RejectReason::PassBudgetExhausted => "reject.pass_budget_exhausted",
         }
     }
 
@@ -129,6 +137,9 @@ impl RejectReason {
             RejectReason::NoViableGuess => "search stalled with no partition or anchor to guess on",
             RejectReason::BudgetExhausted => "per-candidate guess budget exhausted",
             RejectReason::BacktrackExhausted => "every guess branch failed (backtrack exhaustion)",
+            RejectReason::PassBudgetExhausted => {
+                "per-candidate pass budget exhausted while refinement was still progressing"
+            }
         }
     }
 
@@ -258,6 +269,19 @@ pub enum EventKind {
         c: Vertex,
         /// Whether it verified into an instance.
         matched: bool,
+    },
+    /// The search stopped before exhausting the candidate vector
+    /// (work budget, deadline, or cancellation); the outcome's
+    /// instance list is a valid prefix of the complete answer.
+    /// Emitted once, in the Phase I scope (the truncation decision is
+    /// made by the serial coordinator).
+    Truncated {
+        /// What stopped the search.
+        reason: crate::budget::TruncationReason,
+        /// Candidates verified before the stop.
+        candidates_tried: u32,
+        /// Candidates never considered.
+        candidates_skipped: u32,
     },
 }
 
@@ -409,6 +433,7 @@ pub fn event_name(kind: &EventKind) -> &'static str {
         EventKind::Backtrack { .. } => "backtrack",
         EventKind::Reject { .. } => "reject",
         EventKind::CandidateEnd { .. } => "candidate_end",
+        EventKind::Truncated { .. } => "truncated",
     }
 }
 
@@ -469,6 +494,21 @@ fn kind_args(kind: &EventKind) -> Vec<(String, Value)> {
         EventKind::CandidateEnd { c, matched } => vec![
             ("candidate".into(), Value::Str(vertex_str(c))),
             ("matched".into(), Value::Bool(matched)),
+        ],
+        EventKind::Truncated {
+            reason,
+            candidates_tried,
+            candidates_skipped,
+        } => vec![
+            ("reason".into(), Value::Str(reason.as_str().into())),
+            (
+                "candidates_tried".into(),
+                Value::int(candidates_tried as u64),
+            ),
+            (
+                "candidates_skipped".into(),
+                Value::int(candidates_skipped as u64),
+            ),
         ],
     }
 }

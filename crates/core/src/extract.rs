@@ -80,6 +80,12 @@ pub struct ExtractReport {
     pub per_cell: Vec<(String, usize)>,
     /// Devices of the input that no cell covered.
     pub unabsorbed_devices: usize,
+    /// Cell rounds whose match stopped early under the extractor's
+    /// [`WorkBudget`](crate::WorkBudget) (each cell's search gets a
+    /// fresh budget) or [`CancelToken`](crate::CancelToken). Cells
+    /// never started because of a cancellation are *not* counted; they
+    /// appear as missing entries in [`ExtractReport::per_cell`].
+    pub truncated_cells: usize,
     /// Per-cell and total timings, when the extractor's options set
     /// [`MatchOptions::collect_metrics`](crate::MatchOptions).
     pub metrics: Option<crate::metrics::ExtractMetrics>,
@@ -190,6 +196,17 @@ impl Extractor {
         let mut metrics = collect.then(ExtractMetrics::default);
         let n_cells = cells.len();
         for (ci, cell) in cells.into_iter().enumerate() {
+            // Cooperative cancellation between cell rounds: already
+            // extracted cells keep their composites, unstarted cells
+            // simply never run (visible as absent `per_cell` entries).
+            if self
+                .options
+                .cancel
+                .as_ref()
+                .is_some_and(crate::budget::CancelToken::is_cancelled)
+            {
+                break;
+            }
             if let Some(hook) = progress {
                 hook.call(&ProgressEvent::ExtractCellStarted {
                     cell: cell.name().to_string(),
@@ -230,6 +247,9 @@ impl Extractor {
                 m.total_ns = t.elapsed_ns();
             }
             let found = outcome.instances.len();
+            if outcome.completeness.is_truncated() {
+                report.truncated_cells += 1;
+            }
             report.per_cell.push((cell.name().to_string(), found));
             let replace_timer = collect.then(PhaseTimer::start);
             if found > 0 {

@@ -95,6 +95,12 @@ pub struct MatchOutcome {
     /// Deterministic across thread counts: events are ordered by
     /// `(candidate rank, sequence)` regardless of worker assignment.
     pub events: Option<crate::events::EventJournal>,
+    /// Whether the search ran to completion or was stopped early by a
+    /// [`WorkBudget`](crate::WorkBudget) or
+    /// [`CancelToken`](crate::CancelToken). A truncated outcome still
+    /// carries every instance verified before the stop; with an effort
+    /// budget the truncation point is identical for every thread count.
+    pub completeness: crate::budget::Completeness,
 }
 
 impl MatchOutcome {

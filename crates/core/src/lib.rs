@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod events;
 mod extract;
 mod instance;
@@ -69,6 +70,7 @@ mod techmap;
 mod trace;
 mod verify;
 
+pub use budget::{CancelToken, Completeness, TruncationReason, WorkBudget};
 pub use events::{Event, EventJournal, EventKind, EventScope, ExplainReport, RejectReason};
 pub use extract::{ExtractReport, ExtractedInstance, Extractor};
 pub use instance::{MatchOutcome, Phase1Stats, Phase2Stats, SubMatch};

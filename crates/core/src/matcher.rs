@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use subgemini_netlist::{CompiledCircuit, DeviceId, Netlist};
 
+use crate::budget::{effort_of, Completeness, Governor, TruncationReason};
 use crate::events::{EventBuffer, EventJournal, EventKind, RejectTally};
 use crate::instance::{MatchOutcome, SubMatch};
 use crate::metrics::{Histogram, MetricsReport, PhaseTimer, ProgressEvent};
@@ -227,6 +228,22 @@ pub fn find_all_many(
         .collect()
 }
 
+/// Budget bookkeeping on a metrics report. Called only when a governor
+/// exists, so ungoverned runs report byte-identical metrics.
+fn record_budget_metrics(m: &mut MetricsReport, g: &Governor, completeness: &Completeness) {
+    m.effort_spent = g.spent();
+    m.effort_limit = g.limit().unwrap_or(0);
+    m.counters.bump("budget.effort_spent", g.spent());
+    if let Completeness::Truncated {
+        candidates_skipped, ..
+    } = completeness
+    {
+        m.counters.bump("budget.truncations", 1);
+        m.counters
+            .bump("budget.candidates_skipped", *candidates_skipped as u64);
+    }
+}
+
 /// The two-phase search against an already-prepared main circuit and a
 /// shared Phase I label trace. `main_compile_ns` is the compilation
 /// cost to attribute to this outcome's metrics; `main_cached` marks a
@@ -240,6 +257,10 @@ pub(crate) fn find_all_compiled(
     main_cached: bool,
 ) -> MatchOutcome {
     let mut outcome = MatchOutcome::default();
+    // The search governor exists only when a budget or cancel token is
+    // configured; `None` keeps every path below byte-identical to an
+    // ungoverned build.
+    let mut governor = Governor::from_options(options);
     let collect = options.collect_metrics;
     let progress = options.on_progress.as_ref();
     let main_nl: &Netlist = &prepared.netlist;
@@ -266,13 +287,19 @@ pub(crate) fn find_all_compiled(
     let mut p1_events = options
         .trace_events
         .then(|| EventBuffer::new(options.trace_events_cap));
-    let (p1, p1_timing) = phase1::run_with_trace_instrumented(
+    let (p1, p1_timing) = phase1::run_governed(
         &s,
         trace,
         options.key_policy,
         collect,
         p1_events.as_mut(),
+        governor.as_ref(),
     );
+    // Phase I effort: one unit per refinement iteration, charged on the
+    // serial ledger (and inherited by the workers' shared view below).
+    if let Some(g) = governor.as_mut() {
+        g.charge(p1.stats.iterations as u64);
+    }
     let mut metrics = collect.then(|| MetricsReport {
         compile_ns: main_compile_ns + pattern_compile_ns,
         phase1_refine_ns: p1_timing.refine_ns,
@@ -295,6 +322,25 @@ pub(crate) fn find_all_compiled(
         });
     }
     let Some(key) = p1.key else {
+        if let Some(reason) = p1.interrupted {
+            // Refinement itself was cut short: no candidate was ever
+            // considered, so tried and skipped are both zero.
+            outcome.completeness = Completeness::Truncated {
+                reason,
+                candidates_tried: 0,
+                candidates_skipped: 0,
+            };
+            if let Some(b) = p1_events.as_mut() {
+                b.push(EventKind::Truncated {
+                    reason,
+                    candidates_tried: 0,
+                    candidates_skipped: 0,
+                });
+            }
+        }
+        if let (Some(m), Some(g)) = (metrics.as_mut(), governor.as_ref()) {
+            record_budget_metrics(m, g, &outcome.completeness);
+        }
         if let Some(b) = p1_events {
             outcome.events = Some(EventJournal::merge(vec![b]));
         }
@@ -307,6 +353,9 @@ pub(crate) fn find_all_compiled(
     let Some(base) = runner.base_state() else {
         // A pattern global has no counterpart in the main circuit.
         outcome.phase1.proven_empty = true;
+        if let (Some(m), Some(g)) = (metrics.as_mut(), governor.as_ref()) {
+            record_budget_metrics(m, g, &outcome.completeness);
+        }
         if let Some(mut b) = p1_events {
             b.push(EventKind::PrematchFail);
             outcome.events = Some(EventJournal::merge(vec![b]));
@@ -336,14 +385,34 @@ pub(crate) fn find_all_compiled(
     }
     let mut event_buffers: Vec<EventBuffer> = Vec::new();
     let mut reject_tally = RejectTally::default();
-    let precomputed: Option<Vec<Option<crate::instance::SubMatch>>> =
+    // One precomputed candidate. `done` distinguishes "verified, no
+    // match" from "never ran" (worker stopped on the shared governor's
+    // broadcast, or was killed by a failpoint): the merge recomputes
+    // undone slots serially, so results never depend on where workers
+    // happened to stop. `effort` is the candidate's deterministic cost,
+    // recorded so the merge can charge the authoritative ledger in
+    // candidate-vector order.
+    struct Slot {
+        result: Option<crate::instance::SubMatch>,
+        effort: u64,
+        done: bool,
+    }
+    let precomputed: Option<Vec<Slot>> =
         if !options.record_trace && worker_count > 1 && p1.candidates.len() > 1 {
             let n = p1.candidates.len();
-            let mut results: Vec<Option<crate::instance::SubMatch>> = Vec::new();
-            results.resize_with(n, || None);
+            let mut results: Vec<Slot> = Vec::new();
+            results.resize_with(n, || Slot {
+                result: None,
+                effort: 0,
+                done: false,
+            });
             let chunk = n.div_ceil(worker_count.min(n));
             let stats_parts = std::sync::Mutex::new(Vec::<WorkerPart>::new());
             let mut workers_used = 0usize;
+            // Broadcast view of the governor: workers poll it before
+            // each candidate and feed finished candidates' effort back,
+            // so exhaustion stops every worker within one candidate.
+            let shared = governor.as_ref().map(Governor::shared);
             std::thread::scope(|scope| {
                 for (ci, (slot_chunk, cand_chunk)) in results
                     .chunks_mut(chunk)
@@ -354,16 +423,27 @@ pub(crate) fn find_all_compiled(
                     let runner = &runner;
                     let base = &base;
                     let stats_parts = &stats_parts;
+                    let shared = shared.as_ref();
                     // Global candidate rank of this chunk's first slot:
                     // journal scopes depend on the candidate's position
                     // in the CV, never on the worker that ran it.
                     let rank0 = ci * chunk;
                     scope.spawn(move || {
+                        use crate::budget::failpoint;
+                        if let Some(failpoint::Action::KillWorker) = failpoint::get("phase2.worker")
+                        {
+                            return; // simulated worker death
+                        }
+                        failpoint::stall("phase2.worker");
                         let mut search = runner.make_state(base);
                         let mut stats = crate::instance::Phase2Stats::default();
                         let mut timing = collect.then(CandidateTiming::default);
                         for (j, (slot, &c)) in slot_chunk.iter_mut().zip(cand_chunk).enumerate() {
-                            *slot = runner
+                            if shared.is_some_and(|s| s.should_stop()) {
+                                break;
+                            }
+                            let before = effort_of(&stats);
+                            slot.result = runner
                                 .run_candidate_timed(
                                     &mut search,
                                     key,
@@ -374,6 +454,11 @@ pub(crate) fn find_all_compiled(
                                     timing.as_mut(),
                                 )
                                 .map(|(m, _)| m);
+                            slot.effort = 1 + (effort_of(&stats) - before);
+                            slot.done = true;
+                            if let Some(s) = shared {
+                                s.charge(slot.effort);
+                            }
                         }
                         stats_parts
                             .lock()
@@ -428,9 +513,20 @@ pub(crate) fn find_all_compiled(
     let mut checked = 0u64;
     let mut matched = 0u64;
     let mut dedup_dropped = 0u64;
+    // Where (and why) the governor stopped the merge. The decision is
+    // taken *only* here, in candidate-vector order, from effort charged
+    // at candidate granularity — so the truncation point is identical
+    // for every thread count.
+    let mut truncation: Option<TruncationReason> = None;
+    let mut stop_index = 0usize;
     let total = p1.candidates.len();
     for (i, &c) in p1.candidates.iter().enumerate() {
         if options.max_instances > 0 && outcome.instances.len() >= options.max_instances {
+            break; // a requested limit, not a truncation
+        }
+        if let Some(reason) = governor.as_ref().and_then(Governor::should_stop) {
+            truncation = Some(reason);
+            stop_index = i;
             break;
         }
         // Claimed key images cannot start a new instance.
@@ -443,16 +539,36 @@ pub(crate) fn find_all_compiled(
         }
         let want_trace = options.record_trace && p2_trace.is_none();
         let verified = match &precomputed {
-            Some(results) => results[i].clone().map(|m| (m, None)),
-            None => runner.run_candidate_timed(
-                serial_search.as_mut().expect("serial path has a state"),
-                key,
-                c,
-                i as u32,
-                &mut outcome.phase2,
-                want_trace,
-                serial_timing.as_mut(),
-            ),
+            Some(slots) if slots[i].done => {
+                if let Some(g) = governor.as_mut() {
+                    g.charge(slots[i].effort);
+                }
+                slots[i].result.clone().map(|m| (m, None))
+            }
+            maybe_slots => {
+                // Serial path — or a slot its worker never reached
+                // (stopped on the broadcast, or killed by a failpoint):
+                // verify it here. `run_candidate` rolls back to the
+                // base state, so recomputation is deterministic.
+                let search = match maybe_slots {
+                    None => serial_search.as_mut().expect("serial path has a state"),
+                    Some(_) => serial_search.get_or_insert_with(|| runner.make_state(&base)),
+                };
+                let before = effort_of(&outcome.phase2);
+                let verified = runner.run_candidate_timed(
+                    search,
+                    key,
+                    c,
+                    i as u32,
+                    &mut outcome.phase2,
+                    want_trace,
+                    serial_timing.as_mut(),
+                );
+                if let Some(g) = governor.as_mut() {
+                    g.charge(1 + (effort_of(&outcome.phase2) - before));
+                }
+                verified
+            }
         };
         checked += 1;
         if let Some(hook) = progress {
@@ -488,6 +604,21 @@ pub(crate) fn find_all_compiled(
         if let Some(hook) = progress {
             hook.call(&ProgressEvent::InstanceFound {
                 count: outcome.instances.len(),
+            });
+        }
+    }
+    if let Some(reason) = truncation {
+        let candidates_skipped = total - stop_index;
+        outcome.completeness = Completeness::Truncated {
+            reason,
+            candidates_tried: checked as usize,
+            candidates_skipped,
+        };
+        if let Some(b) = p1_events.as_mut() {
+            b.push(EventKind::Truncated {
+                reason,
+                candidates_tried: checked as u32,
+                candidates_skipped: candidates_skipped as u32,
             });
         }
     }
@@ -529,6 +660,9 @@ pub(crate) fn find_all_compiled(
         // `nonzero()` yields them in the closed `ALL` order.
         for (r, v) in reject_tally.nonzero() {
             m.counters.bump(r.counter_name(), v);
+        }
+        if let Some(g) = governor.as_ref() {
+            record_budget_metrics(m, g, &outcome.completeness);
         }
     }
     if options.trace_events {

@@ -245,6 +245,13 @@ pub struct MetricsReport {
     pub verify_ns_hist: Histogram,
     /// Backtrack depth at each rollback, log2-bucketed.
     pub backtrack_depth_hist: Histogram,
+    /// Effort units charged on the governor's deterministic ledger
+    /// (Phase I iterations + per-candidate costs, in candidate-vector
+    /// order). Zero on ungoverned runs.
+    pub effort_spent: u64,
+    /// The [`WorkBudget::max_effort`](crate::WorkBudget) cap in force
+    /// (0 = unlimited or ungoverned).
+    pub effort_limit: u64,
 }
 
 impl MetricsReport {
@@ -738,9 +745,11 @@ pub const REPORT_SCHEMA_VERSION: u64 = 1;
 /// Builds the stable machine-readable report for a match outcome.
 ///
 /// Top-level fields (`schema_version`, `instances`,
-/// `matched_device_total`, `key`, `phase1`, `phase2`, `metrics`) are
-/// part of the schema contract; `metrics` is `null` unless the run
-/// collected metrics.
+/// `matched_device_total`, `key`, `phase1`, `phase2`, `completeness`,
+/// `truncation`, `metrics`) are part of the schema contract;
+/// `completeness` is `"complete"` or `"truncated"`, `truncation` is
+/// `null` unless the search stopped early, and `metrics` is `null`
+/// unless the run collected metrics.
 pub fn outcome_to_json(outcome: &MatchOutcome) -> json::Value {
     use json::Value;
     let key = match outcome.key {
@@ -794,6 +803,30 @@ pub fn outcome_to_json(outcome: &MatchOutcome) -> json::Value {
                 "backtrack_depth_hist".into(),
                 m.backtrack_depth_hist.to_json(),
             ),
+            ("effort_spent".into(), Value::int(m.effort_spent)),
+            ("effort_limit".into(), Value::int(m.effort_limit)),
+        ]),
+    };
+    let completeness = match &outcome.completeness {
+        crate::budget::Completeness::Complete => Value::Str("complete".into()),
+        crate::budget::Completeness::Truncated { .. } => Value::Str("truncated".into()),
+    };
+    let truncation = match &outcome.completeness {
+        crate::budget::Completeness::Complete => Value::Null,
+        crate::budget::Completeness::Truncated {
+            reason,
+            candidates_tried,
+            candidates_skipped,
+        } => Value::Obj(vec![
+            ("reason".into(), Value::Str(reason.as_str().into())),
+            (
+                "candidates_tried".into(),
+                Value::int(*candidates_tried as u64),
+            ),
+            (
+                "candidates_skipped".into(),
+                Value::int(*candidates_skipped as u64),
+            ),
         ]),
     };
     Value::Obj(vec![
@@ -843,6 +876,8 @@ pub fn outcome_to_json(outcome: &MatchOutcome) -> json::Value {
                 ("false_candidate_rate".into(), Value::Num(false_rate)),
             ]),
         ),
+        ("completeness".into(), completeness),
+        ("truncation".into(), truncation),
         ("metrics".into(), metrics),
     ])
 }
@@ -852,6 +887,19 @@ pub fn outcome_to_text(outcome: &MatchOutcome) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{outcome}");
+    if let crate::budget::Completeness::Truncated {
+        reason,
+        candidates_tried,
+        candidates_skipped,
+    } = &outcome.completeness
+    {
+        let _ = writeln!(
+            out,
+            "truncated ({}): {candidates_tried} candidate(s) tried, {candidates_skipped} skipped; \
+             reported instances are a valid prefix of the complete answer",
+            reason.as_str(),
+        );
+    }
     if let Some(m) = &outcome.metrics {
         let ms = |ns: u64| ns as f64 / 1e6;
         let _ = writeln!(
@@ -1048,6 +1096,8 @@ mod tests {
             "key",
             "phase1",
             "phase2",
+            "completeness",
+            "truncation",
             "metrics",
         ] {
             assert!(v.get(field).is_some(), "missing {field}");
@@ -1056,6 +1106,11 @@ mod tests {
             v.get("schema_version").unwrap().as_u64(),
             Some(REPORT_SCHEMA_VERSION)
         );
+        assert_eq!(
+            v.get("completeness"),
+            Some(&json::Value::Str("complete".into()))
+        );
+        assert_eq!(v.get("truncation"), Some(&json::Value::Null));
         assert_eq!(v.get("metrics"), Some(&json::Value::Null));
         // Round-trips through the parser.
         assert_eq!(json::parse(&v.pretty()).unwrap(), v);
@@ -1069,7 +1124,36 @@ mod tests {
         let v = outcome_to_json(&o);
         let m = v.get("metrics").unwrap();
         assert_eq!(m.get("total_ns").unwrap().as_u64(), Some(42));
+        assert_eq!(m.get("effort_spent").unwrap().as_u64(), Some(0));
+        assert_eq!(m.get("effort_limit").unwrap().as_u64(), Some(0));
         let text = outcome_to_text(&o);
         assert!(text.contains("timings:"));
+    }
+
+    #[test]
+    fn truncated_outcome_reports_in_json_and_text() {
+        let o = MatchOutcome {
+            completeness: crate::budget::Completeness::Truncated {
+                reason: crate::budget::TruncationReason::EffortExhausted,
+                candidates_tried: 3,
+                candidates_skipped: 7,
+            },
+            ..MatchOutcome::default()
+        };
+        let v = outcome_to_json(&o);
+        assert_eq!(
+            v.get("completeness"),
+            Some(&json::Value::Str("truncated".into()))
+        );
+        let t = v.get("truncation").unwrap();
+        assert_eq!(
+            t.get("reason"),
+            Some(&json::Value::Str("effort_exhausted".into()))
+        );
+        assert_eq!(t.get("candidates_tried").unwrap().as_u64(), Some(3));
+        assert_eq!(t.get("candidates_skipped").unwrap().as_u64(), Some(7));
+        let text = outcome_to_text(&o);
+        assert!(text.contains("truncated (effort_exhausted)"));
+        assert!(text.contains("3 candidate(s) tried, 7 skipped"));
     }
 }

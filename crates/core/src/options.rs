@@ -1,5 +1,6 @@
 //! Matching options.
 
+use crate::budget::{CancelToken, WorkBudget};
 use crate::metrics::ProgressHook;
 
 /// What to do when two instances want the same main-circuit device.
@@ -112,6 +113,21 @@ pub struct MatchOptions {
     /// candidate (see [`ProgressEvent`](crate::ProgressEvent)). `None`
     /// (default) emits nothing.
     pub on_progress: Option<ProgressHook>,
+    /// Global work budget: a cap in deterministic effort units and/or a
+    /// wall-clock deadline (see [`WorkBudget`]). `None` (default) runs
+    /// unbudgeted: no governor is constructed and results are
+    /// byte-identical to a run without the budget subsystem. With an
+    /// effort cap, the truncation point and the reported instance set
+    /// are identical for every thread count; the outcome reports the
+    /// stop in [`MatchOutcome::completeness`](crate::MatchOutcome).
+    pub budget: Option<WorkBudget>,
+    /// Cooperative cancellation flag, checked by every Phase I
+    /// refinement cycle and every Phase II worker; cancelling returns
+    /// the instances verified so far as a
+    /// [`Truncated`](crate::Completeness::Truncated) outcome. `None`
+    /// (default) is uncancellable. Compared by identity (same shared
+    /// flag), like [`ProgressHook`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for MatchOptions {
@@ -131,6 +147,8 @@ impl Default for MatchOptions {
             trace_events: false,
             trace_events_cap: 8192,
             on_progress: None,
+            budget: None,
+            cancel: None,
         }
     }
 }
@@ -165,6 +183,8 @@ mod tests {
         assert!(o.respect_globals);
         assert_eq!(o.overlap, OverlapPolicy::AllowOverlap);
         assert_eq!(o.max_instances, 0);
+        assert_eq!(o.budget, None, "searches are unbudgeted by default");
+        assert_eq!(o.cancel, None, "searches are uncancellable by default");
     }
 
     #[test]

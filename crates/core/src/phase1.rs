@@ -42,6 +42,11 @@ pub struct Phase1Output {
     pub candidates: Vec<Vertex>,
     /// Statistics.
     pub stats: Phase1Stats,
+    /// `Some` when a governor (deadline or cancellation) stopped the
+    /// refinement loop before it finished: no candidate vector was
+    /// selected (`key` is `None`) and the outcome must report itself
+    /// as truncated. Always `None` on ungoverned runs.
+    pub interrupted: Option<crate::budget::TruncationReason>,
 }
 
 #[derive(Clone)]
@@ -375,19 +380,36 @@ pub fn run_with_trace_instrumented(
     trace: &mut GTrace,
     policy: KeyPolicy,
     collect: bool,
+    events: Option<&mut EventBuffer>,
+) -> (Phase1Output, Phase1Timing) {
+    run_governed(s, trace, policy, collect, events, None)
+}
+
+/// [`run_with_trace_instrumented`] plus an optional search governor:
+/// cancellation and wall-clock deadlines are checked once per
+/// refinement cycle (effort accounting stays with the caller, which
+/// charges the returned iteration count). Internal: the governor type
+/// is crate-private by design.
+pub(crate) fn run_governed(
+    s: &CompiledCircuit,
+    trace: &mut GTrace,
+    policy: KeyPolicy,
+    collect: bool,
     mut events: Option<&mut EventBuffer>,
+    governor: Option<&crate::budget::Governor>,
 ) -> (Phase1Output, Phase1Timing) {
     let mut timing = Phase1Timing::default();
     let timer = collect.then(crate::metrics::PhaseTimer::start);
-    let refined = refine(s, trace, events.as_deref_mut());
+    let refined = refine(s, trace, events.as_deref_mut(), governor);
     if let Some(t) = &timer {
         timing.refine_ns = t.elapsed_ns();
     }
     let out = match refined {
-        Err(stats) => Phase1Output {
+        Err((stats, interrupted)) => Phase1Output {
             key: None,
             candidates: Vec::new(),
             stats,
+            interrupted,
         },
         Ok(refined) => {
             let timer = collect.then(crate::metrics::PhaseTimer::start);
@@ -428,12 +450,15 @@ fn distinct_valid_labels(sl: &Labels, valid: &Validity) -> u32 {
 
 /// The iterative-relabeling loop: alternating net/device phases with
 /// valid/corrupt propagation and per-phase consistency checks. `Err`
-/// carries the stats of a run that proved no instance can exist.
+/// carries the stats of a run that stopped early: with no
+/// [`TruncationReason`](crate::budget::TruncationReason) it proved no
+/// instance can exist; with one, a governor interrupted it.
 fn refine(
     s: &CompiledCircuit,
     trace: &mut GTrace,
     mut events: Option<&mut EventBuffer>,
-) -> Result<Refined, Phase1Stats> {
+    governor: Option<&crate::budget::Governor>,
+) -> Result<Refined, (Phase1Stats, Option<crate::budget::TruncationReason>)> {
     let mut stats = Phase1Stats::default();
     let mut sl = initial_labels(s);
     let mut valid = Validity::new(s);
@@ -468,13 +493,21 @@ fn refine(
             .and_then(|()| consistent(&sl.net, &valid.net, &sd.net_parts, &mut sort_buf))
         {
             fail_event(&mut events, 0, v);
-            return Err(empty(stats));
+            return Err((empty(stats), None));
         }
     }
 
     let max_cycles = s.device_count() + s.net_count() + 2;
     let mut prev_signature = (0usize, 0usize, 0usize);
     for _cycle in 0..max_cycles {
+        // Cooperative stop check, once per cycle: a cancelled or
+        // deadline-expired search abandons refinement (the caller
+        // reports a truncated outcome). A zero deadline always stops
+        // here, before any relabeling work — the deterministic case.
+        crate::budget::failpoint::stall("phase1.cycle");
+        if let Some(reason) = governor.and_then(crate::budget::Governor::interrupted) {
+            return Err((stats, Some(reason)));
+        }
         // --- net phase ---
         relabel_nets(s, &mut sl, &mut relabel_buf);
         step += 1;
@@ -494,7 +527,7 @@ fn refine(
             &mut sort_buf,
         ) {
             fail_event(&mut events, stats.iterations, v);
-            return Err(empty(stats));
+            return Err((empty(stats), None));
         }
         if valid.live_nets(s) == 0 {
             break;
@@ -518,7 +551,7 @@ fn refine(
             &mut sort_buf,
         ) {
             fail_event(&mut events, stats.iterations, v);
-            return Err(empty(stats));
+            return Err((empty(stats), None));
         }
         if valid.live_devices() == 0 {
             break;
@@ -582,6 +615,7 @@ fn select(
             proven_empty: true,
             ..stats
         },
+        interrupted: None,
     };
     let g = Arc::clone(&trace.g);
     // Use the cached G partitions at the step we stopped on. Global
@@ -667,6 +701,7 @@ fn select(
             key: None,
             candidates: Vec::new(),
             stats,
+            interrupted: None,
         };
     };
     let (key, candidates): (Vertex, Vec<Vertex>) = if side == 0 {
@@ -713,6 +748,7 @@ fn select(
         key: Some(key),
         candidates,
         stats,
+        interrupted: None,
     }
 }
 

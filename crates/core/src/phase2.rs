@@ -312,6 +312,11 @@ enum Refined {
     Fail,
     /// No progress without a guess.
     Stuck,
+    /// The per-candidate pass budget ran out while passes were still
+    /// making progress. Treated like a stall (guessing may still
+    /// resolve it) but reported distinctly so exhaustion is never
+    /// silent.
+    PassBudget,
 }
 
 /// Phase II driver bound to one (pattern, main) pair.
@@ -769,9 +774,10 @@ impl<'a> Phase2Runner<'a> {
                 Ok((true, false)) => {}
             }
         }
-        // Pass budget exhausted: treat as a stall so guessing may still
-        // resolve it.
-        Refined::Stuck
+        // Pass budget exhausted while still progressing: guessing may
+        // still resolve it, but the exhaustion must surface as its own
+        // reject reason if the candidate ultimately fails.
+        Refined::PassBudget
     }
 
     /// Chooses the next ambiguity to guess on: the unmatched pattern
@@ -957,19 +963,39 @@ impl<'a> Phase2Runner<'a> {
                     RejectReason::LabelConflict
                 }
                 Refined::Fail => RejectReason::UnsafePartition,
-                Refined::Stuck => match self.choose_guess(st) {
-                    Some((s_next, g_cands)) => {
-                        if self.verify_image(st, s_next, &g_cands, stats, guesses_left, depth + 1) {
-                            return true;
+                refined @ (Refined::Stuck | Refined::PassBudget) => {
+                    let passes_out = matches!(refined, Refined::PassBudget);
+                    match self.choose_guess(st) {
+                        Some((s_next, g_cands)) => {
+                            if self.verify_image(
+                                st,
+                                s_next,
+                                &g_cands,
+                                stats,
+                                guesses_left,
+                                depth + 1,
+                            ) {
+                                return true;
+                            }
+                            // The pass budget is the root cause when the
+                            // stall itself came from exhausting it.
+                            if passes_out {
+                                RejectReason::PassBudgetExhausted
+                            } else if *guesses_left == 0 {
+                                RejectReason::BudgetExhausted
+                            } else {
+                                RejectReason::BacktrackExhausted
+                            }
                         }
-                        if *guesses_left == 0 {
-                            RejectReason::BudgetExhausted
-                        } else {
-                            RejectReason::BacktrackExhausted
+                        None => {
+                            if passes_out {
+                                RejectReason::PassBudgetExhausted
+                            } else {
+                                RejectReason::NoViableGuess
+                            }
                         }
                     }
-                    None => RejectReason::NoViableGuess,
-                },
+                }
             };
             let undo_ops = st.undo.len() - mark.undo_len;
             st.rollback(&mark);
@@ -1048,6 +1074,21 @@ impl<'a> Phase2Runner<'a> {
             trace_len: 0,
         };
         let mut guesses_left = self.opts.max_guesses_per_candidate;
+        // Fault injection (test-only; folds to nothing in release): a
+        // guess storm burns budget through the real counters so every
+        // thread count charges this candidate identically; a stall just
+        // sleeps here.
+        match crate::budget::failpoint::get("phase2.candidate") {
+            Some(crate::budget::failpoint::Action::GuessStorm(n)) => {
+                let burn = (n as usize).min(guesses_left);
+                guesses_left -= burn;
+                stats.guesses += burn;
+            }
+            Some(crate::budget::failpoint::Action::StallMs(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            _ => {}
+        }
         let out = if self.verify_image(st, key, &[candidate], stats, &mut guesses_left, 0) {
             let m = self.build_submatch(st);
             Some((m, st.trace.take()))

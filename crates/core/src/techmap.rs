@@ -46,6 +46,11 @@ pub struct CoverResult {
     pub uncovered: Vec<DeviceId>,
     /// Sum of chosen costs.
     pub total_cost: f64,
+    /// Library cells whose candidate enumeration was truncated by the
+    /// mapper's [`WorkBudget`](crate::WorkBudget) (each cell's search
+    /// gets a fresh budget). Non-zero means some placements may be
+    /// missing and the cover is a best effort over what was found.
+    pub truncated_cells: usize,
 }
 
 impl CoverResult {
@@ -116,17 +121,27 @@ impl TechMapper {
     /// overlaps). The subject is compiled once and shared across the
     /// whole library via [`find_all_many`](crate::find_all_many).
     pub fn candidates(&self, subject: &Netlist) -> Vec<CoverCandidate> {
+        self.enumerate(subject).0
+    }
+
+    /// Candidate enumeration plus how many cells' searches were
+    /// truncated under a per-cell work budget.
+    fn enumerate(&self, subject: &Netlist) -> (Vec<CoverCandidate>, usize) {
         let opts = MatchOptions {
             overlap: crate::options::OverlapPolicy::AllowOverlap,
             ..self.options.clone()
         };
         let cells: Vec<&Netlist> = self.library.iter().map(|(cell, _)| cell).collect();
         let mut out = Vec::new();
+        let mut truncated_cells = 0usize;
         for (i, outcome) in find_all_many(&cells, subject, &opts)
             .into_iter()
             .enumerate()
         {
             let (cell, cost) = &self.library[i];
+            if outcome.completeness.is_truncated() {
+                truncated_cells += 1;
+            }
             for m in outcome.instances {
                 out.push(CoverCandidate {
                     cell: cell.name().to_string(),
@@ -136,13 +151,13 @@ impl TechMapper {
                 });
             }
         }
-        out
+        (out, truncated_cells)
     }
 
     /// Greedy covering: repeatedly takes the disjoint candidate with the
     /// best cost-per-covered-device ratio.
     pub fn map_greedy(&self, subject: &Netlist) -> CoverResult {
-        let mut candidates = self.candidates(subject);
+        let (mut candidates, truncated_cells) = self.enumerate(subject);
         candidates.sort_by(|a, b| {
             let ra = a.cost / a.size() as f64;
             let rb = b.cost / b.size() as f64;
@@ -151,7 +166,10 @@ impl TechMapper {
                 .then_with(|| a.instance.device_set().cmp(&b.instance.device_set()))
         });
         let mut covered: HashSet<DeviceId> = HashSet::new();
-        let mut result = CoverResult::default();
+        let mut result = CoverResult {
+            truncated_cells,
+            ..CoverResult::default()
+        };
         for cand in candidates {
             if cand.instance.devices.iter().any(|d| covered.contains(d)) {
                 continue;
@@ -173,7 +191,7 @@ impl TechMapper {
     /// `node_budget` explored nodes. Intended for small subjects (a few
     /// hundred devices); use [`TechMapper::map_greedy`] beyond that.
     pub fn map_exact(&self, subject: &Netlist, node_budget: usize) -> Option<CoverResult> {
-        let candidates = self.candidates(subject);
+        let (candidates, truncated_cells) = self.enumerate(subject);
         let nd = subject.device_count();
         // Per device: which candidates cover it.
         let mut covers: Vec<Vec<usize>> = vec![Vec::new(); nd];
@@ -251,6 +269,7 @@ impl TechMapper {
             chosen,
             uncovered: Vec::new(),
             total_cost,
+            truncated_cells,
         })
     }
 }

@@ -275,3 +275,73 @@ fn wide_gate_arity_discrimination() {
         assert_eq!(found.count(), expect, "nand_k({k})");
     }
 }
+
+/// A clock-tree-like mesh pathological for guess budgets: rows of
+/// interchangeable parallel transistors all gated by one shared clock
+/// net, so every candidate burns its entire (deliberately tiny)
+/// `max_guesses_per_candidate` before failing. A small effort budget
+/// must still terminate promptly and report a deterministic truncation
+/// with work left on the table.
+#[test]
+fn clock_mesh_exhausts_guess_budget_and_truncates_deterministically() {
+    use subgemini::{Completeness, WorkBudget};
+    let build = |name: &str, rows: usize, k: usize| {
+        let mut nl = Netlist::new(name);
+        let mos = nl.add_mos_types();
+        let clk = nl.net("clk");
+        nl.mark_port(clk);
+        for r in 0..rows {
+            let s = nl.net(format!("s{r}"));
+            let d = nl.net(format!("d{r}"));
+            nl.mark_port(s);
+            nl.mark_port(d);
+            for i in 0..k {
+                nl.add_device(format!("t{r}_{i}"), mos.nmos, &[clk, s, d])
+                    .unwrap();
+            }
+        }
+        nl
+    };
+    let pat = build("row", 1, 8);
+    let main = build("mesh", 6, 8);
+    // Sanity: with a generous guess budget every row is found.
+    let full = Matcher::new(&pat, &main)
+        .options(MatchOptions {
+            max_guesses_per_candidate: 4096,
+            ..MatchOptions::default()
+        })
+        .find_all();
+    assert_eq!(full.count(), 6, "{:?}", full.phase2);
+    // Starve the per-candidate guess budget so every candidate
+    // exhausts it, then cap total effort low enough that the run is
+    // cut off with candidates still pending.
+    let opts = |threads: usize| MatchOptions {
+        threads,
+        max_guesses_per_candidate: 4,
+        budget: Some(WorkBudget::effort(40)),
+        collect_metrics: true,
+        ..MatchOptions::default()
+    };
+    let reference = Matcher::new(&pat, &main).options(opts(1)).find_all();
+    let Completeness::Truncated {
+        candidates_skipped, ..
+    } = reference.completeness.clone()
+    else {
+        panic!("a 40-unit budget must truncate: {:?}", reference.phase2);
+    };
+    assert!(candidates_skipped > 0, "work must be left on the table");
+    let m = reference.metrics.as_ref().expect("metrics requested");
+    assert!(
+        m.counters.get("reject.budget_exhausted") > 0,
+        "starved candidates must be rejected for guess exhaustion, got {:?}",
+        m.counters.iter().collect::<Vec<_>>()
+    );
+    for threads in [2, 8] {
+        let parallel = Matcher::new(&pat, &main).options(opts(threads)).find_all();
+        assert_eq!(reference.instances, parallel.instances, "threads {threads}");
+        assert_eq!(
+            reference.completeness, parallel.completeness,
+            "threads {threads}"
+        );
+    }
+}
