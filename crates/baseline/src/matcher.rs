@@ -381,8 +381,9 @@ pub fn find_all(pattern: &Netlist, main: &Netlist, opts: &DfsOptions) -> DfsResu
     let mut s = Search::new(pattern, main, opts);
     s.extend(0);
     let mut result = s.result;
-    // Deterministic order regardless of exploration order.
-    result.instances.sort_by_key(|a| a.device_set());
+    // Deterministic order regardless of exploration order. Cached key:
+    // `device_set` sorts a fresh vector per call.
+    result.instances.sort_by_cached_key(|a| a.device_set());
     result
 }
 

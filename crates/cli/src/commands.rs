@@ -50,6 +50,17 @@ fn match_options(args: &Args) -> Result<MatchOptions, String> {
             .parse()
             .map_err(|_| format!("--threads: `{n}` is not a count"))?;
     }
+    if let Some(s) = args.option("--scheduler") {
+        opts.scheduler = match s {
+            "steal" => subgemini::Phase2Scheduler::WorkStealing,
+            "static" => subgemini::Phase2Scheduler::StaticChunks,
+            other => {
+                return Err(format!(
+                    "--scheduler: `{other}` is not a scheduler (expected `steal` or `static`)"
+                ))
+            }
+        };
+    }
     // A report implies metrics collection; text output stays untouched
     // (and the match byte-identical) without one.
     if report_mode(args)?.is_some() {

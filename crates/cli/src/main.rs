@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
-//!           [--report json|text] [--threads <n>] [--trace-out <trace.json>]
+//!           [--report json|text] [--threads <n>] [--scheduler steal|static]
+//!           [--trace-out <trace.json>]
 //!           [--events-out <events.ndjson>] [--explain]
 //!           [--max-effort <n>] [--deadline-ms <ms>] [--fail-fast]
 //! subg explain <main.sp> --pattern <cell> [--lib <cells.sp>] [--json]
@@ -31,7 +32,8 @@ subg — SubGemini subcircuit tools
 
 USAGE:
   subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
-            [--report json|text] [--threads <n>] [--trace-out <trace.json>]
+            [--report json|text] [--threads <n>] [--scheduler steal|static]
+            [--trace-out <trace.json>]
             [--events-out <events.ndjson>] [--explain]
             [--max-effort <n>] [--deadline-ms <ms>] [--fail-fast]
   subg explain <main.sp> --pattern <cell> [--lib <cells.sp>] [--json]

@@ -263,13 +263,18 @@ impl Governor {
     }
 
     /// A thread-shareable view for Phase II workers, seeded with the
-    /// effort already charged (Phase I's iterations).
-    pub(crate) fn shared(&self) -> SharedGovernor<'_> {
+    /// effort already charged (Phase I's iterations). Owning (the
+    /// cancel token is an `Arc` clone, the deadline a copied origin),
+    /// so the streaming merge can keep charging the authoritative
+    /// `&mut Governor` ledger while workers poll this view.
+    pub(crate) fn shared(&self) -> SharedGovernor {
         SharedGovernor {
             spent: AtomicU64::new(self.spent),
             max_effort: self.max_effort,
-            cancel: self.cancel.as_ref(),
-            deadline: self.deadline.as_ref(),
+            cancel: self.cancel.clone(),
+            deadline: self.deadline.clone(),
+            halt: AtomicBool::new(false),
+            claim_epoch: AtomicU64::new(0),
         }
     }
 }
@@ -279,15 +284,39 @@ impl Governor {
 /// stops every worker within one check interval. The accumulator is a
 /// *stop signal only* — the authoritative, deterministic ledger is the
 /// serial merge's, charged in candidate-vector order.
+///
+/// The scheduler rides two extra signals on the same broadcast object:
+/// [`halt`](SharedGovernor::halt), raised by the streaming merge when
+/// it stops consuming (`max_instances` reached, truncation, or normal
+/// completion), and a monotone [claim epoch](SharedGovernor::claim_epoch),
+/// bumped each time the merge publishes newly claimed devices under
+/// `OverlapPolicy::ClaimDevices` — workers use it as a cheap "any
+/// claims yet?" gate before consulting the claim board.
 #[derive(Debug)]
-pub(crate) struct SharedGovernor<'a> {
+pub(crate) struct SharedGovernor {
     spent: AtomicU64,
     max_effort: Option<u64>,
-    cancel: Option<&'a CancelToken>,
-    deadline: Option<&'a Deadline>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Deadline>,
+    halt: AtomicBool,
+    claim_epoch: AtomicU64,
 }
 
-impl SharedGovernor<'_> {
+impl SharedGovernor {
+    /// A broadcast face with no budget, cancel, or deadline: never
+    /// stops on its own, but still carries the scheduler's halt and
+    /// claim-epoch signals. Used on ungoverned parallel runs.
+    pub(crate) fn unlimited() -> SharedGovernor {
+        SharedGovernor {
+            spent: AtomicU64::new(0),
+            max_effort: None,
+            cancel: None,
+            deadline: None,
+            halt: AtomicBool::new(false),
+            claim_epoch: AtomicU64::new(0),
+        }
+    }
+
     /// Adds a finished candidate's effort to the broadcast accumulator.
     pub(crate) fn charge(&self, units: u64) {
         self.spent.fetch_add(units, Ordering::Relaxed);
@@ -301,10 +330,34 @@ impl SharedGovernor<'_> {
         {
             return true;
         }
-        if self.cancel.is_some_and(|c| c.is_cancelled()) {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return true;
         }
-        self.deadline.is_some_and(Deadline::expired)
+        self.deadline.as_ref().is_some_and(Deadline::expired)
+    }
+
+    /// Tells workers the merge has stopped consuming: no new claims
+    /// are worth making. Raised on every merge exit path so workers
+    /// blocked on the reorder window always drain promptly.
+    pub(crate) fn halt(&self) {
+        self.halt.store(true, Ordering::Release);
+    }
+
+    /// Whether [`halt`](Self::halt) has been raised.
+    pub(crate) fn halted(&self) -> bool {
+        self.halt.load(Ordering::Acquire)
+    }
+
+    /// Publishes that the claim board grew. Called by the merge *after*
+    /// setting the board's bits, so a worker that observes the new
+    /// epoch also observes the bits.
+    pub(crate) fn bump_claim_epoch(&self) {
+        self.claim_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current claim epoch (0 = nothing claimed yet).
+    pub(crate) fn claim_epoch(&self) -> u64 {
+        self.claim_epoch.load(Ordering::Acquire)
     }
 }
 
@@ -345,9 +398,17 @@ pub mod failpoint {
 
     /// Sites the search consults. Checked at: every Phase I refinement
     /// cycle (`phase1.cycle`), every Phase II candidate verification
-    /// (`phase2.candidate`), and every Phase II worker startup
-    /// (`phase2.worker`).
-    pub const SITES: [&str; 3] = ["phase1.cycle", "phase2.candidate", "phase2.worker"];
+    /// (`phase2.candidate`), every Phase II worker startup
+    /// (`phase2.worker`), and every work-stealing claim attempt
+    /// (`phase2.steal`) — where `KillWorker` abandons an
+    /// already-claimed candidate, exercising the merge's hole
+    /// recovery.
+    pub const SITES: [&str; 4] = [
+        "phase1.cycle",
+        "phase2.candidate",
+        "phase2.worker",
+        "phase2.steal",
+    ];
 
     #[cfg(any(test, feature = "failpoints"))]
     mod registry {
@@ -491,6 +552,22 @@ mod tests {
         assert!(!shared.should_stop());
         shared.charge(2);
         assert!(shared.should_stop());
+    }
+
+    #[test]
+    fn shared_governor_halt_and_claim_epoch_signals() {
+        let shared = SharedGovernor::unlimited();
+        assert!(!shared.should_stop());
+        assert!(!shared.halted());
+        assert_eq!(shared.claim_epoch(), 0);
+        shared.bump_claim_epoch();
+        shared.bump_claim_epoch();
+        assert_eq!(shared.claim_epoch(), 2);
+        shared.halt();
+        assert!(shared.halted());
+        // Halt is a scheduler signal, not a governor stop: an
+        // unlimited governor still never reports should_stop.
+        assert!(!shared.should_stop());
     }
 
     #[test]

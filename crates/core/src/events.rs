@@ -278,10 +278,12 @@ pub enum EventKind {
     Truncated {
         /// What stopped the search.
         reason: crate::budget::TruncationReason,
-        /// Candidates verified before the stop.
-        candidates_tried: u32,
+        /// Candidates verified before the stop. `u64` so a journal
+        /// over a >4B-candidate vector cannot silently wrap (the
+        /// outcome's `Completeness::Truncated` carries `usize`).
+        candidates_tried: u64,
         /// Candidates never considered.
-        candidates_skipped: u32,
+        candidates_skipped: u64,
     },
 }
 
@@ -367,6 +369,15 @@ impl EventBuffer {
     /// Consumes the buffer into its raw parts for merging.
     pub fn into_parts(self) -> (Vec<Event>, u64) {
         (self.events, self.dropped)
+    }
+
+    /// Takes everything recorded so far, leaving this buffer empty and
+    /// back in the Phase I scope with the same cap. Used by the
+    /// scheduler to harvest one candidate's events into its slot while
+    /// the worker's buffer is reused for the next candidate.
+    pub fn drain(&mut self) -> EventBuffer {
+        let cap = self.cap_per_scope;
+        std::mem::replace(self, EventBuffer::new(cap))
     }
 }
 
@@ -501,14 +512,8 @@ fn kind_args(kind: &EventKind) -> Vec<(String, Value)> {
             candidates_skipped,
         } => vec![
             ("reason".into(), Value::Str(reason.as_str().into())),
-            (
-                "candidates_tried".into(),
-                Value::int(candidates_tried as u64),
-            ),
-            (
-                "candidates_skipped".into(),
-                Value::int(candidates_skipped as u64),
-            ),
+            ("candidates_tried".into(), Value::int(candidates_tried)),
+            ("candidates_skipped".into(), Value::int(candidates_skipped)),
         ],
     }
 }
@@ -908,6 +913,56 @@ mod tests {
 
     fn dev(i: u32) -> Vertex {
         Vertex::Device(DeviceId::new(i))
+    }
+
+    #[test]
+    fn truncated_counts_survive_past_u32() {
+        // A journal over a >4B-candidate vector must not wrap: the
+        // event carries the counts as u64 end to end.
+        let tried = u32::MAX as u64 + 5;
+        let skipped = u32::MAX as u64 + 7;
+        let e = Event {
+            scope: EventScope::Phase1,
+            seq: 0,
+            kind: EventKind::Truncated {
+                reason: crate::budget::TruncationReason::EffortExhausted,
+                candidates_tried: tried,
+                candidates_skipped: skipped,
+            },
+        };
+        let rendered = event_to_json(&e).pretty();
+        assert!(
+            rendered.contains(&format!("\"candidates_tried\": {tried}")),
+            "u64 count mangled in {rendered}"
+        );
+        assert!(
+            rendered.contains(&format!("\"candidates_skipped\": {skipped}")),
+            "u64 count mangled in {rendered}"
+        );
+    }
+
+    #[test]
+    fn drain_takes_events_and_resets_scope_and_cap() {
+        let mut b = EventBuffer::new(2);
+        b.begin_candidate(3);
+        b.push(EventKind::CandidateBegin { c: dev(1) });
+        let taken = b.drain();
+        let (events, dropped) = taken.into_parts();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].scope, EventScope::Candidate(3));
+        assert_eq!(dropped, 0);
+        // The original buffer is empty, back in Phase1, same cap.
+        assert!(b.is_empty());
+        b.begin_candidate(4);
+        for _ in 0..5 {
+            b.push(EventKind::Backtrack {
+                depth: 1,
+                undo_ops: 1,
+            });
+        }
+        let (events, dropped) = b.into_parts();
+        assert_eq!(events.len(), 2, "cap of 2 must survive drain");
+        assert_eq!(dropped, 3);
     }
 
     #[test]

@@ -71,6 +71,21 @@ pub struct Phase2Stats {
     pub overlap_dropped: usize,
 }
 
+impl Phase2Stats {
+    /// Adds another stats block (one consumed candidate's worth) into
+    /// this one. The streaming merge uses this to accumulate exactly
+    /// the candidates it consumed, in candidate-vector order, so the
+    /// outcome's stats are identical across thread counts.
+    pub(crate) fn absorb(&mut self, o: &Phase2Stats) {
+        self.candidates_tried += o.candidates_tried;
+        self.false_candidates += o.false_candidates;
+        self.passes += o.passes;
+        self.guesses += o.guesses;
+        self.backtracks += o.backtracks;
+        self.overlap_dropped += o.overlap_dropped;
+    }
+}
+
 /// Complete outcome of a SubGemini search.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MatchOutcome {

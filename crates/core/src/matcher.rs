@@ -7,17 +7,18 @@
 
 use std::borrow::Cow;
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use subgemini_netlist::{CompiledCircuit, DeviceId, Netlist};
 
-use crate::budget::{effort_of, Completeness, Governor, TruncationReason};
+use crate::budget::{effort_of, Completeness, Governor, SharedGovernor, TruncationReason};
 use crate::events::{EventBuffer, EventJournal, EventKind, RejectTally};
 use crate::instance::{MatchOutcome, SubMatch};
 use crate::metrics::{Histogram, MetricsReport, PhaseTimer, ProgressEvent};
-use crate::options::{MatchOptions, OverlapPolicy};
+use crate::options::{MatchOptions, OverlapPolicy, Phase2Scheduler};
 use crate::phase1;
 use crate::phase2::{CandidateTiming, Phase2Runner};
+use crate::scheduler::{Claim, ClaimBoard, StealQueue, WorkerStats};
 use crate::trace::Phase2Trace;
 
 /// A configured subcircuit search: find instances of `pattern` inside
@@ -171,8 +172,13 @@ pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> Ma
         )
     };
     if let Some(t) = total_timer {
+        // Only the zero-device-pattern early return reaches the
+        // insert; it reports the same thread fields (requested,
+        // resolved, used) as a full run so consumers never see a
+        // partially-filled report shape.
         let m = outcome.metrics.get_or_insert_with(|| MetricsReport {
             threads_requested: options.threads,
+            threads_resolved: options.resolved_threads(),
             threads_used: 1,
             ..MetricsReport::default()
         });
@@ -218,6 +224,7 @@ pub fn find_all_many(
             if let Some(t) = total_timer {
                 let m = outcome.metrics.get_or_insert_with(|| MetricsReport {
                     threads_requested: options.threads,
+                    threads_resolved: options.resolved_threads(),
                     threads_used: 1,
                     ..MetricsReport::default()
                 });
@@ -300,11 +307,15 @@ pub(crate) fn find_all_compiled(
     if let Some(g) = governor.as_mut() {
         g.charge(p1.stats.iterations as u64);
     }
+    // Auto-threading (`threads: 0`) is resolved exactly once per
+    // search; every report path below sees the same resolved count.
+    let worker_count = options.resolved_threads();
     let mut metrics = collect.then(|| MetricsReport {
         compile_ns: main_compile_ns + pattern_compile_ns,
         phase1_refine_ns: p1_timing.refine_ns,
         phase1_select_ns: p1_timing.select_ns,
         threads_requested: options.threads,
+        threads_resolved: worker_count,
         threads_used: 1,
         ..MetricsReport::default()
     });
@@ -363,252 +374,361 @@ pub(crate) fn find_all_compiled(
         outcome.metrics = metrics;
         return outcome;
     };
-    // Optional parallel pre-pass: candidates are independent, so their
-    // verification can run on worker threads — each worker materializes
-    // one reusable search state and drains its candidate chunk through
-    // it. The merge below consumes the precomputed per-candidate
-    // results in candidate-vector order, so instances are identical to
-    // a serial run (tracing forces the serial path; effort counters may
-    // include candidates a serial run would have skipped after a claim).
-    let worker_count = match options.threads {
-        0 => std::thread::available_parallelism().map_or(1, usize::from),
-        n => n,
-    };
+    // ---- Phase II candidate stage ----
+    //
+    // Parallel runs stream: workers claim candidates — one at a time
+    // from a shared atomic cursor (work stealing, the default) or as
+    // preassigned contiguous chunks — verify them into per-candidate
+    // slots, and the serial merge below consumes those slots in
+    // candidate-vector order *concurrently*, behind a bounded reorder
+    // window. The merge is the sole determinism authority: it charges
+    // the governor, decides truncation, claims devices, and absorbs
+    // stats/events/tallies from exactly the candidates it consumes —
+    // so instances, stats, the journal, and the truncation point are
+    // identical for every thread count and both schedulers (tracing
+    // forces the serial path). See DESIGN.md §3e.
+    let n = p1.candidates.len();
+    let par_enabled = !options.record_trace && worker_count > 1 && n > 1;
+    let spawn_count = worker_count.min(n);
+    let stealing = par_enabled && options.scheduler == Phase2Scheduler::WorkStealing;
     let phase2_timer = collect.then(PhaseTimer::start);
-    // Worker-side observability payloads harvested after the pre-pass.
+    // Worker-side observability payloads harvested after the scope.
     struct WorkerPart {
-        stats: crate::instance::Phase2Stats,
         timing: Option<CandidateTiming>,
-        events: Option<EventBuffer>,
         backtrack_hist: Option<Histogram>,
-        reject_tally: Option<RejectTally>,
+        sched: WorkerStats,
+    }
+    // One candidate's complete verification product. Stats, events,
+    // and tallies live here — per candidate, not per worker — so the
+    // merge can absorb exactly the candidates it consumes, making the
+    // outcome's accounting independent of how candidates were
+    // distributed over workers. `done: false` marks an abandoned claim
+    // (injected worker death): empty payload, the merge recomputes.
+    struct SlotData {
+        result: Option<crate::instance::SubMatch>,
+        stats: crate::instance::Phase2Stats,
+        effort: u64,
+        events: Option<EventBuffer>,
+        tally: Option<RejectTally>,
+        done: bool,
+    }
+    impl SlotData {
+        fn abandoned() -> Self {
+            SlotData {
+                result: None,
+                stats: crate::instance::Phase2Stats::default(),
+                effort: 0,
+                events: None,
+                tally: None,
+                done: false,
+            }
+        }
     }
     let mut event_buffers: Vec<EventBuffer> = Vec::new();
     let mut reject_tally = RejectTally::default();
-    // One precomputed candidate. `done` distinguishes "verified, no
-    // match" from "never ran" (worker stopped on the shared governor's
-    // broadcast, or was killed by a failpoint): the merge recomputes
-    // undone slots serially, so results never depend on where workers
-    // happened to stop. `effort` is the candidate's deterministic cost,
-    // recorded so the merge can charge the authoritative ledger in
-    // candidate-vector order.
-    struct Slot {
-        result: Option<crate::instance::SubMatch>,
-        effort: u64,
-        done: bool,
+    // Shared scheduler state. `OnceLock` gives lock-free one-shot
+    // publication per slot; the queue carries the claim cursor, the
+    // merge position (reorder window anchor), and the live-worker
+    // count the merge uses to tell "in flight" from "never coming".
+    let mut slots: Vec<OnceLock<SlotData>> = Vec::new();
+    if par_enabled {
+        slots.resize_with(n, OnceLock::new);
     }
-    let precomputed: Option<Vec<Slot>> =
-        if !options.record_trace && worker_count > 1 && p1.candidates.len() > 1 {
-            let n = p1.candidates.len();
-            let mut results: Vec<Slot> = Vec::new();
-            results.resize_with(n, || Slot {
-                result: None,
-                effort: 0,
-                done: false,
-            });
-            let chunk = n.div_ceil(worker_count.min(n));
-            let stats_parts = std::sync::Mutex::new(Vec::<WorkerPart>::new());
-            let mut workers_used = 0usize;
-            // Broadcast view of the governor: workers poll it before
-            // each candidate and feed finished candidates' effort back,
-            // so exhaustion stops every worker within one candidate.
-            let shared = governor.as_ref().map(Governor::shared);
-            std::thread::scope(|scope| {
-                for (ci, (slot_chunk, cand_chunk)) in results
-                    .chunks_mut(chunk)
-                    .zip(p1.candidates.chunks(chunk))
-                    .enumerate()
-                {
-                    workers_used += 1;
-                    let runner = &runner;
-                    let base = &base;
-                    let stats_parts = &stats_parts;
-                    let shared = shared.as_ref();
-                    // Global candidate rank of this chunk's first slot:
-                    // journal scopes depend on the candidate's position
-                    // in the CV, never on the worker that ran it.
-                    let rank0 = ci * chunk;
-                    scope.spawn(move || {
-                        use crate::budget::failpoint;
-                        if let Some(failpoint::Action::KillWorker) = failpoint::get("phase2.worker")
-                        {
-                            return; // simulated worker death
-                        }
-                        failpoint::stall("phase2.worker");
-                        let mut search = runner.make_state(base);
-                        let mut stats = crate::instance::Phase2Stats::default();
-                        let mut timing = collect.then(CandidateTiming::default);
-                        for (j, (slot, &c)) in slot_chunk.iter_mut().zip(cand_chunk).enumerate() {
-                            if shared.is_some_and(|s| s.should_stop()) {
-                                break;
-                            }
-                            let before = effort_of(&stats);
-                            slot.result = runner
-                                .run_candidate_timed(
-                                    &mut search,
-                                    key,
-                                    c,
-                                    (rank0 + j) as u32,
-                                    &mut stats,
-                                    false,
-                                    timing.as_mut(),
-                                )
-                                .map(|(m, _)| m);
-                            slot.effort = 1 + (effort_of(&stats) - before);
-                            slot.done = true;
-                            if let Some(s) = shared {
-                                s.charge(slot.effort);
-                            }
-                        }
-                        stats_parts
-                            .lock()
-                            .expect("no panics while holding the lock")
-                            .push(WorkerPart {
-                                stats,
-                                timing,
-                                events: search.take_events(),
-                                backtrack_hist: search.take_backtrack_hist(),
-                                reject_tally: search.take_reject_tally(),
-                            });
-                    });
-                }
-            });
-            for part in stats_parts.into_inner().expect("threads joined") {
-                outcome.phase2.candidates_tried += part.stats.candidates_tried;
-                outcome.phase2.false_candidates += part.stats.false_candidates;
-                outcome.phase2.passes += part.stats.passes;
-                outcome.phase2.guesses += part.stats.guesses;
-                outcome.phase2.backtracks += part.stats.backtracks;
-                if let Some(t) = part.reject_tally {
-                    reject_tally.merge(&t);
-                }
-                if let Some(b) = part.events {
-                    event_buffers.push(b);
-                }
-                if let Some(m) = metrics.as_mut() {
-                    if let Some(t) = part.timing {
-                        m.worker_busy_ns.push(t.sum_ns);
-                        m.phase2_verify_ns += t.sum_ns;
-                        m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(t.max_ns);
-                        m.verify_ns_hist.merge(&t.hist);
-                    }
-                    if let Some(h) = part.backtrack_hist {
-                        m.backtrack_depth_hist.merge(&h);
-                    }
-                }
-            }
-            if let Some(m) = metrics.as_mut() {
-                m.threads_used = workers_used;
-            }
-            Some(results)
-        } else {
-            None
+    let mut consumed = vec![false; slots.len()];
+    let queue = StealQueue::new(n, spawn_count);
+    // Broadcast face of the governor: workers poll it before each
+    // claim and feed finished candidates' effort back, so exhaustion
+    // stops every worker within one candidate; the merge rides its
+    // halt and claim-epoch signals on the same object.
+    let shared = governor
+        .as_ref()
+        .map_or_else(SharedGovernor::unlimited, Governor::shared);
+    // Claim board: under ClaimDevices, stealing workers skip
+    // candidates whose key image a merged instance already claimed.
+    // Claims only grow, and only the merge publishes them, so any bit
+    // a worker observes belongs to a merged prefix — the merge's own
+    // claim check skips the same candidate, never waiting on the
+    // worker's unwritten slot.
+    let board = (stealing && options.overlap == OverlapPolicy::ClaimDevices)
+        .then(|| ClaimBoard::new(main_nl.device_count()));
+    let chunk = if par_enabled {
+        n.div_ceil(spawn_count)
+    } else {
+        1
+    };
+    let parts = std::sync::Mutex::new(Vec::<WorkerPart>::new());
+    let worker = |w: usize| {
+        use crate::budget::failpoint;
+        let mut part = WorkerPart {
+            timing: collect.then(CandidateTiming::default),
+            backtrack_hist: None,
+            sched: WorkerStats::default(),
         };
+        let push_part = |part: WorkerPart| {
+            parts
+                .lock()
+                .expect("no panics while holding the lock")
+                .push(part);
+        };
+        if let Some(failpoint::Action::KillWorker) = failpoint::get("phase2.worker") {
+            // Simulated worker death at startup: its candidates become
+            // holes the merge recomputes serially.
+            queue.worker_done();
+            push_part(part);
+            return;
+        }
+        failpoint::stall("phase2.worker");
+        let mut search = runner.make_state(&base);
+        // The worker's home range under static chunking — also what
+        // defines a "steal": a claim outside it is work this worker
+        // would have idled through with static chunks.
+        let home = (w * chunk)..(((w + 1) * chunk).min(n));
+        let mut next_static = home.start;
+        loop {
+            if shared.halted() || shared.should_stop() {
+                break;
+            }
+            let i = if stealing {
+                if let Some(failpoint::Action::KillWorker) = failpoint::get("phase2.steal") {
+                    // Death *after* claiming: abandon the candidate so
+                    // the merge's hole recovery has to repair it.
+                    if let Claim::Got(i) = queue.try_claim() {
+                        let _ = slots[i].set(SlotData::abandoned());
+                    }
+                    break;
+                }
+                failpoint::stall("phase2.steal");
+                match queue.try_claim() {
+                    Claim::Got(i) => i,
+                    Claim::Blocked => {
+                        part.sched.window_stalls += 1;
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    Claim::Drained => break,
+                }
+            } else {
+                if next_static >= home.end {
+                    break;
+                }
+                let i = next_static;
+                next_static += 1;
+                i
+            };
+            part.sched.claimed += 1;
+            if stealing && !home.contains(&i) {
+                part.sched.steals += 1;
+            }
+            let c = p1.candidates[i];
+            if let (Some(b), Some(d)) = (board.as_ref(), c.as_device()) {
+                if shared.claim_epoch() > 0 && b.is_claimed(d.index()) {
+                    part.sched.claim_skips += 1;
+                    continue;
+                }
+            }
+            let mut stats = crate::instance::Phase2Stats::default();
+            let result = runner
+                .run_candidate_timed(
+                    &mut search,
+                    key,
+                    c,
+                    i as u32,
+                    &mut stats,
+                    false,
+                    part.timing.as_mut(),
+                )
+                .map(|(m, _)| m);
+            let effort = 1 + effort_of(&stats);
+            let _ = slots[i].set(SlotData {
+                result,
+                stats,
+                effort,
+                events: search.drain_events(),
+                tally: search.drain_reject_tally(),
+                done: true,
+            });
+            shared.charge(effort);
+        }
+        queue.worker_done();
+        part.backtrack_hist = search.take_backtrack_hist();
+        push_part(part);
+    };
 
-    let mut serial_search = precomputed.is_none().then(|| runner.make_state(&base));
+    let mut serial_search = (!par_enabled).then(|| runner.make_state(&base));
     let mut claimed: HashSet<DeviceId> = HashSet::new();
     let mut seen_sets: HashSet<Vec<DeviceId>> = HashSet::new();
     let mut p2_trace: Option<Phase2Trace> = None;
-    let mut serial_timing = (collect && precomputed.is_none()).then(CandidateTiming::default);
+    let mut serial_timing = (collect && !par_enabled).then(CandidateTiming::default);
     let mut checked = 0u64;
     let mut matched = 0u64;
     let mut dedup_dropped = 0u64;
+    let mut merge_stalls = 0u64;
+    let mut recomputed = 0u64;
     // Where (and why) the governor stopped the merge. The decision is
     // taken *only* here, in candidate-vector order, from effort charged
     // at candidate granularity — so the truncation point is identical
     // for every thread count.
     let mut truncation: Option<TruncationReason> = None;
     let mut stop_index = 0usize;
-    let total = p1.candidates.len();
-    for (i, &c) in p1.candidates.iter().enumerate() {
-        if options.max_instances > 0 && outcome.instances.len() >= options.max_instances {
-            break; // a requested limit, not a truncation
-        }
-        if let Some(reason) = governor.as_ref().and_then(Governor::should_stop) {
-            truncation = Some(reason);
-            stop_index = i;
-            break;
-        }
-        // Claimed key images cannot start a new instance.
-        if options.overlap == OverlapPolicy::ClaimDevices {
-            if let Some(d) = c.as_device() {
-                if claimed.contains(&d) {
-                    continue;
+    // How many yields the merge waits on an empty-but-claimed slot
+    // before recomputing it anyway. Normally unhit: holes are found
+    // via the worker count reaching zero. This is the self-healing
+    // bound — recomputation is always safe (a late slot write is
+    // simply never consumed), so a stuck claim costs duplicated work,
+    // never a hang or a result change.
+    const MERGE_PATIENCE: u64 = 200_000;
+    let mut run_merge = |serial_search: &mut Option<crate::phase2::SearchState>| {
+        for (i, &c) in p1.candidates.iter().enumerate() {
+            if par_enabled {
+                queue.advance_merge(i);
+            }
+            if options.max_instances > 0 && outcome.instances.len() >= options.max_instances {
+                break; // a requested limit, not a truncation
+            }
+            if let Some(reason) = governor.as_ref().and_then(Governor::should_stop) {
+                truncation = Some(reason);
+                stop_index = i;
+                break;
+            }
+            // Claimed key images cannot start a new instance. This
+            // runs *before* the slot wait: a candidate a worker
+            // claim-skipped never gets a slot, and this same check is
+            // what guarantees the merge won't wait for one.
+            if options.overlap == OverlapPolicy::ClaimDevices {
+                if let Some(d) = c.as_device() {
+                    if claimed.contains(&d) {
+                        continue;
+                    }
                 }
             }
-        }
-        let want_trace = options.record_trace && p2_trace.is_none();
-        let verified = match &precomputed {
-            Some(slots) if slots[i].done => {
-                if let Some(g) = governor.as_mut() {
-                    g.charge(slots[i].effort);
+            let want_trace = options.record_trace && p2_trace.is_none();
+            // Streaming consume: wait for the candidate's slot while
+            // any worker is still alive to fill it (brief spin, then
+            // yield). Once workers are gone — or patience runs out on
+            // an abandoned claim — fall through to serial recompute.
+            let slot = if par_enabled {
+                let mut spins = 0u64;
+                loop {
+                    if let Some(s) = slots[i].get() {
+                        break Some(s);
+                    }
+                    if !queue.workers_active() {
+                        // Workers exited between the failed get and
+                        // this check: one final look, then recompute.
+                        break slots[i].get();
+                    }
+                    if spins >= MERGE_PATIENCE {
+                        break None;
+                    }
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        merge_stalls += 1;
+                        std::thread::yield_now();
+                    }
+                    spins += 1;
                 }
-                slots[i].result.clone().map(|m| (m, None))
-            }
-            maybe_slots => {
-                // Serial path — or a slot its worker never reached
-                // (stopped on the broadcast, or killed by a failpoint):
-                // verify it here. `run_candidate` rolls back to the
-                // base state, so recomputation is deterministic.
-                let search = match maybe_slots {
-                    None => serial_search.as_mut().expect("serial path has a state"),
-                    Some(_) => serial_search.get_or_insert_with(|| runner.make_state(&base)),
-                };
-                let before = effort_of(&outcome.phase2);
-                let verified = runner.run_candidate_timed(
-                    search,
-                    key,
-                    c,
-                    i as u32,
-                    &mut outcome.phase2,
-                    want_trace,
-                    serial_timing.as_mut(),
-                );
-                if let Some(g) = governor.as_mut() {
-                    g.charge(1 + (effort_of(&outcome.phase2) - before));
+            } else {
+                None
+            };
+            let verified = match slot {
+                Some(s) if s.done => {
+                    if let Some(g) = governor.as_mut() {
+                        g.charge(s.effort);
+                    }
+                    outcome.phase2.absorb(&s.stats);
+                    consumed[i] = true;
+                    s.result.clone().map(|m| (m, None))
                 }
-                verified
+                _ => {
+                    // Serial path — or a hole (worker stopped on the
+                    // broadcast, or abandoned its claim): verify here.
+                    // `run_candidate` rolls back to the base state, so
+                    // recomputation is deterministic, and a racing
+                    // worker's late slot write is never consumed.
+                    if par_enabled {
+                        recomputed += 1;
+                    }
+                    let search = serial_search.get_or_insert_with(|| runner.make_state(&base));
+                    let before = effort_of(&outcome.phase2);
+                    let verified = runner.run_candidate_timed(
+                        search,
+                        key,
+                        c,
+                        i as u32,
+                        &mut outcome.phase2,
+                        want_trace,
+                        serial_timing.as_mut(),
+                    );
+                    if let Some(g) = governor.as_mut() {
+                        g.charge(1 + (effort_of(&outcome.phase2) - before));
+                    }
+                    verified
+                }
+            };
+            checked += 1;
+            if let Some(hook) = progress {
+                hook.call(&ProgressEvent::CandidateChecked {
+                    index: i,
+                    total: n,
+                    matched: verified.is_some(),
+                });
             }
-        };
-        checked += 1;
-        if let Some(hook) = progress {
-            hook.call(&ProgressEvent::CandidateChecked {
-                index: i,
-                total,
-                matched: verified.is_some(),
-            });
+            let Some((m, t)) = verified else {
+                continue;
+            };
+            matched += 1;
+            let set = m.device_set();
+            if seen_sets.contains(&set) {
+                dedup_dropped += 1;
+                continue; // same instance reached through another candidate
+            }
+            let overlaps = options.overlap == OverlapPolicy::ClaimDevices
+                && set.iter().any(|d| claimed.contains(d));
+            if options.overlap == OverlapPolicy::ClaimDevices && !overlaps {
+                if let Some(b) = board.as_ref() {
+                    for d in &set {
+                        b.publish(d.index());
+                    }
+                    // Epoch after bits: a worker that sees the epoch
+                    // sees the bits.
+                    shared.bump_claim_epoch();
+                }
+                claimed.extend(set.iter().copied());
+            }
+            seen_sets.insert(set); // move, not clone — the set is consumed here
+            if overlaps {
+                outcome.phase2.overlap_dropped += 1;
+                continue;
+            }
+            if want_trace {
+                p2_trace = t;
+            }
+            outcome.instances.push(m);
+            if let Some(hook) = progress {
+                hook.call(&ProgressEvent::InstanceFound {
+                    count: outcome.instances.len(),
+                });
+            }
         }
-        let Some((m, t)) = verified else {
-            continue;
-        };
-        matched += 1;
-        let set = m.device_set();
-        if seen_sets.contains(&set) {
-            dedup_dropped += 1;
-            continue; // same instance reached through another candidate
-        }
-        let overlaps = options.overlap == OverlapPolicy::ClaimDevices
-            && set.iter().any(|d| claimed.contains(d));
-        if options.overlap == OverlapPolicy::ClaimDevices && !overlaps {
-            claimed.extend(set.iter().copied());
-        }
-        seen_sets.insert(set); // move, not clone — the set is consumed here
-        if overlaps {
-            outcome.phase2.overlap_dropped += 1;
-            continue;
-        }
-        if want_trace {
-            p2_trace = t;
-        }
-        outcome.instances.push(m);
-        if let Some(hook) = progress {
-            hook.call(&ProgressEvent::InstanceFound {
-                count: outcome.instances.len(),
-            });
-        }
+    };
+    if par_enabled {
+        std::thread::scope(|scope| {
+            for w in 0..spawn_count {
+                let worker = &worker;
+                scope.spawn(move || worker(w));
+            }
+            run_merge(&mut serial_search);
+            // Raised on every merge exit path (completion, a limit, a
+            // stop): workers — including ones parked on the reorder
+            // window — drain promptly instead of finishing the vector.
+            shared.halt();
+        });
+    } else {
+        run_merge(&mut serial_search);
     }
     if let Some(reason) = truncation {
-        let candidates_skipped = total - stop_index;
+        let candidates_skipped = n - stop_index;
         outcome.completeness = Completeness::Truncated {
             reason,
             candidates_tried: checked as usize,
@@ -617,12 +737,14 @@ pub(crate) fn find_all_compiled(
         if let Some(b) = p1_events.as_mut() {
             b.push(EventKind::Truncated {
                 reason,
-                candidates_tried: checked as u32,
-                candidates_skipped: candidates_skipped as u32,
+                candidates_tried: checked,
+                candidates_skipped: candidates_skipped as u64,
             });
         }
     }
-    outcome.instances.sort_by_key(|a| a.device_set());
+    // `sort_by_cached_key`: one device-set materialization per
+    // instance, not one per comparison.
+    outcome.instances.sort_by_cached_key(SubMatch::device_set);
     outcome.trace = p2_trace;
     if let Some(search) = serial_search.as_mut() {
         if let Some(t) = search.take_reject_tally() {
@@ -637,7 +759,44 @@ pub(crate) fn find_all_compiled(
             }
         }
     }
+    // Harvest the slots: only *consumed* candidates contribute events
+    // and tallies (per-candidate, so the journal and reject accounting
+    // are byte-identical across thread counts); slots the merge never
+    // consumed — computed past a truncation point, or superseded by a
+    // recompute — are dropped and counted.
+    let mut sched = WorkerStats::default();
+    let mut unconsumed = 0u64;
+    for (i, s) in slots.into_iter().enumerate() {
+        let Some(d) = s.into_inner() else { continue };
+        if consumed[i] {
+            if let Some(t) = d.tally {
+                reject_tally.merge(&t);
+            }
+            if let Some(b) = d.events {
+                event_buffers.push(b);
+            }
+        } else if d.done {
+            unconsumed += 1;
+        }
+    }
+    for part in parts.into_inner().expect("threads joined") {
+        sched.absorb(&part.sched);
+        if let Some(m) = metrics.as_mut() {
+            if let Some(t) = part.timing {
+                m.worker_busy_ns.push(t.sum_ns);
+                m.phase2_verify_ns += t.sum_ns;
+                m.phase2_max_candidate_ns = m.phase2_max_candidate_ns.max(t.max_ns);
+                m.verify_ns_hist.merge(&t.hist);
+            }
+            if let Some(h) = part.backtrack_hist {
+                m.backtrack_depth_hist.merge(&h);
+            }
+        }
+    }
     if let Some(m) = metrics.as_mut() {
+        if par_enabled {
+            m.threads_used = spawn_count;
+        }
         if let Some(t) = serial_timing {
             m.worker_busy_ns.push(t.sum_ns);
             m.phase2_verify_ns += t.sum_ns;
@@ -656,6 +815,19 @@ pub(crate) fn find_all_compiled(
             "instances.claim_dropped",
             outcome.phase2.overlap_dropped as u64,
         );
+        if par_enabled {
+            // Scheduler telemetry. Work counts (claims, steals,
+            // skips) depend on runtime interleaving — unlike results,
+            // which never do.
+            m.counters.bump("scheduler.claims", sched.claimed);
+            m.counters.bump("scheduler.steals", sched.steals);
+            m.counters.bump("scheduler.claim_skips", sched.claim_skips);
+            m.counters
+                .bump("scheduler.window_stalls", sched.window_stalls);
+            m.counters.bump("scheduler.merge_stalls", merge_stalls);
+            m.counters.bump("scheduler.recomputed", recomputed);
+            m.counters.bump("scheduler.unconsumed", unconsumed);
+        }
         // Reject reasons land as counters in first-bump order;
         // `nonzero()` yields them in the closed `ALL` order.
         for (r, v) in reject_tally.nonzero() {

@@ -234,6 +234,10 @@ pub struct MetricsReport {
     /// Thread count requested via [`MatchOptions::threads`](crate::MatchOptions)
     /// (0 = auto).
     pub threads_requested: usize,
+    /// The requested count with `0` (auto) resolved to the machine's
+    /// available parallelism — what the search would use if eligible
+    /// for parallel execution. Schema v1 additive.
+    pub threads_resolved: usize,
     /// Worker threads actually used for candidate verification.
     pub threads_used: usize,
     /// Busy (verification) time per worker, one entry per worker; a
@@ -779,6 +783,10 @@ pub fn outcome_to_json(outcome: &MatchOutcome) -> json::Value {
             (
                 "threads_requested".into(),
                 Value::int(m.threads_requested as u64),
+            ),
+            (
+                "threads_resolved".into(),
+                Value::int(m.threads_resolved as u64),
             ),
             ("threads_used".into(), Value::int(m.threads_used as u64)),
             (

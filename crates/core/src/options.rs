@@ -33,6 +33,25 @@ pub enum KeyPolicy {
     LargestPartition,
 }
 
+/// How parallel Phase II distributes candidates over worker threads.
+/// Either way the serial merge consumes results in candidate-vector
+/// order, so the choice affects wall-clock only — never results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Phase2Scheduler {
+    /// Workers claim candidates one at a time from a shared atomic
+    /// cursor behind a bounded reorder window (see DESIGN.md §3e).
+    /// Robust to skewed per-candidate cost — one pathological
+    /// candidate no longer idles every other worker — and lets
+    /// workers skip candidates whose key image the merge has already
+    /// claimed under [`OverlapPolicy::ClaimDevices`].
+    #[default]
+    WorkStealing,
+    /// The candidate vector is split into contiguous chunks, one per
+    /// worker, assigned up front. Kept as an escape hatch and as the
+    /// baseline the scheduler benches compare against.
+    StaticChunks,
+}
+
 /// Options controlling a SubGemini run.
 ///
 /// # Examples
@@ -72,6 +91,10 @@ pub struct MatchOptions {
     /// serial order regardless of thread count; `record_trace` forces
     /// serial execution.
     pub threads: usize,
+    /// How parallel Phase II hands candidates to workers; ignored when
+    /// the run is effectively serial. Default
+    /// [`Phase2Scheduler::WorkStealing`].
+    pub scheduler: Phase2Scheduler,
     /// Seed for the deterministic RNG that generates unique match
     /// labels. Runs with equal seeds are bit-identical.
     pub seed: u64,
@@ -140,6 +163,7 @@ impl Default for MatchOptions {
             max_passes_per_candidate: 10_000,
             key_policy: KeyPolicy::default(),
             threads: 1,
+            scheduler: Phase2Scheduler::default(),
             seed: 0x5b6e_1347,
             record_trace: false,
             spread_from_port_images: false,
@@ -154,6 +178,17 @@ impl Default for MatchOptions {
 }
 
 impl MatchOptions {
+    /// Resolves `threads` to a concrete worker count: `0` (auto) maps
+    /// to the machine's available parallelism, anything else is taken
+    /// literally. Resolved exactly once per search so every report
+    /// path agrees on both the requested and the resolved value.
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+    }
+
     /// The configuration used by the extraction engine: claim devices,
     /// respect special nets.
     pub fn extraction() -> Self {
@@ -185,6 +220,17 @@ mod tests {
         assert_eq!(o.max_instances, 0);
         assert_eq!(o.budget, None, "searches are unbudgeted by default");
         assert_eq!(o.cancel, None, "searches are uncancellable by default");
+        assert_eq!(o.scheduler, Phase2Scheduler::WorkStealing);
+    }
+
+    #[test]
+    fn resolved_threads_maps_auto_once() {
+        let mut o = MatchOptions::default();
+        assert_eq!(o.resolved_threads(), 1);
+        o.threads = 3;
+        assert_eq!(o.resolved_threads(), 3);
+        o.threads = 0;
+        assert!(o.resolved_threads() >= 1, "auto resolves to >= 1");
     }
 
     #[test]

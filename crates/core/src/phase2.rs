@@ -1184,4 +1184,18 @@ impl SearchState {
     pub fn take_reject_tally(&mut self) -> Option<RejectTally> {
         self.state.reject_tally.take()
     }
+
+    /// Drains the events recorded since the last drain, leaving the
+    /// buffer in place (empty) for the next candidate. Unlike
+    /// [`take_events`](Self::take_events) this keeps tracing enabled,
+    /// so a reused search state keeps recording per candidate.
+    pub fn drain_events(&mut self) -> Option<EventBuffer> {
+        self.state.events.as_mut().map(EventBuffer::drain)
+    }
+
+    /// Drains the reject tallies accumulated since the last drain,
+    /// leaving a zeroed tally in place for the next candidate.
+    pub fn drain_reject_tally(&mut self) -> Option<RejectTally> {
+        self.state.reject_tally.as_mut().map(std::mem::take)
+    }
 }

@@ -157,20 +157,27 @@ impl TechMapper {
     /// Greedy covering: repeatedly takes the disjoint candidate with the
     /// best cost-per-covered-device ratio.
     pub fn map_greedy(&self, subject: &Netlist) -> CoverResult {
-        let (mut candidates, truncated_cells) = self.enumerate(subject);
-        candidates.sort_by(|a, b| {
+        let (candidates, truncated_cells) = self.enumerate(subject);
+        // Decorate with the device-set tiebreak key once per candidate
+        // — computing it inside the comparator would allocate two
+        // sorted vectors per comparison.
+        let mut decorated: Vec<(Vec<DeviceId>, CoverCandidate)> = candidates
+            .into_iter()
+            .map(|c| (c.instance.device_set(), c))
+            .collect();
+        decorated.sort_by(|(da, a), (db, b)| {
             let ra = a.cost / a.size() as f64;
             let rb = b.cost / b.size() as f64;
             ra.partial_cmp(&rb)
                 .expect("costs are finite")
-                .then_with(|| a.instance.device_set().cmp(&b.instance.device_set()))
+                .then_with(|| da.cmp(db))
         });
         let mut covered: HashSet<DeviceId> = HashSet::new();
         let mut result = CoverResult {
             truncated_cells,
             ..CoverResult::default()
         };
-        for cand in candidates {
+        for (_, cand) in decorated {
             if cand.instance.devices.iter().any(|d| covered.contains(d)) {
                 continue;
             }

@@ -417,9 +417,49 @@ pub fn near_miss_field(cell: &Netlist, n: usize, seed: u64) -> Generated {
     g
 }
 
+/// A skewed scheduler workload: `traps` copies of `cell` superposed on
+/// one shared set of port nets (a symmetric blob — every verification
+/// inside it must individuate its copy out of `traps` interchangeable
+/// ones, a guess-storm that costs orders of magnitude more Phase II
+/// effort per candidate than a clean instance), followed by `easy`
+/// true instances on disjoint fresh nets (each a fast verify). The
+/// blob is planted first, so its heavy candidates cluster at the head
+/// of the candidate vector: under static chunking the first worker
+/// serializes behind the whole blob while the rest idle; a
+/// work-stealing scheduler lets every worker drain the easy tail
+/// meanwhile. Fully deterministic (no randomness). Ground truth:
+/// `traps + easy` true instances (blob copies share nets, not
+/// devices).
+pub fn skewed_trap_field(cell: &Netlist, traps: usize, easy: usize) -> Generated {
+    let mut g = Generated::new("skewed_trap_field");
+    let nports = cell.ports().len();
+    let blob_nets: Vec<NetId> = (0..nports)
+        .map(|p| g.netlist.net(format!("b{p}")))
+        .collect();
+    for j in 0..traps {
+        g.plant(cell, &format!("x{j}"), &blob_nets);
+    }
+    for i in 0..easy {
+        let bindings: Vec<NetId> = (0..nports)
+            .map(|p| g.netlist.net(format!("e{i}p{p}")))
+            .collect();
+        g.plant(cell, &format!("t{i}"), &bindings);
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn skewed_trap_field_plants_blob_and_easy_instances() {
+        let g = skewed_trap_field(&cells::nand2(), 2, 5);
+        assert_eq!(g.planted_count("nand2"), 7, "blob copies are instances too");
+        g.netlist.validate().unwrap();
+        // Blob copies share port nets but not devices.
+        assert_eq!(g.netlist.device_count(), 7 * cells::nand2().device_count());
+    }
 
     #[test]
     fn inverter_chain_counts() {
