@@ -198,6 +198,116 @@ fn budget_curve(scale: usize, threads: usize) -> Value {
     ])
 }
 
+/// Warm-start economics and fingerprint prune ratio (EXPERIMENTS.md
+/// E14). Cold vs warm full-adder search over a ripple adder: the warm
+/// run decodes a `.sgc` artifact (in memory) instead of compiling the
+/// main circuit, and reports `artifact.load_ns` / `artifact.warm_hits`.
+/// The `prune` row runs a decoy field (true instances among near-miss
+/// mutants) with pruning forced on and records how many Phase I
+/// candidates the k-hop fingerprints reject before Phase II.
+fn warm_start(scale: usize, threads: usize) -> Value {
+    use subgemini::{PrunePolicy, WarmMain};
+    use subgemini_netlist::Artifact;
+    let pattern = cells::full_adder();
+    let g = gen::ripple_adder(16 * scale.max(1));
+    let artifact = Artifact::build(&g.netlist);
+    let bytes = artifact.encode();
+    let t0 = std::time::Instant::now();
+    let decoded = Artifact::decode(&bytes).expect("fresh artifact decodes");
+    let load_ns = t0.elapsed().as_nanos() as u64;
+
+    let (cold_found, _, cold) = run_one(&pattern, &g.netlist, threads);
+    let warm_outcome = Matcher::new(&pattern, &g.netlist)
+        .options(MatchOptions {
+            collect_metrics: true,
+            threads,
+            warm_main: Some(WarmMain::from_artifact(decoded, load_ns)),
+            ..MatchOptions::default()
+        })
+        .find_all();
+    assert_eq!(
+        warm_outcome.count() as u64,
+        cold_found,
+        "warm start must not change results"
+    );
+    let warm = warm_outcome.metrics.expect("collect_metrics was set");
+
+    // The prune row uses a shallow pattern on purpose: `inv` is where
+    // Phase I refinement stops at one iteration (every net is a port or
+    // a rail), so the index's degree-free rail features carry real
+    // pruning power the candidate vector lacks.
+    let prune_pattern = cells::inv();
+    let mut decoys = gen::near_miss_field(&prune_pattern, 24 * scale.max(1), 0x5347_e140);
+    for i in 0..(8 * scale.max(1)) {
+        let bindings: Vec<_> = (0..prune_pattern.ports().len())
+            .map(|p| decoys.netlist.net(format!("t{i}p{p}")))
+            .collect();
+        decoys.plant(&prune_pattern, &format!("pl{i}"), &bindings);
+    }
+    let pruned_outcome = Matcher::new(&prune_pattern, &decoys.netlist)
+        .options(MatchOptions {
+            collect_metrics: true,
+            threads,
+            prune: PrunePolicy::Always,
+            ..MatchOptions::default()
+        })
+        .find_all();
+    let pm = pruned_outcome
+        .metrics
+        .as_ref()
+        .expect("collect_metrics was set");
+    Value::Obj(vec![
+        (
+            "main_devices".into(),
+            Value::int(g.netlist.device_count() as u64),
+        ),
+        ("artifact_bytes".into(), Value::int(bytes.len() as u64)),
+        ("found".into(), Value::int(cold_found)),
+        ("cold_compile_ns".into(), Value::int(cold.compile_ns)),
+        ("cold_total_ns".into(), Value::int(cold.total_ns)),
+        ("warm_compile_ns".into(), Value::int(warm.compile_ns)),
+        ("warm_total_ns".into(), Value::int(warm.total_ns)),
+        (
+            "artifact_load_ns".into(),
+            Value::int(warm.counters.get("artifact.load_ns")),
+        ),
+        (
+            "artifact_warm_hits".into(),
+            Value::int(warm.counters.get("artifact.warm_hits")),
+        ),
+        (
+            "prune".into(),
+            Value::Obj(vec![
+                (
+                    "main_devices".into(),
+                    Value::int(decoys.netlist.device_count() as u64),
+                ),
+                (
+                    "planted".into(),
+                    Value::int(decoys.planted_count("inv") as u64),
+                ),
+                ("found".into(), Value::int(pruned_outcome.count() as u64)),
+                (
+                    "cv_size".into(),
+                    Value::int(pruned_outcome.phase1.cv_size as u64),
+                ),
+                (
+                    "pruned_candidates".into(),
+                    Value::int(pm.counters.get("index.pruned_candidates")),
+                ),
+                (
+                    "admitted_candidates".into(),
+                    Value::int(pm.counters.get("index.admitted_candidates")),
+                ),
+                (
+                    "index_build_ns".into(),
+                    Value::int(pm.counters.get("index.build_ns")),
+                ),
+            ]),
+        ),
+    ])
+}
+
 /// Sum of `compile_ns + phase1_refine_ns + phase1_select_ns` across a
 /// report's linearity rows. A missing `compile_ns` (pre-CSR baselines)
 /// counts as zero.
@@ -251,6 +361,8 @@ fn main() {
     let lin = linearity(scale, threads);
     eprintln!("bench_json: library survey...");
     let sur = survey(scale, threads);
+    eprintln!("bench_json: warm start + prune ratio...");
+    let warm = warm_start(scale, threads);
     let mut fields = vec![
         ("schema_version".into(), Value::int(REPORT_SCHEMA_VERSION)),
         (
@@ -259,6 +371,8 @@ fn main() {
         ),
         ("linearity".into(), lin),
         ("survey".into(), sur),
+        // Additive since schema v1: warm-start and prune-ratio section.
+        ("warm_start".into(), warm),
     ];
     if with_budget_curve {
         eprintln!("bench_json: budget curve...");

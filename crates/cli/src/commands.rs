@@ -92,7 +92,43 @@ fn match_options(args: &Args) -> Result<MatchOptions, String> {
     if !budget.is_unlimited() {
         opts.budget = Some(budget);
     }
+    if let Some(p) = args.option("--prune") {
+        opts.prune = match p {
+            "auto" => subgemini::PrunePolicy::Auto,
+            "always" => subgemini::PrunePolicy::Always,
+            "never" => subgemini::PrunePolicy::Never,
+            other => {
+                return Err(format!(
+                    "--prune: `{other}` is not a policy (expected `auto`, `always` or `never`)"
+                ))
+            }
+        };
+    }
     Ok(opts)
+}
+
+/// Loads the `--artifact <file.sgc>` warm-start handle, if requested.
+/// The artifact must have been compiled from this exact main circuit
+/// (structural digest match); anything else is a hard error rather than
+/// a silent cold fallback, because the user explicitly named a file.
+fn apply_artifact(args: &Args, main: &Netlist, opts: &mut MatchOptions) -> Result<(), String> {
+    let Some(path) = args.option("--artifact") else {
+        return Ok(());
+    };
+    if args.switch("--ignore-globals") {
+        return Err("--artifact requires global-respecting matching; drop --ignore-globals".into());
+    }
+    let t0 = std::time::Instant::now();
+    let artifact =
+        subgemini_netlist::Artifact::load(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    let load_ns = t0.elapsed().as_nanos() as u64;
+    if artifact.source_digest != subgemini_netlist::structural_digest(main) {
+        return Err(format!(
+            "{path}: artifact was compiled from a different circuit; re-run `subg compile`"
+        ));
+    }
+    opts.warm_main = Some(subgemini::WarmMain::from_artifact(artifact, load_ns));
+    Ok(())
 }
 
 /// Exit code for a finished search: truncation is not a failure (the
@@ -144,9 +180,9 @@ pub fn find(args: &Args) -> Result<u8, String> {
     let main_path = args.need(0, "main netlist file")?;
     let main = load_main(main_path)?;
     let pattern = pattern_from(args, main_path)?;
-    let outcome = Matcher::new(&pattern, &main)
-        .options(match_options(args)?)
-        .find_all();
+    let mut opts = match_options(args)?;
+    apply_artifact(args, &main, &mut opts)?;
+    let outcome = Matcher::new(&pattern, &main).options(opts).find_all();
     write_event_exports(args, &outcome)?;
     let explain_text = args
         .switch("--explain")
@@ -228,6 +264,7 @@ pub fn explain(args: &Args) -> Result<u8, String> {
     let main = load_main(main_path)?;
     let pattern = pattern_from(args, main_path)?;
     let mut opts = match_options(args)?;
+    apply_artifact(args, &main, &mut opts)?;
     opts.trace_events = true;
     let outcome = Matcher::new(&pattern, &main).options(opts).find_all();
     write_event_exports(args, &outcome)?;
@@ -274,6 +311,29 @@ pub fn candidates(args: &Args) -> Result<u8, String> {
             Ok(1)
         }
     }
+}
+
+/// `subg compile`: compile a main netlist into a persistent `.sgc`
+/// artifact (CSR snapshot + fingerprint index) for warm-started runs.
+pub fn compile(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let out = match args.option("--out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => std::path::Path::new(main_path).with_extension("sgc"),
+    };
+    let artifact = subgemini_netlist::Artifact::build(&main);
+    let bytes = artifact.encode();
+    fs::write(&out, &bytes).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "{}: {} device(s), {} net(s), digest {:016x}, {} bytes",
+        out.display(),
+        artifact.circuit.device_count(),
+        artifact.circuit.net_count(),
+        artifact.source_digest,
+        bytes.len()
+    );
+    Ok(0)
 }
 
 /// `subg extract`: transistor→gate conversion, hierarchical deck out.
@@ -482,7 +542,9 @@ pub fn survey(args: &Args) -> Result<u8, String> {
     let main = load_main(main_path)?;
     let cells = library_from(args)?;
     let refs: Vec<&Netlist> = cells.iter().collect();
-    let outcomes = subgemini::find_all_many(&refs, &main, &subgemini::MatchOptions::default());
+    let mut opts = match_options(args)?;
+    apply_artifact(args, &main, &mut opts)?;
+    let outcomes = subgemini::find_all_many(&refs, &main, &opts);
     println!("{:<18} {:>6} {:>6}", "cell", "|CV|", "found");
     for (cell, outcome) in cells.iter().zip(&outcomes) {
         println!(

@@ -6,12 +6,14 @@
 //!           [--trace-out <trace.json>]
 //!           [--events-out <events.ndjson>] [--explain]
 //!           [--max-effort <n>] [--deadline-ms <ms>] [--fail-fast]
+//!           [--artifact <main.sgc>] [--prune auto|always|never]
 //! subg explain <main.sp> --pattern <cell> [--lib <cells.sp>] [--json]
 //! subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
+//! subg compile <main.sp> [--out <main.sgc>]
 //! subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
 //! subg check <main.sp> --rules <rules.sp>
 //! subg map <main.sp> [--lib <cells.sp> | --builtin-lib]
-//! subg survey <main.sp> [--lib <cells.sp> | --builtin-lib]
+//! subg survey <main.sp> [--lib <cells.sp> | --builtin-lib] [--artifact <main.sgc>]
 //! subg compare <a.sp> <b.sp> [--cell <name>] [--hierarchical]
 //! subg stats <file.sp>
 //! subg dot <file.sp> [--out <file.dot>]
@@ -36,12 +38,14 @@ USAGE:
             [--trace-out <trace.json>]
             [--events-out <events.ndjson>] [--explain]
             [--max-effort <n>] [--deadline-ms <ms>] [--fail-fast]
+            [--artifact <main.sgc>] [--prune auto|always|never]
   subg explain <main.sp> --pattern <cell> [--lib <cells.sp>] [--json]
   subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
+  subg compile <main.sp> [--out <main.sgc>]
   subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
   subg check <main.sp> --rules <rules.sp>
   subg map <main.sp> [--lib <cells.sp> | --builtin-lib]
-  subg survey <main.sp> [--lib <cells.sp> | --builtin-lib]
+  subg survey <main.sp> [--lib <cells.sp> | --builtin-lib] [--artifact <main.sgc>]
   subg trace <main.sp> --pattern <cell> [--lib <cells.sp>]
   subg compare <a.sp> <b.sp> [--cell <name>] [--hierarchical]
   subg stats <file.sp>
@@ -66,6 +70,7 @@ fn main() -> ExitCode {
         "find" => commands::find(&parsed),
         "explain" => commands::explain(&parsed),
         "candidates" => commands::candidates(&parsed),
+        "compile" => commands::compile(&parsed),
         "extract" => commands::extract(&parsed),
         "check" => commands::check(&parsed),
         "map" => commands::techmap(&parsed),

@@ -755,3 +755,207 @@ fn find_rejects_malformed_budget_values() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--max-effort"), "{stderr}");
 }
+
+#[test]
+fn compile_writes_an_artifact_and_warm_find_matches_cold() {
+    let dir = scratch("compile");
+    write_files(&dir);
+    let out = subg(&dir, &["compile", "chip.sp"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chip.sgc"), "{stdout}");
+    assert!(stdout.contains("device(s)"), "{stdout}");
+    assert!(stdout.contains("digest "), "{stdout}");
+    assert!(dir.join("chip.sgc").exists());
+
+    // With pruning off, a warm find must print exactly what the cold
+    // find prints; with the default `--prune auto` the warm index may
+    // legitimately shrink the Phase II stats line, but the instance
+    // lines must not move.
+    let cold = subg(
+        &dir,
+        &["find", "chip.sp", "--pattern", "inv", "--lib", "cells.sp"],
+    );
+    let warm = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--artifact",
+            "chip.sgc",
+            "--prune",
+            "never",
+        ],
+    );
+    assert!(warm.status.success());
+    assert_eq!(cold.stdout, warm.stdout, "warm output diverges from cold");
+    let warm_auto = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--artifact",
+            "chip.sgc",
+        ],
+    );
+    assert!(warm_auto.status.success());
+    let instances = |out: &Output| -> Vec<String> {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("phase"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        instances(&cold),
+        instances(&warm_auto),
+        "pruning moved the instance list"
+    );
+}
+
+#[test]
+fn compile_honors_an_explicit_out_path() {
+    let dir = scratch("compile_out");
+    write_files(&dir);
+    let out = subg(&dir, &["compile", "chip.sp", "--out", "snap.sgc"]);
+    assert!(out.status.success());
+    assert!(dir.join("snap.sgc").exists());
+    assert!(!dir.join("chip.sgc").exists());
+}
+
+#[test]
+fn artifact_failures_are_usage_errors() {
+    let dir = scratch("artifact_err");
+    write_files(&dir);
+    subg(&dir, &["compile", "chip.sp"]);
+
+    // Truncated artifact: structured load error, exit 2.
+    let bytes = fs::read(dir.join("chip.sgc")).unwrap();
+    fs::write(dir.join("cut.sgc"), &bytes[..bytes.len() / 2]).unwrap();
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--artifact",
+            "cut.sgc",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("truncated"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Artifact compiled from a different circuit: digest refusal.
+    fs::write(dir.join("other.sp"), "mx a b vdd vdd pmos\n").unwrap();
+    subg(&dir, &["compile", "other.sp"]);
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--artifact",
+            "other.sgc",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("different circuit"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --artifact contradicts --ignore-globals.
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--artifact",
+            "chip.sgc",
+            "--ignore-globals",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--ignore-globals"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn survey_accepts_a_warm_artifact() {
+    let dir = scratch("survey_warm");
+    write_files(&dir);
+    subg(&dir, &["compile", "chip.sp"]);
+    let cold = subg(&dir, &["survey", "chip.sp", "--lib", "cells.sp"]);
+    let warm = subg(
+        &dir,
+        &[
+            "survey",
+            "chip.sp",
+            "--lib",
+            "cells.sp",
+            "--artifact",
+            "chip.sgc",
+        ],
+    );
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    assert_eq!(cold.stdout, warm.stdout);
+}
+
+#[test]
+fn find_rejects_an_unknown_prune_policy() {
+    let dir = scratch("prune_bad");
+    write_files(&dir);
+    let out = subg(
+        &dir,
+        &[
+            "find",
+            "chip.sp",
+            "--pattern",
+            "inv",
+            "--lib",
+            "cells.sp",
+            "--prune",
+            "sometimes",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--prune"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

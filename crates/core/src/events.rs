@@ -228,6 +228,17 @@ pub enum EventKind {
         /// The key vertex in the pattern.
         key_vertex: Vertex,
     },
+    /// The candidate vector was intersected against the k-hop
+    /// fingerprint index (warm start or `PrunePolicy::Always`):
+    /// `pruned` candidates were proven non-isomorphic and will be
+    /// skipped, `admitted` proceed to Phase II. Emitted once, in the
+    /// Phase I scope, right after `CvSelected`.
+    CvPruned {
+        /// Candidates eliminated by fingerprint mismatch.
+        pruned: u64,
+        /// Candidates surviving the prune.
+        admitted: u64,
+    },
     /// A pattern global net has no same-named global in the main
     /// circuit; Phase II cannot even pre-match. Terminal.
     PrematchFail,
@@ -438,6 +449,7 @@ pub fn event_name(kind: &EventKind) -> &'static str {
         EventKind::RefineIter { .. } => "refine_iter",
         EventKind::RefineFail { .. } => "refine_fail",
         EventKind::CvSelected { .. } => "cv_selected",
+        EventKind::CvPruned { .. } => "cv_pruned",
         EventKind::PrematchFail => "prematch_fail",
         EventKind::CandidateBegin { .. } => "candidate_begin",
         EventKind::SafeLabelCheck { .. } => "safe_label_check",
@@ -479,6 +491,10 @@ fn kind_args(kind: &EventKind) -> Vec<(String, Value)> {
             ("label".into(), Value::Str(label_str(label))),
             ("size".into(), Value::int(size as u64)),
             ("key_vertex".into(), Value::Str(vertex_str(key_vertex))),
+        ],
+        EventKind::CvPruned { pruned, admitted } => vec![
+            ("pruned".into(), Value::int(pruned)),
+            ("admitted".into(), Value::int(admitted)),
         ],
         EventKind::PrematchFail => vec![],
         EventKind::CandidateBegin { c } => {

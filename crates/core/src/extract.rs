@@ -35,6 +35,14 @@ struct CompiledMain {
     compiled: Arc<CompiledCircuit>,
     trace: GTrace,
     compile_ns: u64,
+    /// Fingerprint index for candidate pruning (warm handle's, or built
+    /// fresh under [`PrunePolicy`](crate::PrunePolicy)`::Always`).
+    index: Option<Arc<subgemini_netlist::FingerprintIndex>>,
+    /// Whether this snapshot was adopted from a warm-start artifact
+    /// (only possible before the first replacement pass).
+    warm: bool,
+    load_ns: u64,
+    index_build_ns: u64,
     /// Whether `compile_ns` has already been attributed to a cell's
     /// metrics; later rounds report a cache hit instead.
     reported: bool,
@@ -42,6 +50,27 @@ struct CompiledMain {
 
 impl CompiledMain {
     fn build(current: &Netlist, options: &MatchOptions) -> Self {
+        // Warm start applies to the unmodified input only: any
+        // replacement pass changes the digest and recompiles cold.
+        if options.respect_globals {
+            if let Some(w) = options.warm_main.as_ref() {
+                if w.source_digest() == subgemini_netlist::structural_digest(current) {
+                    let compiled = Arc::clone(w.compiled());
+                    let trace = GTrace::new(Arc::clone(&compiled));
+                    return CompiledMain {
+                        stripped: None,
+                        compiled,
+                        trace,
+                        compile_ns: 0,
+                        index: Some(Arc::clone(w.index())),
+                        warm: true,
+                        load_ns: w.load_ns(),
+                        index_build_ns: 0,
+                        reported: false,
+                    };
+                }
+            }
+        }
         let timer = options
             .collect_metrics
             .then(crate::metrics::PhaseTimer::start);
@@ -49,12 +78,26 @@ impl CompiledMain {
         let compiled = Arc::new(CompiledCircuit::compile(
             stripped.as_ref().unwrap_or(current),
         ));
+        let compile_ns = timer.map_or(0, |t| t.elapsed_ns());
+        let (index, index_build_ns) = if options.prune == crate::options::PrunePolicy::Always {
+            let t = options
+                .collect_metrics
+                .then(crate::metrics::PhaseTimer::start);
+            let idx = Arc::new(subgemini_netlist::FingerprintIndex::build(&compiled));
+            (Some(idx), t.map_or(0, |t| t.elapsed_ns()))
+        } else {
+            (None, 0)
+        };
         let trace = GTrace::new(Arc::clone(&compiled));
         CompiledMain {
             stripped,
             compiled,
             trace,
-            compile_ns: timer.map_or(0, |t| t.elapsed_ns()),
+            compile_ns,
+            index,
+            warm: false,
+            load_ns: 0,
+            index_build_ns,
             reported: false,
         }
     }
@@ -224,6 +267,10 @@ impl Extractor {
                     compiled,
                     trace,
                     compile_ns,
+                    index,
+                    warm,
+                    load_ns,
+                    index_build_ns,
                     reported,
                 } = compiled_main
                     .get_or_insert_with(|| CompiledMain::build(&current, &self.options));
@@ -234,6 +281,10 @@ impl Extractor {
                     netlist: Cow::Borrowed(stripped.as_ref().unwrap_or(&current)),
                     compiled: Arc::clone(compiled),
                     compile_ns: main_ns,
+                    index: index.clone(),
+                    warm: *warm,
+                    load_ns: *load_ns,
+                    index_build_ns: if main_cached { 0 } else { *index_build_ns },
                 };
                 find_all_compiled(cell, &prepared, trace, &self.options, main_ns, main_cached)
             };

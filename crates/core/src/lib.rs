@@ -77,7 +77,7 @@ pub use extract::{ExtractReport, ExtractedInstance, Extractor};
 pub use instance::{MatchOutcome, Phase1Stats, Phase2Stats, SubMatch};
 pub use matcher::{find_all, find_all_many, Matcher};
 pub use metrics::{Counters, Histogram, MetricsReport, ProgressEvent, ProgressHook};
-pub use options::{KeyPolicy, MatchOptions, OverlapPolicy, Phase2Scheduler};
+pub use options::{KeyPolicy, MatchOptions, OverlapPolicy, Phase2Scheduler, PrunePolicy, WarmMain};
 pub use rules::{RuleChecker, RuleViolation};
 pub use symmetry::port_symmetry_classes;
 pub use techmap::{CoverCandidate, CoverResult, TechMapper};

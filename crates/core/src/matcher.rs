@@ -9,13 +9,13 @@ use std::borrow::Cow;
 use std::collections::HashSet;
 use std::sync::{Arc, OnceLock};
 
-use subgemini_netlist::{CompiledCircuit, DeviceId, Netlist};
+use subgemini_netlist::{CompiledCircuit, DeviceId, FingerprintIndex, Netlist};
 
 use crate::budget::{effort_of, Completeness, Governor, SharedGovernor, TruncationReason};
 use crate::events::{EventBuffer, EventJournal, EventKind, RejectTally};
 use crate::instance::{MatchOutcome, SubMatch};
 use crate::metrics::{Histogram, MetricsReport, PhaseTimer, ProgressEvent};
-use crate::options::{MatchOptions, OverlapPolicy, Phase2Scheduler};
+use crate::options::{MatchOptions, OverlapPolicy, Phase2Scheduler, PrunePolicy};
 use crate::phase1;
 use crate::phase2::{CandidateTiming, Phase2Runner};
 use crate::scheduler::{Claim, ClaimBoard, StealQueue, WorkerStats};
@@ -100,11 +100,22 @@ impl<'a> Matcher<'a> {
 }
 
 /// The main circuit, prepared once: de-globaled if requested, compiled
-/// to CSR, with the compilation cost recorded for metrics.
+/// to CSR (or adopted from a warm-start artifact), with the
+/// compilation cost and fingerprint index recorded for metrics and
+/// pruning.
 pub(crate) struct PreparedMain<'a> {
     pub(crate) netlist: Cow<'a, Netlist>,
     pub(crate) compiled: Arc<CompiledCircuit>,
     pub(crate) compile_ns: u64,
+    /// Fingerprint index for candidate pruning: the warm handle's, or
+    /// freshly built under [`PrunePolicy::Always`].
+    pub(crate) index: Option<Arc<FingerprintIndex>>,
+    /// Whether compilation was skipped via a warm-start hit.
+    pub(crate) warm: bool,
+    /// Artifact load cost to report on a warm hit.
+    pub(crate) load_ns: u64,
+    /// Index build cost when built fresh (0 when warm or absent).
+    pub(crate) index_build_ns: u64,
 }
 
 /// De-globals a netlist copy. A pattern's power rails become *external*
@@ -123,6 +134,25 @@ pub(crate) fn strip_globals(nl: &Netlist, as_ports: bool) -> Netlist {
 }
 
 pub(crate) fn prepare_main<'a>(main: &'a Netlist, options: &MatchOptions) -> PreparedMain<'a> {
+    // Warm start: adopt the handle's snapshot and index when globals
+    // are respected (stripping rewrites the circuit) and the source
+    // digest ties the artifact to this exact netlist. The digest check
+    // is O(pins) — the cost compilation is being saved from.
+    if options.respect_globals {
+        if let Some(w) = options.warm_main.as_ref() {
+            if w.source_digest() == subgemini_netlist::structural_digest(main) {
+                return PreparedMain {
+                    netlist: Cow::Borrowed(main),
+                    compiled: Arc::clone(w.compiled()),
+                    compile_ns: 0,
+                    index: Some(Arc::clone(w.index())),
+                    warm: true,
+                    load_ns: w.load_ns(),
+                    index_build_ns: 0,
+                };
+            }
+        }
+    }
     let timer = options.collect_metrics.then(PhaseTimer::start);
     let netlist: Cow<'a, Netlist> = if options.respect_globals {
         Cow::Borrowed(main)
@@ -131,10 +161,23 @@ pub(crate) fn prepare_main<'a>(main: &'a Netlist, options: &MatchOptions) -> Pre
     };
     let compiled = Arc::new(CompiledCircuit::compile(&netlist));
     let compile_ns = timer.map_or(0, |t| t.elapsed_ns());
+    // `Always` wants pruning even on a cold start: build the index
+    // here, once per prepared main, so a pattern library shares it.
+    let (index, index_build_ns) = if options.prune == PrunePolicy::Always {
+        let t = options.collect_metrics.then(PhaseTimer::start);
+        let idx = Arc::new(FingerprintIndex::build(&compiled));
+        (Some(idx), t.map_or(0, |t| t.elapsed_ns()))
+    } else {
+        (None, 0)
+    };
     PreparedMain {
         netlist,
         compiled,
         compile_ns,
+        index,
+        warm: false,
+        load_ns: 0,
+        index_build_ns,
     }
 }
 
@@ -323,6 +366,19 @@ pub(crate) fn find_all_compiled(
         if let Some(m) = metrics.as_mut() {
             m.counters.bump("compile.main_cache_hits", 1);
         }
+    } else if let Some(m) = metrics.as_mut() {
+        // Artifact accounting rides with the compile attribution: the
+        // first pattern of a library reports the hit (or miss) exactly
+        // once, like `compile_ns` itself.
+        if prepared.warm {
+            m.counters.bump("artifact.warm_hits", 1);
+            m.counters.bump("artifact.load_ns", prepared.load_ns);
+        } else if options.warm_main.is_some() {
+            m.counters.bump("artifact.warm_misses", 1);
+        }
+        if prepared.index_build_ns > 0 {
+            m.counters.bump("index.build_ns", prepared.index_build_ns);
+        }
     }
     outcome.phase1 = p1.stats;
     outcome.key = p1.key;
@@ -358,6 +414,53 @@ pub(crate) fn find_all_compiled(
         outcome.metrics = metrics;
         return outcome;
     };
+
+    // ---- Fingerprint pruning ----
+    //
+    // A sound serial pre-filter on the candidate vector: when the key
+    // is a device and an index is available (warm start, or built under
+    // `PrunePolicy::Always`), candidates whose fingerprint cannot cover
+    // the pattern-derived mask are marked pruned — a fingerprint
+    // mismatch proves no isomorphism (DESIGN.md §3f). Workers and the
+    // merge both skip marked candidates the same way claim-skips work:
+    // no slot is ever written or awaited for them. The mask is computed
+    // before any worker spawns, so pruning — like everything the merge
+    // consumes — is identical for every thread count and scheduler.
+    let pruned_mask: Option<Vec<bool>> = {
+        let prune_index = match options.prune {
+            PrunePolicy::Never => None,
+            PrunePolicy::Auto | PrunePolicy::Always => prepared.index.as_deref(),
+        };
+        match (prune_index, key.as_device()) {
+            (Some(idx), Some(kd)) => {
+                let mask = FingerprintIndex::pattern_mask(&s, kd);
+                let mut pruned = vec![false; p1.candidates.len()];
+                let mut pruned_count = 0u64;
+                for (i, c) in p1.candidates.iter().enumerate() {
+                    if let Some(d) = c.as_device() {
+                        if !idx.admits(d, mask) {
+                            pruned[i] = true;
+                            pruned_count += 1;
+                        }
+                    }
+                }
+                let admitted = p1.candidates.len() as u64 - pruned_count;
+                if let Some(m) = metrics.as_mut() {
+                    m.counters.bump("index.pruned_candidates", pruned_count);
+                    m.counters.bump("index.admitted_candidates", admitted);
+                }
+                if let Some(b) = p1_events.as_mut() {
+                    b.push(EventKind::CvPruned {
+                        pruned: pruned_count,
+                        admitted,
+                    });
+                }
+                Some(pruned)
+            }
+            _ => None,
+        }
+    };
+    let pruned_at = |i: usize| pruned_mask.as_ref().is_some_and(|m| m[i]);
 
     // ---- Phase II ----
     let runner = Phase2Runner::new(&s, &prepared.compiled, &pattern_nl, main_nl, options);
@@ -515,6 +618,11 @@ pub(crate) fn find_all_compiled(
                 next_static += 1;
                 i
             };
+            if pruned_at(i) {
+                // Fingerprint-pruned: like a claim-skip, no slot is
+                // written and the merge's own check never waits on one.
+                continue;
+            }
             part.sched.claimed += 1;
             if stealing && !home.contains(&i) {
                 part.sched.steals += 1;
@@ -589,6 +697,9 @@ pub(crate) fn find_all_compiled(
                 truncation = Some(reason);
                 stop_index = i;
                 break;
+            }
+            if pruned_at(i) {
+                continue; // fingerprint-pruned: provably no isomorphism
             }
             // Claimed key images cannot start a new instance. This
             // runs *before* the slot wait: a candidate a worker

@@ -1,5 +1,9 @@
 //! Matching options.
 
+use std::sync::Arc;
+
+use subgemini_netlist::{Artifact, CompiledCircuit, FingerprintIndex};
+
 use crate::budget::{CancelToken, WorkBudget};
 use crate::metrics::ProgressHook;
 
@@ -51,6 +55,104 @@ pub enum Phase2Scheduler {
     /// baseline the scheduler benches compare against.
     StaticChunks,
 }
+
+/// When to intersect Phase I's candidate vector against the k-hop
+/// fingerprint index before Phase II (a sound prune: a fingerprint
+/// mismatch proves no isomorphism; see DESIGN.md §3f).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrunePolicy {
+    /// Prune only when a prebuilt index is already available (i.e. the
+    /// search was warm-started from an artifact). A cold run stays
+    /// byte-identical to one without the index subsystem.
+    #[default]
+    Auto,
+    /// Always prune, building the index on the fly if needed.
+    Always,
+    /// Never prune, even when an index is available.
+    Never,
+}
+
+/// A warm-start handle: the compiled main circuit and its fingerprint
+/// index, typically loaded from a `.sgc` artifact, shared by reference
+/// across every pattern in a run.
+///
+/// [`prepare`](crate::Matcher) paths use the handle — skipping
+/// compilation entirely — when the handle's source digest matches the
+/// [`structural_digest`](subgemini_netlist::structural_digest) of the
+/// main netlist and globals are respected; otherwise they fall back to
+/// a fresh compile (counted as `artifact.warm_misses`).
+///
+/// Compared by identity (same shared allocation), like [`ProgressHook`].
+#[derive(Clone)]
+pub struct WarmMain(Arc<WarmMainInner>);
+
+struct WarmMainInner {
+    compiled: Arc<CompiledCircuit>,
+    index: Arc<FingerprintIndex>,
+    source_digest: u64,
+    load_ns: u64,
+}
+
+impl WarmMain {
+    /// Wraps an already-shared compiled circuit and index. `load_ns` is
+    /// reported as the `artifact.load_ns` counter on warm hits.
+    pub fn new(
+        compiled: Arc<CompiledCircuit>,
+        index: Arc<FingerprintIndex>,
+        source_digest: u64,
+        load_ns: u64,
+    ) -> Self {
+        WarmMain(Arc::new(WarmMainInner {
+            compiled,
+            index,
+            source_digest,
+            load_ns,
+        }))
+    }
+
+    /// Wraps a decoded artifact.
+    pub fn from_artifact(artifact: Artifact, load_ns: u64) -> Self {
+        let (compiled, index, source_digest) = artifact.into_shared();
+        Self::new(compiled, index, source_digest, load_ns)
+    }
+
+    /// The shared compiled main circuit.
+    pub fn compiled(&self) -> &Arc<CompiledCircuit> {
+        &self.0.compiled
+    }
+
+    /// The shared fingerprint index.
+    pub fn index(&self) -> &Arc<FingerprintIndex> {
+        &self.0.index
+    }
+
+    /// Structural digest of the netlist the artifact was compiled from.
+    pub fn source_digest(&self) -> u64 {
+        self.0.source_digest
+    }
+
+    /// Nanoseconds spent loading/decoding the artifact.
+    pub fn load_ns(&self) -> u64 {
+        self.0.load_ns
+    }
+}
+
+impl std::fmt::Debug for WarmMain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmMain")
+            .field("devices", &self.0.compiled.device_count())
+            .field("source_digest", &self.0.source_digest)
+            .finish()
+    }
+}
+
+impl PartialEq for WarmMain {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for WarmMain {}
 
 /// Options controlling a SubGemini run.
 ///
@@ -151,6 +253,17 @@ pub struct MatchOptions {
     /// (default) is uncancellable. Compared by identity (same shared
     /// flag), like [`ProgressHook`].
     pub cancel: Option<CancelToken>,
+    /// Warm-start handle holding a precompiled main circuit and
+    /// fingerprint index (usually loaded from a `.sgc` artifact). Used
+    /// — and shared across a whole pattern library — whenever its
+    /// source digest matches the main netlist and `respect_globals` is
+    /// on; otherwise the run falls back to a fresh compile. `None`
+    /// (default) always compiles.
+    pub warm_main: Option<WarmMain>,
+    /// Fingerprint-based candidate pruning policy. The default
+    /// ([`PrunePolicy::Auto`]) prunes exactly when `warm_main` supplied
+    /// an index, so cold runs are byte-identical to earlier releases.
+    pub prune: PrunePolicy,
 }
 
 impl Default for MatchOptions {
@@ -173,6 +286,8 @@ impl Default for MatchOptions {
             on_progress: None,
             budget: None,
             cancel: None,
+            warm_main: None,
+            prune: PrunePolicy::default(),
         }
     }
 }
@@ -221,6 +336,22 @@ mod tests {
         assert_eq!(o.budget, None, "searches are unbudgeted by default");
         assert_eq!(o.cancel, None, "searches are uncancellable by default");
         assert_eq!(o.scheduler, Phase2Scheduler::WorkStealing);
+        assert_eq!(o.warm_main, None, "cold start by default");
+        assert_eq!(o.prune, PrunePolicy::Auto);
+    }
+
+    #[test]
+    fn warm_main_compares_by_identity() {
+        let mut nl = subgemini_netlist::Netlist::new("t");
+        let mos = nl.add_mos_types();
+        let (a, b) = (nl.net("a"), nl.net("b"));
+        nl.add_device("m", mos.nmos, &[a, b, a]).unwrap();
+        let art = Artifact::build(&nl);
+        let w1 = WarmMain::from_artifact(art.clone(), 7);
+        let w2 = WarmMain::from_artifact(art, 7);
+        assert_eq!(w1, w1.clone());
+        assert_ne!(w1, w2, "distinct handles differ even with equal contents");
+        assert_eq!(w1.load_ns(), 7);
     }
 
     #[test]

@@ -46,6 +46,45 @@ pub struct Contribs {
     pub skipped: usize,
 }
 
+/// Borrowed view of every field of a [`CompiledCircuit`], in
+/// declaration order. Used by the artifact codec to serialize the
+/// snapshot without exposing the fields publicly.
+pub(crate) struct RawPartsRef<'a> {
+    pub dev_pin_start: &'a [u32],
+    pub dev_pin_net: &'a [NetId],
+    pub dev_pin_mult: &'a [u64],
+    pub net_pin_start: &'a [u32],
+    pub net_pin_dev: &'a [DeviceId],
+    pub net_pin_mult: &'a [u64],
+    pub dev_init: &'a [u64],
+    pub net_init: &'a [u64],
+    pub dev_type: &'a [u32],
+    pub type_names: &'a [String],
+    pub net_global: &'a [bool],
+    pub net_port: &'a [bool],
+    pub globals: &'a [(String, NetId)],
+    pub ports: &'a [NetId],
+}
+
+/// Owned counterpart of [`RawPartsRef`], consumed by
+/// [`CompiledCircuit::from_raw_parts`].
+pub(crate) struct RawParts {
+    pub dev_pin_start: Vec<u32>,
+    pub dev_pin_net: Vec<NetId>,
+    pub dev_pin_mult: Vec<u64>,
+    pub net_pin_start: Vec<u32>,
+    pub net_pin_dev: Vec<DeviceId>,
+    pub net_pin_mult: Vec<u64>,
+    pub dev_init: Vec<u64>,
+    pub net_init: Vec<u64>,
+    pub dev_type: Vec<u32>,
+    pub type_names: Vec<String>,
+    pub net_global: Vec<bool>,
+    pub net_port: Vec<bool>,
+    pub globals: Vec<(String, NetId)>,
+    pub ports: Vec<NetId>,
+}
+
 /// An owned, immutable, query-optimized bipartite snapshot of a
 /// netlist.
 ///
@@ -71,7 +110,7 @@ pub struct Contribs {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompiledCircuit {
     // Device -> net CSR.
     dev_pin_start: Vec<u32>,
@@ -180,6 +219,166 @@ impl CompiledCircuit {
     /// Compiles straight into an [`Arc`] for sharing.
     pub fn compile_shared(netlist: &Netlist) -> Arc<Self> {
         Arc::new(Self::compile(netlist))
+    }
+
+    /// Borrowed view of every field, for the artifact codec.
+    pub(crate) fn raw_parts(&self) -> RawPartsRef<'_> {
+        RawPartsRef {
+            dev_pin_start: &self.dev_pin_start,
+            dev_pin_net: &self.dev_pin_net,
+            dev_pin_mult: &self.dev_pin_mult,
+            net_pin_start: &self.net_pin_start,
+            net_pin_dev: &self.net_pin_dev,
+            net_pin_mult: &self.net_pin_mult,
+            dev_init: &self.dev_init,
+            net_init: &self.net_init,
+            dev_type: &self.dev_type,
+            type_names: &self.type_names,
+            net_global: &self.net_global,
+            net_port: &self.net_port,
+            globals: &self.globals,
+            ports: &self.ports,
+        }
+    }
+
+    /// Reassembles a snapshot from deserialized parts, re-checking every
+    /// structural invariant the compiler guarantees: CSR offset shape,
+    /// index bounds, mirror consistency of the two pin directions, odd
+    /// class multipliers, label material recomputed from names and
+    /// degrees, and the sorted global directory. An artifact that passes
+    /// is indistinguishable from a fresh [`compile`](Self::compile) of
+    /// the same netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated invariant.
+    pub(crate) fn from_raw_parts(p: RawParts) -> Result<Self, String> {
+        let nd = p.dev_init.len();
+        let nn = p.net_init.len();
+        let np = p.dev_pin_net.len();
+
+        check_csr("device", &p.dev_pin_start, nd, np)?;
+        check_csr("net", &p.net_pin_start, nn, p.net_pin_dev.len())?;
+        if p.dev_pin_mult.len() != np || p.net_pin_mult.len() != p.net_pin_dev.len() {
+            return Err("multiplicity array length mismatch".into());
+        }
+        if p.net_pin_dev.len() != np {
+            return Err("pin count differs between CSR directions".into());
+        }
+        if p.dev_type.len() != nd {
+            return Err("dev_type length mismatch".into());
+        }
+        if p.net_global.len() != nn || p.net_port.len() != nn {
+            return Err("net flag array length mismatch".into());
+        }
+        for &n in &p.dev_pin_net {
+            if n.index() >= nn {
+                return Err(format!("pin references net {} out of range", n.raw()));
+            }
+        }
+        for &d in &p.net_pin_dev {
+            if d.index() >= nd {
+                return Err(format!("pin references device {} out of range", d.raw()));
+            }
+        }
+        for &t in &p.dev_type {
+            if t as usize >= p.type_names.len() {
+                return Err(format!("device type index {t} out of range"));
+            }
+        }
+        for &m in p.dev_pin_mult.iter().chain(&p.net_pin_mult) {
+            if m & 1 == 0 {
+                return Err("even class multiplier".into());
+            }
+        }
+
+        // The two CSR directions must describe the same pin multiset.
+        let mut fwd: Vec<(u32, u32, u64)> = Vec::with_capacity(np);
+        for d in 0..nd {
+            let (lo, hi) = (p.dev_pin_start[d] as usize, p.dev_pin_start[d + 1] as usize);
+            for i in lo..hi {
+                fwd.push((d as u32, p.dev_pin_net[i].raw(), p.dev_pin_mult[i]));
+            }
+        }
+        let mut rev: Vec<(u32, u32, u64)> = Vec::with_capacity(np);
+        for n in 0..nn {
+            let (lo, hi) = (p.net_pin_start[n] as usize, p.net_pin_start[n + 1] as usize);
+            for i in lo..hi {
+                rev.push((p.net_pin_dev[i].raw(), n as u32, p.net_pin_mult[i]));
+            }
+        }
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        if fwd != rev {
+            return Err("CSR directions disagree on the pin multiset".into());
+        }
+
+        // Label material must match what compile() derives from names
+        // and degrees.
+        let type_inits: Vec<u64> = p
+            .type_names
+            .iter()
+            .map(|name| hashing::mix(hashing::fnv1a("type:") ^ hashing::fnv1a(name)))
+            .collect();
+        for d in 0..nd {
+            if p.dev_init[d] != type_inits[p.dev_type[d] as usize] {
+                return Err(format!("device {d} initial label mismatch"));
+            }
+        }
+
+        // Global directory: sorted, deduplicated, flags consistent.
+        for w in p.globals.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err("global directory not strictly sorted by name".into());
+            }
+        }
+        for (name, n) in &p.globals {
+            if n.index() >= nn || !p.net_global[n.index()] {
+                return Err(format!("global `{name}` not flagged global"));
+            }
+        }
+        if p.globals.len() != p.net_global.iter().filter(|&&g| g).count() {
+            return Err("global flag count disagrees with the directory".into());
+        }
+        let mut global_name = vec![None; nn];
+        for (name, n) in &p.globals {
+            global_name[n.index()] = Some(name.as_str());
+        }
+        for (n, name) in global_name.iter().enumerate() {
+            let degree = (p.net_pin_start[n + 1] - p.net_pin_start[n]) as usize;
+            let expect = match name {
+                Some(name) => hashing::global_net_label(name),
+                None => hashing::net_degree_label(degree),
+            };
+            if p.net_init[n] != expect {
+                return Err(format!("net {n} initial label mismatch"));
+            }
+        }
+        for &n in &p.ports {
+            if n.index() >= nn || !p.net_port[n.index()] {
+                return Err(format!("port net {} not flagged port", n.raw()));
+            }
+        }
+        if p.ports.len() != p.net_port.iter().filter(|&&f| f).count() {
+            return Err("port flag count disagrees with the port list".into());
+        }
+
+        Ok(Self {
+            dev_pin_start: p.dev_pin_start,
+            dev_pin_net: p.dev_pin_net,
+            dev_pin_mult: p.dev_pin_mult,
+            net_pin_start: p.net_pin_start,
+            net_pin_dev: p.net_pin_dev,
+            net_pin_mult: p.net_pin_mult,
+            dev_init: p.dev_init,
+            net_init: p.net_init,
+            dev_type: p.dev_type,
+            type_names: p.type_names,
+            net_global: p.net_global,
+            net_port: p.net_port,
+            globals: p.globals,
+            ports: p.ports,
+        })
     }
 
     /// Number of device vertices.
@@ -346,6 +545,24 @@ impl CompiledCircuit {
         }
         c
     }
+}
+
+/// Checks that `start` is a well-formed CSR offset array for `rows`
+/// rows over `entries` entries: length `rows + 1`, starts at 0,
+/// monotone, and ends at `entries`.
+fn check_csr(what: &str, start: &[u32], rows: usize, entries: usize) -> Result<(), String> {
+    if start.len() != rows + 1 {
+        return Err(format!("{what} CSR offset length mismatch"));
+    }
+    if start[0] != 0 || start[rows] as usize != entries {
+        return Err(format!("{what} CSR offsets do not span the entry array"));
+    }
+    for w in start.windows(2) {
+        if w[0] > w[1] {
+            return Err(format!("{what} CSR offsets not monotone"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

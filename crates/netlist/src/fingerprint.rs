@@ -1,0 +1,319 @@
+//! Precomputed k-hop neighborhood fingerprints for candidate pruning.
+//!
+//! Each device in a compiled circuit gets a 64-bit Bloom-style mask
+//! whose bits encode *monotone* structural features of its k ≤ 2 hop
+//! neighborhood: the interned type label, per-pin `(class multiplier,
+//! net degree)` pairs, and capped 2-hop `(multiplier, multiplier, type)`
+//! triples. The matcher intersects Phase I's candidate vector against a
+//! pattern-derived mask before Phase II: a candidate whose fingerprint
+//! lacks a bit the pattern mask sets can never be the image of the key
+//! device, so dropping it is sound.
+//!
+//! # Soundness argument
+//!
+//! The pattern mask only sets bits for features that any embedding is
+//! guaranteed to preserve:
+//!
+//! * the device's type — preserved exactly by every instance mapping;
+//! * 1-hop `(m, degree)` features, restricted to **internal** pattern
+//!   nets (neither port nor global). An internal net's image carries
+//!   exactly the pattern's connections (only ports may gain external
+//!   pins), so its degree is preserved exactly, and `m` is a class
+//!   multiplier, identical for interchangeable terminals by
+//!   construction;
+//! * 2-hop `(m, m2, type(d2))` features through internal nets of degree
+//!   at most [`HOP2_CAP`]. The cap decision is degree-based and the
+//!   degree is preserved, so pattern and main agree on whether a net's
+//!   2-hop features were enumerated;
+//! * degree-free `(m, rail name)` features for pins on **global** nets:
+//!   under globals-respecting matching (§IV.A — the only mode that uses
+//!   a prebuilt index) a pattern's `vdd` pin must map to a pin on the
+//!   main circuit's same-named global, with the same class multiplier,
+//!   no matter the rail's fanout. These are the bits that let the index
+//!   prune for shallow patterns whose Phase I refinement stops before
+//!   device labels absorb any neighborhood at all.
+//!
+//! The main-side fingerprint sets those same bits for **every** adjacent
+//! net (it cannot know which main nets are images of internal pattern
+//! nets), so it is always a superset of the bits any embedded pattern
+//! key could require. Extra bits only weaken pruning, never soundness.
+//! Label collisions likewise only admit false candidates — which
+//! Phase II rejects structurally — and never drop true ones.
+
+use crate::compiled::CompiledCircuit;
+use crate::hashing;
+use crate::id::{DeviceId, NetId};
+
+/// Degree cap above which a net's 2-hop neighborhood is not enumerated.
+///
+/// Applied identically on the pattern and main sides; sound because the
+/// degree of an internal pattern net is preserved by embedding. Keeps
+/// index construction linear in practice (globals like power rails have
+/// huge degrees).
+pub const HOP2_CAP: usize = 16;
+
+// Distinct salts keep the four feature families from aliasing.
+const TYPE_SALT: u64 = 0x5347_4649_3a54_5950; // "SGFI:TYP"
+const HOP1_SALT: u64 = 0x5347_4649_3a48_3150; // "SGFI:H1P"
+const HOP2_SALT: u64 = 0x5347_4649_3a48_3250; // "SGFI:H2P"
+const RAIL_SALT: u64 = 0x5347_4649_3a52_4c31; // "SGFI:RL1"
+
+/// Maps a feature hash to its Bloom bit.
+#[inline]
+fn bit(h: u64) -> u64 {
+    1u64 << (h & 63)
+}
+
+/// Accumulates the fingerprint of device `d`, restricted to adjacent
+/// nets accepted by `include`.
+fn device_features(g: &CompiledCircuit, d: DeviceId, include: impl Fn(NetId) -> bool) -> u64 {
+    let mut fp = bit(hashing::mix(TYPE_SALT ^ g.initial_device_label(d)));
+    for (n, m) in g.device_neighbors(d) {
+        if g.is_global(n) {
+            // A global net's initial label is its name label — the rail
+            // feature is fanout-independent by construction. On the main
+            // side the rail additionally contributes its (harmless)
+            // degree features below via `include`.
+            fp |= bit(hashing::mix(RAIL_SALT ^ m ^ g.initial_net_label(n)));
+        }
+        if !include(n) {
+            continue;
+        }
+        let degree = g.net_degree(n);
+        fp |= bit(hashing::mix(
+            HOP1_SALT ^ m ^ (degree as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ));
+        if degree <= HOP2_CAP {
+            for (d2, m2) in g.net_neighbors(n) {
+                fp |= bit(hashing::mix(
+                    HOP2_SALT ^ m ^ m2.rotate_left(17) ^ g.initial_device_label(d2),
+                ));
+            }
+        }
+    }
+    fp
+}
+
+/// Per-device 64-bit neighborhood fingerprints of a compiled circuit.
+///
+/// Build once per main circuit (or load from a `.sgc` artifact) and
+/// test candidates with [`admits`](Self::admits) against a
+/// [`pattern_mask`](Self::pattern_mask).
+///
+/// # Examples
+///
+/// ```
+/// use subgemini_netlist::{CompiledCircuit, FingerprintIndex, Netlist};
+///
+/// # fn main() -> Result<(), subgemini_netlist::NetlistError> {
+/// let mut nl = Netlist::new("inv");
+/// let mos = nl.add_mos_types();
+/// let (a, y, vdd, gnd) = (nl.net("a"), nl.net("y"), nl.net("vdd"), nl.net("gnd"));
+/// nl.add_device("mp", mos.pmos, &[a, vdd, y])?;
+/// nl.add_device("mn", mos.nmos, &[a, gnd, y])?;
+/// let g = CompiledCircuit::compile(&nl);
+/// let index = FingerprintIndex::build(&g);
+/// assert_eq!(index.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FingerprintIndex {
+    dev_fp: Vec<u64>,
+    hop2_cap: u32,
+}
+
+impl FingerprintIndex {
+    /// Builds the fingerprint index for a main circuit: every adjacent
+    /// net contributes, so each fingerprint is a superset of any
+    /// embedded pattern's mask.
+    pub fn build(g: &CompiledCircuit) -> Self {
+        let dev_fp = (0..g.device_count())
+            .map(|i| device_features(g, DeviceId::new(i as u32), |_| true))
+            .collect();
+        Self {
+            dev_fp,
+            hop2_cap: HOP2_CAP as u32,
+        }
+    }
+
+    /// The pattern-side mask for key device `d` of compiled pattern
+    /// `s`: only features guaranteed to survive embedding (see the
+    /// module docs) set bits.
+    pub fn pattern_mask(s: &CompiledCircuit, d: DeviceId) -> u64 {
+        device_features(s, d, |n| !s.is_global(n) && !s.is_port(n))
+    }
+
+    /// Whether candidate device `d` can be the image of a key whose
+    /// pattern mask is `mask`: every required bit must be present.
+    #[inline]
+    pub fn admits(&self, d: DeviceId, mask: u64) -> bool {
+        mask & !self.dev_fp[d.index()] == 0
+    }
+
+    /// The fingerprint of device `d`.
+    #[inline]
+    pub fn fingerprint(&self, d: DeviceId) -> u64 {
+        self.dev_fp[d.index()]
+    }
+
+    /// Number of fingerprinted devices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dev_fp.len()
+    }
+
+    /// Whether the index covers no devices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dev_fp.is_empty()
+    }
+
+    /// The raw fingerprint array, for serialization.
+    #[inline]
+    pub fn fingerprints(&self) -> &[u64] {
+        &self.dev_fp
+    }
+
+    /// The 2-hop degree cap the index was built with.
+    #[inline]
+    pub fn hop2_cap(&self) -> u32 {
+        self.hop2_cap
+    }
+
+    /// Reassembles an index from deserialized parts.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a cap that differs from [`HOP2_CAP`] (the construction
+    /// parameters are part of the artifact version contract).
+    pub fn from_raw_parts(dev_fp: Vec<u64>, hop2_cap: u32) -> Result<Self, String> {
+        if hop2_cap as usize != HOP2_CAP {
+            return Err(format!(
+                "fingerprint hop2 cap {hop2_cap} does not match this build ({HOP2_CAP})"
+            ));
+        }
+        Ok(Self { dev_fp, hop2_cap })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instantiate;
+    use crate::netlist::Netlist;
+
+    /// nand2 cell: ports a/b/y, globals vdd/gnd, one internal net.
+    fn nand2() -> Netlist {
+        let mut nl = Netlist::new("nand2");
+        let mos = nl.add_mos_types();
+        let (a, b, y) = (nl.net("a"), nl.net("b"), nl.net("y"));
+        let (vdd, gnd, w) = (nl.net("vdd"), nl.net("gnd"), nl.net("w"));
+        for n in [a, b, y] {
+            nl.mark_port(n);
+        }
+        nl.mark_global(vdd);
+        nl.mark_global(gnd);
+        nl.add_device("mp1", mos.pmos, &[y, vdd, a]).unwrap();
+        nl.add_device("mp2", mos.pmos, &[y, vdd, b]).unwrap();
+        nl.add_device("mn1", mos.nmos, &[y, w, a]).unwrap();
+        nl.add_device("mn2", mos.nmos, &[w, gnd, b]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn embedded_instance_fingerprints_cover_pattern_masks() {
+        let cell = nand2();
+        let mut main = Netlist::new("main");
+        main.add_mos_types();
+        let (vdd, gnd) = (main.net("vdd"), main.net("gnd"));
+        main.mark_global(vdd);
+        main.mark_global(gnd);
+        let nets: Vec<_> = (0..6).map(|i| main.net(format!("x{i}"))).collect();
+        instantiate(&mut main, &cell, "u0", &[nets[0], nets[1], nets[2]]).unwrap();
+        instantiate(&mut main, &cell, "u1", &[nets[2], nets[3], nets[4]]).unwrap();
+
+        let s = CompiledCircuit::compile(&cell);
+        let g = CompiledCircuit::compile(&main);
+        let index = FingerprintIndex::build(&g);
+
+        // Every pattern device's mask must admit its image in both
+        // planted instances (device order is preserved by instantiate).
+        for d in 0..s.device_count() {
+            let mask = FingerprintIndex::pattern_mask(&s, DeviceId::new(d as u32));
+            for inst in 0..2 {
+                let image = DeviceId::new((inst * s.device_count() + d) as u32);
+                assert!(
+                    index.admits(image, mask),
+                    "device {d} image in instance {inst} rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn type_mismatch_is_always_rejected() {
+        let cell = nand2();
+        let s = CompiledCircuit::compile(&cell);
+        let g = CompiledCircuit::compile(&cell);
+        let index = FingerprintIndex::build(&g);
+        let nmos_key = cell.find_device("mn2").unwrap();
+        let pmos_image = cell.find_device("mp1").unwrap();
+        let mask = FingerprintIndex::pattern_mask(&s, nmos_key);
+        assert!(!index.admits(pmos_image, mask));
+        assert!(index.admits(nmos_key, mask));
+    }
+
+    #[test]
+    fn pattern_mask_is_subset_of_self_fingerprint() {
+        let cell = nand2();
+        let s = CompiledCircuit::compile(&cell);
+        let index = FingerprintIndex::build(&s);
+        for d in 0..s.device_count() {
+            let d = DeviceId::new(d as u32);
+            let mask = FingerprintIndex::pattern_mask(&s, d);
+            assert_eq!(mask & !index.fingerprint(d), 0);
+        }
+    }
+
+    #[test]
+    fn rail_feature_prunes_mis_wired_same_type_device() {
+        // Two pmos of identical type, both on port-only neighborhoods:
+        // one sourced on the vdd rail like the pattern, one on an
+        // ordinary net. The degree-free rail feature tells them apart
+        // even though no internal net exists to carry hop features.
+        let mut pat = Netlist::new("p");
+        let mos = pat.add_mos_types();
+        let (a, y, vdd) = (pat.net("a"), pat.net("y"), pat.net("vdd"));
+        pat.mark_port(a);
+        pat.mark_port(y);
+        pat.mark_global(vdd);
+        pat.add_device("mp", mos.pmos, &[y, vdd, a]).unwrap();
+
+        let mut main = Netlist::new("g");
+        let mmos = main.add_mos_types();
+        let (ga, gy, gv) = (main.net("a"), main.net("y"), main.net("vdd"));
+        let stray = main.net("stray");
+        main.mark_global(gv);
+        main.add_device("good", mmos.pmos, &[gy, gv, ga]).unwrap();
+        main.add_device("bad", mmos.pmos, &[gy, stray, ga]).unwrap();
+
+        let s = CompiledCircuit::compile(&pat);
+        let g = CompiledCircuit::compile(&main);
+        let idx = FingerprintIndex::build(&g);
+        let mask = FingerprintIndex::pattern_mask(&s, DeviceId::new(0));
+        assert!(idx.admits(DeviceId::new(0), mask), "true image admitted");
+        assert!(!idx.admits(DeviceId::new(1), mask), "off-rail twin pruned");
+    }
+
+    #[test]
+    fn raw_parts_round_trip_and_cap_pinning() {
+        let s = CompiledCircuit::compile(&nand2());
+        let index = FingerprintIndex::build(&s);
+        let again =
+            FingerprintIndex::from_raw_parts(index.fingerprints().to_vec(), index.hop2_cap())
+                .unwrap();
+        assert_eq!(index, again);
+        assert!(FingerprintIndex::from_raw_parts(vec![], 3).is_err());
+    }
+}

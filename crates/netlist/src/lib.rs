@@ -10,6 +10,9 @@
 //!   pass and reused across patterns, threads, and extraction passes.
 //! * [`CircuitGraph`] — a thin borrowed shim over [`CompiledCircuit`]
 //!   keeping the legacy view API.
+//! * [`artifact`] — a versioned, checksummed, dependency-free binary
+//!   format (`.sgc`) persisting a compiled circuit together with its
+//!   [`FingerprintIndex`] for warm starts across processes.
 //! * [`hashing`] — the 64-bit labeling primitives implementing the
 //!   relabeling function of the paper's Fig. 3.
 //! * [`instantiate`] — hierarchical composition for generators and the
@@ -50,10 +53,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod compiled;
 mod compose;
 mod dot;
 mod error;
+mod fingerprint;
 mod graph;
 pub mod hashing;
 mod id;
@@ -63,10 +68,12 @@ pub mod rng;
 mod stats;
 mod types;
 
+pub use artifact::{structural_digest, Artifact, ArtifactError};
 pub use compiled::CompiledCircuit;
 pub use compose::{instantiate, InstantiateReport};
 pub use dot::to_dot;
 pub use error::NetlistError;
+pub use fingerprint::{FingerprintIndex, HOP2_CAP};
 pub use graph::{CircuitGraph, Contribs};
 pub use id::{DeviceId, DeviceTypeId, NetId, Vertex};
 pub use merge::{merge_parallel, MergeReport};
