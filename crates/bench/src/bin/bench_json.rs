@@ -308,6 +308,70 @@ fn warm_start(scale: usize, threads: usize) -> Value {
     ])
 }
 
+/// Daemon-shaped request economics (EXPERIMENTS.md E15): per-request
+/// wall time for engine find requests against a registered (warm,
+/// shared compiled snapshot + index) circuit vs inline (cold,
+/// compile-per-request) submission of the same netlist — the
+/// compile-once/query-many split `subg serve` exposes over HTTP,
+/// measured at the session layer so socket noise stays out of the
+/// numbers. Results are asserted identical before timings are
+/// reported.
+fn serve_section(scale: usize, threads: usize) -> Value {
+    use subgemini_engine::{CircuitSource, Engine, FindRequest, PatternSource, RequestOptions};
+    const REQUESTS: usize = 8;
+    let pattern = cells::full_adder();
+    let g = gen::ripple_adder(16 * scale.max(1));
+    let engine = Engine::new();
+    let t0 = std::time::Instant::now();
+    let info = engine.register_circuit("bench", g.netlist.clone());
+    let register_ns = t0.elapsed().as_nanos() as u64;
+    let options = || RequestOptions {
+        threads,
+        ..RequestOptions::default()
+    };
+    let timed = |circuit: CircuitSource<'_>| -> (u64, Vec<u64>) {
+        let mut found = 0u64;
+        let mut wall = Vec::with_capacity(REQUESTS);
+        for _ in 0..REQUESTS {
+            let t0 = std::time::Instant::now();
+            let resp = engine
+                .find(&FindRequest {
+                    circuit,
+                    pattern: PatternSource::Inline(&pattern),
+                    options: options(),
+                })
+                .expect("bench circuit resolves");
+            wall.push(t0.elapsed().as_nanos() as u64);
+            found = resp.outcome.count() as u64;
+        }
+        wall.sort_unstable();
+        (found, wall)
+    };
+    let (warm_found, warm_wall) = timed(CircuitSource::Registered("bench"));
+    let (cold_found, cold_wall) = timed(CircuitSource::Inline(&g.netlist));
+    assert_eq!(
+        warm_found, cold_found,
+        "registry warm start must not change results"
+    );
+    Value::Obj(vec![
+        (
+            "main_devices".into(),
+            Value::int(g.netlist.device_count() as u64),
+        ),
+        (
+            "artifact_bytes".into(),
+            Value::int(info.artifact_bytes as u64),
+        ),
+        ("requests".into(), Value::int(REQUESTS as u64)),
+        ("found".into(), Value::int(warm_found)),
+        ("register_ns".into(), Value::int(register_ns)),
+        ("cold_min_ns".into(), Value::int(cold_wall[0])),
+        ("cold_p50_ns".into(), Value::int(cold_wall[REQUESTS / 2])),
+        ("warm_min_ns".into(), Value::int(warm_wall[0])),
+        ("warm_p50_ns".into(), Value::int(warm_wall[REQUESTS / 2])),
+    ])
+}
+
 /// Sum of `compile_ns + phase1_refine_ns + phase1_select_ns` across a
 /// report's linearity rows. A missing `compile_ns` (pre-CSR baselines)
 /// counts as zero.
@@ -363,6 +427,8 @@ fn main() {
     let sur = survey(scale, threads);
     eprintln!("bench_json: warm start + prune ratio...");
     let warm = warm_start(scale, threads);
+    eprintln!("bench_json: serve registry economics...");
+    let serve = serve_section(scale, threads);
     let mut fields = vec![
         ("schema_version".into(), Value::int(REPORT_SCHEMA_VERSION)),
         (
@@ -373,6 +439,10 @@ fn main() {
         ("survey".into(), sur),
         // Additive since schema v1: warm-start and prune-ratio section.
         ("warm_start".into(), warm),
+        // Additive since schema v1: cold vs registry-warm per-request
+        // wall time at the engine session layer (the `subg serve`
+        // economics).
+        ("serve".into(), serve),
     ];
     if with_budget_curve {
         eprintln!("bench_json: budget curve...");

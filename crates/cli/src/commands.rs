@@ -1,16 +1,27 @@
 //! The `subg` subcommand implementations. Each returns the process
 //! exit code: 0 on success, 1 for "ran fine but found differences /
 //! violations" (grep-style), errors bubble as strings.
+//!
+//! The matching subcommands (`find`, `survey`, `explain`, `compile`,
+//! `serve`) are thin adapters over the [`subgemini_engine`] session
+//! layer: argument parsing maps onto [`RequestOptions`], the engine
+//! runs the one shared request pipeline, and this module only renders.
+//! One-shot commands use [`CircuitSource::Inline`] so nothing is
+//! registered and cold runs stay byte-identical to pre-engine releases.
 
 use std::fs;
 
 use subgemini::{MatchOptions, Matcher};
+use subgemini_engine::source::{load_cell, load_doc, load_main};
+use subgemini_engine::{
+    CircuitSource, Engine, ExplainRequest, FindRequest, LibrarySource, PatternSource,
+    RequestOptions, SurveyRequest,
+};
 use subgemini_gemini::compare as gemini_compare;
 use subgemini_netlist::{Netlist, NetlistStats};
 use subgemini_spice::write_hierarchical;
 
 use crate::args::Args;
-use crate::io::{load_cell, load_doc, load_main};
 
 fn pattern_from(args: &Args, main_path: &str) -> Result<Netlist, String> {
     let name = args.option("--pattern").ok_or("missing --pattern <cell>")?;
@@ -37,8 +48,11 @@ fn library_from(args: &Args) -> Result<Vec<Netlist>, String> {
     Ok(cells)
 }
 
-fn match_options(args: &Args) -> Result<MatchOptions, String> {
-    let mut opts = MatchOptions::default();
+/// Maps command-line flags onto engine [`RequestOptions`]. The engine's
+/// `lower` step resolves the `--artifact` warm-start handle (digest
+/// check included), so the per-command copies of that wiring are gone.
+fn request_options(args: &Args) -> Result<RequestOptions, String> {
+    let mut opts = RequestOptions::default();
     if args.switch("--ignore-globals") {
         opts.respect_globals = false;
     }
@@ -75,7 +89,8 @@ fn match_options(args: &Args) -> Result<MatchOptions, String> {
         opts.trace_events = true;
     }
     // Work budget: only constructed when a cap is actually given, so
-    // plain runs stay governor-free.
+    // plain runs stay governor-free (`lower` also drops unlimited
+    // budgets, belt and braces).
     let mut budget = subgemini::WorkBudget::default();
     if let Some(n) = args.option("--max-effort") {
         budget.max_effort = Some(
@@ -104,31 +119,8 @@ fn match_options(args: &Args) -> Result<MatchOptions, String> {
             }
         };
     }
+    opts.artifact = args.option("--artifact").map(str::to_string);
     Ok(opts)
-}
-
-/// Loads the `--artifact <file.sgc>` warm-start handle, if requested.
-/// The artifact must have been compiled from this exact main circuit
-/// (structural digest match); anything else is a hard error rather than
-/// a silent cold fallback, because the user explicitly named a file.
-fn apply_artifact(args: &Args, main: &Netlist, opts: &mut MatchOptions) -> Result<(), String> {
-    let Some(path) = args.option("--artifact") else {
-        return Ok(());
-    };
-    if args.switch("--ignore-globals") {
-        return Err("--artifact requires global-respecting matching; drop --ignore-globals".into());
-    }
-    let t0 = std::time::Instant::now();
-    let artifact =
-        subgemini_netlist::Artifact::load(std::path::Path::new(path)).map_err(|e| e.to_string())?;
-    let load_ns = t0.elapsed().as_nanos() as u64;
-    if artifact.source_digest != subgemini_netlist::structural_digest(main) {
-        return Err(format!(
-            "{path}: artifact was compiled from a different circuit; re-run `subg compile`"
-        ));
-    }
-    opts.warm_main = Some(subgemini::WarmMain::from_artifact(artifact, load_ns));
-    Ok(())
 }
 
 /// Exit code for a finished search: truncation is not a failure (the
@@ -180,51 +172,47 @@ pub fn find(args: &Args) -> Result<u8, String> {
     let main_path = args.need(0, "main netlist file")?;
     let main = load_main(main_path)?;
     let pattern = pattern_from(args, main_path)?;
-    let mut opts = match_options(args)?;
-    apply_artifact(args, &main, &mut opts)?;
-    let outcome = Matcher::new(&pattern, &main).options(opts).find_all();
-    write_event_exports(args, &outcome)?;
+    let options = request_options(args)?;
+    let resp = Engine::new()
+        .find(&FindRequest {
+            circuit: CircuitSource::Inline(&main),
+            pattern: PatternSource::Inline(&pattern),
+            options,
+        })
+        .map_err(|e| e.to_string())?;
+    let outcome = &resp.outcome;
+    write_event_exports(args, outcome)?;
     let explain_text = args
         .switch("--explain")
-        .then(|| subgemini::ExplainReport::from_outcome(&outcome).render());
+        .then(|| subgemini::ExplainReport::from_outcome(outcome).render());
     match report_mode(args)? {
         Some("json") => {
             // Machine-readable: the report is the whole stdout.
-            print!("{}", subgemini::metrics::outcome_to_json(&outcome).pretty());
-            return Ok(find_exit_code(args, &outcome));
+            print!("{}", subgemini::metrics::outcome_to_json(outcome).pretty());
+            return Ok(find_exit_code(args, outcome));
         }
         Some(_) => {
-            print!("{}", subgemini::metrics::outcome_to_text(&outcome));
+            print!("{}", subgemini::metrics::outcome_to_text(outcome));
             if let Some(text) = explain_text {
                 print!("{text}");
             }
-            return Ok(find_exit_code(args, &outcome));
+            return Ok(find_exit_code(args, outcome));
         }
         None => {}
     }
     if args.switch("--csv") {
         println!("instance,devices");
-        for (i, m) in outcome.instances.iter().enumerate() {
-            let names: Vec<&str> = m
-                .device_set()
-                .iter()
-                .map(|&d| main.device(d).name())
-                .collect();
+        for (i, names) in resp.instance_devices.iter().enumerate() {
             println!("{i},{}", names.join(";"));
         }
     } else {
         println!(
             "{} instance(s) of `{}` in `{}`",
             outcome.count(),
-            pattern.name(),
-            main.name()
+            resp.pattern,
+            resp.circuit
         );
-        for (i, m) in outcome.instances.iter().enumerate() {
-            let names: Vec<&str> = m
-                .device_set()
-                .iter()
-                .map(|&d| main.device(d).name())
-                .collect();
+        for (i, names) in resp.instance_devices.iter().enumerate() {
             println!("  #{i}: {}", names.join(" "));
         }
         println!(
@@ -254,7 +242,7 @@ pub fn find(args: &Args) -> Result<u8, String> {
     if let Some(text) = explain_text {
         print!("{text}");
     }
-    Ok(find_exit_code(args, &outcome))
+    Ok(find_exit_code(args, outcome))
 }
 
 /// `subg explain`: run the search with the event journal on and answer
@@ -263,18 +251,20 @@ pub fn explain(args: &Args) -> Result<u8, String> {
     let main_path = args.need(0, "main netlist file")?;
     let main = load_main(main_path)?;
     let pattern = pattern_from(args, main_path)?;
-    let mut opts = match_options(args)?;
-    apply_artifact(args, &main, &mut opts)?;
-    opts.trace_events = true;
-    let outcome = Matcher::new(&pattern, &main).options(opts).find_all();
-    write_event_exports(args, &outcome)?;
-    let report = subgemini::ExplainReport::from_outcome(&outcome);
+    let resp = Engine::new()
+        .explain(&ExplainRequest {
+            circuit: CircuitSource::Inline(&main),
+            pattern: PatternSource::Inline(&pattern),
+            options: request_options(args)?,
+        })
+        .map_err(|e| e.to_string())?;
+    write_event_exports(args, &resp.outcome)?;
     if args.switch("--json") {
-        print!("{}", report.to_json().pretty());
+        print!("{}", resp.report.to_json().pretty());
     } else {
-        print!("{}", report.render());
+        print!("{}", resp.report.render());
     }
-    Ok(if outcome.count() > 0 { 0 } else { 1 })
+    Ok(if resp.outcome.count() > 0 { 0 } else { 1 })
 }
 
 /// `subg candidates`: Phase I only.
@@ -322,16 +312,69 @@ pub fn compile(args: &Args) -> Result<u8, String> {
         Some(p) => std::path::PathBuf::from(p),
         None => std::path::Path::new(main_path).with_extension("sgc"),
     };
-    let artifact = subgemini_netlist::Artifact::build(&main);
-    let bytes = artifact.encode();
-    fs::write(&out, &bytes).map_err(|e| format!("{}: {e}", out.display()))?;
+    let enc = subgemini_engine::compile_netlist(&main);
+    fs::write(&out, &enc.bytes).map_err(|e| format!("{}: {e}", out.display()))?;
     println!(
         "{}: {} device(s), {} net(s), digest {:016x}, {} bytes",
         out.display(),
-        artifact.circuit.device_count(),
-        artifact.circuit.net_count(),
-        artifact.source_digest,
-        bytes.len()
+        enc.devices,
+        enc.nets,
+        enc.digest,
+        enc.bytes.len()
+    );
+    Ok(0)
+}
+
+/// `subg serve`: long-lived matching daemon over the same engine the
+/// one-shot commands use. Positional netlist files are compiled and
+/// registered up front (under their elaborated circuit names); clients
+/// then upload/register more and query over HTTP. Stdout carries
+/// machine-readable NDJSON status lines — scripts read the `listening`
+/// line for the resolved address (`--addr 127.0.0.1:0` binds an
+/// ephemeral port), and the final `shutdown` line for the drain count.
+pub fn serve(args: &Args) -> Result<u8, String> {
+    use std::io::Write as _;
+    let mut config = subgemini_serve::ServeConfig::default();
+    if let Some(addr) = args.option("--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(w) = args.option("--workers") {
+        config.workers = w
+            .parse()
+            .map_err(|_| format!("--workers: `{w}` is not a count"))?;
+        if config.workers == 0 {
+            return Err("--workers: need at least one worker".into());
+        }
+    }
+    let engine = std::sync::Arc::new(Engine::new());
+    let mut preloads = Vec::new();
+    for path in &args.positional {
+        let main = load_main(path)?;
+        let name = main.name().to_string();
+        let info = engine.register_circuit(&name, main);
+        preloads.push(info);
+    }
+    let server = subgemini_serve::Server::bind(engine, &config)
+        .map_err(|e| format!("{}: {e}", config.addr))?;
+    let mut stdout = std::io::stdout();
+    for info in &preloads {
+        println!(
+            "{{\"event\":\"registered\",\"circuit\":\"{}\",\"devices\":{},\"nets\":{}}}",
+            info.name, info.devices, info.nets
+        );
+    }
+    // The machine-readable handshake: exactly one `listening` line,
+    // flushed before serving, so spawners never race on the port.
+    println!(
+        "{{\"event\":\"listening\",\"addr\":\"{}\"}}",
+        server.local_addr()
+    );
+    stdout.flush().map_err(|e| e.to_string())?;
+    subgemini_serve::signal::install(&server.shutdown_handle());
+    let report = server.run();
+    println!(
+        "{{\"event\":\"shutdown\",\"served\":{},\"drained\":{}}}",
+        report.served, report.drained
     );
     Ok(0)
 }
@@ -439,7 +482,7 @@ pub fn compare(args: &Args) -> Result<u8, String> {
 }
 
 fn compare_hierarchical(a_path: &str, b_path: &str) -> Result<u8, String> {
-    use crate::io::Doc;
+    use subgemini_engine::source::Doc;
     use subgemini_spice::ElaborateOptions;
     let da = load_doc(a_path)?;
     let db = load_doc(b_path)?;
@@ -510,11 +553,17 @@ pub fn trace(args: &Args) -> Result<u8, String> {
     let main_path = args.need(0, "main netlist file")?;
     let main = load_main(main_path)?;
     let pattern = pattern_from(args, main_path)?;
+    // Trace never warm-starts: the rendered pass-by-pass labeling is a
+    // teaching view of the cold algorithm, so `--artifact` is ignored
+    // here (as it always was).
+    let mut ropts = request_options(args)?;
+    ropts.artifact = None;
+    let opts = ropts.lower(&main, None).map_err(|e| e.to_string())?;
     let outcome = Matcher::new(&pattern, &main)
         .options(MatchOptions {
             record_trace: true,
             spread_from_port_images: true, // paper-literal spreading
-            ..match_options(args)?
+            ..opts
         })
         .find_all();
     let count = outcome.count();
@@ -541,17 +590,20 @@ pub fn survey(args: &Args) -> Result<u8, String> {
     let main_path = args.need(0, "main netlist file")?;
     let main = load_main(main_path)?;
     let cells = library_from(args)?;
-    let refs: Vec<&Netlist> = cells.iter().collect();
-    let mut opts = match_options(args)?;
-    apply_artifact(args, &main, &mut opts)?;
-    let outcomes = subgemini::find_all_many(&refs, &main, &opts);
+    let resp = Engine::new()
+        .survey(&SurveyRequest {
+            circuit: CircuitSource::Inline(&main),
+            library: LibrarySource::Inline(&cells),
+            options: request_options(args)?,
+        })
+        .map_err(|e| e.to_string())?;
     println!("{:<18} {:>6} {:>6}", "cell", "|CV|", "found");
-    for (cell, outcome) in cells.iter().zip(&outcomes) {
+    for row in &resp.rows {
         println!(
             "{:<18} {:>6} {:>6}",
-            cell.name(),
-            outcome.phase1.cv_size,
-            outcome.count()
+            row.cell,
+            row.outcome.phase1.cv_size,
+            row.outcome.count()
         );
     }
     Ok(0)

@@ -17,6 +17,7 @@
 //! subg compare <a.sp> <b.sp> [--cell <name>] [--hierarchical]
 //! subg stats <file.sp>
 //! subg dot <file.sp> [--out <file.dot>]
+//! subg serve [<main.sp>...] [--addr <host:port>] [--workers <n>]
 //! ```
 //!
 //! Patterns, rules and library cells are `.subckt` definitions; their
@@ -25,7 +26,6 @@
 
 mod args;
 mod commands;
-mod io;
 
 use std::process::ExitCode;
 
@@ -51,6 +51,7 @@ USAGE:
   subg stats <file.sp>
   subg dot <file.sp> [--out <file.dot>]
   subg fingerprint <cells.sp|cells.v>
+  subg serve [<main.sp>...] [--addr <host:port>] [--workers <n>]
 ";
 
 fn main() -> ExitCode {
@@ -80,6 +81,7 @@ fn main() -> ExitCode {
         "stats" => commands::stats(&parsed),
         "dot" => commands::dot(&parsed),
         "fingerprint" => commands::fingerprint(&parsed),
+        "serve" => commands::serve(&parsed),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(0)

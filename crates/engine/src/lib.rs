@@ -1,0 +1,1057 @@
+//! SubGemini engine: the session layer between front ends and the
+//! matching core.
+//!
+//! After PR 6 every front end (the `subg` CLI, benches, tests)
+//! hand-rolled the same request pipeline: parse a netlist, compile it
+//! (or adopt a warm `.sgc` artifact), assemble [`MatchOptions`], run
+//! `find`/`survey`/`explain`, and render a report. This crate extracts
+//! that pipeline once:
+//!
+//! * [`Engine`] — a registry of named, `Arc`-shared compiled circuits
+//!   (each held as a [`WarmMain`]: CSR snapshot + fingerprint index)
+//!   and named pattern libraries. Registration compiles once; every
+//!   subsequent request against that name shares the allocation, so a
+//!   daemon amortizes compilation across heavy traffic exactly like
+//!   [`subgemini::find_all_many`] amortizes it across a library sweep.
+//! * Typed requests ([`FindRequest`], [`SurveyRequest`],
+//!   [`ExplainRequest`]) — every request carries its *own*
+//!   [`RequestOptions`]: work budget/deadline, prune mode,
+//!   thread/scheduler choice, cancellation token, and event-journal
+//!   capture. Nothing is process-global; two concurrent requests with
+//!   different QoS coexist on one registry entry.
+//! * [`RequestOptions::lower`] — the one place that turns request
+//!   options into core [`MatchOptions`], including the artifact-load /
+//!   digest-check / warm-main wiring the CLI used to repeat per
+//!   subcommand.
+//!
+//! The sharing contract (see DESIGN.md §3g): registry entries are
+//! immutable snapshots behind `Arc`. A request resolves its entry once
+//! and keeps the `Arc` for its whole run; re-registering a name swaps
+//! the map pointer and never mutates the old entry, so in-flight
+//! requests finish against the snapshot they started with. Because the
+//! matching core is deterministic (serial candidate-vector-ordered
+//! merge), N concurrent requests over one shared entry return results
+//! byte-identical to N serial CLI runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod source;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use subgemini::{
+    find_all, find_all_many, CancelToken, ExplainReport, MatchOptions, MatchOutcome,
+    Phase2Scheduler, PrunePolicy, WarmMain, WorkBudget,
+};
+use subgemini_netlist::{structural_digest, Artifact, Netlist};
+
+/// Why the engine refused a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request named a circuit the registry does not hold.
+    UnknownCircuit(String),
+    /// The request named a library the registry does not hold.
+    UnknownLibrary(String),
+    /// The request named a cell its library does not define.
+    UnknownCell {
+        /// The library that was searched.
+        library: String,
+        /// The missing cell.
+        cell: String,
+    },
+    /// Anything else: source parse problems, artifact problems, bad
+    /// option combinations. The message is front-end-ready.
+    Invalid(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownCircuit(n) => write!(f, "unknown circuit `{n}`"),
+            EngineError::UnknownLibrary(n) => write!(f, "unknown library `{n}`"),
+            EngineError::UnknownCell { library, cell } => {
+                write!(f, "library `{library}` has no cell `{cell}`")
+            }
+            EngineError::Invalid(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<String> for EngineError {
+    fn from(m: String) -> Self {
+        EngineError::Invalid(m)
+    }
+}
+
+/// Per-request knobs, lowered onto core [`MatchOptions`] by
+/// [`RequestOptions::lower`]. Defaults mirror `MatchOptions::default()`
+/// for every field carried here, so an all-default request behaves
+/// exactly like a bare CLI invocation.
+#[derive(Clone, Debug)]
+pub struct RequestOptions {
+    /// Honor global (special) nets (default `true`).
+    pub respect_globals: bool,
+    /// Stop after this many verified instances (0 = unlimited).
+    pub max_instances: usize,
+    /// Phase II worker threads (`1` serial, `0` = machine auto).
+    pub threads: usize,
+    /// Phase II candidate scheduler.
+    pub scheduler: Phase2Scheduler,
+    /// Collect phase timers and effort counters on the outcome.
+    pub collect_metrics: bool,
+    /// Record the structured event journal on the outcome.
+    pub trace_events: bool,
+    /// Work budget (effort cap and/or wall-clock deadline). An
+    /// unlimited budget is treated as `None`, so plain requests stay
+    /// governor-free.
+    pub budget: Option<WorkBudget>,
+    /// Fingerprint-prune policy.
+    pub prune: PrunePolicy,
+    /// Cooperative cancellation flag for this request.
+    pub cancel: Option<CancelToken>,
+    /// Path to a `.sgc` artifact to warm-start from (the CLI
+    /// `--artifact` flag). Takes precedence over a registry entry's
+    /// shared handle; the artifact must match the main circuit's
+    /// structural digest.
+    pub artifact: Option<String>,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        Self {
+            respect_globals: true,
+            max_instances: 0,
+            threads: 1,
+            scheduler: Phase2Scheduler::default(),
+            collect_metrics: false,
+            trace_events: false,
+            budget: None,
+            prune: PrunePolicy::default(),
+            cancel: None,
+            artifact: None,
+        }
+    }
+}
+
+impl RequestOptions {
+    /// Lowers request options onto core [`MatchOptions`], resolving the
+    /// warm-start source. This is the single copy of the
+    /// artifact-load / digest-check / warm-main wiring that `find`,
+    /// `explain`, and `survey` each used to hand-roll:
+    ///
+    /// * an explicit [`artifact`](RequestOptions::artifact) path is
+    ///   loaded and digest-checked against `main` — a mismatch is a
+    ///   hard error (the caller named the file), never a silent cold
+    ///   fallback;
+    /// * otherwise a registry entry's shared [`WarmMain`] is adopted,
+    ///   but only under global-respecting matching (a de-globaled run
+    ///   needs a different compilation and stays cold — byte-identical
+    ///   to an inline request).
+    ///
+    /// # Errors
+    ///
+    /// Artifact problems (unreadable, digest mismatch, combined with
+    /// `respect_globals = false`) as [`EngineError::Invalid`].
+    pub fn lower(
+        &self,
+        main: &Netlist,
+        registry_warm: Option<&WarmMain>,
+    ) -> Result<MatchOptions, EngineError> {
+        let mut opts = MatchOptions {
+            respect_globals: self.respect_globals,
+            max_instances: self.max_instances,
+            threads: self.threads,
+            scheduler: self.scheduler,
+            collect_metrics: self.collect_metrics,
+            trace_events: self.trace_events,
+            prune: self.prune,
+            ..MatchOptions::default()
+        };
+        opts.budget = self.budget.clone().filter(|b| !b.is_unlimited());
+        opts.cancel = self.cancel.clone();
+        if let Some(path) = self.artifact.as_deref() {
+            if !self.respect_globals {
+                return Err(EngineError::Invalid(
+                    "--artifact requires global-respecting matching; drop --ignore-globals".into(),
+                ));
+            }
+            let t0 = Instant::now();
+            let artifact = Artifact::load(std::path::Path::new(path))
+                .map_err(|e| EngineError::Invalid(e.to_string()))?;
+            let load_ns = t0.elapsed().as_nanos() as u64;
+            if artifact.source_digest != structural_digest(main) {
+                return Err(EngineError::Invalid(format!(
+                    "{path}: artifact was compiled from a different circuit; re-run `subg compile`"
+                )));
+            }
+            opts.warm_main = Some(WarmMain::from_artifact(artifact, load_ns));
+        } else if let Some(warm) = registry_warm {
+            if self.respect_globals {
+                opts.warm_main = Some(warm.clone());
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// The main circuit a request runs against.
+#[derive(Clone, Copy, Debug)]
+pub enum CircuitSource<'a> {
+    /// A named registry entry (shared compiled snapshot + index).
+    Registered(&'a str),
+    /// A caller-provided netlist, compiled for this request only (the
+    /// CLI one-shot path — deliberately *not* registered, so cold runs
+    /// stay cold and byte-identical to pre-engine releases).
+    Inline(&'a Netlist),
+}
+
+/// The pattern a find/explain request searches for.
+#[derive(Clone, Copy, Debug)]
+pub enum PatternSource<'a> {
+    /// A caller-provided pattern netlist.
+    Inline(&'a Netlist),
+    /// A cell from a registered pattern library.
+    Library {
+        /// The registered library name.
+        library: &'a str,
+        /// The cell within it.
+        cell: &'a str,
+    },
+}
+
+/// The cell library a survey sweeps.
+#[derive(Clone, Copy, Debug)]
+pub enum LibrarySource<'a> {
+    /// A named registered library.
+    Registered(&'a str),
+    /// Caller-provided cells.
+    Inline(&'a [Netlist]),
+}
+
+/// A find request: locate all instances of one pattern in one circuit.
+#[derive(Debug)]
+pub struct FindRequest<'a> {
+    /// The main circuit.
+    pub circuit: CircuitSource<'a>,
+    /// The pattern.
+    pub pattern: PatternSource<'a>,
+    /// Per-request options.
+    pub options: RequestOptions,
+}
+
+/// A survey request: count instances of every library cell in one run,
+/// sharing the compiled main and the Phase I relabeling across cells.
+#[derive(Debug)]
+pub struct SurveyRequest<'a> {
+    /// The main circuit.
+    pub circuit: CircuitSource<'a>,
+    /// The cell library.
+    pub library: LibrarySource<'a>,
+    /// Per-request options.
+    pub options: RequestOptions,
+}
+
+/// An explain request: a find with the event journal forced on, plus a
+/// rendered [`ExplainReport`].
+#[derive(Debug)]
+pub struct ExplainRequest<'a> {
+    /// The main circuit.
+    pub circuit: CircuitSource<'a>,
+    /// The pattern.
+    pub pattern: PatternSource<'a>,
+    /// Per-request options (`trace_events` is forced on).
+    pub options: RequestOptions,
+}
+
+/// Response to a find request.
+#[derive(Clone, Debug)]
+pub struct FindResponse {
+    /// Name of the main circuit searched.
+    pub circuit: String,
+    /// Name of the pattern searched for.
+    pub pattern: String,
+    /// The full match outcome (instances, stats, completeness,
+    /// optional metrics/journal).
+    pub outcome: MatchOutcome,
+    /// Sorted main-circuit device names per instance, in instance
+    /// order — the rendering-ready form of
+    /// [`SubMatch::device_set`](subgemini::SubMatch::device_set).
+    pub instance_devices: Vec<Vec<String>>,
+}
+
+/// One survey row: a cell and its outcome.
+#[derive(Clone, Debug)]
+pub struct SurveyRow {
+    /// The cell name.
+    pub cell: String,
+    /// The cell's match outcome.
+    pub outcome: MatchOutcome,
+}
+
+/// Response to a survey request.
+#[derive(Clone, Debug)]
+pub struct SurveyResponse {
+    /// Name of the main circuit surveyed.
+    pub circuit: String,
+    /// One row per library cell, in library order.
+    pub rows: Vec<SurveyRow>,
+}
+
+/// Response to an explain request.
+#[derive(Clone, Debug)]
+pub struct ExplainResponse {
+    /// Name of the main circuit searched.
+    pub circuit: String,
+    /// Name of the pattern searched for.
+    pub pattern: String,
+    /// The full match outcome (journal included).
+    pub outcome: MatchOutcome,
+    /// The report distilled from the journal.
+    pub report: ExplainReport,
+}
+
+/// Result of compiling/registering a circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileInfo {
+    /// The registered name.
+    pub name: String,
+    /// Device count of the compiled snapshot.
+    pub devices: usize,
+    /// Net count of the compiled snapshot.
+    pub nets: usize,
+    /// Structural digest of the source netlist.
+    pub digest: u64,
+    /// Encoded `.sgc` artifact size in bytes.
+    pub artifact_bytes: usize,
+}
+
+/// Result of registering a pattern library.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LibraryInfo {
+    /// The registered name.
+    pub name: String,
+    /// Cell names, in library order.
+    pub cells: Vec<String>,
+}
+
+/// A compiled-and-encoded artifact, for front ends that persist `.sgc`
+/// files (the CLI `compile` subcommand).
+#[derive(Clone, Debug)]
+pub struct EncodedArtifact {
+    /// The encoded `.sgc` bytes.
+    pub bytes: Vec<u8>,
+    /// Device count of the compiled snapshot.
+    pub devices: usize,
+    /// Net count of the compiled snapshot.
+    pub nets: usize,
+    /// Structural digest of the source netlist.
+    pub digest: u64,
+}
+
+/// Compiles a netlist into an encoded `.sgc` artifact (CSR snapshot +
+/// fingerprint index) without touching any registry.
+pub fn compile_netlist(main: &Netlist) -> EncodedArtifact {
+    let artifact = Artifact::build(main);
+    let bytes = artifact.encode();
+    EncodedArtifact {
+        devices: artifact.circuit.device_count(),
+        nets: artifact.circuit.net_count(),
+        digest: artifact.source_digest,
+        bytes,
+    }
+}
+
+/// A registered circuit: the source netlist plus its shared compiled
+/// snapshot and fingerprint index, all immutable behind `Arc`.
+struct CircuitEntry {
+    netlist: Arc<Netlist>,
+    warm: WarmMain,
+    devices: usize,
+    nets: usize,
+    digest: u64,
+    artifact_bytes: usize,
+}
+
+/// Registry description of one circuit, as reported by
+/// [`Engine::status`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircuitInfo {
+    /// The registered name.
+    pub name: String,
+    /// Device count.
+    pub devices: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Structural digest.
+    pub digest: u64,
+    /// Encoded artifact size in bytes.
+    pub artifact_bytes: usize,
+}
+
+/// A point-in-time snapshot of the engine: registry contents and
+/// request counters (the `/metrics` surface of the daemon).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineStatus {
+    /// Registered circuits, sorted by name.
+    pub circuits: Vec<CircuitInfo>,
+    /// Registered libraries as `(name, cell count)`, sorted by name.
+    pub libraries: Vec<(String, usize)>,
+    /// Cumulative request counters, in a fixed order.
+    pub requests: Vec<(&'static str, u64)>,
+}
+
+#[derive(Default)]
+struct EngineCounters {
+    compile: AtomicU64,
+    library: AtomicU64,
+    find: AtomicU64,
+    survey: AtomicU64,
+    explain: AtomicU64,
+    truncated: AtomicU64,
+}
+
+/// The session engine: named registries of compiled circuits and
+/// pattern libraries plus the request pipeline over them. Cheap to
+/// construct; front ends that never register anything (the CLI
+/// one-shot path) pay nothing for the registry.
+///
+/// All methods take `&self` and are safe to call from many threads;
+/// see the module docs for the sharing contract.
+#[derive(Default)]
+pub struct Engine {
+    circuits: RwLock<HashMap<String, Arc<CircuitEntry>>>,
+    libraries: RwLock<HashMap<String, Arc<Vec<Netlist>>>>,
+    counters: EngineCounters,
+}
+
+/// A request envelope, for transports that dispatch uniformly (the
+/// daemon). Front ends with static knowledge of the request kind (the
+/// CLI) call the corresponding [`Engine`] method directly — both paths
+/// are the same pipeline.
+#[derive(Debug)]
+pub enum Request<'a> {
+    /// Compile and register a circuit under a name.
+    Compile {
+        /// Registry name.
+        name: String,
+        /// The circuit to compile.
+        netlist: Box<Netlist>,
+    },
+    /// Register a pattern library under a name.
+    RegisterLibrary {
+        /// Registry name.
+        name: String,
+        /// The library cells, in order.
+        cells: Vec<Netlist>,
+    },
+    /// Locate all instances of a pattern.
+    Find(FindRequest<'a>),
+    /// Sweep a library over a circuit.
+    Survey(SurveyRequest<'a>),
+    /// Find with the event journal on, plus a distilled report.
+    Explain(ExplainRequest<'a>),
+    /// Registry contents and request counters.
+    Status,
+}
+
+/// The response for each [`Request`] variant.
+#[derive(Debug)]
+pub enum Response {
+    /// For [`Request::Compile`].
+    Compiled(CompileInfo),
+    /// For [`Request::RegisterLibrary`].
+    LibraryRegistered(LibraryInfo),
+    /// For [`Request::Find`].
+    Found(Box<FindResponse>),
+    /// For [`Request::Survey`].
+    Surveyed(SurveyResponse),
+    /// For [`Request::Explain`].
+    Explained(Box<ExplainResponse>),
+    /// For [`Request::Status`].
+    Status(EngineStatus),
+}
+
+enum ResolvedCircuit<'a> {
+    Entry(Arc<CircuitEntry>),
+    Inline(&'a Netlist),
+}
+
+impl ResolvedCircuit<'_> {
+    fn netlist(&self) -> &Netlist {
+        match self {
+            ResolvedCircuit::Entry(e) => &e.netlist,
+            ResolvedCircuit::Inline(n) => n,
+        }
+    }
+
+    fn warm(&self) -> Option<&WarmMain> {
+        match self {
+            ResolvedCircuit::Entry(e) => Some(&e.warm),
+            ResolvedCircuit::Inline(_) => None,
+        }
+    }
+}
+
+enum ResolvedPattern<'a> {
+    Borrowed(&'a Netlist),
+    Owned(Box<Netlist>),
+}
+
+impl ResolvedPattern<'_> {
+    fn get(&self) -> &Netlist {
+        match self {
+            ResolvedPattern::Borrowed(n) => n,
+            ResolvedPattern::Owned(n) => n,
+        }
+    }
+}
+
+enum ResolvedLibrary<'a> {
+    Shared(Arc<Vec<Netlist>>),
+    Inline(&'a [Netlist]),
+}
+
+impl ResolvedLibrary<'_> {
+    fn cells(&self) -> &[Netlist] {
+        match self {
+            ResolvedLibrary::Shared(v) => v,
+            ResolvedLibrary::Inline(s) => s,
+        }
+    }
+}
+
+fn instance_device_names(main: &Netlist, outcome: &MatchOutcome) -> Vec<Vec<String>> {
+    outcome
+        .instances
+        .iter()
+        .map(|m| {
+            m.device_set()
+                .iter()
+                .map(|&d| main.device(d).name().to_string())
+                .collect()
+        })
+        .collect()
+}
+
+impl Engine {
+    /// An empty engine: no circuits, no libraries, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `netlist` (CSR snapshot + fingerprint index, same
+    /// build as a `.sgc` artifact) and registers it under `name`,
+    /// replacing any previous entry. In-flight requests against a
+    /// replaced entry finish on the old snapshot.
+    pub fn register_circuit(&self, name: &str, netlist: Netlist) -> CompileInfo {
+        self.counters.compile.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let artifact = Artifact::build(&netlist);
+        let artifact_bytes = artifact.encode().len();
+        let devices = artifact.circuit.device_count();
+        let nets = artifact.circuit.net_count();
+        let digest = artifact.source_digest;
+        let build_ns = t0.elapsed().as_nanos() as u64;
+        let (compiled, index, source_digest) = artifact.into_shared();
+        let warm = WarmMain::new(compiled, index, source_digest, build_ns);
+        let entry = Arc::new(CircuitEntry {
+            netlist: Arc::new(netlist),
+            warm,
+            devices,
+            nets,
+            digest,
+            artifact_bytes,
+        });
+        self.circuits
+            .write()
+            .expect("circuit registry poisoned")
+            .insert(name.to_string(), entry);
+        CompileInfo {
+            name: name.to_string(),
+            devices,
+            nets,
+            digest,
+            artifact_bytes,
+        }
+    }
+
+    /// Registers a pattern library under `name`, replacing any
+    /// previous entry.
+    pub fn register_library(&self, name: &str, cells: Vec<Netlist>) -> LibraryInfo {
+        self.counters.library.fetch_add(1, Ordering::Relaxed);
+        let info = LibraryInfo {
+            name: name.to_string(),
+            cells: cells.iter().map(|c| c.name().to_string()).collect(),
+        };
+        self.libraries
+            .write()
+            .expect("library registry poisoned")
+            .insert(name.to_string(), Arc::new(cells));
+        info
+    }
+
+    fn resolve_circuit<'a>(
+        &self,
+        src: &CircuitSource<'a>,
+    ) -> Result<ResolvedCircuit<'a>, EngineError> {
+        match *src {
+            CircuitSource::Registered(name) => self
+                .circuits
+                .read()
+                .expect("circuit registry poisoned")
+                .get(name)
+                .cloned()
+                .map(ResolvedCircuit::Entry)
+                .ok_or_else(|| EngineError::UnknownCircuit(name.to_string())),
+            CircuitSource::Inline(n) => Ok(ResolvedCircuit::Inline(n)),
+        }
+    }
+
+    fn resolve_pattern<'a>(
+        &self,
+        src: &PatternSource<'a>,
+    ) -> Result<ResolvedPattern<'a>, EngineError> {
+        match *src {
+            PatternSource::Inline(n) => Ok(ResolvedPattern::Borrowed(n)),
+            PatternSource::Library { library, cell } => {
+                let cells = self
+                    .libraries
+                    .read()
+                    .expect("library registry poisoned")
+                    .get(library)
+                    .cloned()
+                    .ok_or_else(|| EngineError::UnknownLibrary(library.to_string()))?;
+                cells
+                    .iter()
+                    .find(|c| c.name() == cell)
+                    .cloned()
+                    .map(|c| ResolvedPattern::Owned(Box::new(c)))
+                    .ok_or_else(|| EngineError::UnknownCell {
+                        library: library.to_string(),
+                        cell: cell.to_string(),
+                    })
+            }
+        }
+    }
+
+    fn resolve_library<'a>(
+        &self,
+        src: &LibrarySource<'a>,
+    ) -> Result<ResolvedLibrary<'a>, EngineError> {
+        match *src {
+            LibrarySource::Registered(name) => self
+                .libraries
+                .read()
+                .expect("library registry poisoned")
+                .get(name)
+                .cloned()
+                .map(ResolvedLibrary::Shared)
+                .ok_or_else(|| EngineError::UnknownLibrary(name.to_string())),
+            LibrarySource::Inline(cells) => Ok(ResolvedLibrary::Inline(cells)),
+        }
+    }
+
+    fn note_completeness(&self, outcome: &MatchOutcome) {
+        if outcome.completeness.is_truncated() {
+            self.counters.truncated.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs a find request.
+    ///
+    /// # Errors
+    ///
+    /// Unknown registry names and option/artifact problems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern contains an isolated net (same contract as
+    /// [`subgemini::Matcher::find_all`]).
+    pub fn find(&self, req: &FindRequest<'_>) -> Result<FindResponse, EngineError> {
+        self.counters.find.fetch_add(1, Ordering::Relaxed);
+        let circuit = self.resolve_circuit(&req.circuit)?;
+        let main = circuit.netlist();
+        let pattern = self.resolve_pattern(&req.pattern)?;
+        let pattern = pattern.get();
+        let opts = req.options.lower(main, circuit.warm())?;
+        let outcome = find_all(pattern, main, &opts);
+        self.note_completeness(&outcome);
+        let instance_devices = instance_device_names(main, &outcome);
+        Ok(FindResponse {
+            circuit: main.name().to_string(),
+            pattern: pattern.name().to_string(),
+            outcome,
+            instance_devices,
+        })
+    }
+
+    /// Runs a survey request: every library cell against one circuit,
+    /// compiling and Phase-I-relabeling the main exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Unknown registry names and option/artifact problems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell contains an isolated net (same contract as
+    /// [`subgemini::find_all_many`]).
+    pub fn survey(&self, req: &SurveyRequest<'_>) -> Result<SurveyResponse, EngineError> {
+        self.counters.survey.fetch_add(1, Ordering::Relaxed);
+        let circuit = self.resolve_circuit(&req.circuit)?;
+        let main = circuit.netlist();
+        let library = self.resolve_library(&req.library)?;
+        let cells = library.cells();
+        let refs: Vec<&Netlist> = cells.iter().collect();
+        let opts = req.options.lower(main, circuit.warm())?;
+        let outcomes = find_all_many(&refs, main, &opts);
+        for outcome in &outcomes {
+            self.note_completeness(outcome);
+        }
+        let rows = cells
+            .iter()
+            .zip(outcomes)
+            .map(|(cell, outcome)| SurveyRow {
+                cell: cell.name().to_string(),
+                outcome,
+            })
+            .collect();
+        Ok(SurveyResponse {
+            circuit: main.name().to_string(),
+            rows,
+        })
+    }
+
+    /// Runs an explain request: a find with `trace_events` forced on,
+    /// plus the [`ExplainReport`] distilled from the merged journal.
+    ///
+    /// # Errors
+    ///
+    /// Unknown registry names and option/artifact problems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern contains an isolated net (same contract as
+    /// [`subgemini::Matcher::find_all`]).
+    pub fn explain(&self, req: &ExplainRequest<'_>) -> Result<ExplainResponse, EngineError> {
+        self.counters.explain.fetch_add(1, Ordering::Relaxed);
+        let circuit = self.resolve_circuit(&req.circuit)?;
+        let main = circuit.netlist();
+        let pattern = self.resolve_pattern(&req.pattern)?;
+        let pattern = pattern.get();
+        let mut request_opts = req.options.clone();
+        request_opts.trace_events = true;
+        let opts = request_opts.lower(main, circuit.warm())?;
+        let outcome = find_all(pattern, main, &opts);
+        self.note_completeness(&outcome);
+        let report = ExplainReport::from_outcome(&outcome);
+        Ok(ExplainResponse {
+            circuit: main.name().to_string(),
+            pattern: pattern.name().to_string(),
+            outcome,
+            report,
+        })
+    }
+
+    /// Registry contents and request counters.
+    pub fn status(&self) -> EngineStatus {
+        let mut circuits: Vec<CircuitInfo> = self
+            .circuits
+            .read()
+            .expect("circuit registry poisoned")
+            .iter()
+            .map(|(name, e)| CircuitInfo {
+                name: name.clone(),
+                devices: e.devices,
+                nets: e.nets,
+                digest: e.digest,
+                artifact_bytes: e.artifact_bytes,
+            })
+            .collect();
+        circuits.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut libraries: Vec<(String, usize)> = self
+            .libraries
+            .read()
+            .expect("library registry poisoned")
+            .iter()
+            .map(|(name, cells)| (name.clone(), cells.len()))
+            .collect();
+        libraries.sort();
+        let c = &self.counters;
+        let requests = vec![
+            ("compile", c.compile.load(Ordering::Relaxed)),
+            ("library", c.library.load(Ordering::Relaxed)),
+            ("find", c.find.load(Ordering::Relaxed)),
+            ("survey", c.survey.load(Ordering::Relaxed)),
+            ("explain", c.explain.load(Ordering::Relaxed)),
+            ("truncated", c.truncated.load(Ordering::Relaxed)),
+        ];
+        EngineStatus {
+            circuits,
+            libraries,
+            requests,
+        }
+    }
+
+    /// Uniform dispatch over the [`Request`] envelope.
+    ///
+    /// # Errors
+    ///
+    /// See the per-kind methods.
+    pub fn handle(&self, req: Request<'_>) -> Result<Response, EngineError> {
+        match req {
+            Request::Compile { name, netlist } => {
+                Ok(Response::Compiled(self.register_circuit(&name, *netlist)))
+            }
+            Request::RegisterLibrary { name, cells } => Ok(Response::LibraryRegistered(
+                self.register_library(&name, cells),
+            )),
+            Request::Find(r) => self.find(&r).map(Box::new).map(Response::Found),
+            Request::Survey(r) => self.survey(&r).map(Response::Surveyed),
+            Request::Explain(r) => self.explain(&r).map(Box::new).map(Response::Explained),
+            Request::Status => Ok(Response::Status(self.status())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgemini_workloads::{cells, gen};
+
+    fn engine_with_chip() -> (Engine, Netlist, Netlist) {
+        let engine = Engine::new();
+        let main = gen::ripple_adder(4).netlist;
+        let pattern = cells::full_adder();
+        engine.register_circuit("chip", main.clone());
+        (engine, main, pattern)
+    }
+
+    #[test]
+    fn registered_and_inline_requests_agree() {
+        let (engine, main, pattern) = engine_with_chip();
+        let warm = engine
+            .find(&FindRequest {
+                circuit: CircuitSource::Registered("chip"),
+                pattern: PatternSource::Inline(&pattern),
+                options: RequestOptions::default(),
+            })
+            .unwrap();
+        let cold = engine
+            .find(&FindRequest {
+                circuit: CircuitSource::Inline(&main),
+                pattern: PatternSource::Inline(&pattern),
+                options: RequestOptions::default(),
+            })
+            .unwrap();
+        assert_eq!(warm.outcome.instances, cold.outcome.instances);
+        assert_eq!(warm.outcome.phase1, cold.outcome.phase1);
+        assert_eq!(warm.instance_devices, cold.instance_devices);
+        assert!(warm.outcome.count() > 0);
+        assert_eq!(warm.circuit, main.name());
+        assert_eq!(warm.pattern, "full_adder");
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let (engine, _main, pattern) = engine_with_chip();
+        let err = engine
+            .find(&FindRequest {
+                circuit: CircuitSource::Registered("nope"),
+                pattern: PatternSource::Inline(&pattern),
+                options: RequestOptions::default(),
+            })
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownCircuit("nope".into()));
+        let err = engine
+            .find(&FindRequest {
+                circuit: CircuitSource::Registered("chip"),
+                pattern: PatternSource::Library {
+                    library: "lib",
+                    cell: "inv",
+                },
+                options: RequestOptions::default(),
+            })
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownLibrary("lib".into()));
+        engine.register_library("lib", vec![cells::inv()]);
+        let err = engine
+            .find(&FindRequest {
+                circuit: CircuitSource::Registered("chip"),
+                pattern: PatternSource::Library {
+                    library: "lib",
+                    cell: "nand9",
+                },
+                options: RequestOptions::default(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownCell { .. }));
+        assert!(err.to_string().contains("nand9"));
+    }
+
+    #[test]
+    fn survey_shares_one_compile_across_cells() {
+        let (engine, _main, _) = engine_with_chip();
+        engine.register_library("lib", cells::library());
+        let resp = engine
+            .survey(&SurveyRequest {
+                circuit: CircuitSource::Registered("chip"),
+                library: LibrarySource::Registered("lib"),
+                options: RequestOptions::default(),
+            })
+            .unwrap();
+        assert_eq!(resp.rows.len(), cells::library().len());
+        let fa = resp
+            .rows
+            .iter()
+            .find(|r| r.cell == "full_adder")
+            .expect("library has full_adder");
+        assert_eq!(fa.outcome.count(), 4);
+    }
+
+    #[test]
+    fn explain_forces_journal_and_reports() {
+        let (engine, _main, pattern) = engine_with_chip();
+        let resp = engine
+            .explain(&ExplainRequest {
+                circuit: CircuitSource::Registered("chip"),
+                pattern: PatternSource::Inline(&pattern),
+                options: RequestOptions::default(),
+            })
+            .unwrap();
+        assert!(resp.outcome.events.is_some(), "explain implies a journal");
+        assert!(!resp.report.render().is_empty());
+    }
+
+    #[test]
+    fn lower_rejects_artifact_with_ignored_globals() {
+        let main = gen::ripple_adder(2).netlist;
+        let opts = RequestOptions {
+            respect_globals: false,
+            artifact: Some("whatever.sgc".into()),
+            ..RequestOptions::default()
+        };
+        let err = opts.lower(&main, None).unwrap_err();
+        assert!(err.to_string().contains("--ignore-globals"), "{err}");
+    }
+
+    #[test]
+    fn lower_skips_registry_warm_when_globals_ignored() {
+        let (engine, main, pattern) = engine_with_chip();
+        let resp = engine
+            .find(&FindRequest {
+                circuit: CircuitSource::Registered("chip"),
+                pattern: PatternSource::Inline(&pattern),
+                options: RequestOptions {
+                    respect_globals: false,
+                    ..RequestOptions::default()
+                },
+            })
+            .unwrap();
+        let cold = engine
+            .find(&FindRequest {
+                circuit: CircuitSource::Inline(&main),
+                pattern: PatternSource::Inline(&pattern),
+                options: RequestOptions {
+                    respect_globals: false,
+                    ..RequestOptions::default()
+                },
+            })
+            .unwrap();
+        assert_eq!(resp.outcome.instances, cold.outcome.instances);
+        assert_eq!(resp.outcome.phase2, cold.outcome.phase2);
+    }
+
+    #[test]
+    fn lower_drops_unlimited_budget() {
+        let main = gen::ripple_adder(2).netlist;
+        let opts = RequestOptions {
+            budget: Some(WorkBudget::default()),
+            ..RequestOptions::default()
+        };
+        assert_eq!(opts.lower(&main, None).unwrap().budget, None);
+    }
+
+    #[test]
+    fn status_reports_registry_and_counters() {
+        let (engine, _main, pattern) = engine_with_chip();
+        engine.register_library("lib", cells::library());
+        let _ = engine.find(&FindRequest {
+            circuit: CircuitSource::Registered("chip"),
+            pattern: PatternSource::Inline(&pattern),
+            options: RequestOptions {
+                budget: Some(WorkBudget::effort(1)),
+                ..RequestOptions::default()
+            },
+        });
+        let status = engine.status();
+        assert_eq!(status.circuits.len(), 1);
+        assert_eq!(status.circuits[0].name, "chip");
+        assert!(status.circuits[0].devices > 0);
+        assert_eq!(
+            status.libraries,
+            vec![("lib".to_string(), cells::library().len())]
+        );
+        let get = |k: &str| {
+            status
+                .requests
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("compile"), 1);
+        assert_eq!(get("find"), 1);
+        assert_eq!(get("truncated"), 1, "1-effort find must truncate");
+    }
+
+    #[test]
+    fn envelope_dispatch_matches_direct_calls() {
+        let engine = Engine::new();
+        let main = gen::ripple_adder(3).netlist;
+        let pattern = cells::full_adder();
+        let resp = engine
+            .handle(Request::Compile {
+                name: "chip".into(),
+                netlist: Box::new(main),
+            })
+            .unwrap();
+        let Response::Compiled(info) = resp else {
+            panic!("compile answers Compiled");
+        };
+        assert_eq!(info.name, "chip");
+        assert!(info.artifact_bytes > 0);
+        let resp = engine
+            .handle(Request::Find(FindRequest {
+                circuit: CircuitSource::Registered("chip"),
+                pattern: PatternSource::Inline(&pattern),
+                options: RequestOptions::default(),
+            }))
+            .unwrap();
+        let Response::Found(found) = resp else {
+            panic!("find answers Found");
+        };
+        assert_eq!(found.outcome.count(), 3);
+        let Response::Status(status) = engine.handle(Request::Status).unwrap() else {
+            panic!("status answers Status");
+        };
+        assert_eq!(status.circuits.len(), 1);
+    }
+
+    #[test]
+    fn compile_netlist_round_trips_through_artifact() {
+        let main = gen::ripple_adder(2).netlist;
+        let enc = compile_netlist(&main);
+        assert_eq!(enc.devices, main.device_count());
+        assert_eq!(enc.digest, structural_digest(&main));
+        let decoded = Artifact::decode(&enc.bytes).expect("fresh artifact decodes");
+        assert_eq!(decoded.source_digest, enc.digest);
+    }
+}

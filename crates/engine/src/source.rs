@@ -1,0 +1,220 @@
+//! Netlist source loading: file- and text-based parsing plus main/cell
+//! elaboration, shared by every engine front end. Files (or source
+//! names) ending in `.v` or `.sv` load through the structural Verilog
+//! parser; everything else is treated as SPICE (file loads resolve
+//! `.include`).
+
+use subgemini_netlist::Netlist;
+use subgemini_spice::{parse as sparse, parse_file, ElaborateOptions, SpiceDoc};
+use subgemini_verilog::{parse as vparse, Source, VerilogOptions};
+
+/// Which parser a source goes through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    /// A SPICE deck.
+    Spice,
+    /// A structural Verilog source.
+    Verilog,
+}
+
+impl SourceKind {
+    /// Dispatch on file extension: `.v`/`.sv` is Verilog, everything
+    /// else SPICE.
+    pub fn from_path(path: &str) -> SourceKind {
+        if path.ends_with(".v") || path.ends_with(".sv") {
+            SourceKind::Verilog
+        } else {
+            SourceKind::Spice
+        }
+    }
+
+    /// Parses a format name (`spice` / `verilog`), as used by daemon
+    /// request bodies.
+    pub fn from_name(name: &str) -> Option<SourceKind> {
+        match name {
+            "spice" => Some(SourceKind::Spice),
+            "verilog" => Some(SourceKind::Verilog),
+            _ => None,
+        }
+    }
+}
+
+/// A loaded deck in either supported format.
+#[derive(Debug)]
+pub enum Doc {
+    /// A SPICE deck.
+    Spice(SpiceDoc),
+    /// A structural Verilog source.
+    Verilog(Source),
+}
+
+/// Reads and parses a netlist file, dispatching on extension.
+///
+/// # Errors
+///
+/// I/O and parse errors as strings, with the path in the message.
+pub fn load_doc(path: &str) -> Result<Doc, String> {
+    match SourceKind::from_path(path) {
+        SourceKind::Verilog => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Doc::Verilog(
+                vparse(&text).map_err(|e| format!("{path}: {e}"))?,
+            ))
+        }
+        SourceKind::Spice => Ok(Doc::Spice(parse_file(path).map_err(|e| e.to_string())?)),
+    }
+}
+
+/// Parses netlist text that did not come from a file (daemon request
+/// bodies). `label` names the source in error messages. Text parses do
+/// not resolve SPICE `.include` cards — a daemon must not read the
+/// server's filesystem on behalf of a client.
+///
+/// # Errors
+///
+/// Parse errors as strings, prefixed with `label`.
+pub fn parse_text(text: &str, kind: SourceKind, label: &str) -> Result<Doc, String> {
+    match kind {
+        SourceKind::Spice => Ok(Doc::Spice(
+            sparse(text).map_err(|e| format!("{label}: {e}"))?,
+        )),
+        SourceKind::Verilog => Ok(Doc::Verilog(
+            vparse(text).map_err(|e| format!("{label}: {e}"))?,
+        )),
+    }
+}
+
+impl Doc {
+    /// Cell (subckt/module) names defined by the deck.
+    pub fn cell_names(&self) -> Vec<String> {
+        match self {
+            Doc::Spice(d) => d.subckts.iter().map(|s| s.name.clone()).collect(),
+            Doc::Verilog(s) => s.modules.iter().map(|m| m.name.clone()).collect(),
+        }
+    }
+}
+
+/// Elaborates the main circuit of a deck: the top level (SPICE cards /
+/// the inferred top module), falling back to a sole cell definition.
+/// `top_name` names the elaborated top; `label` names the source in
+/// error messages.
+///
+/// # Errors
+///
+/// Propagates elaboration problems, or reports an ambiguous deck.
+pub fn main_from_doc(doc: &Doc, top_name: &str, label: &str) -> Result<Netlist, String> {
+    match doc {
+        Doc::Spice(doc) => {
+            let opts = ElaborateOptions::default();
+            if !doc.top.is_empty() {
+                return doc
+                    .elaborate_top(top_name, &opts)
+                    .map_err(|e| format!("{label}: {e}"));
+            }
+            match doc.subckts.len() {
+                1 => doc
+                    .elaborate_cell(&doc.subckts[0].name.clone(), &opts)
+                    .map_err(|e| format!("{label}: {e}")),
+                0 => Err(format!("{label}: deck is empty")),
+                n => Err(format!(
+                    "{label}: no top-level cards and {n} subcircuits; pass --pattern/--cell to pick one"
+                )),
+            }
+        }
+        Doc::Verilog(src) => src
+            .elaborate(None, &VerilogOptions::default())
+            .map_err(|e| format!("{label}: {e}")),
+    }
+}
+
+/// Elaborates the main circuit of a netlist file.
+///
+/// # Errors
+///
+/// See [`main_from_doc`]; messages carry the path.
+pub fn load_main(path: &str) -> Result<Netlist, String> {
+    main_from_doc(&load_doc(path)?, main_name(path), path)
+}
+
+/// Elaborates a named cell from a deck (for patterns and rules).
+/// `label` names the source in error messages.
+///
+/// # Errors
+///
+/// Propagates unknown-cell and elaboration problems.
+pub fn load_cell(doc: &Doc, name: &str, label: &str) -> Result<Netlist, String> {
+    match doc {
+        Doc::Spice(d) => d
+            .elaborate_cell(name, &ElaborateOptions::default())
+            .map_err(|e| format!("{label}: {e}")),
+        Doc::Verilog(s) => s
+            .elaborate(Some(name), &VerilogOptions::default())
+            .map_err(|e| format!("{label}: {e}")),
+    }
+}
+
+/// The default circuit name for a path: the file stem, without SPICE
+/// extensions.
+pub fn main_name(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".sp")
+        .trim_end_matches(".cir")
+        .trim_end_matches(".spice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_name_strips_path_and_extension() {
+        assert_eq!(main_name("/tmp/chip.sp"), "chip");
+        assert_eq!(main_name("adder.spice"), "adder");
+        assert_eq!(main_name("plain"), "plain");
+    }
+
+    #[test]
+    fn load_doc_reports_missing_file() {
+        let err = load_doc("/nonexistent/x.sp").unwrap_err();
+        assert!(err.contains("/nonexistent/x.sp"));
+        let err = load_doc("/nonexistent/x.v").unwrap_err();
+        assert!(err.contains("/nonexistent/x.v"));
+    }
+
+    #[test]
+    fn extension_dispatch() {
+        assert_eq!(SourceKind::from_path("a.v"), SourceKind::Verilog);
+        assert_eq!(SourceKind::from_path("b.sv"), SourceKind::Verilog);
+        assert_eq!(SourceKind::from_path("c.sp"), SourceKind::Spice);
+        assert_eq!(SourceKind::from_name("spice"), Some(SourceKind::Spice));
+        assert_eq!(SourceKind::from_name("verilog"), Some(SourceKind::Verilog));
+        assert_eq!(SourceKind::from_name("edif"), None);
+    }
+
+    #[test]
+    fn parse_text_elaborates_like_a_file() {
+        let deck = ".subckt inv a y\nmp y a vdd vdd pmos\nmn y a gnd gnd nmos\n.ends\n";
+        let doc = parse_text(deck, SourceKind::Spice, "body").unwrap();
+        assert_eq!(doc.cell_names(), vec!["inv".to_string()]);
+        let cell = load_cell(&doc, "inv", "body").unwrap();
+        assert_eq!(cell.device_count(), 2);
+        let err = load_cell(&doc, "nope", "body").unwrap_err();
+        assert!(err.contains("body"), "{err}");
+    }
+
+    #[test]
+    fn parse_text_labels_errors() {
+        let err = parse_text(".subckt broken", SourceKind::Spice, "upload").unwrap_err();
+        assert!(err.contains("upload"), "{err}");
+    }
+
+    #[test]
+    fn main_from_doc_reports_ambiguity() {
+        let deck = ".subckt a x\nm1 x x x x nmos\n.ends\n.subckt b y\nm1 y y y y nmos\n.ends\n";
+        let doc = parse_text(deck, SourceKind::Spice, "body").unwrap();
+        let err = main_from_doc(&doc, "top", "body").unwrap_err();
+        assert!(err.contains("2 subcircuits"), "{err}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Minimal HTTP/1.1 framing: just enough server-side parsing and
+//! emission for the daemon's JSON API. One request per connection,
+//! `Connection: close`, `Content-Length` bodies only (no chunked
+//! encoding, no keep-alive, no percent-decoding — the API never needs
+//! them).
+
+use std::io::{BufRead, Write};
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method verb, uppercase as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path without its query string.
+    pub path: String,
+    /// Decoded-as-is `key=value` query pairs, in order.
+    pub query: Vec<(String, String)>,
+    /// The raw body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response ready to emit.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always JSON in this daemon).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let doc = subgemini::metrics::json::Value::Obj(vec![(
+            "error".to_string(),
+            subgemini::metrics::json::Value::Str(message.to_string()),
+        )]);
+        Response::json(status, doc.pretty())
+    }
+
+    /// Serializes the status line, headers, and body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            _ => "Internal Server Error",
+        };
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reads and parses one request from a buffered stream.
+///
+/// # Errors
+///
+/// Malformed request lines/headers, bodies over `max_body` bytes, and
+/// socket errors, as front-end-ready strings.
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, String> {
+    let mut line = String::new();
+    r.read_line(&mut line).map_err(|e| e.to_string())?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or("empty request line")?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or("request line has no path")?;
+    if parts.next().is_none() {
+        return Err("request line has no HTTP version".into());
+    }
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        r.read_line(&mut header).map_err(|e| e.to_string())?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte limit"
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, String> {
+        read_request(&mut text.as_bytes(), 1024)
+    }
+
+    #[test]
+    fn parses_request_with_body_and_query() {
+        let req = parse(
+            "POST /v1/circuits/chip?format=spice HTTP/1.1\r\ncontent-length: 5\r\nHost: x\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/circuits/chip");
+        assert_eq!(req.query_value("format"), Some("spice"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let err = parse("POST /x HTTP/1.1\r\ncontent-length: 9999\r\n\r\n").unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        assert!(parse("GET\r\n\r\n").is_err());
+        assert!(parse("GET /x\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_frames_body() {
+        let mut out = Vec::new();
+        Response::json(200, "{}\n".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 3\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}\n"), "{text}");
+    }
+}

@@ -1,0 +1,325 @@
+//! Matching-as-a-service: a dependency-free HTTP/1.1 + JSON daemon
+//! over the [`subgemini_engine`] session layer.
+//!
+//! The paper's algorithm is built to be run repeatedly — a pattern
+//! library swept over one big main circuit — and the engine registry
+//! makes the compile-once/query-many split explicit. This crate is the
+//! long-lived front end: a std-`TcpListener` accept loop feeding a
+//! small worker thread pool, one HTTP request per connection
+//! (`Connection: close`), JSON bodies built on the existing v1 report
+//! schema. No external dependencies; the HTTP layer is ~200 lines of
+//! plain std.
+//!
+//! Lifecycle:
+//!
+//! 1. [`Server::bind`] binds the address (`127.0.0.1:0` picks an
+//!    ephemeral port — read it back via [`Server::local_addr`]).
+//! 2. [`Server::run`] serves until shutdown is requested — by SIGINT /
+//!    SIGTERM (see [`signal::install`]) or a `POST /v1/shutdown`.
+//! 3. Shutdown drains: the accept loop stops, every in-flight search's
+//!    [`CancelToken`] is tripped (searches finish promptly with
+//!    `completeness: truncated (cancelled)` — a valid, reported
+//!    prefix), workers finish writing their responses, and
+//!    [`Server::run`] returns a [`DrainReport`] whose `drained` count
+//!    says how many searches were interrupted (0 on an idle shutdown).
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use subgemini::CancelToken;
+use subgemini_engine::Engine;
+
+pub mod http;
+mod routes;
+pub mod signal;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads handling connections (≥ 1).
+    pub workers: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            max_body_bytes: 16 << 20,
+        }
+    }
+}
+
+/// Shared mutable server state: the shutdown flag, counters, and the
+/// registry of in-flight searches' cancel tokens.
+pub(crate) struct ServerState {
+    shutdown: AtomicBool,
+    served: AtomicU64,
+    http_errors: AtomicU64,
+    next_search: AtomicU64,
+    in_flight: Mutex<HashMap<u64, CancelToken>>,
+}
+
+impl ServerState {
+    fn new() -> Self {
+        Self {
+            shutdown: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
+            next_search: AtomicU64::new(0),
+            in_flight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Registers a search about to run; its token is tripped on
+    /// shutdown. The id must be passed back to
+    /// [`ServerState::finish_search`] when the search returns.
+    pub(crate) fn begin_search(&self) -> (u64, CancelToken) {
+        let id = self.next_search.fetch_add(1, Ordering::Relaxed);
+        let token = CancelToken::new();
+        self.in_flight
+            .lock()
+            .expect("in-flight registry poisoned")
+            .insert(id, token.clone());
+        (id, token)
+    }
+
+    pub(crate) fn finish_search(&self, id: u64) {
+        self.in_flight
+            .lock()
+            .expect("in-flight registry poisoned")
+            .remove(&id);
+    }
+
+    /// Cancels every in-flight search; returns how many were running.
+    fn cancel_in_flight(&self) -> usize {
+        let map = self.in_flight.lock().expect("in-flight registry poisoned");
+        for token in map.values() {
+            token.cancel();
+        }
+        map.len()
+    }
+
+    pub(crate) fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn http_errors(&self) -> u64 {
+        self.http_errors.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn in_flight_count(&self) -> usize {
+        self.in_flight
+            .lock()
+            .expect("in-flight registry poisoned")
+            .len()
+    }
+}
+
+/// A clonable handle that asks a running server to shut down (used by
+/// the signal handler and tests).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ServerState>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown; the accept loop notices within one poll tick.
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    pub(crate) fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+}
+
+/// What a finished server did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Connections served to completion.
+    pub served: u64,
+    /// In-flight searches cancelled (drained) at shutdown — 0 for a
+    /// clean idle shutdown.
+    pub drained: usize,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: usize,
+    max_body_bytes: usize,
+}
+
+impl Server {
+    /// Binds the configured address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(engine: Arc<Engine>, config: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        // Nonblocking accept so the loop can poll the shutdown flag.
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            engine,
+            listener,
+            state: Arc::new(ServerState::new()),
+            workers: config.workers.max(1),
+            max_body_bytes: config.max_body_bytes,
+        })
+    }
+
+    /// The resolved bound address (the actual port when binding `:0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (cannot happen for a
+    /// freshly bound listener).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// A handle that requests shutdown from another thread or a signal
+    /// handler.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    pub fn run(self) -> DrainReport {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let rx = Arc::clone(&rx);
+            let engine = Arc::clone(&self.engine);
+            let state = Arc::clone(&self.state);
+            let max_body = self.max_body_bytes;
+            handles.push(thread::spawn(move || loop {
+                // Holding the lock only for recv() keeps hand-off fair
+                // enough for a small pool.
+                let stream = rx.lock().expect("worker queue poisoned").recv();
+                match stream {
+                    Ok(stream) => handle_connection(stream, &engine, &state, max_body),
+                    Err(_) => break, // sender dropped: shutdown
+                }
+            }));
+        }
+        while !self.state.is_shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Drain: trip every in-flight search's token (they complete as
+        // truncated-with-reason-cancelled), stop feeding workers, and
+        // let them finish writing responses.
+        let drained = self.state.cancel_in_flight();
+        drop(tx);
+        for h in handles {
+            let _ = h.join();
+        }
+        DrainReport {
+            served: self.state.served(),
+            drained,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    state: &Arc<ServerState>,
+    max_body: usize,
+) {
+    // Workers block on their own sockets; generous timeouts keep a
+    // stalled client from wedging a worker forever.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut reader = io::BufReader::new(stream);
+    let response = match http::read_request(&mut reader, max_body) {
+        Ok(request) => {
+            // A panicking handler (e.g. a degenerate uploaded pattern
+            // hitting a core precondition) must not shrink the worker
+            // pool: catch it and answer 500.
+            let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                routes::route(engine, state, &request)
+            }));
+            match handled {
+                Ok(response) => response,
+                Err(_) => {
+                    state.http_errors.fetch_add(1, Ordering::Relaxed);
+                    http::Response::error(500, "internal error handling the request")
+                }
+            }
+        }
+        Err(e) => {
+            state.http_errors.fetch_add(1, Ordering::Relaxed);
+            http::Response::error(400, &e)
+        }
+    };
+    let mut stream = reader.into_inner();
+    if response.write_to(&mut stream).is_ok() {
+        state.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_finish_search_bookkeeping() {
+        let state = ServerState::new();
+        let (a, _ta) = state.begin_search();
+        let (b, tb) = state.begin_search();
+        assert_ne!(a, b);
+        assert_eq!(state.in_flight_count(), 2);
+        state.finish_search(a);
+        assert_eq!(state.cancel_in_flight(), 1);
+        assert!(tb.is_cancelled());
+        state.finish_search(b);
+        assert_eq!(state.in_flight_count(), 0);
+    }
+
+    #[test]
+    fn shutdown_handle_flips_flag() {
+        let state = Arc::new(ServerState::new());
+        let handle = ShutdownHandle {
+            state: Arc::clone(&state),
+        };
+        assert!(!state.is_shutting_down());
+        handle.shutdown();
+        assert!(state.is_shutting_down());
+    }
+}

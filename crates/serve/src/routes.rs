@@ -1,0 +1,545 @@
+//! The daemon's JSON API: URL dispatch plus the request/response glue
+//! between HTTP bodies and engine requests.
+//!
+//! | Method | Path                  | Body                        | Answer |
+//! |--------|-----------------------|-----------------------------|--------|
+//! | GET    | `/healthz`            | —                           | `{"status":"ok"}` |
+//! | GET    | `/metrics`            | —                           | server + engine counters |
+//! | POST   | `/v1/circuits/{name}` | raw deck (`?format=spice\|verilog`) | compile info |
+//! | POST   | `/v1/libraries/{name}`| raw deck of cell definitions | cell list |
+//! | POST   | `/v1/find`            | JSON find request           | v1 report + instances |
+//! | POST   | `/v1/survey`          | JSON survey request         | per-cell v1 reports |
+//! | POST   | `/v1/explain`         | JSON find request           | explain report + v1 report |
+//! | POST   | `/v1/shutdown`        | —                           | ack, then drain |
+//!
+//! Find/survey/explain bodies name a registered circuit (`"circuit":
+//! "chip"`) or carry an inline one (`"circuit_source": "<deck>"`,
+//! optional `"circuit_format"`); patterns name a registered library
+//! cell (`"pattern": {"library": "lib", "cell": "inv"}`) or carry
+//! inline source (`{"source": "<deck>", "cell": "inv"}`). The optional
+//! `"options"` object maps one-to-one onto the CLI flags:
+//! `ignore_globals`, `max_instances`, `threads`, `scheduler`,
+//! `metrics`, `events`, `max_effort`, `deadline_ms`, `prune`. Every
+//! request carries its own budget and cancel token — a deadline that
+//! expires mid-search answers 200 with `"completeness": "truncated"`,
+//! exactly like the CLI.
+//!
+//! `u64` digests are emitted as 16-digit hex strings: the JSON number
+//! type (f64) cannot carry them exactly.
+
+use std::sync::Arc;
+
+use subgemini::metrics::json::{self, Value};
+use subgemini::metrics::outcome_to_json;
+use subgemini_engine::source::{load_cell, main_from_doc, parse_text, SourceKind};
+use subgemini_engine::{
+    CircuitSource, Engine, EngineError, ExplainRequest, FindRequest, FindResponse, LibrarySource,
+    PatternSource, RequestOptions, SurveyRequest, SurveyResponse,
+};
+use subgemini_netlist::Netlist;
+
+use crate::http::{Request, Response};
+use crate::ServerState;
+
+/// Dispatches one parsed request.
+pub(crate) fn route(engine: &Engine, state: &Arc<ServerState>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            Value::Obj(vec![("status".into(), Value::Str("ok".into()))]).pretty(),
+        ),
+        ("GET", "/metrics") => metrics(engine, state),
+        ("POST", "/v1/shutdown") => {
+            state.request_shutdown();
+            Response::json(
+                200,
+                Value::Obj(vec![("status".into(), Value::Str("shutting-down".into()))]).pretty(),
+            )
+        }
+        ("POST", "/v1/find") => searching(state, |cancel| find(engine, req, cancel)),
+        ("POST", "/v1/explain") => searching(state, |cancel| explain(engine, req, cancel)),
+        ("POST", "/v1/survey") => searching(state, |cancel| survey(engine, req, cancel)),
+        ("POST", path) if path.starts_with("/v1/circuits/") => {
+            register_circuit(engine, req, &path["/v1/circuits/".len()..])
+        }
+        ("POST", path) if path.starts_with("/v1/libraries/") => {
+            register_library(engine, req, &path["/v1/libraries/".len()..])
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/find" | "/v1/survey" | "/v1/explain" | "/v1/shutdown",
+        ) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Runs a search-shaped handler with an in-flight registration, so a
+/// draining shutdown can cancel it.
+fn searching(
+    state: &Arc<ServerState>,
+    f: impl FnOnce(subgemini::CancelToken) -> Response,
+) -> Response {
+    let (id, token) = state.begin_search();
+    let response = f(token);
+    state.finish_search(id);
+    response
+}
+
+fn engine_failure(e: &EngineError) -> Response {
+    let status = match e {
+        EngineError::UnknownCircuit(_)
+        | EngineError::UnknownLibrary(_)
+        | EngineError::UnknownCell { .. } => 404,
+        EngineError::Invalid(_) => 400,
+    };
+    Response::error(status, &e.to_string())
+}
+
+fn metrics(engine: &Engine, state: &Arc<ServerState>) -> Response {
+    let status = engine.status();
+    let circuits = status
+        .circuits
+        .iter()
+        .map(|c| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(c.name.clone())),
+                ("devices".into(), Value::int(c.devices as u64)),
+                ("nets".into(), Value::int(c.nets as u64)),
+                ("digest".into(), Value::Str(format!("{:016x}", c.digest))),
+                ("artifact_bytes".into(), Value::int(c.artifact_bytes as u64)),
+            ])
+        })
+        .collect();
+    let libraries = status
+        .libraries
+        .iter()
+        .map(|(name, cells)| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("cells".into(), Value::int(*cells as u64)),
+            ])
+        })
+        .collect();
+    let requests = status
+        .requests
+        .iter()
+        .map(|(k, v)| (k.to_string(), Value::int(*v)))
+        .collect();
+    let doc = Value::Obj(vec![
+        (
+            "server".into(),
+            Value::Obj(vec![
+                ("served".into(), Value::int(state.served())),
+                ("http_errors".into(), Value::int(state.http_errors())),
+                (
+                    "in_flight".into(),
+                    Value::int(state.in_flight_count() as u64),
+                ),
+            ]),
+        ),
+        (
+            "engine".into(),
+            Value::Obj(vec![
+                ("circuits".into(), Value::Arr(circuits)),
+                ("libraries".into(), Value::Arr(libraries)),
+                ("requests".into(), Value::Obj(requests)),
+            ]),
+        ),
+    ]);
+    Response::json(200, doc.pretty())
+}
+
+fn body_text(req: &Request) -> Result<&str, String> {
+    std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())
+}
+
+fn body_format(req: &Request) -> Result<SourceKind, String> {
+    match req.query_value("format") {
+        None => Ok(SourceKind::Spice),
+        Some(name) => SourceKind::from_name(name)
+            .ok_or_else(|| format!("format: `{name}` is not `spice` or `verilog`")),
+    }
+}
+
+fn register_circuit(engine: &Engine, req: &Request, name: &str) -> Response {
+    if req.method != "POST" {
+        return Response::error(405, "method not allowed");
+    }
+    if name.is_empty() || name.contains('/') {
+        return Response::error(400, "circuit name must be a single non-empty path segment");
+    }
+    let parsed = body_text(req)
+        .and_then(|text| body_format(req).map(|kind| (text, kind)))
+        .and_then(|(text, kind)| parse_text(text, kind, name))
+        .and_then(|doc| main_from_doc(&doc, name, name));
+    match parsed {
+        Ok(main) => {
+            let info = engine.register_circuit(name, main);
+            Response::json(
+                200,
+                Value::Obj(vec![
+                    ("circuit".into(), Value::Str(info.name)),
+                    ("devices".into(), Value::int(info.devices as u64)),
+                    ("nets".into(), Value::int(info.nets as u64)),
+                    ("digest".into(), Value::Str(format!("{:016x}", info.digest))),
+                    (
+                        "artifact_bytes".into(),
+                        Value::int(info.artifact_bytes as u64),
+                    ),
+                ])
+                .pretty(),
+            )
+        }
+        Err(e) => Response::error(400, &e),
+    }
+}
+
+fn cells_from_deck(text: &str, kind: SourceKind, label: &str) -> Result<Vec<Netlist>, String> {
+    let doc = parse_text(text, kind, label)?;
+    let names = doc.cell_names();
+    if names.is_empty() {
+        return Err(format!("{label}: no cell definitions"));
+    }
+    names
+        .iter()
+        .map(|name| load_cell(&doc, name, label))
+        .collect()
+}
+
+fn register_library(engine: &Engine, req: &Request, name: &str) -> Response {
+    if req.method != "POST" {
+        return Response::error(405, "method not allowed");
+    }
+    if name.is_empty() || name.contains('/') {
+        return Response::error(400, "library name must be a single non-empty path segment");
+    }
+    let parsed = body_text(req)
+        .and_then(|text| body_format(req).map(|kind| (text, kind)))
+        .and_then(|(text, kind)| cells_from_deck(text, kind, name));
+    match parsed {
+        Ok(cells) => {
+            let info = engine.register_library(name, cells);
+            Response::json(
+                200,
+                Value::Obj(vec![
+                    ("library".into(), Value::Str(info.name)),
+                    (
+                        "cells".into(),
+                        Value::Arr(info.cells.into_iter().map(Value::Str).collect()),
+                    ),
+                ])
+                .pretty(),
+            )
+        }
+        Err(e) => Response::error(400, &e),
+    }
+}
+
+/// The circuit named or embedded in a JSON request body.
+enum BodyCircuit {
+    Named(String),
+    Inline(Box<Netlist>),
+}
+
+impl BodyCircuit {
+    fn as_source(&self) -> CircuitSource<'_> {
+        match self {
+            BodyCircuit::Named(name) => CircuitSource::Registered(name),
+            BodyCircuit::Inline(netlist) => CircuitSource::Inline(netlist),
+        }
+    }
+}
+
+fn circuit_from(body: &Value) -> Result<BodyCircuit, String> {
+    if let Some(name) = body.get("circuit") {
+        let name = name.as_str().ok_or("circuit: expected a string")?;
+        return Ok(BodyCircuit::Named(name.to_string()));
+    }
+    if let Some(src) = body.get("circuit_source") {
+        let text = src.as_str().ok_or("circuit_source: expected a string")?;
+        let kind = match body.get("circuit_format") {
+            None => SourceKind::Spice,
+            Some(v) => {
+                let name = v.as_str().ok_or("circuit_format: expected a string")?;
+                SourceKind::from_name(name).ok_or_else(|| {
+                    format!("circuit_format: `{name}` is not `spice` or `verilog`")
+                })?
+            }
+        };
+        let doc = parse_text(text, kind, "circuit_source")?;
+        return main_from_doc(&doc, "circuit", "circuit_source")
+            .map(|n| BodyCircuit::Inline(Box::new(n)));
+    }
+    Err("body needs `circuit` (a registered name) or `circuit_source` (an inline deck)".into())
+}
+
+/// The pattern named or embedded in a JSON request body.
+enum BodyPattern {
+    Library { library: String, cell: String },
+    Inline(Box<Netlist>),
+}
+
+impl BodyPattern {
+    fn as_source(&self) -> PatternSource<'_> {
+        match self {
+            BodyPattern::Library { library, cell } => PatternSource::Library { library, cell },
+            BodyPattern::Inline(netlist) => PatternSource::Inline(netlist),
+        }
+    }
+}
+
+fn pattern_from(body: &Value) -> Result<BodyPattern, String> {
+    let spec = body.get("pattern").ok_or("body needs a `pattern` object")?;
+    if let Some(library) = spec.get("library") {
+        let library = library
+            .as_str()
+            .ok_or("pattern.library: expected a string")?;
+        let cell = spec
+            .get("cell")
+            .and_then(Value::as_str)
+            .ok_or("pattern.cell: expected a string")?;
+        return Ok(BodyPattern::Library {
+            library: library.to_string(),
+            cell: cell.to_string(),
+        });
+    }
+    if let Some(src) = spec.get("source") {
+        let text = src.as_str().ok_or("pattern.source: expected a string")?;
+        let cell = spec
+            .get("cell")
+            .and_then(Value::as_str)
+            .ok_or("pattern.cell: expected a string")?;
+        let kind = match spec.get("format") {
+            None => SourceKind::Spice,
+            Some(v) => {
+                let name = v.as_str().ok_or("pattern.format: expected a string")?;
+                SourceKind::from_name(name).ok_or_else(|| {
+                    format!("pattern.format: `{name}` is not `spice` or `verilog`")
+                })?
+            }
+        };
+        let doc = parse_text(text, kind, "pattern")?;
+        return load_cell(&doc, cell, "pattern").map(|n| BodyPattern::Inline(Box::new(n)));
+    }
+    Err("pattern needs `library`+`cell` or `source`+`cell`".into())
+}
+
+fn expect_bool(key: &str, v: &Value) -> Result<bool, String> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("options.{key}: expected a boolean")),
+    }
+}
+
+fn expect_count(key: &str, v: &Value) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("options.{key}: expected a non-negative integer"))
+}
+
+fn options_from(body: &Value) -> Result<RequestOptions, String> {
+    let mut opts = RequestOptions::default();
+    let Some(spec) = body.get("options") else {
+        return Ok(opts);
+    };
+    let Value::Obj(fields) = spec else {
+        return Err("options: expected an object".into());
+    };
+    let mut budget = subgemini::WorkBudget::default();
+    for (key, v) in fields {
+        match key.as_str() {
+            "ignore_globals" => opts.respect_globals = !expect_bool(key, v)?,
+            "max_instances" => opts.max_instances = expect_count(key, v)? as usize,
+            "threads" => opts.threads = expect_count(key, v)? as usize,
+            "scheduler" => {
+                let name = v.as_str().ok_or("options.scheduler: expected a string")?;
+                opts.scheduler = match name {
+                    "steal" => subgemini::Phase2Scheduler::WorkStealing,
+                    "static" => subgemini::Phase2Scheduler::StaticChunks,
+                    other => {
+                        return Err(format!(
+                            "options.scheduler: `{other}` is not a scheduler (expected `steal` or `static`)"
+                        ))
+                    }
+                };
+            }
+            "metrics" => opts.collect_metrics = expect_bool(key, v)?,
+            "events" => opts.trace_events = expect_bool(key, v)?,
+            "max_effort" => budget.max_effort = Some(expect_count(key, v)?),
+            "deadline_ms" => budget.deadline_ms = Some(expect_count(key, v)?),
+            "prune" => {
+                let name = v.as_str().ok_or("options.prune: expected a string")?;
+                opts.prune = match name {
+                    "auto" => subgemini::PrunePolicy::Auto,
+                    "always" => subgemini::PrunePolicy::Always,
+                    "never" => subgemini::PrunePolicy::Never,
+                    other => {
+                        return Err(format!(
+                            "options.prune: `{other}` is not a policy (expected `auto`, `always` or `never`)"
+                        ))
+                    }
+                };
+            }
+            other => return Err(format!("options: unknown key `{other}`")),
+        }
+    }
+    if !budget.is_unlimited() {
+        opts.budget = Some(budget);
+    }
+    Ok(opts)
+}
+
+fn parse_body(req: &Request) -> Result<Value, String> {
+    json::parse(body_text(req)?)
+}
+
+fn find_response_doc(resp: &FindResponse) -> Value {
+    let Value::Obj(mut fields) = outcome_to_json(&resp.outcome) else {
+        unreachable!("outcome_to_json answers an object");
+    };
+    // v1-additive: the base report keeps its exact field order; the
+    // daemon appends its own fields after it.
+    fields.push(("circuit".into(), Value::Str(resp.circuit.clone())));
+    fields.push(("pattern".into(), Value::Str(resp.pattern.clone())));
+    fields.push(("found".into(), Value::int(resp.outcome.count() as u64)));
+    fields.push((
+        "instance_devices".into(),
+        Value::Arr(
+            resp.instance_devices
+                .iter()
+                .map(|names| Value::Arr(names.iter().map(|n| Value::Str(n.clone())).collect()))
+                .collect(),
+        ),
+    ));
+    Value::Obj(fields)
+}
+
+fn survey_response_doc(resp: &SurveyResponse) -> Value {
+    let rows = resp
+        .rows
+        .iter()
+        .map(|row| {
+            Value::Obj(vec![
+                ("cell".into(), Value::Str(row.cell.clone())),
+                ("found".into(), Value::int(row.outcome.count() as u64)),
+                ("report".into(), outcome_to_json(&row.outcome)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("circuit".into(), Value::Str(resp.circuit.clone())),
+        ("rows".into(), Value::Arr(rows)),
+    ])
+}
+
+fn find(engine: &Engine, req: &Request, cancel: subgemini::CancelToken) -> Response {
+    let prepared = parse_body(req).and_then(|body| {
+        let circuit = circuit_from(&body)?;
+        let pattern = pattern_from(&body)?;
+        let options = options_from(&body)?;
+        Ok((circuit, pattern, options))
+    });
+    let (circuit, pattern, mut options) = match prepared {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &e),
+    };
+    options.cancel = Some(cancel);
+    match engine.find(&FindRequest {
+        circuit: circuit.as_source(),
+        pattern: pattern.as_source(),
+        options,
+    }) {
+        Ok(resp) => Response::json(200, find_response_doc(&resp).pretty()),
+        Err(e) => engine_failure(&e),
+    }
+}
+
+fn explain(engine: &Engine, req: &Request, cancel: subgemini::CancelToken) -> Response {
+    let prepared = parse_body(req).and_then(|body| {
+        let circuit = circuit_from(&body)?;
+        let pattern = pattern_from(&body)?;
+        let options = options_from(&body)?;
+        Ok((circuit, pattern, options))
+    });
+    let (circuit, pattern, mut options) = match prepared {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &e),
+    };
+    options.cancel = Some(cancel);
+    match engine.explain(&ExplainRequest {
+        circuit: circuit.as_source(),
+        pattern: pattern.as_source(),
+        options,
+    }) {
+        Ok(resp) => {
+            let doc = Value::Obj(vec![
+                ("circuit".into(), Value::Str(resp.circuit.clone())),
+                ("pattern".into(), Value::Str(resp.pattern.clone())),
+                ("found".into(), Value::int(resp.outcome.count() as u64)),
+                ("explain".into(), resp.report.to_json()),
+                ("report".into(), outcome_to_json(&resp.outcome)),
+            ]);
+            Response::json(200, doc.pretty())
+        }
+        Err(e) => engine_failure(&e),
+    }
+}
+
+/// The library named or embedded in a survey body.
+enum BodyLibrary {
+    Named(String),
+    Inline(Vec<Netlist>),
+}
+
+impl BodyLibrary {
+    fn as_source(&self) -> LibrarySource<'_> {
+        match self {
+            BodyLibrary::Named(name) => LibrarySource::Registered(name),
+            BodyLibrary::Inline(cells) => LibrarySource::Inline(cells),
+        }
+    }
+}
+
+fn library_from(body: &Value) -> Result<BodyLibrary, String> {
+    let spec = body
+        .get("library")
+        .ok_or("body needs a `library` (name or object)")?;
+    if let Some(name) = spec.as_str() {
+        return Ok(BodyLibrary::Named(name.to_string()));
+    }
+    if let Some(src) = spec.get("source") {
+        let text = src.as_str().ok_or("library.source: expected a string")?;
+        let kind = match spec.get("format") {
+            None => SourceKind::Spice,
+            Some(v) => {
+                let name = v.as_str().ok_or("library.format: expected a string")?;
+                SourceKind::from_name(name).ok_or_else(|| {
+                    format!("library.format: `{name}` is not `spice` or `verilog`")
+                })?
+            }
+        };
+        return cells_from_deck(text, kind, "library").map(BodyLibrary::Inline);
+    }
+    Err("library needs a registered name or a `source` deck".into())
+}
+
+fn survey(engine: &Engine, req: &Request, cancel: subgemini::CancelToken) -> Response {
+    let prepared = parse_body(req).and_then(|body| {
+        let circuit = circuit_from(&body)?;
+        let library = library_from(&body)?;
+        let options = options_from(&body)?;
+        Ok((circuit, library, options))
+    });
+    let (circuit, library, mut options) = match prepared {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &e),
+    };
+    options.cancel = Some(cancel);
+    match engine.survey(&SurveyRequest {
+        circuit: circuit.as_source(),
+        library: library.as_source(),
+        options,
+    }) {
+        Ok(resp) => Response::json(200, survey_response_doc(&resp).pretty()),
+        Err(e) => engine_failure(&e),
+    }
+}

@@ -1,0 +1,390 @@
+//! End-to-end daemon tests over real sockets: bind an ephemeral port,
+//! drive the JSON API with a raw `TcpStream` client, and pin the
+//! byte-identity contract — concurrent HTTP find responses must equal
+//! the report a direct in-process `find_all` produces.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use subgemini::metrics::{json, outcome_to_json};
+use subgemini::{find_all, MatchOptions};
+use subgemini_engine::Engine;
+use subgemini_serve::{DrainReport, ServeConfig, Server};
+
+const CELLS: &str = "\
+.global vdd gnd
+.subckt inv a y
+mp y a vdd vdd pmos
+mn y a gnd gnd nmos
+.ends
+.subckt nand2 a b y
+mp1 y a vdd vdd pmos
+mp2 y b vdd vdd pmos
+mn1 mid a y gnd nmos
+mn2 gnd b mid gnd nmos
+.ends
+";
+
+const CHIP: &str = "\
+.global vdd gnd
+mq1p w0 in vdd vdd pmos
+mq1n w0 in gnd gnd nmos
+mq2p w1 w0 vdd vdd pmos
+mq2n w1 w0 gnd gnd nmos
+mg1 out w1 vdd vdd pmos
+mg2 out en vdd vdd pmos
+mg3 m1 w1 out gnd nmos
+mg4 gnd en m1 gnd nmos
+";
+
+/// Starts a daemon on an ephemeral port; returns its address, a join
+/// handle resolving to the drain report, and a shutdown closure.
+fn start_server(
+    engine: Arc<Engine>,
+    workers: usize,
+) -> (SocketAddr, thread::JoinHandle<DrainReport>, impl Fn()) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(engine, &config).expect("ephemeral bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let join = thread::spawn(move || server.run());
+    (addr, join, move || handle.shutdown())
+}
+
+/// One HTTP request over a fresh connection; returns (status, body).
+fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn parse_json(body: &str) -> json::Value {
+    json::parse(body).unwrap_or_else(|e| panic!("bad JSON ({e}): {body}"))
+}
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let (addr, join, shutdown) = start_server(Arc::new(Engine::new()), 2);
+    let (status, body) = call(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        parse_json(&body).get("status").unwrap().as_str(),
+        Some("ok")
+    );
+    let (status, body) = call(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let doc = parse_json(&body);
+    assert!(doc.get("server").is_some(), "{body}");
+    assert!(doc.get("engine").is_some(), "{body}");
+    shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.drained, 0, "idle shutdown drains nothing");
+    assert!(report.served >= 2);
+}
+
+#[test]
+fn compile_register_find_flow() {
+    let (addr, join, shutdown) = start_server(Arc::new(Engine::new()), 2);
+    let (status, body) = call(addr, "POST", "/v1/circuits/chip", CHIP);
+    assert_eq!(status, 200, "{body}");
+    let doc = parse_json(&body);
+    assert_eq!(doc.get("circuit").unwrap().as_str(), Some("chip"));
+    assert_eq!(doc.get("devices").unwrap().as_u64(), Some(8));
+    let (status, body) = call(addr, "POST", "/v1/libraries/cells", CELLS);
+    assert_eq!(status, 200, "{body}");
+    let cells = parse_json(&body);
+    let names: Vec<&str> = cells
+        .get("cells")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter_map(json::Value::as_str)
+        .collect();
+    assert_eq!(names, vec!["inv", "nand2"]);
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/v1/find",
+        r#"{"circuit": "chip", "pattern": {"library": "cells", "cell": "inv"}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = parse_json(&body);
+    assert_eq!(doc.get("found").unwrap().as_u64(), Some(2));
+    assert_eq!(doc.get("completeness").unwrap().as_str(), Some("complete"));
+    assert_eq!(
+        doc.get("instance_devices").unwrap().as_arr().unwrap().len(),
+        2
+    );
+    // The registered-library sweep too.
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/v1/survey",
+        r#"{"circuit": "chip", "library": "cells"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let rows = parse_json(&body);
+    let rows = rows.get("rows").unwrap().as_arr().unwrap();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get("cell").unwrap().as_str(), Some("inv"));
+    assert_eq!(rows[0].get("found").unwrap().as_u64(), Some(2));
+    shutdown();
+    assert_eq!(join.join().unwrap().drained, 0);
+}
+
+#[test]
+fn inline_find_and_explain_without_registration() {
+    let (addr, join, shutdown) = start_server(Arc::new(Engine::new()), 2);
+    let body = json::Value::Obj(vec![
+        ("circuit_source".into(), json::Value::Str(CHIP.into())),
+        (
+            "pattern".into(),
+            json::Value::Obj(vec![
+                ("source".into(), json::Value::Str(CELLS.into())),
+                ("cell".into(), json::Value::Str("inv".into())),
+            ]),
+        ),
+    ])
+    .compact();
+    let (status, resp) = call(addr, "POST", "/v1/find", &body);
+    assert_eq!(status, 200, "{resp}");
+    assert_eq!(parse_json(&resp).get("found").unwrap().as_u64(), Some(2));
+    let (status, resp) = call(addr, "POST", "/v1/explain", &body);
+    assert_eq!(status, 200, "{resp}");
+    let doc = parse_json(&resp);
+    assert_eq!(doc.get("found").unwrap().as_u64(), Some(2));
+    assert!(doc.get("explain").is_some(), "{resp}");
+    assert!(doc.get("report").is_some(), "{resp}");
+    shutdown();
+    assert_eq!(join.join().unwrap().drained, 0);
+}
+
+#[test]
+fn per_request_deadline_answers_truncated_like_the_cli() {
+    let (addr, join, shutdown) = start_server(Arc::new(Engine::new()), 2);
+    let (status, body) = call(addr, "POST", "/v1/circuits/chip", CHIP);
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/v1/find",
+        r#"{"circuit": "chip", "pattern": {"source": ".subckt inv a y\nmp y a vdd vdd pmos\nmn y a gnd gnd nmos\n.ends\n", "cell": "inv"}, "options": {"deadline_ms": 0}}"#,
+    );
+    assert_eq!(status, 200, "a deadline miss is a valid truncated answer");
+    let doc = parse_json(&body);
+    assert_eq!(doc.get("completeness").unwrap().as_str(), Some("truncated"));
+    assert_eq!(
+        doc.get("truncation")
+            .unwrap()
+            .get("reason")
+            .unwrap()
+            .as_str(),
+        Some("deadline_expired")
+    );
+    shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn eight_concurrent_finds_are_byte_identical_to_direct_find_all() {
+    let engine = Arc::new(Engine::new());
+    let (addr, join, shutdown) = start_server(Arc::clone(&engine), 8);
+    let (status, _) = call(addr, "POST", "/v1/circuits/chip", CHIP);
+    assert_eq!(status, 200);
+    let (status, _) = call(addr, "POST", "/v1/libraries/cells", CELLS);
+    assert_eq!(status, 200);
+
+    // The serial baseline: the same v1 report a cold CLI run prints.
+    let main = subgemini_engine::source::parse_text(
+        CHIP,
+        subgemini_engine::source::SourceKind::Spice,
+        "chip",
+    )
+    .and_then(|doc| subgemini_engine::source::main_from_doc(&doc, "chip", "chip"))
+    .unwrap();
+    let pattern_doc = subgemini_engine::source::parse_text(
+        CELLS,
+        subgemini_engine::source::SourceKind::Spice,
+        "cells",
+    )
+    .unwrap();
+    let pattern = subgemini_engine::source::load_cell(&pattern_doc, "inv", "cells").unwrap();
+    let baseline = find_all(
+        &pattern,
+        &main,
+        &MatchOptions {
+            collect_metrics: true,
+            prune: subgemini::PrunePolicy::Never,
+            ..MatchOptions::default()
+        },
+    );
+    let baseline_doc = outcome_to_json(&baseline);
+    assert!(baseline.count() == 2);
+
+    let request = r#"{"circuit": "chip", "pattern": {"library": "cells", "cell": "inv"}, "options": {"metrics": true, "prune": "never"}}"#;
+    let responses: Vec<String> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| scope.spawn(|| call(addr, "POST", "/v1/find", request)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let (status, body) = h.join().unwrap();
+                assert_eq!(status, 200, "{body}");
+                body
+            })
+            .collect()
+    });
+    // The deterministic v1 report fields (everything except the
+    // wall-clock `metrics` timers) plus the reject tallies buried in
+    // the metrics counters.
+    let deterministic = [
+        "schema_version",
+        "instances",
+        "matched_device_total",
+        "key",
+        "phase1",
+        "phase2",
+        "completeness",
+        "truncation",
+    ];
+    let reject_tallies = |doc: &json::Value| -> Vec<(String, u64)> {
+        let json::Value::Obj(counters) = doc
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .expect("metrics were requested")
+        else {
+            panic!("counters is an object")
+        };
+        let mut tallies: Vec<(String, u64)> = counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("reject."))
+            .map(|(k, v)| (k.clone(), v.as_u64().unwrap()))
+            .collect();
+        tallies.sort();
+        tallies
+    };
+    for body in &responses {
+        let doc = parse_json(body);
+        for key in deterministic {
+            assert_eq!(
+                doc.get(key),
+                baseline_doc.get(key),
+                "field `{key}` differs from the serial baseline"
+            );
+        }
+        assert_eq!(reject_tallies(&doc), reject_tallies(&baseline_doc));
+        assert_eq!(doc.get("found").unwrap().as_u64(), Some(2));
+        // The deterministic fields also agree across all eight
+        // responses (the timers legitimately differ per request).
+        assert_eq!(
+            doc.get("instance_devices"),
+            parse_json(&responses[0]).get("instance_devices")
+        );
+    }
+    shutdown();
+    assert_eq!(join.join().unwrap().drained, 0);
+}
+
+#[test]
+fn unknown_names_and_bad_bodies_map_to_http_errors() {
+    let (addr, join, shutdown) = start_server(Arc::new(Engine::new()), 2);
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/v1/find",
+        r#"{"circuit": "ghost", "pattern": {"library": "none", "cell": "x"}}"#,
+    );
+    assert_eq!(status, 404, "{body}");
+    assert!(parse_json(&body).get("error").is_some());
+    let (status, _) = call(addr, "POST", "/v1/find", "not json at all");
+    assert_eq!(status, 400);
+    let (status, _) = call(addr, "POST", "/v1/circuits/chip", ".subckt broken");
+    assert_eq!(status, 400);
+    let (status, _) = call(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = call(addr, "DELETE", "/healthz", "");
+    assert_eq!(status, 405);
+    shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_searches_via_cancel() {
+    use subgemini_workloads::{cells, gen};
+    let engine = Arc::new(Engine::new());
+    engine.register_circuit("big", gen::ripple_adder(96).netlist);
+    engine.register_library("lib", vec![cells::full_adder()]);
+    let (addr, join, shutdown) = start_server(Arc::clone(&engine), 2);
+    let request = r#"{"circuit": "big", "pattern": {"library": "lib", "cell": "full_adder"}}"#;
+    let client = thread::spawn(move || call(addr, "POST", "/v1/find", request));
+    // Let the request reach the search, then pull the plug while it is
+    // (probably) still running.
+    thread::sleep(Duration::from_millis(20));
+    shutdown();
+    let report = join.join().unwrap();
+    let (status, body) = client.join().unwrap();
+    // Race-proof contract: the client always gets a valid 200 — either
+    // the search finished before the drain (complete) or the drain
+    // cancelled it (truncated, reason `cancelled`, still a well-formed
+    // report). Either way the server returned instead of hanging.
+    assert_eq!(status, 200, "{body}");
+    let doc = parse_json(&body);
+    match doc.get("completeness").unwrap().as_str() {
+        Some("complete") => {}
+        Some("truncated") => {
+            assert_eq!(
+                doc.get("truncation")
+                    .unwrap()
+                    .get("reason")
+                    .unwrap()
+                    .as_str(),
+                Some("cancelled"),
+                "{body}"
+            );
+            assert_eq!(report.drained, 1, "a cancelled search was drained");
+        }
+        other => panic!("unexpected completeness {other:?} in {body}"),
+    }
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let (addr, join, _shutdown) = start_server(Arc::new(Engine::new()), 2);
+    let (status, body) = call(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        parse_json(&body).get("status").unwrap().as_str(),
+        Some("shutting-down")
+    );
+    let report = join.join().unwrap();
+    assert_eq!(report.drained, 0);
+}

@@ -1,0 +1,201 @@
+//! Concurrent engine requests over one shared registry entry must be
+//! byte-identical to serial cold runs: same instance sets, same
+//! completeness, same reject tallies, same event journals. This is the
+//! sharing contract of DESIGN §3g — the daemon's whole correctness
+//! story is that N threads on one `Arc<CompiledCircuit>` + index
+//! answer exactly what N serial CLI invocations would.
+
+use std::thread;
+
+use subgemini::{find_all, MatchOutcome, PrunePolicy, WorkBudget};
+use subgemini_engine::{CircuitSource, Engine, FindRequest, PatternSource, RequestOptions};
+use subgemini_workloads::{analog, cells, gen};
+
+/// The metrics counters in the `reject.*` namespace, sorted by name.
+fn reject_tallies(outcome: &MatchOutcome) -> Vec<(String, u64)> {
+    let mut tallies: Vec<(String, u64)> = outcome
+        .metrics
+        .as_ref()
+        .expect("metrics were requested")
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("reject."))
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
+    tallies.sort();
+    tallies
+}
+
+/// Full-strength request options for the comparison: metrics and
+/// journal on, pruning off so the registry-warm runs exercise the very
+/// same candidate stream as the cold baseline (warm≡cold equivalence
+/// for `auto` pruning is pinned separately by the warm-start suite).
+fn comparison_options() -> RequestOptions {
+    RequestOptions {
+        collect_metrics: true,
+        trace_events: true,
+        prune: PrunePolicy::Never,
+        ..RequestOptions::default()
+    }
+}
+
+fn assert_outcomes_identical(concurrent: &MatchOutcome, serial: &MatchOutcome) {
+    assert_eq!(concurrent.instances, serial.instances);
+    assert_eq!(concurrent.key, serial.key);
+    assert_eq!(concurrent.phase1, serial.phase1);
+    assert_eq!(concurrent.phase2, serial.phase2);
+    assert_eq!(concurrent.completeness, serial.completeness);
+    assert_eq!(concurrent.events, serial.events);
+    assert_eq!(reject_tallies(concurrent), reject_tallies(serial));
+}
+
+#[test]
+fn eight_threads_match_serial_cold_runs_exactly() {
+    let main = gen::ripple_adder(6).netlist;
+    let pattern = cells::full_adder();
+    let engine = Engine::new();
+    engine.register_circuit("chip", main.clone());
+
+    // The serial baseline: a cold `find_all`, exactly what `subg find`
+    // runs for a one-shot CLI invocation with the same flags.
+    let serial = find_all(
+        &pattern,
+        &main,
+        &comparison_options().lower(&main, None).unwrap(),
+    );
+    assert!(serial.count() > 0, "baseline must find instances");
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    engine
+                        .find(&FindRequest {
+                            circuit: CircuitSource::Registered("chip"),
+                            pattern: PatternSource::Inline(&pattern),
+                            options: comparison_options(),
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let resp = handle.join().unwrap();
+            assert_outcomes_identical(&resp.outcome, &serial);
+        }
+    });
+}
+
+#[test]
+fn concurrent_budgeted_requests_truncate_identically() {
+    let main = gen::ripple_adder(6).netlist;
+    let pattern = cells::full_adder();
+    let engine = Engine::new();
+    engine.register_circuit("chip", main.clone());
+
+    // Size the effort cap off a governed-but-uncapped run (the ledger
+    // only accrues under a governor) so the budget bites mid-search
+    // deterministically — the ledger is candidate-vector-ordered, not
+    // wall-clock-ordered.
+    let probe_opts = {
+        let mut o = comparison_options();
+        o.budget = Some(WorkBudget::effort(u64::MAX));
+        o.lower(&main, None).unwrap()
+    };
+    let full_effort = find_all(&pattern, &main, &probe_opts)
+        .metrics
+        .as_ref()
+        .unwrap()
+        .effort_spent;
+    assert!(full_effort > 0);
+    let cap = (full_effort / 3).max(1);
+
+    let budgeted = || RequestOptions {
+        budget: Some(WorkBudget::effort(cap)),
+        ..comparison_options()
+    };
+    let serial = find_all(&pattern, &main, &budgeted().lower(&main, None).unwrap());
+    assert!(
+        serial.completeness.is_truncated(),
+        "cap of {cap}/{full_effort} effort units must truncate"
+    );
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    engine
+                        .find(&FindRequest {
+                            circuit: CircuitSource::Registered("chip"),
+                            pattern: PatternSource::Inline(&pattern),
+                            options: budgeted(),
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let resp = handle.join().unwrap();
+            assert_outcomes_identical(&resp.outcome, &serial);
+        }
+    });
+}
+
+#[test]
+fn mixed_qos_requests_coexist_on_one_entry() {
+    let main = analog::mixed_signal_chip(7, 3).netlist;
+    let engine = Engine::new();
+    engine.register_circuit("chip", main.clone());
+    let opamp = analog::two_stage_opamp();
+    let inv = cells::inv();
+
+    // Two different patterns with two different budgets/thread counts
+    // on the same registry entry, racing; each must still equal its own
+    // serial baseline.
+    let heavy = || RequestOptions {
+        threads: 2,
+        ..comparison_options()
+    };
+    let tiny = || RequestOptions {
+        budget: Some(WorkBudget::effort(1)),
+        ..comparison_options()
+    };
+    let serial_heavy = find_all(&opamp, &main, &heavy().lower(&main, None).unwrap());
+    let serial_tiny = find_all(&inv, &main, &tiny().lower(&main, None).unwrap());
+    assert!(serial_tiny.completeness.is_truncated());
+
+    thread::scope(|scope| {
+        let heavy_handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    engine
+                        .find(&FindRequest {
+                            circuit: CircuitSource::Registered("chip"),
+                            pattern: PatternSource::Inline(&opamp),
+                            options: heavy(),
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        let tiny_handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    engine
+                        .find(&FindRequest {
+                            circuit: CircuitSource::Registered("chip"),
+                            pattern: PatternSource::Inline(&inv),
+                            options: tiny(),
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        for handle in heavy_handles {
+            assert_outcomes_identical(&handle.join().unwrap().outcome, &serial_heavy);
+        }
+        for handle in tiny_handles {
+            assert_outcomes_identical(&handle.join().unwrap().outcome, &serial_tiny);
+        }
+    });
+}
