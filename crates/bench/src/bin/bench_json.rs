@@ -372,6 +372,118 @@ fn serve_section(scale: usize, threads: usize) -> Value {
     ])
 }
 
+/// Telemetry economics (EXPERIMENTS.md E16): what observability costs.
+/// Three numbers matter — the per-request fold overhead (telemetry on
+/// vs off over the same registered circuit; must be noise), the time to
+/// render a populated Prometheus exposition, and the cost of
+/// serializing one request's event journal for the capture ring.
+fn observability(scale: usize, threads: usize) -> Value {
+    use subgemini::telemetry::prometheus::TextWriter;
+    use subgemini_engine::{CircuitSource, Engine, FindRequest, PatternSource, RequestOptions};
+    const REQUESTS: usize = 16;
+    let pattern = cells::full_adder();
+    let g = gen::ripple_adder(16 * scale.max(1));
+    let timed = |telemetry_on: bool| -> (u64, Vec<u64>) {
+        let engine = Engine::new();
+        engine.telemetry().set_enabled(telemetry_on);
+        engine.register_circuit("bench", g.netlist.clone());
+        let mut found = 0u64;
+        let mut wall = Vec::with_capacity(REQUESTS);
+        for _ in 0..REQUESTS {
+            let t0 = std::time::Instant::now();
+            let resp = engine
+                .find(&FindRequest {
+                    circuit: CircuitSource::Registered("bench"),
+                    pattern: PatternSource::Inline(&pattern),
+                    options: RequestOptions {
+                        threads,
+                        ..RequestOptions::default()
+                    },
+                })
+                .expect("bench circuit resolves");
+            wall.push(t0.elapsed().as_nanos() as u64);
+            found = resp.outcome.count() as u64;
+        }
+        wall.sort_unstable();
+        (found, wall)
+    };
+    let (on_found, on_wall) = timed(true);
+    let (off_found, off_wall) = timed(false);
+    assert_eq!(on_found, off_found, "telemetry must not change results");
+
+    // Exposition render over a populated engine: REQUESTS folds worth
+    // of rollups, rendered the way `GET /metrics?format=prometheus`
+    // does (snapshot + text walk), isolated from socket noise.
+    let engine = Engine::new();
+    engine.register_circuit("bench", g.netlist.clone());
+    for _ in 0..REQUESTS {
+        engine
+            .find(&FindRequest {
+                circuit: CircuitSource::Registered("bench"),
+                pattern: PatternSource::Inline(&pattern),
+                options: RequestOptions {
+                    threads,
+                    ..RequestOptions::default()
+                },
+            })
+            .expect("bench circuit resolves");
+    }
+    let t0 = std::time::Instant::now();
+    let snap = engine.telemetry().snapshot();
+    let snapshot_ns = t0.elapsed().as_nanos() as u64;
+    let t0 = std::time::Instant::now();
+    let mut w = TextWriter::new();
+    for (endpoint, r) in &snap.endpoints {
+        let labels = [("endpoint", endpoint.as_str())];
+        w.counter("subg_requests_total", "requests", &labels, r.requests);
+        w.histogram("subg_request_wall_ns", "wall", &labels, &r.wall_ns);
+        w.histogram("subg_request_effort", "effort", &labels, &r.effort);
+    }
+    let exposition = w.finish();
+    let exposition_ns = t0.elapsed().as_nanos() as u64;
+
+    // Capture-ring journal serialization for one traced request.
+    let resp = engine
+        .find(&FindRequest {
+            circuit: CircuitSource::Registered("bench"),
+            pattern: PatternSource::Inline(&pattern),
+            options: RequestOptions {
+                threads,
+                trace_events: true,
+                ..RequestOptions::default()
+            },
+        })
+        .expect("bench circuit resolves");
+    let journal = resp.outcome.events.as_ref().expect("trace_events was set");
+    let t0 = std::time::Instant::now();
+    let ndjson = subgemini::events::journal_to_ndjson(journal);
+    let journal_ns = t0.elapsed().as_nanos() as u64;
+
+    Value::Obj(vec![
+        (
+            "main_devices".into(),
+            Value::int(g.netlist.device_count() as u64),
+        ),
+        ("requests".into(), Value::int(REQUESTS as u64)),
+        ("found".into(), Value::int(on_found)),
+        ("on_min_ns".into(), Value::int(on_wall[0])),
+        ("on_p50_ns".into(), Value::int(on_wall[REQUESTS / 2])),
+        ("off_min_ns".into(), Value::int(off_wall[0])),
+        ("off_p50_ns".into(), Value::int(off_wall[REQUESTS / 2])),
+        ("snapshot_ns".into(), Value::int(snapshot_ns)),
+        ("exposition_ns".into(), Value::int(exposition_ns)),
+        (
+            "exposition_bytes".into(),
+            Value::int(exposition.len() as u64),
+        ),
+        ("journal_ndjson_ns".into(), Value::int(journal_ns)),
+        (
+            "journal_ndjson_bytes".into(),
+            Value::int(ndjson.len() as u64),
+        ),
+    ])
+}
+
 /// Sum of `compile_ns + phase1_refine_ns + phase1_select_ns` across a
 /// report's linearity rows. A missing `compile_ns` (pre-CSR baselines)
 /// counts as zero.
@@ -429,6 +541,8 @@ fn main() {
     let warm = warm_start(scale, threads);
     eprintln!("bench_json: serve registry economics...");
     let serve = serve_section(scale, threads);
+    eprintln!("bench_json: observability overhead...");
+    let obs = observability(scale, threads);
     let mut fields = vec![
         ("schema_version".into(), Value::int(REPORT_SCHEMA_VERSION)),
         (
@@ -443,6 +557,9 @@ fn main() {
         // wall time at the engine session layer (the `subg serve`
         // economics).
         ("serve".into(), serve),
+        // Additive since schema v1: telemetry fold / exposition /
+        // capture-serialization overhead (EXPERIMENTS.md E16).
+        ("observability".into(), obs),
     ];
     if with_budget_curve {
         eprintln!("bench_json: budget curve...");

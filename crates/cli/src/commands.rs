@@ -346,6 +346,23 @@ pub fn serve(args: &Args) -> Result<u8, String> {
             return Err("--workers: need at least one worker".into());
         }
     }
+    if let Some(target) = args.option("--access-log") {
+        config.access_log = Some(target.to_string());
+    }
+    if let Some(ms) = args.option("--slow-ms") {
+        let ms = ms
+            .parse()
+            .map_err(|_| format!("--slow-ms: `{ms}` is not a millisecond count"))?;
+        config.slow_ms = Some(ms);
+    }
+    if let Some(keep) = args.option("--slow-keep") {
+        config.slow_keep = keep
+            .parse()
+            .map_err(|_| format!("--slow-keep: `{keep}` is not a count"))?;
+        if config.slow_keep == 0 {
+            return Err("--slow-keep: need at least one slot".into());
+        }
+    }
     let engine = std::sync::Arc::new(Engine::new());
     let mut preloads = Vec::new();
     for path in &args.positional {

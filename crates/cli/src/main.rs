@@ -17,7 +17,8 @@
 //! subg compare <a.sp> <b.sp> [--cell <name>] [--hierarchical]
 //! subg stats <file.sp>
 //! subg dot <file.sp> [--out <file.dot>]
-//! subg serve [<main.sp>...] [--addr <host:port>] [--workers <n>]
+//! subg serve [<main.sp>...] [--addr <host:port>] [--workers <n>] [--access-log <path|->]
+//!           [--slow-ms <ms>] [--slow-keep <n>]
 //! ```
 //!
 //! Patterns, rules and library cells are `.subckt` definitions; their
@@ -51,7 +52,8 @@ USAGE:
   subg stats <file.sp>
   subg dot <file.sp> [--out <file.dot>]
   subg fingerprint <cells.sp|cells.v>
-  subg serve [<main.sp>...] [--addr <host:port>] [--workers <n>]
+  subg serve [<main.sp>...] [--addr <host:port>] [--workers <n>] [--access-log <path|->]
+            [--slow-ms <ms>] [--slow-keep <n>]
 ";
 
 fn main() -> ExitCode {

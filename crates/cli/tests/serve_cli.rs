@@ -133,12 +133,73 @@ fn serve_binds_ephemeral_port_preloads_and_drains_on_sigint() {
 #[test]
 fn serve_rejects_bad_flags() {
     let dir = scratch("flags");
-    let out = Command::new(env!("CARGO_BIN_EXE_subg"))
-        .current_dir(&dir)
-        .args(["serve", "--workers", "zero"])
-        .output()
-        .expect("binary runs");
-    assert_eq!(out.status.code(), Some(2));
-    let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("--workers"), "{stderr}");
+    for (flags, needle) in [
+        (["--workers", "zero"], "--workers"),
+        (["--slow-ms", "soon"], "--slow-ms"),
+        (["--slow-keep", "0"], "--slow-keep"),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_subg"))
+            .current_dir(&dir)
+            .arg("serve")
+            .args(flags)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{stderr}");
+    }
+}
+
+#[test]
+fn serve_observability_flags_wire_up_log_and_capture() {
+    let dir = scratch("observability");
+    fs::write(dir.join("chip.sp"), CHIP).unwrap();
+    let log = dir.join("access.ndjson");
+    let (mut child, addr) = spawn_serve(
+        &dir,
+        &[
+            "chip.sp",
+            "--access-log",
+            log.to_str().unwrap(),
+            "--slow-ms",
+            "0",
+            "--slow-keep",
+            "4",
+        ],
+    );
+    let find = r#"{"circuit": "chip", "pattern": {"source": ".subckt inv a y\nmp y a vdd vdd pmos\nmn y a gnd gnd nmos\n.ends\n", "cell": "inv"}}"#;
+    let (status, body) = call(&addr, "POST", "/v1/find", find);
+    assert_eq!(status, 200, "{body}");
+
+    // --slow-ms 0 captured the find; it is retrievable by id.
+    let (status, body) = call(&addr, "GET", "/v1/requests", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"request_id\": 1"), "{body}");
+    let (status, body) = call(&addr, "GET", "/v1/requests/1", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"journal\""), "{body}");
+
+    // The Prometheus exposition is live too.
+    let (status, body) = call(&addr, "GET", "/metrics?format=prometheus", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("subg_requests_total{endpoint=\"find\"} 1"),
+        "{body}"
+    );
+
+    interrupt(&child);
+    assert!(child.wait().unwrap().success());
+    // The access log holds one well-formed line per request served.
+    let text = fs::read_to_string(&log).expect("access log written");
+    assert_eq!(text.lines().count(), 4, "{text}");
+    let find_line = text
+        .lines()
+        .find(|l| l.contains("\"/v1/find\""))
+        .unwrap_or_else(|| panic!("{text}"));
+    assert!(find_line.contains("\"request_id\":1"), "{find_line}");
+    assert!(find_line.contains("\"status\":200"), "{find_line}");
+    assert!(
+        find_line.contains("\"completeness\":\"complete\""),
+        "{find_line}"
+    );
 }

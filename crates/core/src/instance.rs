@@ -116,6 +116,11 @@ pub struct MatchOutcome {
     /// carries every instance verified before the stop; with an effort
     /// budget the truncation point is identical for every thread count.
     pub completeness: crate::budget::Completeness,
+    /// The session-layer request id this search ran under
+    /// ([`MatchOptions::request_id`](crate::MatchOptions)), stamped
+    /// verbatim for correlation in reports and logs. Pure metadata: it
+    /// never influences the search.
+    pub request_id: Option<u64>,
 }
 
 impl MatchOutcome {

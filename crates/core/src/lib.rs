@@ -68,6 +68,7 @@ mod rules;
 mod scheduler;
 mod symmetry;
 mod techmap;
+pub mod telemetry;
 mod trace;
 mod verify;
 
@@ -81,6 +82,7 @@ pub use options::{KeyPolicy, MatchOptions, OverlapPolicy, Phase2Scheduler, Prune
 pub use rules::{RuleChecker, RuleViolation};
 pub use symmetry::port_symmetry_classes;
 pub use techmap::{CoverCandidate, CoverResult, TechMapper};
+pub use telemetry::{RequestSample, Rollup, ShardedCounter, Telemetry, TelemetrySnapshot};
 pub use trace::{Phase2Trace, TraceCell, TraceSnapshot};
 pub use verify::verify_instance;
 

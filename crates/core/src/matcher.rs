@@ -227,6 +227,7 @@ pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> Ma
         });
         m.total_ns = t.elapsed_ns();
     }
+    outcome.request_id = options.request_id;
     outcome
 }
 
@@ -273,6 +274,7 @@ pub fn find_all_many(
                 });
                 m.total_ns = t.elapsed_ns();
             }
+            outcome.request_id = options.request_id;
             outcome
         })
         .collect()

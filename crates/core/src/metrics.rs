@@ -158,6 +158,16 @@ impl Histogram {
         self.count == 0
     }
 
+    /// The allocated buckets as `(upper bound, count)` pairs in
+    /// ascending bucket order — the raw layout exposition formats need
+    /// (Prometheus `le` buckets) rather than the derived quantiles.
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (Self::bucket_max(i), c))
+    }
+
     /// The upper bound of the bucket holding the `q`-quantile sample
     /// (`q` in `[0, 1]`), i.e. the reported percentile overestimates by
     /// at most 2x — the usual log2-histogram contract. Returns 0 for an
@@ -887,6 +897,15 @@ pub fn outcome_to_json(outcome: &MatchOutcome) -> json::Value {
         ("completeness".into(), completeness),
         ("truncation".into(), truncation),
         ("metrics".into(), metrics),
+        // Schema v1 additive: the session-layer request id (null for
+        // direct core calls that never pass through an engine).
+        (
+            "request_id".into(),
+            match outcome.request_id {
+                Some(id) => Value::int(id),
+                None => Value::Null,
+            },
+        ),
     ])
 }
 

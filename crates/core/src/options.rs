@@ -264,6 +264,12 @@ pub struct MatchOptions {
     /// ([`PrunePolicy::Auto`]) prunes exactly when `warm_main` supplied
     /// an index, so cold runs are byte-identical to earlier releases.
     pub prune: PrunePolicy,
+    /// Session-layer request id, stamped verbatim onto
+    /// [`MatchOutcome::request_id`](crate::MatchOutcome) for
+    /// correlation across reports, journals, and logs. Pure metadata —
+    /// the search never reads it. `None` (default) for direct core
+    /// calls.
+    pub request_id: Option<u64>,
 }
 
 impl Default for MatchOptions {
@@ -288,6 +294,7 @@ impl Default for MatchOptions {
             cancel: None,
             warm_main: None,
             prune: PrunePolicy::default(),
+            request_id: None,
         }
     }
 }

@@ -46,7 +46,8 @@ use std::time::Instant;
 
 use subgemini::{
     find_all, find_all_many, CancelToken, ExplainReport, MatchOptions, MatchOutcome,
-    Phase2Scheduler, PrunePolicy, WarmMain, WorkBudget,
+    Phase2Scheduler, PrunePolicy, RequestSample, Telemetry, TelemetrySnapshot, WarmMain,
+    WorkBudget,
 };
 use subgemini_netlist::{structural_digest, Artifact, Netlist};
 
@@ -121,6 +122,13 @@ pub struct RequestOptions {
     /// shared handle; the artifact must match the main circuit's
     /// structural digest.
     pub artifact: Option<String>,
+    /// Request id to run under. `None` (default) lets the engine mint
+    /// the next id from its counter; a caller-supplied id is used
+    /// verbatim (transports that assign ids upstream). The id is
+    /// threaded through [`RequestOptions::lower`] into the outcome,
+    /// report JSON, and logs — pure correlation metadata, never read by
+    /// the search.
+    pub request_id: Option<u64>,
 }
 
 impl Default for RequestOptions {
@@ -136,6 +144,7 @@ impl Default for RequestOptions {
             prune: PrunePolicy::default(),
             cancel: None,
             artifact: None,
+            request_id: None,
         }
     }
 }
@@ -176,6 +185,7 @@ impl RequestOptions {
         };
         opts.budget = self.budget.clone().filter(|b| !b.is_unlimited());
         opts.cancel = self.cancel.clone();
+        opts.request_id = self.request_id;
         if let Some(path) = self.artifact.as_deref() {
             if !self.respect_globals {
                 return Err(EngineError::Invalid(
@@ -284,6 +294,15 @@ pub struct FindResponse {
     /// order — the rendering-ready form of
     /// [`SubMatch::device_set`](subgemini::SubMatch::device_set).
     pub instance_devices: Vec<Vec<String>>,
+    /// The request id this search ran under (minted by the engine
+    /// unless the caller supplied one).
+    pub request_id: u64,
+    /// End-to-end wall time of the search call, in nanoseconds.
+    pub wall_ns: u64,
+    /// Deterministic effort spent (Phase I iterations + Phase II
+    /// candidates/passes/guesses/backtracks) — always available, even
+    /// when metrics were not requested.
+    pub effort_spent: u64,
 }
 
 /// One survey row: a cell and its outcome.
@@ -302,6 +321,12 @@ pub struct SurveyResponse {
     pub circuit: String,
     /// One row per library cell, in library order.
     pub rows: Vec<SurveyRow>,
+    /// The request id the sweep ran under (one id for all rows).
+    pub request_id: u64,
+    /// End-to-end wall time of the whole sweep, in nanoseconds.
+    pub wall_ns: u64,
+    /// Deterministic effort spent, summed over the rows.
+    pub effort_spent: u64,
 }
 
 /// Response to an explain request.
@@ -315,6 +340,12 @@ pub struct ExplainResponse {
     pub outcome: MatchOutcome,
     /// The report distilled from the journal.
     pub report: ExplainReport,
+    /// The request id this search ran under.
+    pub request_id: u64,
+    /// End-to-end wall time of the search call, in nanoseconds.
+    pub wall_ns: u64,
+    /// Deterministic effort spent.
+    pub effort_spent: u64,
 }
 
 /// Result of compiling/registering a circuit.
@@ -405,6 +436,10 @@ pub struct EngineStatus {
     pub libraries: Vec<(String, usize)>,
     /// Cumulative request counters, in a fixed order.
     pub requests: Vec<(&'static str, u64)>,
+    /// Cross-request telemetry rollups (per-endpoint and per-circuit
+    /// latency/effort/backtrack histograms, truncation and reject
+    /// tallies). Empty while telemetry is disabled.
+    pub telemetry: TelemetrySnapshot,
 }
 
 #[derive(Default)]
@@ -424,11 +459,32 @@ struct EngineCounters {
 ///
 /// All methods take `&self` and are safe to call from many threads;
 /// see the module docs for the sharing contract.
-#[derive(Default)]
+///
+/// Every search request gets a request id (engine-minted, starting at
+/// 1, unless the caller set [`RequestOptions::request_id`]) and — while
+/// [`Engine::telemetry`] is enabled (the default) — is folded into the
+/// cross-request rollups once its outcome is complete. The fold is
+/// zero-perturbation: it reads the finished outcome only, after the
+/// deterministic serial merge, and metrics the caller did not request
+/// are stripped again before the response (DESIGN.md §3h).
 pub struct Engine {
     circuits: RwLock<HashMap<String, Arc<CircuitEntry>>>,
     libraries: RwLock<HashMap<String, Arc<Vec<Netlist>>>>,
     counters: EngineCounters,
+    telemetry: Telemetry,
+    next_request_id: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self {
+            circuits: RwLock::new(HashMap::new()),
+            libraries: RwLock::new(HashMap::new()),
+            counters: EngineCounters::default(),
+            telemetry: Telemetry::new(true),
+            next_request_id: AtomicU64::new(1),
+        }
+    }
 }
 
 /// A request envelope, for transports that dispatch uniformly (the
@@ -524,6 +580,13 @@ impl ResolvedLibrary<'_> {
             ResolvedLibrary::Shared(v) => v,
             ResolvedLibrary::Inline(s) => s,
         }
+    }
+}
+
+fn registered_name<'a>(src: &CircuitSource<'a>) -> Option<&'a str> {
+    match *src {
+        CircuitSource::Registered(name) => Some(name),
+        CircuitSource::Inline(_) => None,
     }
 }
 
@@ -664,6 +727,41 @@ impl Engine {
         }
     }
 
+    /// The cross-request telemetry registry: toggle it with
+    /// [`Telemetry::set_enabled`], read it with
+    /// [`Telemetry::snapshot`] (also included in [`Engine::status`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mints the next request id (monotone from 1, engine-local).
+    pub fn mint_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Lowers request options for one search: assigns the request id,
+    /// and — when telemetry is enabled — forces metrics collection so
+    /// the fold sees prune/reject counters. Returns the lowered
+    /// options, the id, and whether the caller itself asked for
+    /// metrics (if not, the response strips them again, so the visible
+    /// outcome is identical either way).
+    fn lowered(
+        &self,
+        options: &RequestOptions,
+        main: &Netlist,
+        warm: Option<&WarmMain>,
+    ) -> Result<(MatchOptions, u64, bool), EngineError> {
+        let request_id = options.request_id.unwrap_or_else(|| self.mint_request_id());
+        let mut request_opts = options.clone();
+        request_opts.request_id = Some(request_id);
+        let mut opts = request_opts.lower(main, warm)?;
+        let metrics_requested = opts.collect_metrics;
+        if self.telemetry.enabled() {
+            opts.collect_metrics = true;
+        }
+        Ok((opts, request_id, metrics_requested))
+    }
+
     /// Runs a find request.
     ///
     /// # Errors
@@ -680,15 +778,27 @@ impl Engine {
         let main = circuit.netlist();
         let pattern = self.resolve_pattern(&req.pattern)?;
         let pattern = pattern.get();
-        let opts = req.options.lower(main, circuit.warm())?;
-        let outcome = find_all(pattern, main, &opts);
+        let (opts, request_id, metrics_requested) =
+            self.lowered(&req.options, main, circuit.warm())?;
+        let t0 = Instant::now();
+        let mut outcome = find_all(pattern, main, &opts);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
         self.note_completeness(&outcome);
+        let sample = RequestSample::from_outcome(&outcome, wall_ns);
+        self.telemetry
+            .fold("find", registered_name(&req.circuit), &sample);
+        if !metrics_requested {
+            outcome.metrics = None;
+        }
         let instance_devices = instance_device_names(main, &outcome);
         Ok(FindResponse {
             circuit: main.name().to_string(),
             pattern: pattern.name().to_string(),
             outcome,
             instance_devices,
+            request_id,
+            wall_ns,
+            effort_spent: sample.effort,
         })
     }
 
@@ -710,10 +820,21 @@ impl Engine {
         let library = self.resolve_library(&req.library)?;
         let cells = library.cells();
         let refs: Vec<&Netlist> = cells.iter().collect();
-        let opts = req.options.lower(main, circuit.warm())?;
-        let outcomes = find_all_many(&refs, main, &opts);
+        let (opts, request_id, metrics_requested) =
+            self.lowered(&req.options, main, circuit.warm())?;
+        let t0 = Instant::now();
+        let mut outcomes = find_all_many(&refs, main, &opts);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
         for outcome in &outcomes {
             self.note_completeness(outcome);
+        }
+        let sample = RequestSample::from_outcomes(outcomes.iter(), wall_ns);
+        self.telemetry
+            .fold("survey", registered_name(&req.circuit), &sample);
+        if !metrics_requested {
+            for outcome in &mut outcomes {
+                outcome.metrics = None;
+            }
         }
         let rows = cells
             .iter()
@@ -726,6 +847,9 @@ impl Engine {
         Ok(SurveyResponse {
             circuit: main.name().to_string(),
             rows,
+            request_id,
+            wall_ns,
+            effort_spent: sample.effort,
         })
     }
 
@@ -748,15 +872,27 @@ impl Engine {
         let pattern = pattern.get();
         let mut request_opts = req.options.clone();
         request_opts.trace_events = true;
-        let opts = request_opts.lower(main, circuit.warm())?;
-        let outcome = find_all(pattern, main, &opts);
+        let (opts, request_id, metrics_requested) =
+            self.lowered(&request_opts, main, circuit.warm())?;
+        let t0 = Instant::now();
+        let mut outcome = find_all(pattern, main, &opts);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
         self.note_completeness(&outcome);
+        let sample = RequestSample::from_outcome(&outcome, wall_ns);
+        self.telemetry
+            .fold("explain", registered_name(&req.circuit), &sample);
+        if !metrics_requested {
+            outcome.metrics = None;
+        }
         let report = ExplainReport::from_outcome(&outcome);
         Ok(ExplainResponse {
             circuit: main.name().to_string(),
             pattern: pattern.name().to_string(),
             outcome,
             report,
+            request_id,
+            wall_ns,
+            effort_spent: sample.effort,
         })
     }
 
@@ -797,6 +933,7 @@ impl Engine {
             circuits,
             libraries,
             requests,
+            telemetry: self.telemetry.snapshot(),
         }
     }
 

@@ -34,8 +34,11 @@ impl Request {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Body bytes (always JSON in this daemon).
+    /// Body bytes.
     pub body: Vec<u8>,
+    /// `content-type` header value (JSON everywhere except the
+    /// Prometheus exposition).
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -44,6 +47,16 @@ impl Response {
         Response {
             status,
             body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A Prometheus text-format v0.0.4 response.
+    pub fn prometheus(body: String) -> Response {
+        Response {
+            status: 200,
+            body: body.into_bytes(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -72,9 +85,10 @@ impl Response {
         };
         write!(
             w,
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
             self.status,
             reason,
+            self.content_type,
             self.body.len()
         )?;
         w.write_all(&self.body)?;

@@ -23,20 +23,24 @@
 //!    [`Server::run`] returns a [`DrainReport`] whose `drained` count
 //!    says how many searches were interrupted (0 on an idle shutdown).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use subgemini::metrics::json::Value;
 use subgemini::CancelToken;
 use subgemini_engine::Engine;
 
 pub mod http;
 mod routes;
 pub mod signal;
+
+use routes::RequestMeta;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -47,6 +51,17 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
+    /// NDJSON access log target: a file path, or `-` for stdout.
+    /// `None` (default) logs nothing.
+    pub access_log: Option<String>,
+    /// Capture full reports + event journals of requests slower than
+    /// this many milliseconds (and of every truncated request) in a
+    /// bounded ring served at `GET /v1/requests`. `None` (default)
+    /// disables capture.
+    pub slow_ms: Option<u64>,
+    /// Capture-ring capacity: how many slow/truncated requests are
+    /// kept (oldest evicted first).
+    pub slow_keep: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,7 +70,93 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7878".into(),
             workers: 4,
             max_body_bytes: 16 << 20,
+            access_log: None,
+            slow_ms: None,
+            slow_keep: 32,
         }
+    }
+}
+
+/// The structured NDJSON access log: one compact JSON line per HTTP
+/// request, flushed per line so tails see it promptly.
+pub(crate) struct AccessLog {
+    sink: Mutex<Box<dyn io::Write + Send>>,
+}
+
+impl AccessLog {
+    fn open(target: &str) -> io::Result<AccessLog> {
+        let sink: Box<dyn io::Write + Send> = if target == "-" {
+            Box::new(io::stdout())
+        } else {
+            Box::new(std::fs::File::create(target)?)
+        };
+        Ok(AccessLog {
+            sink: Mutex::new(sink),
+        })
+    }
+
+    pub(crate) fn write_line(&self, line: &str) {
+        let mut sink = self.sink.lock().expect("access log poisoned");
+        let _ = writeln!(sink, "{line}");
+        let _ = sink.flush();
+    }
+}
+
+/// One slow/truncated request kept in the capture ring: everything
+/// needed to answer "why was request N slow?" after the fact.
+#[derive(Clone, Debug)]
+pub(crate) struct CapturedRequest {
+    pub(crate) id: u64,
+    pub(crate) route: &'static str,
+    pub(crate) circuit: String,
+    pub(crate) pattern: String,
+    pub(crate) wall_ns: u64,
+    pub(crate) completeness: &'static str,
+    /// The full response report, pretty JSON.
+    pub(crate) report: String,
+    /// The merged event journal as NDJSON (requests run with
+    /// `trace_events` forced on while capture is configured).
+    pub(crate) journal: String,
+}
+
+/// A bounded ring of [`CapturedRequest`]s (oldest evicted first).
+pub(crate) struct CaptureRing {
+    slow_ns: u64,
+    keep: usize,
+    ring: Mutex<VecDeque<CapturedRequest>>,
+}
+
+impl CaptureRing {
+    fn new(slow_ms: u64, keep: usize) -> Self {
+        Self {
+            slow_ns: slow_ms.saturating_mul(1_000_000),
+            keep: keep.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Whether a finished request qualifies for capture.
+    pub(crate) fn wants(&self, wall_ns: u64, truncated: bool) -> bool {
+        truncated || wall_ns >= self.slow_ns
+    }
+
+    pub(crate) fn push(&self, captured: CapturedRequest) {
+        let mut ring = self.ring.lock().expect("capture ring poisoned");
+        if ring.len() == self.keep {
+            ring.pop_front();
+        }
+        ring.push_back(captured);
+    }
+
+    /// Newest-first summaries of every held capture.
+    pub(crate) fn entries(&self) -> Vec<CapturedRequest> {
+        let ring = self.ring.lock().expect("capture ring poisoned");
+        ring.iter().rev().cloned().collect()
+    }
+
+    pub(crate) fn get(&self, id: u64) -> Option<CapturedRequest> {
+        let ring = self.ring.lock().expect("capture ring poisoned");
+        ring.iter().rev().find(|c| c.id == id).cloned()
     }
 }
 
@@ -65,19 +166,34 @@ pub(crate) struct ServerState {
     shutdown: AtomicBool,
     served: AtomicU64,
     http_errors: AtomicU64,
+    /// Responses by status class: `[2xx, 4xx, 5xx]`.
+    responses: [AtomicU64; 3],
     next_search: AtomicU64,
     in_flight: Mutex<HashMap<u64, CancelToken>>,
+    started: Instant,
+    access_log: Option<AccessLog>,
+    capture: Option<CaptureRing>,
 }
 
 impl ServerState {
-    fn new() -> Self {
-        Self {
+    fn new(config: &ServeConfig) -> io::Result<Self> {
+        let access_log = match config.access_log.as_deref() {
+            Some(target) => Some(AccessLog::open(target)?),
+            None => None,
+        };
+        Ok(Self {
             shutdown: AtomicBool::new(false),
             served: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
+            responses: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             next_search: AtomicU64::new(0),
             in_flight: Mutex::new(HashMap::new()),
-        }
+            started: Instant::now(),
+            access_log,
+            capture: config
+                .slow_ms
+                .map(|slow_ms| CaptureRing::new(slow_ms, config.slow_keep)),
+        })
     }
 
     pub(crate) fn request_shutdown(&self) {
@@ -131,6 +247,59 @@ impl ServerState {
             .expect("in-flight registry poisoned")
             .len()
     }
+
+    /// Bumps the status-class counter for one finished response.
+    fn note_response(&self, status: u16) {
+        let class = match status {
+            200..=299 => 0,
+            400..=499 => 1,
+            _ => 2,
+        };
+        self.responses[class].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Responses served by status class: `[2xx, 4xx, 5xx]`.
+    pub(crate) fn response_classes(&self) -> [u64; 3] {
+        [
+            self.responses[0].load(Ordering::Relaxed),
+            self.responses[1].load(Ordering::Relaxed),
+            self.responses[2].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Whole seconds since the server state was created.
+    pub(crate) fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The slow/truncated-request capture ring, when configured.
+    pub(crate) fn capture(&self) -> Option<&CaptureRing> {
+        self.capture.as_ref()
+    }
+}
+
+/// Builds the one-line access-log record for a finished request.
+fn access_line(
+    meta: &RequestMeta,
+    method: Option<&str>,
+    route: Option<&str>,
+    status: u16,
+    wall_ns: u64,
+) -> String {
+    let opt_str = |v: Option<&str>| v.map_or(Value::Null, |s| Value::Str(s.to_string()));
+    let opt_int = |v: Option<u64>| v.map_or(Value::Null, Value::int);
+    Value::Obj(vec![
+        ("request_id".into(), opt_int(meta.request_id)),
+        ("method".into(), opt_str(method)),
+        ("route".into(), opt_str(route)),
+        ("status".into(), Value::int(u64::from(status))),
+        ("wall_ns".into(), Value::int(wall_ns)),
+        ("effort_spent".into(), opt_int(meta.effort_spent)),
+        ("completeness".into(), opt_str(meta.completeness)),
+        ("circuit".into(), opt_str(meta.circuit.as_deref())),
+        ("pattern".into(), opt_str(meta.pattern.as_deref())),
+    ])
+    .compact()
 }
 
 /// A clonable handle that asks a running server to shut down (used by
@@ -183,7 +352,7 @@ impl Server {
         Ok(Server {
             engine,
             listener,
-            state: Arc::new(ServerState::new()),
+            state: Arc::new(ServerState::new(config)?),
             workers: config.workers.max(1),
             max_body_bytes: config.max_body_bytes,
         })
@@ -267,13 +436,17 @@ fn handle_connection(
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let mut reader = io::BufReader::new(stream);
+    let t0 = Instant::now();
+    let mut meta = RequestMeta::default();
+    let mut request_line: Option<(String, String)> = None;
     let response = match http::read_request(&mut reader, max_body) {
         Ok(request) => {
+            request_line = Some((request.method.clone(), request.path.clone()));
             // A panicking handler (e.g. a degenerate uploaded pattern
             // hitting a core precondition) must not shrink the worker
             // pool: catch it and answer 500.
             let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                routes::route(engine, state, &request)
+                routes::route(engine, state, &request, &mut meta)
             }));
             match handled {
                 Ok(response) => response,
@@ -288,6 +461,20 @@ fn handle_connection(
             http::Response::error(400, &e)
         }
     };
+    state.note_response(response.status);
+    if let Some(log) = &state.access_log {
+        let (method, route) = match &request_line {
+            Some((m, p)) => (Some(m.as_str()), Some(p.as_str())),
+            None => (None, None),
+        };
+        log.write_line(&access_line(
+            &meta,
+            method,
+            route,
+            response.status,
+            t0.elapsed().as_nanos() as u64,
+        ));
+    }
     let mut stream = reader.into_inner();
     if response.write_to(&mut stream).is_ok() {
         state.served.fetch_add(1, Ordering::Relaxed);
@@ -300,7 +487,7 @@ mod tests {
 
     #[test]
     fn begin_finish_search_bookkeeping() {
-        let state = ServerState::new();
+        let state = ServerState::new(&ServeConfig::default()).unwrap();
         let (a, _ta) = state.begin_search();
         let (b, tb) = state.begin_search();
         assert_ne!(a, b);
@@ -314,7 +501,7 @@ mod tests {
 
     #[test]
     fn shutdown_handle_flips_flag() {
-        let state = Arc::new(ServerState::new());
+        let state = Arc::new(ServerState::new(&ServeConfig::default()).unwrap());
         let handle = ShutdownHandle {
             state: Arc::clone(&state),
         };

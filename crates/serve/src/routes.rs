@@ -3,8 +3,11 @@
 //!
 //! | Method | Path                  | Body                        | Answer |
 //! |--------|-----------------------|-----------------------------|--------|
-//! | GET    | `/healthz`            | —                           | `{"status":"ok"}` |
-//! | GET    | `/metrics`            | —                           | server + engine counters |
+//! | GET    | `/healthz`            | —                           | status, uptime, version |
+//! | GET    | `/metrics`            | —                           | server + engine counters + telemetry rollups |
+//! | GET    | `/metrics?format=prometheus` | —                    | Prometheus text-format v0.0.4 |
+//! | GET    | `/v1/requests`        | —                           | slow/truncated capture-ring summaries |
+//! | GET    | `/v1/requests/{id}`   | —                           | one captured report + event journal |
 //! | POST   | `/v1/circuits/{name}` | raw deck (`?format=spice\|verilog`) | compile info |
 //! | POST   | `/v1/libraries/{name}`| raw deck of cell definitions | cell list |
 //! | POST   | `/v1/find`            | JSON find request           | v1 report + instances |
@@ -30,7 +33,8 @@
 use std::sync::Arc;
 
 use subgemini::metrics::json::{self, Value};
-use subgemini::metrics::outcome_to_json;
+use subgemini::metrics::{outcome_to_json, REPORT_SCHEMA_VERSION};
+use subgemini::telemetry::prometheus::TextWriter;
 use subgemini_engine::source::{load_cell, main_from_doc, parse_text, SourceKind};
 use subgemini_engine::{
     CircuitSource, Engine, EngineError, ExplainRequest, FindRequest, FindResponse, LibrarySource,
@@ -39,16 +43,33 @@ use subgemini_engine::{
 use subgemini_netlist::Netlist;
 
 use crate::http::{Request, Response};
-use crate::ServerState;
+use crate::{CapturedRequest, ServerState};
+
+/// Per-request correlation fields the search handlers report back to
+/// the connection loop for the access log.
+#[derive(Debug, Default)]
+pub(crate) struct RequestMeta {
+    pub(crate) request_id: Option<u64>,
+    pub(crate) circuit: Option<String>,
+    pub(crate) pattern: Option<String>,
+    pub(crate) effort_spent: Option<u64>,
+    pub(crate) completeness: Option<&'static str>,
+}
 
 /// Dispatches one parsed request.
-pub(crate) fn route(engine: &Engine, state: &Arc<ServerState>, req: &Request) -> Response {
+pub(crate) fn route(
+    engine: &Engine,
+    state: &Arc<ServerState>,
+    req: &Request,
+    meta: &mut RequestMeta,
+) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Response::json(
-            200,
-            Value::Obj(vec![("status".into(), Value::Str("ok".into()))]).pretty(),
-        ),
-        ("GET", "/metrics") => metrics(engine, state),
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(engine, state, req),
+        ("GET", "/v1/requests") => list_captures(state),
+        ("GET", path) if path.starts_with("/v1/requests/") => {
+            get_capture(state, &path["/v1/requests/".len()..])
+        }
         ("POST", "/v1/shutdown") => {
             state.request_shutdown();
             Response::json(
@@ -56,9 +77,13 @@ pub(crate) fn route(engine: &Engine, state: &Arc<ServerState>, req: &Request) ->
                 Value::Obj(vec![("status".into(), Value::Str("shutting-down".into()))]).pretty(),
             )
         }
-        ("POST", "/v1/find") => searching(state, |cancel| find(engine, req, cancel)),
-        ("POST", "/v1/explain") => searching(state, |cancel| explain(engine, req, cancel)),
-        ("POST", "/v1/survey") => searching(state, |cancel| survey(engine, req, cancel)),
+        ("POST", "/v1/find") => searching(state, |cancel| find(engine, state, req, cancel, meta)),
+        ("POST", "/v1/explain") => {
+            searching(state, |cancel| explain(engine, state, req, cancel, meta))
+        }
+        ("POST", "/v1/survey") => {
+            searching(state, |cancel| survey(engine, state, req, cancel, meta))
+        }
         ("POST", path) if path.starts_with("/v1/circuits/") => {
             register_circuit(engine, req, &path["/v1/circuits/".len()..])
         }
@@ -67,10 +92,30 @@ pub(crate) fn route(engine: &Engine, state: &Arc<ServerState>, req: &Request) ->
         }
         (
             _,
-            "/healthz" | "/metrics" | "/v1/find" | "/v1/survey" | "/v1/explain" | "/v1/shutdown",
+            "/healthz" | "/metrics" | "/v1/requests" | "/v1/find" | "/v1/survey" | "/v1/explain"
+            | "/v1/shutdown",
         ) => Response::error(405, "method not allowed"),
+        (_, path) if path.starts_with("/v1/requests/") => {
+            Response::error(405, "method not allowed")
+        }
         _ => Response::error(404, "no such endpoint"),
     }
+}
+
+fn healthz(state: &Arc<ServerState>) -> Response {
+    Response::json(
+        200,
+        Value::Obj(vec![
+            ("status".into(), Value::Str("ok".into())),
+            ("uptime_seconds".into(), Value::int(state.uptime_seconds())),
+            (
+                "version".into(),
+                Value::Str(env!("CARGO_PKG_VERSION").into()),
+            ),
+            ("schema_version".into(), Value::int(REPORT_SCHEMA_VERSION)),
+        ])
+        .pretty(),
+    )
 }
 
 /// Runs a search-shaped handler with an in-flight registration, so a
@@ -95,7 +140,178 @@ fn engine_failure(e: &EngineError) -> Response {
     Response::error(status, &e.to_string())
 }
 
-fn metrics(engine: &Engine, state: &Arc<ServerState>) -> Response {
+fn metrics(engine: &Engine, state: &Arc<ServerState>, req: &Request) -> Response {
+    match req.query_value("format") {
+        None | Some("json") => json_metrics(engine, state),
+        Some("prometheus") => prometheus_metrics(engine, state),
+        Some(other) => Response::error(
+            400,
+            &format!("format: `{other}` is not `json` or `prometheus`"),
+        ),
+    }
+}
+
+/// Prometheus text-format v0.0.4 exposition over the same counters and
+/// telemetry rollups the JSON shape reports.
+fn prometheus_metrics(engine: &Engine, state: &Arc<ServerState>) -> Response {
+    let status = engine.status();
+    let snap = &status.telemetry;
+    let schema = REPORT_SCHEMA_VERSION.to_string();
+    let mut w = TextWriter::new();
+    w.gauge(
+        "subg_build_info",
+        "Build metadata; the value is always 1.",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("schema_version", &schema),
+        ],
+        1,
+    );
+    w.gauge(
+        "subg_uptime_seconds",
+        "Seconds since the daemon started.",
+        &[],
+        state.uptime_seconds(),
+    );
+    w.counter(
+        "subg_connections_served_total",
+        "Connections answered to completion.",
+        &[],
+        state.served(),
+    );
+    w.counter(
+        "subg_http_errors_total",
+        "Unparseable requests plus panicking handlers.",
+        &[],
+        state.http_errors(),
+    );
+    let [c2, c4, c5] = state.response_classes();
+    for (class, v) in [("2xx", c2), ("4xx", c4), ("5xx", c5)] {
+        w.counter(
+            "subg_http_responses_total",
+            "Responses by status class.",
+            &[("class", class)],
+            v,
+        );
+    }
+    w.gauge(
+        "subg_in_flight_searches",
+        "Searches currently running.",
+        &[],
+        state.in_flight_count() as u64,
+    );
+    w.gauge(
+        "subg_registered_circuits",
+        "Circuits in the registry.",
+        &[],
+        status.circuits.len() as u64,
+    );
+    w.gauge(
+        "subg_registered_libraries",
+        "Pattern libraries in the registry.",
+        &[],
+        status.libraries.len() as u64,
+    );
+    for (kind, v) in &status.requests {
+        w.counter(
+            "subg_engine_requests_total",
+            "Engine request counters by kind (includes `truncated`).",
+            &[("kind", kind)],
+            *v,
+        );
+    }
+    for (endpoint, r) in &snap.endpoints {
+        let labels = [("endpoint", endpoint.as_str())];
+        w.counter(
+            "subg_requests_total",
+            "Completed search requests folded into telemetry.",
+            &labels,
+            r.requests,
+        );
+        w.counter(
+            "subg_truncated_requests_total",
+            "Requests that stopped early under a budget, deadline, or cancellation.",
+            &labels,
+            r.truncated,
+        );
+        w.histogram(
+            "subg_request_wall_ns",
+            "End-to-end search wall time in nanoseconds (log2 buckets).",
+            &labels,
+            &r.wall_ns,
+        );
+        w.histogram(
+            "subg_request_effort",
+            "Deterministic effort per request (log2 buckets).",
+            &labels,
+            &r.effort,
+        );
+        w.histogram(
+            "subg_request_backtracks",
+            "Phase II backtracks per request (log2 buckets).",
+            &labels,
+            &r.backtracks,
+        );
+        w.counter(
+            "subg_pruned_candidates_total",
+            "Candidates pruned by the fingerprint index.",
+            &labels,
+            r.pruned_candidates,
+        );
+        w.counter(
+            "subg_admitted_candidates_total",
+            "Candidates admitted past the fingerprint index.",
+            &labels,
+            r.admitted_candidates,
+        );
+        for (reason, v) in &r.truncation_reasons {
+            w.counter(
+                "subg_truncation_total",
+                "Truncations by reason.",
+                &[("endpoint", endpoint.as_str()), ("reason", reason.as_str())],
+                *v,
+            );
+        }
+        for (reason, v) in &r.reject_reasons {
+            w.counter(
+                "subg_reject_total",
+                "Phase II candidate rejects by reason.",
+                &[("endpoint", endpoint.as_str()), ("reason", reason.as_str())],
+                *v,
+            );
+        }
+    }
+    for (circuit, r) in &snap.circuits {
+        let labels = [("circuit", circuit.as_str())];
+        w.counter(
+            "subg_circuit_requests_total",
+            "Completed requests per registered circuit.",
+            &labels,
+            r.requests,
+        );
+        w.histogram(
+            "subg_circuit_wall_ns",
+            "End-to-end search wall time per registered circuit (log2 buckets).",
+            &labels,
+            &r.wall_ns,
+        );
+        w.counter(
+            "subg_circuit_pruned_candidates_total",
+            "Candidates pruned by the circuit's fingerprint index.",
+            &labels,
+            r.pruned_candidates,
+        );
+        w.counter(
+            "subg_circuit_admitted_candidates_total",
+            "Candidates admitted past the circuit's fingerprint index.",
+            &labels,
+            r.admitted_candidates,
+        );
+    }
+    Response::prometheus(w.finish())
+}
+
+fn json_metrics(engine: &Engine, state: &Arc<ServerState>) -> Response {
     let status = engine.status();
     let circuits = status
         .circuits
@@ -125,6 +341,7 @@ fn metrics(engine: &Engine, state: &Arc<ServerState>) -> Response {
         .iter()
         .map(|(k, v)| (k.to_string(), Value::int(*v)))
         .collect();
+    let [c2, c4, c5] = state.response_classes();
     let doc = Value::Obj(vec![
         (
             "server".into(),
@@ -134,6 +351,20 @@ fn metrics(engine: &Engine, state: &Arc<ServerState>) -> Response {
                 (
                     "in_flight".into(),
                     Value::int(state.in_flight_count() as u64),
+                ),
+                ("uptime_seconds".into(), Value::int(state.uptime_seconds())),
+                (
+                    "version".into(),
+                    Value::Str(env!("CARGO_PKG_VERSION").into()),
+                ),
+                ("schema_version".into(), Value::int(REPORT_SCHEMA_VERSION)),
+                (
+                    "responses".into(),
+                    Value::Obj(vec![
+                        ("2xx".into(), Value::int(c2)),
+                        ("4xx".into(), Value::int(c4)),
+                        ("5xx".into(), Value::int(c5)),
+                    ]),
                 ),
             ]),
         ),
@@ -145,6 +376,7 @@ fn metrics(engine: &Engine, state: &Arc<ServerState>) -> Response {
                 ("requests".into(), Value::Obj(requests)),
             ]),
         ),
+        ("telemetry".into(), status.telemetry.to_json()),
     ]);
     Response::json(200, doc.pretty())
 }
@@ -410,7 +642,122 @@ fn find_response_doc(resp: &FindResponse) -> Value {
                 .collect(),
         ),
     ));
+    fields.push(("wall_ns".into(), Value::int(resp.wall_ns)));
+    fields.push(("effort_spent".into(), Value::int(resp.effort_spent)));
     Value::Obj(fields)
+}
+
+/// `"complete"` / `"truncated"` for logs and captures.
+fn completeness_str(outcome: &subgemini::MatchOutcome) -> &'static str {
+    if outcome.completeness.is_truncated() {
+        "truncated"
+    } else {
+        "complete"
+    }
+}
+
+/// Serializes the outcome's event journal as NDJSON (empty string when
+/// the search ran without `trace_events`).
+fn journal_text(outcome: &subgemini::MatchOutcome) -> String {
+    outcome
+        .events
+        .as_ref()
+        .map(subgemini::events::journal_to_ndjson)
+        .unwrap_or_default()
+}
+
+/// Offers a finished search to the capture ring, if one is configured
+/// and the request qualifies (slow or truncated).
+#[allow(clippy::too_many_arguments)]
+fn maybe_capture(
+    state: &Arc<ServerState>,
+    route: &'static str,
+    id: u64,
+    circuit: &str,
+    pattern: &str,
+    wall_ns: u64,
+    completeness: &'static str,
+    report: &Value,
+    journal: String,
+) {
+    let Some(ring) = state.capture() else {
+        return;
+    };
+    if !ring.wants(wall_ns, completeness == "truncated") {
+        return;
+    }
+    ring.push(CapturedRequest {
+        id,
+        route,
+        circuit: circuit.to_string(),
+        pattern: pattern.to_string(),
+        wall_ns,
+        completeness,
+        report: report.pretty(),
+        journal,
+    });
+}
+
+fn list_captures(state: &Arc<ServerState>) -> Response {
+    let Some(ring) = state.capture() else {
+        return Response::error(
+            404,
+            "slow-request capture is off; start the daemon with --slow-ms to enable it",
+        );
+    };
+    let entries = ring
+        .entries()
+        .into_iter()
+        .map(|c| {
+            Value::Obj(vec![
+                ("request_id".into(), Value::int(c.id)),
+                ("route".into(), Value::Str(c.route.into())),
+                ("circuit".into(), Value::Str(c.circuit)),
+                ("pattern".into(), Value::Str(c.pattern)),
+                ("wall_ns".into(), Value::int(c.wall_ns)),
+                ("completeness".into(), Value::Str(c.completeness.into())),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        Value::Obj(vec![("requests".into(), Value::Arr(entries))]).pretty(),
+    )
+}
+
+fn get_capture(state: &Arc<ServerState>, id: &str) -> Response {
+    let Some(ring) = state.capture() else {
+        return Response::error(
+            404,
+            "slow-request capture is off; start the daemon with --slow-ms to enable it",
+        );
+    };
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(400, "request id must be a non-negative integer");
+    };
+    let Some(c) = ring.get(id) else {
+        return Response::error(
+            404,
+            "no captured request with that id (evicted or never slow)",
+        );
+    };
+    let journal_lines = c
+        .journal
+        .lines()
+        .map(|line| json::parse(line).unwrap_or_else(|_| Value::Str(line.to_string())))
+        .collect();
+    let report = json::parse(&c.report).unwrap_or(Value::Null);
+    let doc = Value::Obj(vec![
+        ("request_id".into(), Value::int(c.id)),
+        ("route".into(), Value::Str(c.route.into())),
+        ("circuit".into(), Value::Str(c.circuit)),
+        ("pattern".into(), Value::Str(c.pattern)),
+        ("wall_ns".into(), Value::int(c.wall_ns)),
+        ("completeness".into(), Value::Str(c.completeness.into())),
+        ("report".into(), report),
+        ("journal".into(), Value::Arr(journal_lines)),
+    ]);
+    Response::json(200, doc.pretty())
 }
 
 fn survey_response_doc(resp: &SurveyResponse) -> Value {
@@ -428,10 +775,19 @@ fn survey_response_doc(resp: &SurveyResponse) -> Value {
     Value::Obj(vec![
         ("circuit".into(), Value::Str(resp.circuit.clone())),
         ("rows".into(), Value::Arr(rows)),
+        ("request_id".into(), Value::int(resp.request_id)),
+        ("wall_ns".into(), Value::int(resp.wall_ns)),
+        ("effort_spent".into(), Value::int(resp.effort_spent)),
     ])
 }
 
-fn find(engine: &Engine, req: &Request, cancel: subgemini::CancelToken) -> Response {
+fn find(
+    engine: &Engine,
+    state: &Arc<ServerState>,
+    req: &Request,
+    cancel: subgemini::CancelToken,
+    meta: &mut RequestMeta,
+) -> Response {
     let prepared = parse_body(req).and_then(|body| {
         let circuit = circuit_from(&body)?;
         let pattern = pattern_from(&body)?;
@@ -443,17 +799,48 @@ fn find(engine: &Engine, req: &Request, cancel: subgemini::CancelToken) -> Respo
         Err(e) => return Response::error(400, &e),
     };
     options.cancel = Some(cancel);
+    // Capture needs the journal; the find response never serializes it,
+    // so forcing it on does not change the response bytes.
+    if state.capture().is_some() {
+        options.trace_events = true;
+    }
     match engine.find(&FindRequest {
         circuit: circuit.as_source(),
         pattern: pattern.as_source(),
         options,
     }) {
-        Ok(resp) => Response::json(200, find_response_doc(&resp).pretty()),
+        Ok(resp) => {
+            let completeness = completeness_str(&resp.outcome);
+            meta.request_id = Some(resp.request_id);
+            meta.circuit = Some(resp.circuit.clone());
+            meta.pattern = Some(resp.pattern.clone());
+            meta.effort_spent = Some(resp.effort_spent);
+            meta.completeness = Some(completeness);
+            let doc = find_response_doc(&resp);
+            maybe_capture(
+                state,
+                "find",
+                resp.request_id,
+                &resp.circuit,
+                &resp.pattern,
+                resp.wall_ns,
+                completeness,
+                &doc,
+                journal_text(&resp.outcome),
+            );
+            Response::json(200, doc.pretty())
+        }
         Err(e) => engine_failure(&e),
     }
 }
 
-fn explain(engine: &Engine, req: &Request, cancel: subgemini::CancelToken) -> Response {
+fn explain(
+    engine: &Engine,
+    state: &Arc<ServerState>,
+    req: &Request,
+    cancel: subgemini::CancelToken,
+    meta: &mut RequestMeta,
+) -> Response {
     let prepared = parse_body(req).and_then(|body| {
         let circuit = circuit_from(&body)?;
         let pattern = pattern_from(&body)?;
@@ -471,13 +858,33 @@ fn explain(engine: &Engine, req: &Request, cancel: subgemini::CancelToken) -> Re
         options,
     }) {
         Ok(resp) => {
+            let completeness = completeness_str(&resp.outcome);
+            meta.request_id = Some(resp.request_id);
+            meta.circuit = Some(resp.circuit.clone());
+            meta.pattern = Some(resp.pattern.clone());
+            meta.effort_spent = Some(resp.effort_spent);
+            meta.completeness = Some(completeness);
             let doc = Value::Obj(vec![
                 ("circuit".into(), Value::Str(resp.circuit.clone())),
                 ("pattern".into(), Value::Str(resp.pattern.clone())),
                 ("found".into(), Value::int(resp.outcome.count() as u64)),
                 ("explain".into(), resp.report.to_json()),
                 ("report".into(), outcome_to_json(&resp.outcome)),
+                ("request_id".into(), Value::int(resp.request_id)),
+                ("wall_ns".into(), Value::int(resp.wall_ns)),
+                ("effort_spent".into(), Value::int(resp.effort_spent)),
             ]);
+            maybe_capture(
+                state,
+                "explain",
+                resp.request_id,
+                &resp.circuit,
+                &resp.pattern,
+                resp.wall_ns,
+                completeness,
+                &doc,
+                journal_text(&resp.outcome),
+            );
             Response::json(200, doc.pretty())
         }
         Err(e) => engine_failure(&e),
@@ -522,7 +929,13 @@ fn library_from(body: &Value) -> Result<BodyLibrary, String> {
     Err("library needs a registered name or a `source` deck".into())
 }
 
-fn survey(engine: &Engine, req: &Request, cancel: subgemini::CancelToken) -> Response {
+fn survey(
+    engine: &Engine,
+    state: &Arc<ServerState>,
+    req: &Request,
+    cancel: subgemini::CancelToken,
+    meta: &mut RequestMeta,
+) -> Response {
     let prepared = parse_body(req).and_then(|body| {
         let circuit = circuit_from(&body)?;
         let library = library_from(&body)?;
@@ -534,12 +947,52 @@ fn survey(engine: &Engine, req: &Request, cancel: subgemini::CancelToken) -> Res
         Err(e) => return Response::error(400, &e),
     };
     options.cancel = Some(cancel);
+    // Same reasoning as `find`: survey rows never serialize journals.
+    if state.capture().is_some() {
+        options.trace_events = true;
+    }
+    let library_label = match &library {
+        BodyLibrary::Named(name) => format!("library:{name}"),
+        BodyLibrary::Inline(_) => "library:(inline)".to_string(),
+    };
     match engine.survey(&SurveyRequest {
         circuit: circuit.as_source(),
         library: library.as_source(),
         options,
     }) {
-        Ok(resp) => Response::json(200, survey_response_doc(&resp).pretty()),
+        Ok(resp) => {
+            let truncated = resp
+                .rows
+                .iter()
+                .any(|r| r.outcome.completeness.is_truncated());
+            let completeness = if truncated { "truncated" } else { "complete" };
+            meta.request_id = Some(resp.request_id);
+            meta.circuit = Some(resp.circuit.clone());
+            meta.pattern = Some(library_label.clone());
+            meta.effort_spent = Some(resp.effort_spent);
+            meta.completeness = Some(completeness);
+            let doc = survey_response_doc(&resp);
+            // One journal per row; concatenated NDJSON keeps each
+            // row's `journal_end` trailer as the separator.
+            let journal = resp
+                .rows
+                .iter()
+                .map(|r| journal_text(&r.outcome))
+                .collect::<Vec<_>>()
+                .concat();
+            maybe_capture(
+                state,
+                "survey",
+                resp.request_id,
+                &resp.circuit,
+                &library_label,
+                resp.wall_ns,
+                completeness,
+                &doc,
+                journal,
+            );
+            Response::json(200, doc.pretty())
+        }
         Err(e) => engine_failure(&e),
     }
 }
