@@ -75,6 +75,15 @@ fn request_options(args: &Args) -> Result<RequestOptions, String> {
             }
         };
     }
+    if let Some(s) = args.option("--shards") {
+        opts.shards = match s {
+            "auto" => subgemini::ShardPolicy::Auto,
+            "off" => subgemini::ShardPolicy::Off,
+            n => subgemini::ShardPolicy::Count(n.parse().map_err(|_| {
+                format!("--shards: `{n}` is not a shard count (expected `auto`, `off` or a number)")
+            })?),
+        };
+    }
     // A report implies metrics collection; text output stays untouched
     // (and the match byte-identical) without one.
     if report_mode(args)?.is_some() {

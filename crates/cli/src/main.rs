@@ -3,7 +3,7 @@
 //! ```text
 //! subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
 //!           [--report json|text] [--threads <n>] [--scheduler steal|static]
-//!           [--trace-out <trace.json>]
+//!           [--shards auto|off|<n>] [--trace-out <trace.json>]
 //!           [--events-out <events.ndjson>] [--explain]
 //!           [--max-effort <n>] [--deadline-ms <ms>] [--fail-fast]
 //!           [--artifact <main.sgc>] [--prune auto|always|never]
@@ -36,7 +36,7 @@ subg — SubGemini subcircuit tools
 USAGE:
   subg find <main.sp> --pattern <cell> [--lib <cells.sp>] [--ignore-globals] [--first] [--csv]
             [--report json|text] [--threads <n>] [--scheduler steal|static]
-            [--trace-out <trace.json>]
+            [--shards auto|off|<n>] [--trace-out <trace.json>]
             [--events-out <events.ndjson>] [--explain]
             [--max-effort <n>] [--deadline-ms <ms>] [--fail-fast]
             [--artifact <main.sgc>] [--prune auto|always|never]

@@ -66,6 +66,7 @@ mod phase1;
 mod phase2;
 mod rules;
 mod scheduler;
+pub mod shard;
 mod symmetry;
 mod techmap;
 pub mod telemetry;
@@ -80,6 +81,7 @@ pub use matcher::{find_all, find_all_many, Matcher};
 pub use metrics::{Counters, Histogram, MetricsReport, ProgressEvent, ProgressHook};
 pub use options::{KeyPolicy, MatchOptions, OverlapPolicy, Phase2Scheduler, PrunePolicy, WarmMain};
 pub use rules::{RuleChecker, RuleViolation};
+pub use shard::{ShardPlan, ShardPolicy};
 pub use symmetry::port_symmetry_classes;
 pub use techmap::{CoverCandidate, CoverResult, TechMapper};
 pub use telemetry::{RequestSample, Rollup, ShardedCounter, Telemetry, TelemetrySnapshot};

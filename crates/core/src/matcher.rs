@@ -6,7 +6,8 @@
 //! `G` are shared by every pattern.
 
 use std::borrow::Cow;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use subgemini_netlist::{CompiledCircuit, DeviceId, FingerprintIndex, Netlist};
@@ -19,6 +20,7 @@ use crate::options::{MatchOptions, OverlapPolicy, Phase2Scheduler, PrunePolicy};
 use crate::phase1;
 use crate::phase2::{CandidateTiming, Phase2Runner};
 use crate::scheduler::{Claim, ClaimBoard, StealQueue, WorkerStats};
+use crate::shard::ShardPlan;
 use crate::trace::Phase2Trace;
 
 /// A configured subcircuit search: find instances of `pattern` inside
@@ -205,6 +207,17 @@ pub fn find_all(pattern: &Netlist, main: &Netlist, options: &MatchOptions) -> Ma
     } else {
         let prepared = prepare_main(main, options);
         let mut trace = phase1::GTrace::new(Arc::clone(&prepared.compiled));
+        // Shard-tier graphs get chunk-parallel Jacobi relabeling: each
+        // output element is a pure function of the previous snapshot,
+        // so chunking is bit-identical to the serial pass. Gated on
+        // sharding so unsharded runs keep the untouched serial path.
+        if options
+            .shards
+            .resolve(prepared.compiled.device_count())
+            .is_some()
+        {
+            trace.set_relabel_workers(options.resolved_threads());
+        }
         find_all_compiled(
             pattern,
             &prepared,
@@ -252,6 +265,13 @@ pub fn find_all_many(
     }
     let prepared = prepare_main(main, options);
     let mut trace = phase1::GTrace::new(Arc::clone(&prepared.compiled));
+    if options
+        .shards
+        .resolve(prepared.compiled.device_count())
+        .is_some()
+    {
+        trace.set_relabel_workers(options.resolved_threads());
+    }
     patterns
         .iter()
         .enumerate()
@@ -479,6 +499,50 @@ pub(crate) fn find_all_compiled(
         outcome.metrics = metrics;
         return outcome;
     };
+    // ---- Shard plan (DESIGN.md §3i) ----
+    //
+    // Sharding partitions the *candidate vector* by anchor ownership:
+    // the main graph's compiled device order is cut into contiguous
+    // core ranges (plus pattern-diameter halos, the containment
+    // contract), and every candidate is owned by exactly one shard.
+    // Workers claim whole shards instead of single candidates, which
+    // localizes their reads; everything downstream of the slots — the
+    // serial CV-ordered merge — is untouched, so sharded results are
+    // byte-identical to unsharded ones by construction. Tracing forces
+    // the serial path, exactly as it disables parallel dispatch.
+    let n = p1.candidates.len();
+    let plan_timer = collect.then(PhaseTimer::start);
+    let shard_plan: Option<ShardPlan> = if options.record_trace || n <= 1 {
+        None
+    } else {
+        options
+            .shards
+            .resolve(prepared.compiled.device_count())
+            .map(|k| {
+                let diameter = crate::shard::pattern_diameter(&s);
+                ShardPlan::build(&prepared.compiled, k, diameter)
+            })
+    };
+    let plan_ns = plan_timer.map_or(0, |t| t.elapsed_ns());
+    // Per-shard candidate lists (CV indices in CV order) and the
+    // owner-shard of every candidate — the merge uses owners to tell a
+    // cross-shard halo duplicate from an ordinary one.
+    let (shard_lists, owners): (Option<Vec<Vec<usize>>>, Option<Vec<u32>>) =
+        match shard_plan.as_ref() {
+            Some(plan) => {
+                let mut lists: Vec<Vec<usize>> = vec![Vec::new(); plan.shard_count()];
+                let mut owners: Vec<u32> = Vec::with_capacity(n);
+                for (i, c) in p1.candidates.iter().enumerate() {
+                    let o = plan.owner_of(&prepared.compiled, *c);
+                    owners.push(o as u32);
+                    lists[o].push(i);
+                }
+                (Some(lists), Some(owners))
+            }
+            None => (None, None),
+        };
+    let sharded = shard_lists.is_some();
+
     // ---- Phase II candidate stage ----
     //
     // Parallel runs stream: workers claim candidates — one at a time
@@ -492,10 +556,18 @@ pub(crate) fn find_all_compiled(
     // so instances, stats, the journal, and the truncation point are
     // identical for every thread count and both schedulers (tracing
     // forces the serial path). See DESIGN.md §3e.
-    let n = p1.candidates.len();
-    let par_enabled = !options.record_trace && worker_count > 1 && n > 1;
-    let spawn_count = worker_count.min(n);
-    let stealing = par_enabled && options.scheduler == Phase2Scheduler::WorkStealing;
+    //
+    // Shard mode rides the same machinery — slots, shared governor,
+    // merge — but workers claim whole shards from an atomic cursor, so
+    // it always uses the slot path (even at one thread) and ignores
+    // the scheduler knob and the claim board (the merge's own claim
+    // check is authoritative either way).
+    let par_enabled = !options.record_trace && n > 1 && (worker_count > 1 || sharded);
+    let spawn_count = match shard_lists.as_ref() {
+        Some(lists) => worker_count.min(lists.len()).min(n),
+        None => worker_count.min(n),
+    };
+    let stealing = par_enabled && !sharded && options.scheduler == Phase2Scheduler::WorkStealing;
     let phase2_timer = collect.then(PhaseTimer::start);
     // Worker-side observability payloads harvested after the scope.
     struct WorkerPart {
@@ -562,6 +634,10 @@ pub(crate) fn find_all_compiled(
         1
     };
     let parts = std::sync::Mutex::new(Vec::<WorkerPart>::new());
+    // Shard claim cursor: workers take whole shards, in shard order.
+    // Claim order affects locality and wall-clock only — every slot a
+    // worker fills is consumed by the merge in CV order regardless.
+    let shard_cursor = AtomicUsize::new(0);
     let worker = |w: usize| {
         use crate::budget::failpoint;
         let mut part = WorkerPart {
@@ -584,6 +660,57 @@ pub(crate) fn find_all_compiled(
         }
         failpoint::stall("phase2.worker");
         let mut search = runner.make_state(&base);
+        if let Some(lists) = shard_lists.as_ref() {
+            // Sharded dispatch: claim a shard, verify its candidates in
+            // CV order into the shared per-candidate slots, repeat. The
+            // governor broadcast is checked per candidate, so
+            // exhaustion stops a worker mid-shard; the merge recomputes
+            // any hole serially, keeping results byte-identical.
+            'shards: loop {
+                if shared.halted() || shared.should_stop() {
+                    break;
+                }
+                let sidx = shard_cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(list) = lists.get(sidx) else {
+                    break;
+                };
+                for &i in list {
+                    if shared.halted() || shared.should_stop() {
+                        break 'shards;
+                    }
+                    if pruned_at(i) {
+                        continue;
+                    }
+                    part.sched.claimed += 1;
+                    let mut stats = crate::instance::Phase2Stats::default();
+                    let result = runner
+                        .run_candidate_timed(
+                            &mut search,
+                            key,
+                            p1.candidates[i],
+                            i as u32,
+                            &mut stats,
+                            false,
+                            part.timing.as_mut(),
+                        )
+                        .map(|(m, _)| m);
+                    let effort = 1 + effort_of(&stats);
+                    let _ = slots[i].set(SlotData {
+                        result,
+                        stats,
+                        effort,
+                        events: search.drain_events(),
+                        tally: search.drain_reject_tally(),
+                        done: true,
+                    });
+                    shared.charge(effort);
+                }
+            }
+            queue.worker_done();
+            part.backtrack_hist = search.take_backtrack_hist();
+            push_part(part);
+            return;
+        }
         // The worker's home range under static chunking — also what
         // defines a "steal": a claim outside it is work this worker
         // would have idled through with static chunks.
@@ -666,7 +793,12 @@ pub(crate) fn find_all_compiled(
 
     let mut serial_search = (!par_enabled).then(|| runner.make_state(&base));
     let mut claimed: HashSet<DeviceId> = HashSet::new();
-    let mut seen_sets: HashSet<Vec<DeviceId>> = HashSet::new();
+    // Canonical device-set → owner shard of the candidate that first
+    // produced it (0 when unsharded). The dedup check is what it always
+    // was; the owner lets shard mode count cross-shard halo duplicates
+    // separately (`shard.dedup_dropped`).
+    let mut seen_sets: HashMap<Vec<DeviceId>, u32> = HashMap::new();
+    let mut shard_dedup_dropped = 0u64;
     let mut p2_trace: Option<Phase2Trace> = None;
     let mut serial_timing = (collect && !par_enabled).then(CandidateTiming::default);
     let mut checked = 0u64;
@@ -792,8 +924,14 @@ pub(crate) fn find_all_compiled(
             };
             matched += 1;
             let set = m.device_set();
-            if seen_sets.contains(&set) {
+            let owner = owners.as_ref().map_or(0, |o| o[i]);
+            if let Some(&first_owner) = seen_sets.get(&set) {
                 dedup_dropped += 1;
+                if owners.is_some() && first_owner != owner {
+                    // The halo-duplicated case: the same instance was
+                    // reached from anchors owned by two shards.
+                    shard_dedup_dropped += 1;
+                }
                 continue; // same instance reached through another candidate
             }
             let overlaps = options.overlap == OverlapPolicy::ClaimDevices
@@ -809,7 +947,7 @@ pub(crate) fn find_all_compiled(
                 }
                 claimed.extend(set.iter().copied());
             }
-            seen_sets.insert(set); // move, not clone — the set is consumed here
+            seen_sets.insert(set, owner); // move, not clone — the set is consumed here
             if overlaps {
                 outcome.phase2.overlap_dropped += 1;
                 continue;
@@ -825,13 +963,16 @@ pub(crate) fn find_all_compiled(
             }
         }
     };
+    let mut merge_ns = 0u64;
     if par_enabled {
         std::thread::scope(|scope| {
             for w in 0..spawn_count {
                 let worker = &worker;
                 scope.spawn(move || worker(w));
             }
+            let merge_timer = (collect && sharded).then(PhaseTimer::start);
             run_merge(&mut serial_search);
+            merge_ns = merge_timer.map_or(0, |t| t.elapsed_ns());
             // Raised on every merge exit path (completion, a limit, a
             // stop): workers — including ones parked on the reorder
             // window — drain promptly instead of finishing the vector.
@@ -940,6 +1081,15 @@ pub(crate) fn find_all_compiled(
             m.counters.bump("scheduler.merge_stalls", merge_stalls);
             m.counters.bump("scheduler.recomputed", recomputed);
             m.counters.bump("scheduler.unconsumed", unconsumed);
+        }
+        if let Some(plan) = shard_plan.as_ref() {
+            // Shard telemetry (schema v1 additive): plan shape plus the
+            // overlap and merge costs the sharding pays for.
+            m.counters.bump("shard.count", plan.shard_count() as u64);
+            m.counters.bump("shard.halo_devices", plan.halo_devices());
+            m.counters.bump("shard.dedup_dropped", shard_dedup_dropped);
+            m.counters.bump("shard.plan_ns", plan_ns);
+            m.counters.bump("shard.merge_ns", merge_ns);
         }
         // Reject reasons land as counters in first-bump order;
         // `nonzero()` yields them in the closed `ALL` order.

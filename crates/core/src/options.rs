@@ -6,6 +6,7 @@ use subgemini_netlist::{Artifact, CompiledCircuit, FingerprintIndex};
 
 use crate::budget::{CancelToken, WorkBudget};
 use crate::metrics::ProgressHook;
+use crate::shard::ShardPolicy;
 
 /// What to do when two instances want the same main-circuit device.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -270,6 +271,14 @@ pub struct MatchOptions {
     /// the search never reads it. `None` (default) for direct core
     /// calls.
     pub request_id: Option<u64>,
+    /// Sharded Phase II dispatch over contiguous device-range shards
+    /// with pattern-diameter halos (see [`ShardPolicy`] and DESIGN.md
+    /// §3i). [`ShardPolicy::Off`] (default) keeps the unsharded
+    /// scheduler paths; any other setting changes dispatch only —
+    /// instances, stats, journal, reject tallies, and truncation points
+    /// stay byte-identical to the unsharded run. Ignored (treated as
+    /// off) when `record_trace` forces the serial teaching path.
+    pub shards: ShardPolicy,
 }
 
 impl Default for MatchOptions {
@@ -295,6 +304,7 @@ impl Default for MatchOptions {
             warm_main: None,
             prune: PrunePolicy::default(),
             request_id: None,
+            shards: ShardPolicy::default(),
         }
     }
 }
@@ -345,6 +355,7 @@ mod tests {
         assert_eq!(o.scheduler, Phase2Scheduler::WorkStealing);
         assert_eq!(o.warm_main, None, "cold start by default");
         assert_eq!(o.prune, PrunePolicy::Auto);
+        assert_eq!(o.shards, ShardPolicy::Off, "unsharded by default");
     }
 
     #[test]

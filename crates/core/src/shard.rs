@@ -1,0 +1,372 @@
+//! Sharded Phase II dispatch: a deterministic partition of the main
+//! graph (and of the candidate vector) into contiguous device-range
+//! shards with pattern-diameter halos (DESIGN.md §3i).
+//!
+//! A [`ShardPlan`] splits the compiled device order into `k` contiguous
+//! **core** ranges and extends each core with a **halo**: every device
+//! within pattern-diameter device-hops of the core (two devices are one
+//! hop apart when they share a non-global net). The halo is the
+//! containment contract — any instance whose anchor device lies in a
+//! shard's core is fully contained in `core ∪ halo`, because pattern
+//! adjacency is preserved by an embedding (two pattern devices sharing
+//! a net map to main devices sharing the image net), so every instance
+//! device is within `diameter(S)` device-hops of the anchor.
+//!
+//! Shards drive *dispatch*, not results: every candidate of the Phase I
+//! vector is owned by exactly one shard (device anchors by core range,
+//! net anchors by their smallest-index adjacent device), workers claim
+//! whole shards and verify their candidates into the same per-candidate
+//! slots the unsharded scheduler uses, and the serial CV-ordered merge
+//! stays the sole determinism authority. Instances, stats, journal,
+//! reject tallies, and truncation points are therefore byte-identical
+//! to the unsharded run by construction; the same instance reached from
+//! anchors in two different shards is deduped by the merge's canonical
+//! device-set check and counted as `shard.dedup_dropped`.
+
+use std::ops::Range;
+
+use subgemini_netlist::{CompiledCircuit, NetId, Vertex};
+
+/// Devices per shard targeted by [`ShardPolicy::Auto`]. Derived from
+/// the device count only — never from the machine — so shard
+/// boundaries are invariant across thread counts and hosts.
+pub const AUTO_DEVICES_PER_SHARD: usize = 8192;
+
+/// Upper bound on the shard count [`ShardPolicy::Auto`] resolves to.
+pub const AUTO_MAX_SHARDS: usize = 64;
+
+/// Whether (and how) Phase II dispatch shards the main graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// No sharding (default): the unsharded scheduler paths run
+    /// unchanged, byte-identical to releases without the shard layer.
+    #[default]
+    Off,
+    /// Pick a shard count from the main graph's device count alone
+    /// (about one shard per [`AUTO_DEVICES_PER_SHARD`] devices, capped
+    /// at [`AUTO_MAX_SHARDS`]); resolves to off below two shards.
+    Auto,
+    /// Exactly this many shards (`0` and `1` mean off).
+    Count(u32),
+}
+
+impl ShardPolicy {
+    /// Resolves the policy against a main graph of `devices` devices:
+    /// `Some(k)` with `k >= 2` when sharding is on, `None` when it is
+    /// off (explicitly, or because the resolved count degenerates).
+    /// Deterministic in `devices` only, so a given circuit shards the
+    /// same way for every thread count.
+    pub fn resolve(&self, devices: usize) -> Option<usize> {
+        let k = match self {
+            ShardPolicy::Off => return None,
+            ShardPolicy::Auto => (devices / AUTO_DEVICES_PER_SHARD).min(AUTO_MAX_SHARDS),
+            ShardPolicy::Count(k) => *k as usize,
+        };
+        let k = k.min(devices);
+        (k >= 2).then_some(k)
+    }
+}
+
+/// Maximum eccentricity over the pattern's devices in the device-hop
+/// metric (one hop = a shared non-global net), i.e. the number of halo
+/// hops that guarantees instance containment. Returns `None` when the
+/// pattern's devices are not mutually reachable through non-global nets
+/// — the distance bound then degenerates and halos must cover the whole
+/// graph.
+pub fn pattern_diameter(s: &CompiledCircuit) -> Option<usize> {
+    let nd = s.device_count();
+    if nd == 0 {
+        return Some(0);
+    }
+    let mut diameter = 0usize;
+    let mut dist = vec![usize::MAX; nd];
+    let mut queue = std::collections::VecDeque::new();
+    for src in 0..nd {
+        dist.fill(usize::MAX);
+        dist[src] = 0;
+        queue.clear();
+        queue.push_back(src);
+        let mut reached = 1usize;
+        while let Some(d) = queue.pop_front() {
+            let dd = dist[d];
+            for (n, _) in s.device_neighbors(subgemini_netlist::DeviceId::new(d as u32)) {
+                if s.is_global(n) {
+                    continue;
+                }
+                for (d2, _) in s.net_neighbors(n) {
+                    let i = d2.index();
+                    if dist[i] == usize::MAX {
+                        dist[i] = dd + 1;
+                        diameter = diameter.max(dd + 1);
+                        reached += 1;
+                        queue.push_back(i);
+                    }
+                }
+            }
+        }
+        if reached < nd {
+            return None;
+        }
+    }
+    Some(diameter)
+}
+
+/// A deterministic shard partition of a compiled main graph: `k`
+/// contiguous core device ranges in compiled order, each with a halo of
+/// every device within `diameter` device-hops of the core. Built once
+/// per sharded search (metered as `shard.plan_ns`).
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    devices: usize,
+    chunk: usize,
+    shards: usize,
+    diameter: Option<usize>,
+    /// Per shard: device indices within `diameter` hops of the core but
+    /// outside it, ascending. With `diameter: None` (degenerate pattern
+    /// metric) every non-core device is halo.
+    halos: Vec<Vec<u32>>,
+}
+
+impl ShardPlan {
+    /// Builds the plan: contiguous near-equal core ranges plus a BFS
+    /// halo per shard. `diameter` is the pattern-diameter hop count
+    /// ([`pattern_diameter`]); `None` makes every halo cover the whole
+    /// rest of the graph (the conservative fallback for patterns whose
+    /// device metric is disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= shards <= g.device_count()` (what
+    /// [`ShardPolicy::resolve`] guarantees).
+    pub fn build(g: &CompiledCircuit, shards: usize, diameter: Option<usize>) -> Self {
+        let devices = g.device_count();
+        assert!(
+            (2..=devices).contains(&shards),
+            "shard count {shards} out of range for {devices} devices"
+        );
+        let chunk = devices.div_ceil(shards);
+        let mut plan = Self {
+            devices,
+            chunk,
+            shards,
+            diameter,
+            halos: Vec::with_capacity(shards),
+        };
+        // Stamp-based visited set reused across shards: `seen[d] == s+1`
+        // means device d was reached during shard s's BFS.
+        let mut seen = vec![0u32; devices];
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut next: Vec<u32> = Vec::new();
+        for s in 0..shards {
+            let core = plan.core(s);
+            let halo = match diameter {
+                None => {
+                    // Degenerate metric: everything outside the core.
+                    (0..devices as u32)
+                        .filter(|&d| !core.contains(&(d as usize)))
+                        .collect()
+                }
+                Some(0) => Vec::new(),
+                Some(k) => {
+                    let stamp = s as u32 + 1;
+                    let mut halo: Vec<u32> = Vec::new();
+                    frontier.clear();
+                    for d in core.clone() {
+                        seen[d] = stamp;
+                        frontier.push(d as u32);
+                    }
+                    for _hop in 0..k {
+                        next.clear();
+                        for &d in &frontier {
+                            for (n, _) in g.device_neighbors(subgemini_netlist::DeviceId::new(d)) {
+                                if g.is_global(n) {
+                                    continue;
+                                }
+                                for (d2, _) in g.net_neighbors(n) {
+                                    let i = d2.index();
+                                    if seen[i] != stamp {
+                                        seen[i] = stamp;
+                                        next.push(i as u32);
+                                        halo.push(i as u32);
+                                    }
+                                }
+                            }
+                        }
+                        std::mem::swap(&mut frontier, &mut next);
+                        if frontier.is_empty() {
+                            break;
+                        }
+                    }
+                    halo.sort_unstable();
+                    halo
+                }
+            };
+            plan.halos.push(halo);
+        }
+        plan
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The pattern-diameter hop count the halos were built for (`None`
+    /// = degenerate metric, halos cover the whole graph).
+    pub fn diameter(&self) -> Option<usize> {
+        self.diameter
+    }
+
+    /// Shard `s`'s core device-index range (contiguous in compiled
+    /// order; may be empty for trailing shards of tiny graphs).
+    pub fn core(&self, s: usize) -> Range<usize> {
+        let lo = (s * self.chunk).min(self.devices);
+        let hi = ((s + 1) * self.chunk).min(self.devices);
+        lo..hi
+    }
+
+    /// Shard `s`'s halo: device indices within pattern-diameter hops of
+    /// the core but outside it, ascending.
+    pub fn halo(&self, s: usize) -> &[u32] {
+        &self.halos[s]
+    }
+
+    /// Total halo devices across all shards (the overlap the sharding
+    /// pays for containment; reported as `shard.halo_devices`).
+    pub fn halo_devices(&self) -> u64 {
+        self.halos.iter().map(|h| h.len() as u64).sum()
+    }
+
+    /// The shard whose core contains device index `d`.
+    pub fn owner_of_device(&self, d: usize) -> usize {
+        debug_assert!(d < self.devices);
+        (d / self.chunk).min(self.shards - 1)
+    }
+
+    /// The shard that owns a candidate anchored at `v`: device anchors
+    /// by core range, net anchors by their smallest-index adjacent
+    /// device (shard 0 for the impossible dangling net). Every
+    /// candidate is owned by exactly one shard.
+    pub fn owner_of(&self, g: &CompiledCircuit, v: Vertex) -> usize {
+        match v {
+            Vertex::Device(d) => self.owner_of_device(d.index()),
+            Vertex::Net(n) => self.owner_of_net(g, n),
+        }
+    }
+
+    fn owner_of_net(&self, g: &CompiledCircuit, n: NetId) -> usize {
+        g.net_neighbors(n)
+            .map(|(d, _)| d.index())
+            .min()
+            .map_or(0, |d| self.owner_of_device(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use subgemini_netlist::Netlist;
+
+    fn chain(n: usize) -> Arc<CompiledCircuit> {
+        let mut nl = Netlist::new("chain");
+        let mos = nl.add_mos_types();
+        let mut prev = nl.net("in");
+        for i in 0..n {
+            let next = nl.net(format!("w{i}"));
+            nl.add_device(format!("m{i}"), mos.nmos, &[prev, prev, next])
+                .unwrap();
+            prev = next;
+        }
+        Arc::new(CompiledCircuit::compile(&nl))
+    }
+
+    #[test]
+    fn policy_resolution() {
+        assert_eq!(ShardPolicy::Off.resolve(1_000_000), None);
+        assert_eq!(ShardPolicy::Count(0).resolve(100), None);
+        assert_eq!(ShardPolicy::Count(1).resolve(100), None);
+        assert_eq!(ShardPolicy::Count(4).resolve(100), Some(4));
+        assert_eq!(ShardPolicy::Count(200).resolve(100), Some(100));
+        assert_eq!(ShardPolicy::Auto.resolve(100), None, "tiny stays off");
+        assert_eq!(
+            ShardPolicy::Auto.resolve(4 * AUTO_DEVICES_PER_SHARD),
+            Some(4)
+        );
+        assert_eq!(
+            ShardPolicy::Auto.resolve(1000 * AUTO_DEVICES_PER_SHARD),
+            Some(AUTO_MAX_SHARDS)
+        );
+    }
+
+    #[test]
+    fn cores_partition_devices() {
+        for devices in [5usize, 10, 17, 100] {
+            for shards in 2..=devices.min(9) {
+                let g = chain(devices);
+                let plan = ShardPlan::build(&g, shards, Some(1));
+                let mut covered = vec![0usize; devices];
+                for s in 0..shards {
+                    for d in plan.core(s) {
+                        covered[d] += 1;
+                        assert_eq!(plan.owner_of_device(d), s);
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "{devices}/{shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_halo_is_hop_neighborhood() {
+        // 12-device chain, adjacent devices share a net; 3 shards of 4.
+        let g = chain(12);
+        let plan = ShardPlan::build(&g, 3, Some(2));
+        // Shard 1 core = 4..8; halo at 2 hops = {2,3,8,9}.
+        assert_eq!(plan.core(1), 4..8);
+        assert_eq!(plan.halo(1), &[2, 3, 8, 9]);
+        // Shard 0 core = 0..4; halo = {4,5}.
+        assert_eq!(plan.halo(0), &[4, 5]);
+        assert_eq!(plan.halo_devices(), 2 + 4 + 2);
+    }
+
+    #[test]
+    fn degenerate_diameter_halo_covers_everything() {
+        let g = chain(6);
+        let plan = ShardPlan::build(&g, 2, None);
+        assert_eq!(plan.halo(0), &[3, 4, 5]);
+        assert_eq!(plan.halo(1), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn pattern_diameter_of_chain_and_disconnected() {
+        // Chain of 4 devices: diameter 3.
+        assert_eq!(pattern_diameter(&chain(4)), Some(3));
+        // Two devices connected only through a global net: disconnected
+        // under the non-global metric.
+        let mut nl = Netlist::new("gsplit");
+        let mos = nl.add_mos_types();
+        let vdd = nl.net("vdd");
+        nl.mark_global(vdd);
+        let (a, b) = (nl.net("a"), nl.net("b"));
+        nl.add_device("m1", mos.nmos, &[a, vdd, a]).unwrap();
+        nl.add_device("m2", mos.nmos, &[b, vdd, b]).unwrap();
+        let s = CompiledCircuit::compile(&nl);
+        assert_eq!(pattern_diameter(&s), None);
+    }
+
+    #[test]
+    fn net_candidates_have_one_owner() {
+        let g = chain(10);
+        let plan = ShardPlan::build(&g, 3, Some(1));
+        for i in 0..g.net_count() {
+            let n = NetId::new(i as u32);
+            let o = plan.owner_of(&g, Vertex::Net(n));
+            assert!(o < 3);
+            // Owner is the smallest adjacent device's owner.
+            if let Some(d) = g.net_neighbors(n).map(|(d, _)| d.index()).min() {
+                assert_eq!(o, plan.owner_of_device(d));
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Differential battery for sharded Phase II dispatch (DESIGN.md §3i):
+//! a sharded run must be byte-identical to the unsharded run —
+//! instances, key image, Phase I/II statistics, completeness (including
+//! budget truncation points), the merged event journal, and the
+//! `reject.*` tallies — across shard counts 2/4/8, thread counts 1/2/8,
+//! and both Phase II schedulers.
+
+use subgemini::{MatchOptions, MatchOutcome, Matcher, Phase2Scheduler, ShardPolicy, WorkBudget};
+use subgemini_netlist::Netlist;
+use subgemini_workloads::gen;
+use subgemini_workloads::{analog, cells};
+
+fn run(
+    pattern: &Netlist,
+    main: &Netlist,
+    shards: ShardPolicy,
+    threads: usize,
+    scheduler: Phase2Scheduler,
+    budget: Option<WorkBudget>,
+) -> MatchOutcome {
+    Matcher::new(pattern, main)
+        .options(MatchOptions {
+            shards,
+            threads,
+            scheduler,
+            budget,
+            collect_metrics: true,
+            trace_events: true,
+            ..MatchOptions::default()
+        })
+        .find_all()
+}
+
+/// The deterministic subset of the metrics counters: Phase II reject
+/// tallies (scheduler.* and shard.* counters legitimately differ
+/// between dispatch modes; timings differ between any two runs).
+fn reject_tallies(outcome: &MatchOutcome) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = outcome
+        .metrics
+        .as_ref()
+        .expect("metrics requested")
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("reject."))
+        .map(|(name, value)| (name.to_string(), value))
+        .collect();
+    v.sort();
+    v
+}
+
+#[track_caller]
+fn assert_equivalent(base: &MatchOutcome, got: &MatchOutcome, ctx: &str) {
+    assert_eq!(base.instances, got.instances, "{ctx}: instances");
+    assert_eq!(base.key, got.key, "{ctx}: key image");
+    assert_eq!(base.phase1, got.phase1, "{ctx}: phase1 stats");
+    assert_eq!(base.phase2, got.phase2, "{ctx}: phase2 stats");
+    assert_eq!(base.completeness, got.completeness, "{ctx}: completeness");
+    assert_eq!(base.events, got.events, "{ctx}: event journal");
+    assert_eq!(
+        reject_tallies(base),
+        reject_tallies(got),
+        "{ctx}: reject tallies"
+    );
+}
+
+/// The full matrix on a mixed chip: shards 2/4/8 × threads 1/2/8 ×
+/// both schedulers, all compared against the serial unsharded baseline.
+#[test]
+fn sharded_matches_unsharded_across_threads_and_schedulers() {
+    let chip = gen::tiled_chip(5, 4_000);
+    for pattern in [cells::full_adder(), analog::two_stage_opamp()] {
+        let base = run(
+            &pattern,
+            &chip.netlist,
+            ShardPolicy::Off,
+            1,
+            Phase2Scheduler::default(),
+            None,
+        );
+        assert_eq!(
+            base.count(),
+            chip.planted_count(pattern.name()),
+            "{}: ground truth",
+            pattern.name()
+        );
+        for shards in [2u32, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                for scheduler in [Phase2Scheduler::WorkStealing, Phase2Scheduler::StaticChunks] {
+                    let got = run(
+                        &pattern,
+                        &chip.netlist,
+                        ShardPolicy::Count(shards),
+                        threads,
+                        scheduler,
+                        None,
+                    );
+                    assert_equivalent(
+                        &base,
+                        &got,
+                        &format!(
+                            "{} shards={shards} threads={threads} {scheduler:?}",
+                            pattern.name()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Budget-truncated runs stop at the same candidate regardless of
+/// sharding: the serial CV-ordered merge is the only place the governor
+/// decides truncation, so the truncation point, the instance prefix,
+/// and the skip counts are identical.
+#[test]
+fn budget_truncation_point_is_shard_invariant() {
+    let cell = cells::nand2();
+    let field = gen::skewed_trap_field(&cell, 16, 24);
+    for max_effort in [50u64, 200, 1000, 5000] {
+        let budget = Some(WorkBudget {
+            max_effort: Some(max_effort),
+            ..WorkBudget::default()
+        });
+        let base = run(
+            &cell,
+            &field.netlist,
+            ShardPolicy::Off,
+            1,
+            Phase2Scheduler::default(),
+            budget.clone(),
+        );
+        for shards in [2u32, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                for scheduler in [Phase2Scheduler::WorkStealing, Phase2Scheduler::StaticChunks] {
+                    let got = run(
+                        &cell,
+                        &field.netlist,
+                        ShardPolicy::Count(shards),
+                        threads,
+                        scheduler,
+                        budget.clone(),
+                    );
+                    assert_equivalent(
+                        &base,
+                        &got,
+                        &format!(
+                            "effort={max_effort} shards={shards} threads={threads} {scheduler:?}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Halo-dedup regression: planted instances straddle every shard cut
+/// (a ripple-carry chain is one long connected run of full adders, and
+/// a trap blob spans the cut of a 2-shard split), yet the sharded run
+/// still reports each instance exactly once and byte-identically.
+#[test]
+fn instances_straddling_shard_cuts_survive_dedup() {
+    // 24 chained FAs = 672 devices; Count(8) cuts every 84 devices,
+    // i.e. inside every third adder.
+    let adder = gen::ripple_adder(24);
+    let fa = cells::full_adder();
+    let base = run(
+        &fa,
+        &adder.netlist,
+        ShardPolicy::Off,
+        1,
+        Phase2Scheduler::default(),
+        None,
+    );
+    assert_eq!(base.count(), 24);
+    for shards in [2u32, 4, 8] {
+        let got = run(
+            &fa,
+            &adder.netlist,
+            ShardPolicy::Count(shards),
+            8,
+            Phase2Scheduler::WorkStealing,
+            None,
+        );
+        assert_equivalent(&base, &got, &format!("ripple shards={shards}"));
+    }
+
+    // Symmetric trap blob (16 superposed nand2 copies on shared nets)
+    // followed by easy instances: the 2-shard cut lands inside the
+    // blob, the classic duplicate-producing geometry.
+    let cell = cells::nand2();
+    let field = gen::skewed_trap_field(&cell, 16, 4);
+    let base = run(
+        &cell,
+        &field.netlist,
+        ShardPolicy::Off,
+        1,
+        Phase2Scheduler::default(),
+        None,
+    );
+    assert_eq!(base.count(), 20);
+    for shards in [2u32, 4] {
+        let got = run(
+            &cell,
+            &field.netlist,
+            ShardPolicy::Count(shards),
+            8,
+            Phase2Scheduler::WorkStealing,
+            None,
+        );
+        assert_equivalent(&base, &got, &format!("trap shards={shards}"));
+    }
+}
+
+/// Auto policy on a small circuit degenerates to off and stays
+/// byte-identical (it *is* the unsharded path).
+#[test]
+fn auto_policy_degenerates_to_off_on_small_circuits() {
+    let chip = analog::mixed_signal_chip(3, 8);
+    let pattern = analog::two_stage_opamp();
+    let base = run(
+        &pattern,
+        &chip.netlist,
+        ShardPolicy::Off,
+        2,
+        Phase2Scheduler::default(),
+        None,
+    );
+    let got = run(
+        &pattern,
+        &chip.netlist,
+        ShardPolicy::Auto,
+        2,
+        Phase2Scheduler::default(),
+        None,
+    );
+    assert_equivalent(&base, &got, "auto-off");
+    assert_eq!(
+        got.metrics.as_ref().unwrap().counters.get("shard.count"),
+        0,
+        "auto below threshold must not shard"
+    );
+}
+
+/// The acceptance pin: a 10^6-device tiled chip, `--shards 8` vs
+/// `--shards off`, byte-identical outcomes and exact planted counts.
+/// Chip-scale: run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "chip-scale (10^6 devices): run with --release -- --ignored"]
+fn million_device_tiled_chip_sharded_equals_unsharded() {
+    let chip = gen::tiled_chip(1, 1_000_000);
+    assert!(chip.netlist.device_count() >= 1_000_000);
+    let fa = cells::full_adder();
+    let base = run(
+        &fa,
+        &chip.netlist,
+        ShardPolicy::Off,
+        8,
+        Phase2Scheduler::WorkStealing,
+        None,
+    );
+    assert_eq!(base.count(), chip.planted_count("full_adder"));
+    let got = run(
+        &fa,
+        &chip.netlist,
+        ShardPolicy::Count(8),
+        8,
+        Phase2Scheduler::WorkStealing,
+        None,
+    );
+    assert_equivalent(&base, &got, "million-device pin");
+    let m = got.metrics.as_ref().unwrap();
+    assert_eq!(m.counters.get("shard.count"), 8);
+    assert!(m.counters.get("shard.halo_devices") > 0);
+}

@@ -1,0 +1,174 @@
+//! Property tests for the shard partitioner (DESIGN.md §3i): cores
+//! partition the device order, halos equal the BFS pattern-diameter
+//! neighborhood of their core (checked against an independent oracle),
+//! and shard boundaries depend on the circuit alone — never on the
+//! thread count.
+
+use std::collections::HashSet;
+
+use subgemini::shard::pattern_diameter;
+use subgemini::{MatchOptions, Matcher, ShardPlan, ShardPolicy};
+use subgemini_netlist::rng::Rng64;
+use subgemini_netlist::{CompiledCircuit, DeviceId, Netlist};
+use subgemini_workloads::gen;
+use subgemini_workloads::{analog, cells};
+
+/// Independent halo oracle: plain BFS from the core, `k` device-hops
+/// through non-global nets, written without any of `ShardPlan`'s
+/// stamp/frontier machinery.
+fn bfs_halo_oracle(g: &CompiledCircuit, core: std::ops::Range<usize>, k: usize) -> Vec<u32> {
+    let mut dist = vec![usize::MAX; g.device_count()];
+    let mut queue = std::collections::VecDeque::new();
+    for d in core.clone() {
+        dist[d] = 0;
+        queue.push_back(d);
+    }
+    while let Some(d) = queue.pop_front() {
+        if dist[d] == k {
+            continue;
+        }
+        for (n, _) in g.device_neighbors(DeviceId::new(d as u32)) {
+            if g.is_global(n) {
+                continue;
+            }
+            for (d2, _) in g.net_neighbors(n) {
+                if dist[d2.index()] == usize::MAX {
+                    dist[d2.index()] = dist[d] + 1;
+                    queue.push_back(d2.index());
+                }
+            }
+        }
+    }
+    let mut halo: Vec<u32> = (0..g.device_count())
+        .filter(|&d| dist[d] != usize::MAX && !core.contains(&d))
+        .map(|d| d as u32)
+        .collect();
+    halo.sort_unstable();
+    halo
+}
+
+/// One of the generator workloads, cycled by case index.
+fn workload(case: usize, rng: &mut Rng64) -> Netlist {
+    let seed = rng.next_u64();
+    match case % 6 {
+        0 => gen::random_soup(seed, 40 + (seed % 60) as usize).netlist,
+        1 => analog::mixed_signal_chip(seed, 4 + (seed % 6) as usize).netlist,
+        2 => gen::near_miss_field(&cells::nand2(), 12 + (seed % 10) as usize, seed).netlist,
+        3 => gen::sram_array(4 + (seed % 5) as usize, 8).netlist,
+        4 => gen::ripple_adder(4 + (seed % 8) as usize).netlist,
+        _ => gen::tiled_chip(seed, 1_500).netlist,
+    }
+}
+
+#[test]
+fn cores_partition_and_halos_match_bfs_oracle_64_cases() {
+    let mut rng = Rng64::new(0x5aa4_d0b3_0001_0203);
+    for case in 0..64usize {
+        let main = workload(case, &mut rng);
+        let g = CompiledCircuit::compile(&main);
+        let devices = g.device_count();
+        let shards = 2 + (rng.next_u64() % 7) as usize;
+        let Some(shards) = ShardPolicy::Count(shards as u32).resolve(devices) else {
+            continue;
+        };
+        let k = (rng.next_u64() % 4) as usize;
+        let plan = ShardPlan::build(&g, shards, Some(k));
+
+        // Every core device lies in exactly one shard, and owner lookup
+        // agrees with the ranges.
+        let mut covered = vec![0u32; devices];
+        for s in 0..shards {
+            for d in plan.core(s) {
+                covered[d] += 1;
+                assert_eq!(plan.owner_of_device(d), s, "case {case}");
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "case {case}: cores must partition {devices} devices into {shards} shards"
+        );
+
+        // Every halo equals the k-hop BFS neighborhood of its core.
+        for s in 0..shards {
+            let oracle = bfs_halo_oracle(&g, plan.core(s), k);
+            assert_eq!(
+                plan.halo(s),
+                oracle.as_slice(),
+                "case {case} shard {s}: halo must be the exact {k}-hop neighborhood"
+            );
+            // And halos never intersect their own core.
+            let core: HashSet<usize> = plan.core(s).collect();
+            assert!(plan.halo(s).iter().all(|&d| !core.contains(&(d as usize))));
+        }
+    }
+}
+
+#[test]
+fn degenerate_diameter_halo_covers_the_rest_of_the_graph() {
+    let g = CompiledCircuit::compile(&gen::random_soup(3, 40).netlist);
+    let plan = ShardPlan::build(&g, 3, None);
+    for s in 0..3 {
+        let core: HashSet<usize> = plan.core(s).collect();
+        let expect: Vec<u32> = (0..g.device_count() as u32)
+            .filter(|&d| !core.contains(&(d as usize)))
+            .collect();
+        assert_eq!(plan.halo(s), expect.as_slice());
+    }
+}
+
+#[test]
+fn pattern_diameter_matches_hand_counts() {
+    // two_stage_opamp: 8 devices around a handful of shared nets.
+    let s = CompiledCircuit::compile(&analog::two_stage_opamp());
+    let d = pattern_diameter(&s).expect("opamp is connected");
+    assert!((1..=7).contains(&d), "implausible diameter {d}");
+    // An inverter's two devices share a/y: diameter 1.
+    assert_eq!(
+        pattern_diameter(&CompiledCircuit::compile(&cells::inv())),
+        Some(1)
+    );
+}
+
+/// Shard boundaries are a pure function of the circuit: resolving the
+/// policy and building the plan never consults the thread count, so
+/// searches at 1, 2, and 8 threads report identical shard geometry.
+#[test]
+fn shard_boundaries_are_thread_count_invariant() {
+    let chip = gen::tiled_chip(9, 2_500);
+    let pattern = cells::full_adder();
+    let mut metrics = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let outcome = Matcher::new(&pattern, &chip.netlist)
+            .options(MatchOptions {
+                threads,
+                shards: ShardPolicy::Count(4),
+                collect_metrics: true,
+                ..MatchOptions::default()
+            })
+            .find_all();
+        let m = outcome.metrics.as_ref().expect("metrics requested");
+        metrics.push((
+            m.counters.get("shard.count"),
+            m.counters.get("shard.halo_devices"),
+            outcome.count(),
+        ));
+    }
+    assert_eq!(metrics[0], metrics[1]);
+    assert_eq!(metrics[0], metrics[2]);
+    assert_eq!(metrics[0].0, 4, "Count(4) resolves to 4 shards");
+    assert_eq!(
+        metrics[0].2,
+        chip.planted_count("full_adder"),
+        "exact ground truth"
+    );
+
+    // The plan itself is deterministic across rebuilds too.
+    let g = CompiledCircuit::compile(&chip.netlist);
+    let d = pattern_diameter(&CompiledCircuit::compile(&pattern));
+    let a = ShardPlan::build(&g, 4, d);
+    let b = ShardPlan::build(&g, 4, d);
+    for s in 0..4 {
+        assert_eq!(a.core(s), b.core(s));
+        assert_eq!(a.halo(s), b.halo(s));
+    }
+}

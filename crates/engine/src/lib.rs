@@ -46,8 +46,8 @@ use std::time::Instant;
 
 use subgemini::{
     find_all, find_all_many, CancelToken, ExplainReport, MatchOptions, MatchOutcome,
-    Phase2Scheduler, PrunePolicy, RequestSample, Telemetry, TelemetrySnapshot, WarmMain,
-    WorkBudget,
+    Phase2Scheduler, PrunePolicy, RequestSample, ShardPolicy, Telemetry, TelemetrySnapshot,
+    WarmMain, WorkBudget,
 };
 use subgemini_netlist::{structural_digest, Artifact, Netlist};
 
@@ -105,6 +105,10 @@ pub struct RequestOptions {
     pub threads: usize,
     /// Phase II candidate scheduler.
     pub scheduler: Phase2Scheduler,
+    /// Sharded Phase II dispatch policy (DESIGN.md §3i). Off by
+    /// default; `Auto` sizes shards from the main circuit's device
+    /// count, `Count(n)` forces `n` shards.
+    pub shards: ShardPolicy,
     /// Collect phase timers and effort counters on the outcome.
     pub collect_metrics: bool,
     /// Record the structured event journal on the outcome.
@@ -138,6 +142,7 @@ impl Default for RequestOptions {
             max_instances: 0,
             threads: 1,
             scheduler: Phase2Scheduler::default(),
+            shards: ShardPolicy::default(),
             collect_metrics: false,
             trace_events: false,
             budget: None,
@@ -178,6 +183,7 @@ impl RequestOptions {
             max_instances: self.max_instances,
             threads: self.threads,
             scheduler: self.scheduler,
+            shards: self.shards,
             collect_metrics: self.collect_metrics,
             trace_events: self.trace_events,
             prune: self.prune,

@@ -22,7 +22,8 @@
 //! inline source (`{"source": "<deck>", "cell": "inv"}`). The optional
 //! `"options"` object maps one-to-one onto the CLI flags:
 //! `ignore_globals`, `max_instances`, `threads`, `scheduler`,
-//! `metrics`, `events`, `max_effort`, `deadline_ms`, `prune`. Every
+//! `shards`, `metrics`, `events`, `max_effort`, `deadline_ms`,
+//! `prune`. Every
 //! request carries its own budget and cancel token — a deadline that
 //! expires mid-search answers 200 with `"completeness": "truncated"`,
 //! exactly like the CLI.
@@ -598,6 +599,20 @@ fn options_from(body: &Value) -> Result<RequestOptions, String> {
             "events" => opts.trace_events = expect_bool(key, v)?,
             "max_effort" => budget.max_effort = Some(expect_count(key, v)?),
             "deadline_ms" => budget.deadline_ms = Some(expect_count(key, v)?),
+            "shards" => {
+                opts.shards = match v {
+                    Value::Str(s) if s == "auto" => subgemini::ShardPolicy::Auto,
+                    Value::Str(s) if s == "off" => subgemini::ShardPolicy::Off,
+                    _ => match v.as_u64() {
+                        Some(n) => subgemini::ShardPolicy::Count(n as u32),
+                        None => {
+                            return Err(
+                                "options.shards: expected `auto`, `off` or a shard count".into()
+                            )
+                        }
+                    },
+                };
+            }
             "prune" => {
                 let name = v.as_str().ok_or("options.prune: expected a string")?;
                 opts.prune = match name {

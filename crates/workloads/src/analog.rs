@@ -184,7 +184,13 @@ pub fn analog_library() -> Vec<Netlist> {
 /// A seeded mixed-signal block: `channels` analog front-end channels
 /// (opamp + RC filter) plus digital glue from the standard library.
 pub fn mixed_signal_chip(seed: u64, channels: usize) -> Generated {
-    let mut rng = Rng64::new(seed);
+    // Child-seeded stream: `mixed_signal_chip(s, …)` composed next to
+    // `random_soup(s, …)` (one master seed, as tiled_chip does) used to
+    // replay the identical SplitMix stream in both generators.
+    let mut rng = Rng64::new(Generated::child_seed(
+        seed,
+        crate::gen::streams::MIXED_SIGNAL,
+    ));
     let mut g = Generated::new("mixed_signal");
     let opamp = two_stage_opamp();
     let filt = rc_lowpass();

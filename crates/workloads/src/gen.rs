@@ -56,6 +56,22 @@ impl Generated {
         self.planted.get(cell).copied().unwrap_or(0)
     }
 
+    /// Splits a child seed off `master` for the given `stream`.
+    ///
+    /// Every seeded generator used to call `Rng64::new(seed)` directly,
+    /// so composing two generators with one master seed (as
+    /// [`tiled_chip`] does per tile) replayed the *same* SplitMix
+    /// stream in both — correlated "random" choices, identical tiles.
+    /// Deriving per-call-site child seeds through a second SplitMix64
+    /// avalanche over the `(master, stream)` pair gives each composed
+    /// call its own stream while staying bit-reproducible.
+    pub fn child_seed(master: u64, stream: u64) -> u64 {
+        let mut z = master ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
     /// Number of structural instances of `cell` expected in the
     /// netlist, accounting for containment inside the other planted
     /// library cells (e.g. each planted `dff` contributes 4 `inv`
@@ -90,6 +106,20 @@ impl Generated {
         }
         n
     }
+}
+
+/// Stream tags for [`Generated::child_seed`]: one per seeded
+/// generator, so equal caller seeds passed to *different* generators
+/// never alias the same RNG stream.
+pub mod streams {
+    /// [`super::random_soup`]'s stream.
+    pub const RANDOM_SOUP: u64 = 1;
+    /// [`super::near_miss_field`]'s stream.
+    pub const NEAR_MISS: u64 = 2;
+    /// [`crate::analog::mixed_signal_chip`]'s stream.
+    pub const MIXED_SIGNAL: u64 = 3;
+    /// [`super::tiled_chip`]'s per-tile master stream.
+    pub const TILED_CHIP: u64 = 4;
 }
 
 /// A chain of `n` inverters: `in -> w0 -> … -> w(n-1)`.
@@ -261,7 +291,7 @@ pub fn ripple_counter(bits: usize) -> Generated {
 /// the library cells, keeping the ground truth exact).
 pub fn random_soup(seed: u64, gates: usize) -> Generated {
     let lib = cells::library();
-    let mut rng = Rng64::new(seed);
+    let mut rng = Rng64::new(Generated::child_seed(seed, streams::RANDOM_SOUP));
     let mut g = Generated::new("random_soup");
     // Input pool: primary inputs plus previously generated outputs.
     let mut pool: Vec<NetId> = (0..8.max(gates / 4))
@@ -385,7 +415,7 @@ pub fn mutate_cell(cell: &Netlist, variant: u64) -> Netlist {
 /// true instances of `cell` by construction — the adversarial workload
 /// for filter-quality experiments.
 pub fn near_miss_field(cell: &Netlist, n: usize, seed: u64) -> Generated {
-    let mut rng = Rng64::new(seed);
+    let mut rng = Rng64::new(Generated::child_seed(seed, streams::NEAR_MISS));
     let mut g = Generated::new("near_miss_field");
     let nports = cell.ports().len();
     let mut pool: Vec<NetId> = (0..(4 + nports))
@@ -444,6 +474,112 @@ pub fn skewed_trap_field(cell: &Netlist, traps: usize, easy: usize) -> Generated
             .map(|p| g.netlist.net(format!("e{i}p{p}")))
             .collect();
         g.plant(cell, &format!("t{i}"), &bindings);
+    }
+    g
+}
+
+/// A chip-scale tiled workload: row-major tiles of mixed standard-cell
+/// and analog blocks, grown until the device count reaches
+/// `target_devices` (usable from 10^5 up to 10^7 devices). Tiles cycle
+/// through four kinds — an SRAM block (12×8 `sram6t`), a pipelined
+/// datapath (8 `full_adder` + `dff` stages), a 4-channel mixed-signal
+/// front end (`two_stage_opamp` + `rc_lowpass` + digital glue), and a
+/// seeded glue-logic soup — so shard cuts by compiled device order land
+/// inside every block style. Each tile draws its own RNG stream via
+/// [`Generated::child_seed`] (master stream [`streams::TILED_CHIP`],
+/// then per-tile index), so tiles with the same master seed are not
+/// clones and the generator composes with other seeded generators
+/// without stream reuse. All outputs drive fresh per-tile nets, keeping
+/// the planted counts exact ground truth, same as [`random_soup`].
+pub fn tiled_chip(seed: u64, target_devices: usize) -> Generated {
+    let fa = cells::full_adder();
+    let dff = cells::dff();
+    let inv = cells::inv();
+    let nand = cells::nand2();
+    let sram = cells::sram6t();
+    let opamp = crate::analog::two_stage_opamp();
+    let filt = crate::analog::rc_lowpass();
+    let mut g = Generated::new("tiled_chip");
+    let master = Generated::child_seed(seed, streams::TILED_CHIP);
+    const ROW_TILES: usize = 8;
+    let mut t = 0usize;
+    while g.netlist.device_count() < target_devices {
+        let (row, col) = (t / ROW_TILES, t % ROW_TILES);
+        let mut rng = Rng64::new(Generated::child_seed(master, t as u64));
+        let p = format!("r{row}c{col}");
+        match t % 4 {
+            0 => {
+                // SRAM block: shared word/bit lines inside the tile.
+                for r in 0..12 {
+                    let wl = g.netlist.net(format!("{p}_wl{r}"));
+                    for c in 0..8 {
+                        let bl = g.netlist.net(format!("{p}_bl{c}"));
+                        let blb = g.netlist.net(format!("{p}_blb{c}"));
+                        g.plant(&sram, &format!("{p}_bit{r}_{c}"), &[bl, blb, wl]);
+                    }
+                }
+            }
+            1 => {
+                // Datapath: ripple-carry adder stages into pipeline regs.
+                let clk = g.netlist.net(format!("{p}_clk"));
+                let mut carry = g.netlist.net(format!("{p}_cin"));
+                for i in 0..8 {
+                    let a = g.netlist.net(format!("{p}_a{i}"));
+                    let b = g.netlist.net(format!("{p}_b{i}"));
+                    let s = g.netlist.net(format!("{p}_s{i}"));
+                    let cout = g.netlist.net(format!("{p}_c{i}"));
+                    g.plant(&fa, &format!("{p}_fa{i}"), &[a, b, carry, s, cout]);
+                    let q = g.netlist.net(format!("{p}_q{i}"));
+                    g.plant(&dff, &format!("{p}_ff{i}"), &[s, clk, q]);
+                    carry = cout;
+                }
+            }
+            2 => {
+                // Mixed-signal front end, wired like mixed_signal_chip.
+                let bias = g.netlist.net(format!("{p}_bias"));
+                let den = g.netlist.net(format!("{p}_en"));
+                for ch in 0..4 {
+                    let inp = g.netlist.net(format!("{p}_ain{ch}"));
+                    let fb = g.netlist.net(format!("{p}_fb{ch}"));
+                    let aout = g.netlist.net(format!("{p}_aout{ch}"));
+                    let filtered = g.netlist.net(format!("{p}_filt{ch}"));
+                    g.plant(&opamp, &format!("{p}_amp{ch}"), &[inp, fb, aout, bias]);
+                    g.plant(&filt, &format!("{p}_lp{ch}"), &[aout, filtered]);
+                    let d1 = g.netlist.net(format!("{p}_d1_{ch}"));
+                    let dout = g.netlist.net(format!("{p}_dout{ch}"));
+                    g.plant(&inv, &format!("{p}_cmp{ch}"), &[filtered, d1]);
+                    g.plant(&nand, &format!("{p}_gate{ch}"), &[d1, den, dout]);
+                    if rng.ratio(1, 2) {
+                        let spare = g.netlist.net(format!("{p}_spare{ch}"));
+                        g.plant(&inv, &format!("{p}_sp{ch}"), &[dout, spare]);
+                    }
+                }
+            }
+            _ => {
+                // Glue-logic soup: inv/nand2 with fresh outputs.
+                let mut pool: Vec<NetId> = (0..8)
+                    .map(|i| g.netlist.net(format!("{p}_pi{i}")))
+                    .collect();
+                for i in 0..48 {
+                    let out = g.netlist.net(format!("{p}_o{i}"));
+                    if rng.ratio(1, 3) {
+                        let a = pool[rng.index(pool.len())];
+                        g.plant(&inv, &format!("{p}_u{i}"), &[a, out]);
+                    } else {
+                        let a = pool[rng.index(pool.len())];
+                        let b = loop {
+                            let cand = pool[rng.index(pool.len())];
+                            if cand != a {
+                                break cand;
+                            }
+                        };
+                        g.plant(&nand, &format!("{p}_u{i}"), &[a, b, out]);
+                    }
+                    pool.push(out);
+                }
+            }
+        }
+        t += 1;
     }
     g
 }
@@ -606,6 +742,104 @@ mod tests {
         assert_eq!(a.netlist.device_count(), b.netlist.device_count());
         a.netlist.validate().unwrap();
         assert!(a.netlist.device_count() >= 10 * 3);
+    }
+
+    #[test]
+    fn child_seeds_do_not_collide_across_streams() {
+        // Regression for the stream-reuse bug: generators used to seed
+        // `Rng64::new(seed)` directly, so `random_soup(s, …)` and
+        // `mixed_signal_chip(s, …)` replayed one identical stream. The
+        // split-off child seeds must be pairwise distinct across
+        // masters and streams.
+        let mut seen = std::collections::HashSet::new();
+        for master in [0u64, 1, 42, 0x5eed, u64::MAX] {
+            for stream in 0..64u64 {
+                assert!(
+                    seen.insert(Generated::child_seed(master, stream)),
+                    "collision at master={master} stream={stream}"
+                );
+            }
+        }
+        // The documented per-generator streams are distinct.
+        let tags = [
+            streams::RANDOM_SOUP,
+            streams::NEAR_MISS,
+            streams::MIXED_SIGNAL,
+            streams::TILED_CHIP,
+        ];
+        for (i, &a) in tags.iter().enumerate() {
+            for &b in &tags[i + 1..] {
+                assert_ne!(a, b);
+                assert_ne!(Generated::child_seed(7, a), Generated::child_seed(7, b));
+            }
+        }
+    }
+
+    #[test]
+    fn composed_generators_draw_distinct_streams() {
+        // Same master seed, different generators: the RNG-dependent
+        // shapes must differ (before the child-seed split both drew the
+        // same SplitMix values in the same order).
+        let ms = crate::analog::mixed_signal_chip(7, 16);
+        // The mixed-signal spare-inverter coin flips are the observable
+        // stream: a stream alias with random_soup(7, …) would reproduce
+        // its draw sequence bit-for-bit; distinct child seeds make the
+        // flips an independent sequence (pinned here: some but not all
+        // of the 16 channels grow a spare).
+        let spares = ms.planted_count("inv") - 16;
+        assert!(spares > 0 && spares < 16, "spares={spares}");
+        // And the same master seed still yields a deterministic chip.
+        let again = crate::analog::mixed_signal_chip(7, 16);
+        assert_eq!(ms.planted, again.planted);
+    }
+
+    #[test]
+    fn tiled_chip_is_deterministic_with_exact_ground_truth() {
+        let a = tiled_chip(11, 5_000);
+        let b = tiled_chip(11, 5_000);
+        assert_eq!(a.planted, b.planted);
+        assert_eq!(a.netlist.device_count(), b.netlist.device_count());
+        assert!(a.netlist.device_count() >= 5_000);
+        // Tiles are bounded (~600 devices max), so the overshoot is too.
+        assert!(a.netlist.device_count() < 5_000 + 1_000);
+        a.netlist.validate().unwrap();
+        // All four tile kinds are present with known planted counts.
+        for cell in [
+            "sram6t",
+            "full_adder",
+            "dff",
+            "two_stage_opamp",
+            "rc_lowpass",
+        ] {
+            assert!(a.planted_count(cell) > 0, "{cell}");
+        }
+        let c = tiled_chip(12, 5_000);
+        assert_ne!(
+            (a.netlist.device_count(), a.netlist.net_count()),
+            (c.netlist.device_count(), c.netlist.net_count()),
+            "different masters must differ"
+        );
+    }
+
+    #[test]
+    fn tiled_chip_tiles_are_not_clones() {
+        // Two mixed-signal tiles (t=2 and t=6) draw different child
+        // streams, so their spare-inverter patterns differ for at least
+        // one of these master seeds.
+        let mut differed = false;
+        for seed in 0..4u64 {
+            let g = tiled_chip(seed, 4_000);
+            let spare_a = g.netlist.find_net("r0c2_spare0").is_some() as u8
+                + g.netlist.find_net("r0c2_spare1").is_some() as u8
+                + g.netlist.find_net("r0c2_spare2").is_some() as u8
+                + g.netlist.find_net("r0c2_spare3").is_some() as u8;
+            let spare_b = g.netlist.find_net("r0c6_spare0").is_some() as u8
+                + g.netlist.find_net("r0c6_spare1").is_some() as u8
+                + g.netlist.find_net("r0c6_spare2").is_some() as u8
+                + g.netlist.find_net("r0c6_spare3").is_some() as u8;
+            differed |= spare_a != spare_b;
+        }
+        assert!(differed, "per-tile child seeds must decorrelate tiles");
     }
 
     #[test]
