@@ -1,0 +1,98 @@
+//! `gen_chip` — materialize a generated hierarchical chip on disk.
+//!
+//! CI smoke helper: writes the flat transistor netlist, its multi-level
+//! cell library, and the exact planted ground truth, so a shell step
+//! can drive `subg hierarchize` end to end and diff found against
+//! planted per level (EXPERIMENTS.md E18).
+//!
+//! Usage:
+//!
+//! ```text
+//! gen_chip --out DIR [--seed N] [--levels N] [--devices N]
+//! ```
+//!
+//! Emits `DIR/flat.sp`, `DIR/cells.sp` and `DIR/expected.json`:
+//!
+//! ```text
+//! {"seed": 7, "levels": 3, "cells": {"inv": 12, ...}}
+//! ```
+//!
+//! `cells` maps every library cell to the instance count a full
+//! bottom-up extraction must find (top-level plants plus nested
+//! occurrences), keyed the same way as the `hierarchize` JSON report.
+
+use subgemini::metrics::json::Value;
+use subgemini_netlist::Netlist;
+use subgemini_workloads::gen;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<String> = None;
+    let mut seed: u64 = 7;
+    let mut levels: usize = 3;
+    let mut devices: usize = 2_000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut need = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--out" => out_dir = Some(need("--out")),
+            "--seed" => seed = parse(&need("--seed"), "--seed"),
+            "--levels" => levels = parse(&need("--levels"), "--levels"),
+            "--devices" => devices = parse(&need("--devices"), "--devices"),
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(dir) = out_dir else {
+        die("usage: gen_chip --out DIR [--seed N] [--levels N] [--devices N]")
+    };
+
+    let chip = gen::hierarchical_chip(seed, levels, devices);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| die(&format!("{dir}: {e}")));
+    write(
+        &format!("{dir}/flat.sp"),
+        &subgemini_spice::write_netlist(&chip.generated.netlist),
+    );
+    // An empty top yields just the `.subckt` definitions: the library
+    // deck `subg hierarchize --library` re-elaborates hierarchically.
+    write(
+        &format!("{dir}/cells.sp"),
+        &subgemini_spice::write_hierarchical(&Netlist::new("cells"), &chip.library),
+    );
+    let cells: Vec<(String, Value)> = chip
+        .expected
+        .iter()
+        .map(|(cell, &count)| (cell.clone(), Value::int(count as u64)))
+        .collect();
+    let expected = Value::Obj(vec![
+        ("seed".into(), Value::int(seed)),
+        ("levels".into(), Value::int(chip.level_cells.len() as u64)),
+        ("devices".into(), {
+            Value::int(chip.generated.netlist.device_count() as u64)
+        }),
+        ("cells".into(), Value::Obj(cells)),
+    ]);
+    write(&format!("{dir}/expected.json"), &expected.pretty());
+    eprintln!(
+        "gen_chip: seed {seed}, {} level(s), {} device(s) -> {dir}/",
+        chip.level_cells.len(),
+        chip.generated.netlist.device_count()
+    );
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: bad value `{s}`")))
+}
+
+fn write(path: &str, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("gen_chip: {msg}");
+    std::process::exit(2)
+}

@@ -14,8 +14,8 @@ use std::fs;
 use subgemini::{MatchOptions, Matcher};
 use subgemini_engine::source::{load_cell, load_doc, load_main};
 use subgemini_engine::{
-    CircuitSource, Engine, ExplainRequest, FindRequest, LibrarySource, PatternSource,
-    RequestOptions, SurveyRequest,
+    CircuitSource, Engine, ExplainRequest, FindRequest, HierarchizeRequest, LibrarySource,
+    PatternSource, RequestOptions, SurveyRequest,
 };
 use subgemini_gemini::compare as gemini_compare;
 use subgemini_netlist::{Netlist, NetlistStats};
@@ -36,7 +36,8 @@ fn library_from(args: &Args) -> Result<Vec<Netlist>, String> {
     }
     let path = args
         .option("--lib")
-        .ok_or("pass --lib <cells.sp> or --builtin-lib")?;
+        .or_else(|| args.option("--library"))
+        .ok_or("pass --lib <cells.sp> (or --library <cells.sp>) or --builtin-lib")?;
     let doc = load_doc(path)?;
     let mut cells = Vec::new();
     for name in doc.cell_names() {
@@ -507,70 +508,101 @@ pub fn compare(args: &Args) -> Result<u8, String> {
     }
 }
 
+/// Delegates to the library implementation in `subgemini_suite::hier`
+/// (one cell loop to rule them all — the CLI only renders), keeping the
+/// historical output bytes. Both decks must be the same format; the
+/// cell-by-cell semantics across formats never lined up anyway.
 fn compare_hierarchical(a_path: &str, b_path: &str) -> Result<u8, String> {
     use subgemini_engine::source::Doc;
-    use subgemini_spice::ElaborateOptions;
+    use subgemini_suite::hier::{compare_docs, compare_verilog, CellOutcome};
     let da = load_doc(a_path)?;
     let db = load_doc(b_path)?;
-    let mut failures = 0usize;
-    // Cell-by-cell.
-    let names_a = da.cell_names();
-    let names_b = db.cell_names();
-    let mut names = names_a.clone();
-    for n in &names_b {
-        if !names.contains(n) {
-            names.push(n.clone());
+    let report = match (&da, &db) {
+        (Doc::Spice(a), Doc::Spice(b)) => compare_docs(a, b).map_err(|e| e.to_string())?,
+        (Doc::Verilog(a), Doc::Verilog(b)) => compare_verilog(a, b).map_err(|e| e.to_string())?,
+        _ => {
+            return Err(format!(
+                "--hierarchical needs both netlists in the same format ({a_path} vs {b_path})"
+            ))
         }
-    }
-    names.sort();
-    for name in &names {
-        match (names_a.contains(name), names_b.contains(name)) {
-            (true, true) => {
-                let ca = load_cell(&da, name, a_path)?;
-                let cb = load_cell(&db, name, b_path)?;
-                match gemini_compare(&ca, &cb) {
-                    subgemini_gemini::GeminiOutcome::Isomorphic(_) => {
-                        println!("cell {name:<16} ok");
-                    }
-                    subgemini_gemini::GeminiOutcome::Mismatch(m) => {
-                        println!("cell {name:<16} DIFFERS: {m}");
-                        failures += 1;
-                    }
-                }
+    };
+    let mut failures = 0usize;
+    for (name, outcome) in &report.cells {
+        match outcome {
+            CellOutcome::Matches => println!("cell {name:<16} ok"),
+            CellOutcome::Differs(m) => {
+                println!("cell {name:<16} DIFFERS: {m}");
+                failures += 1;
             }
-            (true, false) => {
+            CellOutcome::OnlyInFirst => {
                 println!("cell {name:<16} only in {a_path}");
                 failures += 1;
             }
-            (false, true) => {
+            CellOutcome::OnlyInSecond => {
                 println!("cell {name:<16} only in {b_path}");
                 failures += 1;
             }
-            (false, false) => unreachable!("name came from one of the decks"),
         }
     }
-    // Top level, unflattened (instances stay composite devices).
-    let hier_top = |doc: &Doc, path: &str| -> Result<Netlist, String> {
-        match doc {
-            Doc::Spice(d) => d
-                .elaborate_top("top", &ElaborateOptions::hierarchical())
-                .map_err(|e| format!("{path}: {e}")),
-            Doc::Verilog(s) => s
-                .elaborate(None, &subgemini_verilog::VerilogOptions::hierarchical())
-                .map_err(|e| format!("{path}: {e}")),
-        }
-    };
-    let ta = hier_top(&da, a_path)?;
-    let tb = hier_top(&db, b_path)?;
-    match gemini_compare(&ta, &tb) {
-        subgemini_gemini::GeminiOutcome::Isomorphic(_) => println!("top              ok"),
-        subgemini_gemini::GeminiOutcome::Mismatch(m) => {
+    match &report.top {
+        Some(CellOutcome::Differs(m)) => {
             println!("top              DIFFERS: {m}");
             failures += 1;
         }
+        _ => println!("top              ok"),
     }
     println!("{failures} difference(s)");
     Ok(if failures == 0 { 0 } else { 1 })
+}
+
+/// Loads the `--library` deck for `subg hierarchize` with *one-level*
+/// elaboration: a cell's `X` instances of other library cells stay
+/// composite devices (that is what encodes the level structure), while
+/// `library_from`'s flat loader would erase it. The hierarchizer
+/// normalizes the naive composite types afterwards.
+fn hierarchize_library(args: &Args) -> Result<Vec<Netlist>, String> {
+    if args.switch("--builtin-lib") {
+        return Ok(subgemini_workloads::cells::library());
+    }
+    let path = args
+        .option("--library")
+        .or_else(|| args.option("--lib"))
+        .ok_or("pass --library <cells.sp> or --builtin-lib")?;
+    let doc = load_doc(path)?;
+    let names = doc.cell_names();
+    if names.is_empty() {
+        return Err(format!("{path}: no cell definitions"));
+    }
+    names
+        .iter()
+        .map(|name| subgemini_engine::source::load_cell_hierarchical(&doc, name, path))
+        .collect()
+}
+
+/// `subg hierarchize`: iterative bottom-up hierarchy reconstruction —
+/// the library is grouped into levels, each level extracted in turn
+/// over the flat netlist until a fixpoint, and the per-level report
+/// printed (`--report json|text`, text by default). `--out` writes the
+/// recovered hierarchical deck.
+pub fn hierarchize(args: &Args) -> Result<u8, String> {
+    let main_path = args.need(0, "main netlist file")?;
+    let main = load_main(main_path)?;
+    let cells = hierarchize_library(args)?;
+    let resp = Engine::new()
+        .hierarchize(&HierarchizeRequest {
+            circuit: CircuitSource::Inline(&main),
+            library: LibrarySource::Inline(&cells),
+            options: request_options(args)?,
+        })
+        .map_err(|e| e.to_string())?;
+    match report_mode(args)? {
+        Some("json") => print!("{}", resp.report.to_json().pretty()),
+        _ => print!("{}", resp.report.render_text()),
+    }
+    if let Some(path) = args.option("--out") {
+        fs::write(path, &resp.deck).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(0)
 }
 
 /// `subg trace`: render the Phase II labeling trace of the first

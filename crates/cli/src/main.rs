@@ -11,6 +11,7 @@
 //! subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
 //! subg compile <main.sp> [--out <main.sgc>]
 //! subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
+//! subg hierarchize <flat.sp> --library <cells.sp> [--out <deck.sp>] [--report json|text]
 //! subg check <main.sp> --rules <rules.sp>
 //! subg map <main.sp> [--lib <cells.sp> | --builtin-lib]
 //! subg survey <main.sp> [--lib <cells.sp> | --builtin-lib] [--artifact <main.sgc>]
@@ -44,6 +45,7 @@ USAGE:
   subg candidates <main.sp> --pattern <cell> [--lib <cells.sp>]
   subg compile <main.sp> [--out <main.sgc>]
   subg extract <main.sp> [--lib <cells.sp> | --builtin-lib] [--out <deck.sp>]
+  subg hierarchize <flat.sp> --library <cells.sp> [--out <deck.sp>] [--report json|text]
   subg check <main.sp> --rules <rules.sp>
   subg map <main.sp> [--lib <cells.sp> | --builtin-lib]
   subg survey <main.sp> [--lib <cells.sp> | --builtin-lib] [--artifact <main.sgc>]
@@ -75,6 +77,7 @@ fn main() -> ExitCode {
         "candidates" => commands::candidates(&parsed),
         "compile" => commands::compile(&parsed),
         "extract" => commands::extract(&parsed),
+        "hierarchize" => commands::hierarchize(&parsed),
         "check" => commands::check(&parsed),
         "map" => commands::techmap(&parsed),
         "survey" => commands::survey(&parsed),

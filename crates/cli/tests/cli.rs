@@ -194,10 +194,19 @@ fn hierarchical_compare_localizes_the_edit() {
     assert!(stdout.contains("top              ok"), "{stdout}");
     assert!(stdout.contains("1 difference(s)"), "{stdout}");
 
-    // Identical decks: all ok, exit 0.
+    // Identical decks: all ok, exit 0, and the rendering contract is
+    // byte-exact — the CLI delegates to `subgemini_suite::hier` and
+    // must keep producing the historical output.
     fs::write(dir.join("c.sp"), &deck_a).unwrap();
     let out = subg(&dir, &["compare", "a.sp", "c.sp", "--hierarchical"]);
     assert_eq!(out.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "cell inv              ok\n\
+         cell nand2            ok\n\
+         top              ok\n\
+         0 difference(s)\n"
+    );
 }
 
 #[test]
@@ -958,4 +967,81 @@ fn find_rejects_an_unknown_prune_policy() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+}
+
+#[test]
+fn hierarchize_reconstructs_levels_end_to_end() {
+    let dir = scratch("hierz");
+    // Library with a genuine level-2 cell: xor2 built from nand2s.
+    let cells = format!(
+        "{CELLS}.subckt xor2 a b y\n\
+         Xn1 a b n1 nand2\n\
+         Xn2 a n1 n2 nand2\n\
+         Xn3 b n1 n3 nand2\n\
+         Xn4 n2 n3 y nand2\n\
+         .ends\n"
+    );
+    // A flat top: two xor2s and an inverter, elaborated to transistors
+    // (the subckts here only feed elaboration; the X cards flatten).
+    let flat = format!("{cells}Xx1 p q w1 xor2\nXx2 w1 r w2 xor2\nXi1 w2 out inv\n");
+    fs::write(dir.join("cells.sp"), &cells).unwrap();
+    fs::write(dir.join("flat.sp"), &flat).unwrap();
+    let out = subg(
+        &dir,
+        &[
+            "hierarchize",
+            "flat.sp",
+            "--library",
+            "cells.sp",
+            "--out",
+            "deck.sp",
+            "--report",
+            "text",
+        ],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The text report is a byte contract: per-level planted counts
+    // (2 xor2 * 4 nand2 = 8, plus the lone inverter).
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "hierarchy: 2 level(s), 2 sweep(s)\n\
+         level 1:\n\
+         \x20 nand2                     8\n\
+         \x20 inv                       1\n\
+         level 2:\n\
+         \x20 xor2                      2\n\
+         unabsorbed devices: 0\n"
+    );
+    // The emitted deck re-elaborates to something isomorphic with the
+    // original flat input.
+    let deck = fs::read_to_string(dir.join("deck.sp")).unwrap();
+    assert!(deck.contains(".subckt xor2"), "{deck}");
+    let out = subg(&dir, &["compare", "flat.sp", "deck.sp"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // JSON mode emits the machine-readable report with the same counts.
+    let out = subg(
+        &dir,
+        &[
+            "hierarchize",
+            "flat.sp",
+            "--library",
+            "cells.sp",
+            "--report",
+            "json",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"levels\""), "{stdout}");
+    assert!(stdout.contains("\"unabsorbed_devices\": 0"), "{stdout}");
 }

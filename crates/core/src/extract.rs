@@ -177,6 +177,7 @@ impl ExtractReport {
 pub struct Extractor {
     cells: Vec<Netlist>,
     options: MatchOptions,
+    composite_offset: usize,
 }
 
 impl Extractor {
@@ -186,6 +187,7 @@ impl Extractor {
         Self {
             cells: Vec::new(),
             options: MatchOptions::extraction(),
+            composite_offset: 0,
         }
     }
 
@@ -202,6 +204,18 @@ impl Extractor {
             overlap: OverlapPolicy::ClaimDevices,
             ..options
         };
+        self
+    }
+
+    /// Starts composite-device numbering at `offset` instead of 0, so
+    /// repeated [`extract`](Extractor::extract) calls over the same
+    /// evolving netlist — the re-entrant mode the hierarchy fixpoint
+    /// driver uses — never collide with composites minted by earlier
+    /// rounds. Composites from a prior round are legal main devices:
+    /// they survive matching untouched unless a library cell's
+    /// composite type claims them.
+    pub fn set_composite_offset(&mut self, offset: usize) -> &mut Self {
+        self.composite_offset = offset;
         self
     }
 
@@ -288,14 +302,16 @@ impl Extractor {
                 };
                 find_all_compiled(cell, &prepared, trace, &self.options, main_ns, main_cached)
             };
+            // Read the timer once so `ExtractCellMetrics::match_ns` and
+            // the outcome's `metrics.total_ns` agree exactly.
             let match_ns = match_timer.map_or(0, |t| t.elapsed_ns());
-            if let Some(t) = match_timer {
+            if match_timer.is_some() {
                 let m = outcome.metrics.get_or_insert_with(|| MetricsReport {
                     threads_requested: self.options.threads,
                     threads_used: 1,
                     ..MetricsReport::default()
                 });
-                m.total_ns = t.elapsed_ns();
+                m.total_ns = match_ns;
             }
             let found = outcome.instances.len();
             if outcome.completeness.is_truncated() {
@@ -309,6 +325,7 @@ impl Extractor {
                     cell,
                     &outcome.instances,
                     &mut report,
+                    self.composite_offset,
                 )?);
                 // The netlist changed; the next round must recompile.
                 compiled_main = None;
@@ -333,13 +350,16 @@ impl Extractor {
             m.total_ns = t.elapsed_ns();
         }
         report.metrics = metrics;
+        // A device is absorbed exactly when it *is* one of this run's
+        // composites. Comparing type names against cell names would
+        // misclassify input devices whose type happens to share a
+        // library cell's name — the normal state of a partially
+        // extracted netlist fed back in.
+        let composite_names: HashSet<&str> =
+            report.instances.iter().map(|i| i.device.as_str()).collect();
         report.unabsorbed_devices = current
             .device_ids()
-            .filter(|&d| {
-                self.cells
-                    .iter()
-                    .all(|c| c.name() != current.device_type_of(d).name())
-            })
+            .filter(|&d| !composite_names.contains(current.device(d).name()))
             .count();
         Ok((current.into_owned(), report))
     }
@@ -352,6 +372,7 @@ fn replace_instances(
     cell: &Netlist,
     instances: &[SubMatch],
     report: &mut ExtractReport,
+    composite_offset: usize,
 ) -> Result<Netlist, NetlistError> {
     let mut absorbed: HashSet<DeviceId> = HashSet::new();
     for m in instances {
@@ -388,7 +409,7 @@ fn replace_instances(
     }
     // Add the composites.
     let comp = out.add_type(composite_type(cell))?;
-    let start = report.instances.len();
+    let start = composite_offset + report.instances.len();
     for (i, m) in instances.iter().enumerate() {
         let name = format!("{}#{}", cell.name(), start + i);
         let pins: Vec<_> = m

@@ -17,9 +17,10 @@
 //!   and structurally verifying the completed mapping.
 //!
 //! The crate also implements the applications the paper motivates:
-//! transistor→gate [`Extractor`] with a cell library, circuit
-//! [`RuleChecker`]s, and port-symmetry inference for composite device
-//! types ([`port_symmetry_classes`]).
+//! transistor→gate [`Extractor`] with a cell library, iterative
+//! hierarchy reconstruction ([`hier`]), circuit [`RuleChecker`]s, and
+//! port-symmetry inference for composite device types
+//! ([`port_symmetry_classes`]).
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@
 pub mod budget;
 pub mod events;
 mod extract;
+pub mod hier;
 mod instance;
 mod matcher;
 pub mod metrics;

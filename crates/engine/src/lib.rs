@@ -44,6 +44,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
+use subgemini::hier::{Hierarchizer, HierarchyReport};
 use subgemini::{
     find_all, find_all_many, CancelToken, ExplainReport, MatchOptions, MatchOutcome,
     Phase2Scheduler, PrunePolicy, RequestSample, ShardPolicy, Telemetry, TelemetrySnapshot,
@@ -274,6 +275,24 @@ pub struct SurveyRequest<'a> {
     pub options: RequestOptions,
 }
 
+/// A hierarchize request: rebuild the design hierarchy of one flat
+/// circuit by running extraction bottom-up, level by level, to a
+/// fixpoint (paper §I; `subgemini::hier`). The request options lower
+/// through the same [`RequestOptions::lower`] path as every other
+/// request; budget, deadline, prune, and shard settings apply to each
+/// round's searches independently (the budget is declarative, so every
+/// round starts it fresh).
+#[derive(Debug)]
+pub struct HierarchizeRequest<'a> {
+    /// The flat main circuit.
+    pub circuit: CircuitSource<'a>,
+    /// The cell library to rebuild the hierarchy from; upper cells may
+    /// reference lower ones by composite device-type name.
+    pub library: LibrarySource<'a>,
+    /// Per-request options.
+    pub options: RequestOptions,
+}
+
 /// An explain request: a find with the event journal forced on, plus a
 /// rendered [`ExplainReport`].
 #[derive(Debug)]
@@ -333,6 +352,25 @@ pub struct SurveyResponse {
     pub wall_ns: u64,
     /// Deterministic effort spent, summed over the rows.
     pub effort_spent: u64,
+}
+
+/// Response to a hierarchize request.
+#[derive(Clone, Debug)]
+pub struct HierarchizeResponse {
+    /// Name of the flat circuit hierarchized.
+    pub circuit: String,
+    /// Per-level tallies, containment tree, residue, sweep count.
+    pub report: HierarchyReport,
+    /// The hierarchical SPICE deck (`.subckt` per used cell + the
+    /// collapsed top), ready to write to disk or return over HTTP.
+    pub deck: String,
+    /// Rounds run (level-passes summed over sweeps), including the
+    /// final all-quiet sweep that proves the fixpoint.
+    pub rounds: usize,
+    /// The request id the run executed under (one id for all rounds).
+    pub request_id: u64,
+    /// End-to-end wall time of the whole fixpoint run, in nanoseconds.
+    pub wall_ns: u64,
 }
 
 /// Response to an explain request.
@@ -455,6 +493,7 @@ struct EngineCounters {
     find: AtomicU64,
     survey: AtomicU64,
     explain: AtomicU64,
+    hierarchize: AtomicU64,
     truncated: AtomicU64,
 }
 
@@ -519,6 +558,8 @@ pub enum Request<'a> {
     Survey(SurveyRequest<'a>),
     /// Find with the event journal on, plus a distilled report.
     Explain(ExplainRequest<'a>),
+    /// Rebuild a flat circuit's hierarchy bottom-up to a fixpoint.
+    Hierarchize(HierarchizeRequest<'a>),
     /// Registry contents and request counters.
     Status,
 }
@@ -536,6 +577,8 @@ pub enum Response {
     Surveyed(SurveyResponse),
     /// For [`Request::Explain`].
     Explained(Box<ExplainResponse>),
+    /// For [`Request::Hierarchize`].
+    Hierarchized(Box<HierarchizeResponse>),
     /// For [`Request::Status`].
     Status(EngineStatus),
 }
@@ -902,6 +945,72 @@ impl Engine {
         })
     }
 
+    /// Runs a hierarchize request: groups the library into levels,
+    /// then runs extraction bottom-up, level by level, to a fixpoint
+    /// (see `subgemini::hier`), and renders the collapsed top plus the
+    /// used cells as a hierarchical SPICE deck.
+    ///
+    /// One telemetry [`RequestSample`] is folded per *round* (one
+    /// level-pass of one sweep) under endpoint `"hierarchize"`, so the
+    /// rollups expose the per-round latency distribution of the
+    /// fixpoint loop rather than one opaque total; a round whose
+    /// searches stopped early under the budget/deadline/cancel
+    /// settings folds with truncation reason `round_truncated` and
+    /// bumps the `truncated` counter. The lowered budget is
+    /// declarative (effort cap / relative deadline), so every round —
+    /// and every cell search within it — starts it afresh.
+    ///
+    /// # Errors
+    ///
+    /// Unknown registry names, option/artifact problems, and library
+    /// problems (duplicate cells, reference cycles, port-arity
+    /// mismatches, no fixpoint) as [`EngineError::Invalid`].
+    pub fn hierarchize(
+        &self,
+        req: &HierarchizeRequest<'_>,
+    ) -> Result<HierarchizeResponse, EngineError> {
+        self.counters.hierarchize.fetch_add(1, Ordering::Relaxed);
+        let circuit = self.resolve_circuit(&req.circuit)?;
+        let main = circuit.netlist();
+        let library = self.resolve_library(&req.library)?;
+        let (opts, request_id, _metrics_requested) =
+            self.lowered(&req.options, main, circuit.warm())?;
+        let mut hierarchizer =
+            Hierarchizer::new(library.cells()).map_err(|e| EngineError::Invalid(e.to_string()))?;
+        hierarchizer.set_options(opts);
+        let circuit_name = registered_name(&req.circuit);
+        let t0 = Instant::now();
+        let mut rounds = 0usize;
+        let mut round_start = t0;
+        let outcome = hierarchizer
+            .run_observed(main, |round| {
+                rounds += 1;
+                let now = Instant::now();
+                let round_wall = now.duration_since(round_start).as_nanos() as u64;
+                round_start = now;
+                if round.truncated_cells > 0 {
+                    self.counters.truncated.fetch_add(1, Ordering::Relaxed);
+                }
+                let sample = RequestSample {
+                    wall_ns: round_wall,
+                    truncation: (round.truncated_cells > 0).then(|| "round_truncated".to_string()),
+                    ..RequestSample::default()
+                };
+                self.telemetry.fold("hierarchize", circuit_name, &sample);
+            })
+            .map_err(|e| EngineError::Invalid(e.to_string()))?;
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let deck = subgemini_spice::write_hierarchical(&outcome.top, &outcome.used_cells());
+        Ok(HierarchizeResponse {
+            circuit: main.name().to_string(),
+            report: outcome.report,
+            deck,
+            rounds,
+            request_id,
+            wall_ns,
+        })
+    }
+
     /// Registry contents and request counters.
     pub fn status(&self) -> EngineStatus {
         let mut circuits: Vec<CircuitInfo> = self
@@ -933,6 +1042,7 @@ impl Engine {
             ("find", c.find.load(Ordering::Relaxed)),
             ("survey", c.survey.load(Ordering::Relaxed)),
             ("explain", c.explain.load(Ordering::Relaxed)),
+            ("hierarchize", c.hierarchize.load(Ordering::Relaxed)),
             ("truncated", c.truncated.load(Ordering::Relaxed)),
         ];
         EngineStatus {
@@ -959,6 +1069,10 @@ impl Engine {
             Request::Find(r) => self.find(&r).map(Box::new).map(Response::Found),
             Request::Survey(r) => self.survey(&r).map(Response::Surveyed),
             Request::Explain(r) => self.explain(&r).map(Box::new).map(Response::Explained),
+            Request::Hierarchize(r) => self
+                .hierarchize(&r)
+                .map(Box::new)
+                .map(Response::Hierarchized),
             Request::Status => Ok(Response::Status(self.status())),
         }
     }
@@ -1186,6 +1300,85 @@ mod tests {
             panic!("status answers Status");
         };
         assert_eq!(status.circuits.len(), 1);
+    }
+
+    #[test]
+    fn hierarchize_runs_bottom_up_to_fixpoint() {
+        let engine = Engine::new();
+        let chip = gen::hierarchical_chip(3, 3, 200);
+        engine.register_circuit("flatchip", chip.generated.netlist.clone());
+        let resp = engine
+            .hierarchize(&HierarchizeRequest {
+                circuit: CircuitSource::Registered("flatchip"),
+                library: LibrarySource::Inline(&chip.library),
+                options: RequestOptions::default(),
+            })
+            .unwrap();
+        assert_eq!(resp.circuit, "hierarchical_chip");
+        assert_eq!(resp.report.unabsorbed_devices, 0);
+        for (cell, &want) in &chip.expected {
+            assert_eq!(resp.report.count_of(cell), want, "{cell}");
+        }
+        assert!(resp.deck.contains(".subckt pipeline_stage"));
+        // Rounds = levels × sweeps (the last sweep proves quiescence).
+        assert_eq!(resp.rounds, 3 * resp.report.sweeps);
+        let status = engine.status();
+        let get = |k: &str| {
+            status
+                .requests
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("hierarchize"), 1);
+        // One telemetry sample folded per round, against the registered
+        // circuit name.
+        let (_, rollup) = status
+            .telemetry
+            .endpoints
+            .iter()
+            .find(|(name, _)| name == "hierarchize")
+            .expect("hierarchize endpoint rollup");
+        assert_eq!(rollup.requests, resp.rounds as u64);
+        assert!(status
+            .telemetry
+            .circuits
+            .iter()
+            .any(|(name, _)| name == "flatchip"));
+    }
+
+    #[test]
+    fn hierarchize_rejects_cyclic_library() {
+        let engine = Engine::new();
+        let chip = gen::hierarchical_chip(4, 2, 60);
+        engine.register_circuit("flatchip", chip.generated.netlist.clone());
+        // A cell whose only device is its own composite type: a
+        // self-reference cycle the level grouping must reject.
+        let mut looped = Netlist::new("looped");
+        let a = looped.net("a");
+        let y = looped.net("y");
+        looped.mark_port(a);
+        looped.mark_port(y);
+        let ty = looped
+            .add_type(subgemini_netlist::DeviceType::new(
+                "looped",
+                vec![
+                    subgemini_netlist::TerminalSpec::new("a", "a"),
+                    subgemini_netlist::TerminalSpec::new("y", "y"),
+                ],
+            ))
+            .unwrap();
+        looped.add_device("d", ty, &[a, y]).unwrap();
+        let err = engine
+            .hierarchize(&HierarchizeRequest {
+                circuit: CircuitSource::Registered("flatchip"),
+                library: LibrarySource::Inline(std::slice::from_ref(&looped)),
+                options: RequestOptions::default(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Invalid(_)));
+        assert!(err.to_string().contains("cycle"), "{err}");
     }
 
     #[test]

@@ -153,6 +153,25 @@ pub fn load_cell(doc: &Doc, name: &str, label: &str) -> Result<Netlist, String> 
     }
 }
 
+/// Elaborates a named cell keeping one level of structure: `X`
+/// instances of other cells stay composite devices instead of being
+/// inlined. Hierarchy reconstruction needs this — a flat elaboration
+/// erases the reference depth the level grouping is built from.
+///
+/// # Errors
+///
+/// Propagates unknown-cell and elaboration problems.
+pub fn load_cell_hierarchical(doc: &Doc, name: &str, label: &str) -> Result<Netlist, String> {
+    match doc {
+        Doc::Spice(d) => d
+            .elaborate_cell(name, &ElaborateOptions::hierarchical())
+            .map_err(|e| format!("{label}: {e}")),
+        Doc::Verilog(s) => s
+            .elaborate(Some(name), &VerilogOptions::hierarchical())
+            .map_err(|e| format!("{label}: {e}")),
+    }
+}
+
 /// The default circuit name for a path: the file stem, without SPICE
 /// extensions.
 pub fn main_name(path: &str) -> &str {

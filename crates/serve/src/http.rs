@@ -4,7 +4,55 @@
 //! encoding, no keep-alive, no percent-decoding — the API never needs
 //! them).
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+
+/// Cap on the total bytes of the request line plus all headers. A
+/// client streaming an endless header (or one with no newline at all)
+/// used to balloon `read_line`'s buffer without bound — the 16 MiB
+/// body cap only guards bytes *after* the blank line. 16 KiB is far
+/// beyond anything the JSON API sends and matches common server
+/// defaults.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Why a request could not be read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// The request line plus headers exceeded [`MAX_HEADER_BYTES`];
+    /// answered `431 Request Header Fields Too Large`.
+    HeadersTooLarge(String),
+    /// Anything else — malformed framing, oversized body, socket
+    /// problems; answered `400 Bad Request`.
+    Bad(String),
+}
+
+impl ReadError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ReadError::HeadersTooLarge(_) => 431,
+            ReadError::Bad(_) => 400,
+        }
+    }
+
+    /// The front-end-ready message.
+    pub fn message(&self) -> &str {
+        match self {
+            ReadError::HeadersTooLarge(m) | ReadError::Bad(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl From<&str> for ReadError {
+    fn from(m: &str) -> Self {
+        ReadError::Bad(m.to_string())
+    }
+}
 
 /// A parsed request.
 #[derive(Clone, Debug)]
@@ -81,6 +129,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             _ => "Internal Server Error",
         };
         write!(
@@ -96,15 +145,35 @@ impl Response {
     }
 }
 
+/// Reads one `\n`-terminated line, charging its bytes against
+/// `remaining`. The underlying read is capped at `remaining + 1`
+/// bytes, so a line that never ends consumes bounded memory before it
+/// is rejected.
+fn read_capped_line(r: &mut impl BufRead, remaining: &mut usize) -> Result<String, ReadError> {
+    let mut line = String::new();
+    let mut limited = r.by_ref().take(*remaining as u64 + 1);
+    limited
+        .read_line(&mut line)
+        .map_err(|e| ReadError::Bad(e.to_string()))?;
+    if line.len() > *remaining {
+        return Err(ReadError::HeadersTooLarge(format!(
+            "request line and headers exceed the {MAX_HEADER_BYTES}-byte limit"
+        )));
+    }
+    *remaining -= line.len();
+    Ok(line)
+}
+
 /// Reads and parses one request from a buffered stream.
 ///
 /// # Errors
 ///
-/// Malformed request lines/headers, bodies over `max_body` bytes, and
-/// socket errors, as front-end-ready strings.
-pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, String> {
-    let mut line = String::new();
-    r.read_line(&mut line).map_err(|e| e.to_string())?;
+/// Request line + headers over [`MAX_HEADER_BYTES`] as
+/// [`ReadError::HeadersTooLarge`]; malformed framing, bodies over
+/// `max_body` bytes, and socket errors as [`ReadError::Bad`].
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
+    let mut header_budget = MAX_HEADER_BYTES;
+    let line = read_capped_line(r, &mut header_budget)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -128,8 +197,7 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, St
         .collect();
     let mut content_length = 0usize;
     loop {
-        let mut header = String::new();
-        r.read_line(&mut header).map_err(|e| e.to_string())?;
+        let header = read_capped_line(r, &mut header_budget)?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -139,17 +207,18 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, St
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| "bad content-length".to_string())?;
+                    .map_err(|_| ReadError::Bad("bad content-length".to_string()))?;
             }
         }
     }
     if content_length > max_body {
-        return Err(format!(
+        return Err(ReadError::Bad(format!(
             "body of {content_length} bytes exceeds the {max_body}-byte limit"
-        ));
+        )));
     }
     let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body).map_err(|e| e.to_string())?;
+    r.read_exact(&mut body)
+        .map_err(|e| ReadError::Bad(e.to_string()))?;
     Ok(Request {
         method,
         path,
@@ -162,7 +231,7 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, St
 mod tests {
     use super::*;
 
-    fn parse(text: &str) -> Result<Request, String> {
+    fn parse(text: &str) -> Result<Request, ReadError> {
         read_request(&mut text.as_bytes(), 1024)
     }
 
@@ -189,7 +258,33 @@ mod tests {
     #[test]
     fn rejects_oversized_body() {
         let err = parse("POST /x HTTP/1.1\r\ncontent-length: 9999\r\n\r\n").unwrap_err();
-        assert!(err.contains("exceeds"), "{err}");
+        assert!(err.message().contains("exceeds"), "{err}");
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn caps_total_header_bytes() {
+        // One endless header line, never newline-terminated: must be
+        // rejected after a bounded read, not buffered forever.
+        let mut text = String::from("GET /healthz HTTP/1.1\r\nx-junk: ");
+        text.push_str(&"a".repeat(64 * 1024));
+        let err = parse(&text).unwrap_err();
+        assert!(matches!(err, ReadError::HeadersTooLarge(_)), "{err}");
+        assert_eq!(err.status(), 431);
+
+        // Many small headers that sum past the cap hit the same limit.
+        let mut text = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..2048 {
+            text.push_str(&format!("x-h{i}: 0123456789abcdef\r\n"));
+        }
+        text.push_str("\r\n");
+        let err = parse(&text).unwrap_err();
+        assert_eq!(err.status(), 431);
+
+        // A request just under the cap still parses.
+        let mut text = String::from("GET /healthz HTTP/1.1\r\n");
+        text.push_str(&format!("x-pad: {}\r\n\r\n", "b".repeat(8 * 1024)));
+        assert!(parse(&text).is_ok());
     }
 
     #[test]

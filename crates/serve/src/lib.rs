@@ -458,7 +458,7 @@ fn handle_connection(
         }
         Err(e) => {
             state.http_errors.fetch_add(1, Ordering::Relaxed);
-            http::Response::error(400, &e)
+            http::Response::error(e.status(), e.message())
         }
     };
     state.note_response(response.status);

@@ -13,6 +13,7 @@
 //! | POST   | `/v1/find`            | JSON find request           | v1 report + instances |
 //! | POST   | `/v1/survey`          | JSON survey request         | per-cell v1 reports |
 //! | POST   | `/v1/explain`         | JSON find request           | explain report + v1 report |
+//! | POST   | `/v1/hierarchize`     | JSON survey-shaped request  | hierarchy report + hierarchical deck |
 //! | POST   | `/v1/shutdown`        | —                           | ack, then drain |
 //!
 //! Find/survey/explain bodies name a registered circuit (`"circuit":
@@ -36,10 +37,13 @@ use std::sync::Arc;
 use subgemini::metrics::json::{self, Value};
 use subgemini::metrics::{outcome_to_json, REPORT_SCHEMA_VERSION};
 use subgemini::telemetry::prometheus::TextWriter;
-use subgemini_engine::source::{load_cell, main_from_doc, parse_text, SourceKind};
+use subgemini_engine::source::{
+    load_cell, load_cell_hierarchical, main_from_doc, parse_text, SourceKind,
+};
 use subgemini_engine::{
-    CircuitSource, Engine, EngineError, ExplainRequest, FindRequest, FindResponse, LibrarySource,
-    PatternSource, RequestOptions, SurveyRequest, SurveyResponse,
+    CircuitSource, Engine, EngineError, ExplainRequest, FindRequest, FindResponse,
+    HierarchizeRequest, HierarchizeResponse, LibrarySource, PatternSource, RequestOptions,
+    SurveyRequest, SurveyResponse,
 };
 use subgemini_netlist::Netlist;
 
@@ -85,6 +89,9 @@ pub(crate) fn route(
         ("POST", "/v1/survey") => {
             searching(state, |cancel| survey(engine, state, req, cancel, meta))
         }
+        ("POST", "/v1/hierarchize") => searching(state, |cancel| {
+            hierarchize(engine, state, req, cancel, meta)
+        }),
         ("POST", path) if path.starts_with("/v1/circuits/") => {
             register_circuit(engine, req, &path["/v1/circuits/".len()..])
         }
@@ -94,7 +101,7 @@ pub(crate) fn route(
         (
             _,
             "/healthz" | "/metrics" | "/v1/requests" | "/v1/find" | "/v1/survey" | "/v1/explain"
-            | "/v1/shutdown",
+            | "/v1/hierarchize" | "/v1/shutdown",
         ) => Response::error(405, "method not allowed"),
         (_, path) if path.starts_with("/v1/requests/") => {
             Response::error(405, "method not allowed")
@@ -428,15 +435,32 @@ fn register_circuit(engine: &Engine, req: &Request, name: &str) -> Response {
 }
 
 fn cells_from_deck(text: &str, kind: SourceKind, label: &str) -> Result<Vec<Netlist>, String> {
+    cells_from_deck_with(text, kind, label, load_cell)
+}
+
+/// One-level elaboration variant: `X` instances of other cells stay
+/// composite devices, preserving the reference depth the hierarchize
+/// route's level grouping needs.
+fn cells_from_deck_hierarchical(
+    text: &str,
+    kind: SourceKind,
+    label: &str,
+) -> Result<Vec<Netlist>, String> {
+    cells_from_deck_with(text, kind, label, load_cell_hierarchical)
+}
+
+fn cells_from_deck_with(
+    text: &str,
+    kind: SourceKind,
+    label: &str,
+    load: fn(&subgemini_engine::source::Doc, &str, &str) -> Result<Netlist, String>,
+) -> Result<Vec<Netlist>, String> {
     let doc = parse_text(text, kind, label)?;
     let names = doc.cell_names();
     if names.is_empty() {
         return Err(format!("{label}: no cell definitions"));
     }
-    names
-        .iter()
-        .map(|name| load_cell(&doc, name, label))
-        .collect()
+    names.iter().map(|name| load(&doc, name, label)).collect()
 }
 
 fn register_library(engine: &Engine, req: &Request, name: &str) -> Response {
@@ -922,6 +946,19 @@ impl BodyLibrary {
 }
 
 fn library_from(body: &Value) -> Result<BodyLibrary, String> {
+    library_from_with(body, cells_from_deck)
+}
+
+/// [`library_from`] with one-level elaboration of inline decks — see
+/// [`cells_from_deck_hierarchical`].
+fn hierarchical_library_from(body: &Value) -> Result<BodyLibrary, String> {
+    library_from_with(body, cells_from_deck_hierarchical)
+}
+
+fn library_from_with(
+    body: &Value,
+    load: fn(&str, SourceKind, &str) -> Result<Vec<Netlist>, String>,
+) -> Result<BodyLibrary, String> {
     let spec = body
         .get("library")
         .ok_or("body needs a `library` (name or object)")?;
@@ -939,7 +976,7 @@ fn library_from(body: &Value) -> Result<BodyLibrary, String> {
                 })?
             }
         };
-        return cells_from_deck(text, kind, "library").map(BodyLibrary::Inline);
+        return load(text, kind, "library").map(BodyLibrary::Inline);
     }
     Err("library needs a registered name or a `source` deck".into())
 }
@@ -1005,6 +1042,77 @@ fn survey(
                 completeness,
                 &doc,
                 journal,
+            );
+            Response::json(200, doc.pretty())
+        }
+        Err(e) => engine_failure(&e),
+    }
+}
+
+fn hierarchize_response_doc(resp: &HierarchizeResponse) -> Value {
+    Value::Obj(vec![
+        ("circuit".into(), Value::Str(resp.circuit.clone())),
+        ("hierarchy".into(), resp.report.to_json()),
+        ("deck".into(), Value::Str(resp.deck.clone())),
+        ("rounds".into(), Value::int(resp.rounds as u64)),
+        ("request_id".into(), Value::int(resp.request_id)),
+        ("wall_ns".into(), Value::int(resp.wall_ns)),
+    ])
+}
+
+fn hierarchize(
+    engine: &Engine,
+    state: &Arc<ServerState>,
+    req: &Request,
+    cancel: subgemini::CancelToken,
+    meta: &mut RequestMeta,
+) -> Response {
+    let prepared = parse_body(req).and_then(|body| {
+        let circuit = circuit_from(&body)?;
+        // Inline decks keep one level of `X`-instance structure: flat
+        // elaboration (what `library_from` does for find/survey
+        // patterns) would erase the reference depth the level grouping
+        // reconstructs. Registered libraries pass through as stored —
+        // libraries uploaded over HTTP are flattened at registration,
+        // so a full tree needs the library inline in the request.
+        let library = hierarchical_library_from(&body)?;
+        let options = options_from(&body)?;
+        Ok((circuit, library, options))
+    });
+    let (circuit, library, mut options) = match prepared {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, &e),
+    };
+    options.cancel = Some(cancel);
+    let library_label = match &library {
+        BodyLibrary::Named(name) => format!("library:{name}"),
+        BodyLibrary::Inline(_) => "library:(inline)".to_string(),
+    };
+    match engine.hierarchize(&HierarchizeRequest {
+        circuit: circuit.as_source(),
+        library: library.as_source(),
+        options,
+    }) {
+        Ok(resp) => {
+            let truncated = resp.report.levels.iter().any(|l| l.truncated_cells > 0);
+            let completeness = if truncated { "truncated" } else { "complete" };
+            meta.request_id = Some(resp.request_id);
+            meta.circuit = Some(resp.circuit.clone());
+            meta.pattern = Some(library_label.clone());
+            meta.completeness = Some(completeness);
+            let doc = hierarchize_response_doc(&resp);
+            // Hierarchize rounds carry no per-match journals; capture
+            // records the report document alone.
+            maybe_capture(
+                state,
+                "hierarchize",
+                resp.request_id,
+                &resp.circuit,
+                &library_label,
+                resp.wall_ns,
+                completeness,
+                &doc,
+                String::new(),
             );
             Response::json(200, doc.pretty())
         }

@@ -388,3 +388,136 @@ fn shutdown_endpoint_stops_the_server() {
     let report = join.join().unwrap();
     assert_eq!(report.drained, 0);
 }
+
+#[test]
+fn hierarchize_endpoint_reports_planted_levels() {
+    use subgemini_workloads::gen;
+    let chip = gen::hierarchical_chip(2, 3, 250);
+    let engine = Arc::new(Engine::new());
+    engine.register_circuit("flatchip", chip.generated.netlist.clone());
+    engine.register_library("cells", chip.library.clone());
+    let (addr, join, shutdown) = start_server(Arc::clone(&engine), 2);
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/v1/hierarchize",
+        r#"{"circuit": "flatchip", "library": "cells"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = parse_json(&body);
+    // Responses name the netlist itself, same as find/survey.
+    assert_eq!(
+        doc.get("circuit").unwrap().as_str(),
+        Some("hierarchical_chip")
+    );
+    let hier = doc.get("hierarchy").unwrap();
+    assert_eq!(hier.get("unabsorbed_devices").unwrap().as_u64(), Some(0));
+    let levels = hier.get("levels").unwrap().as_arr().unwrap();
+    assert_eq!(levels.len(), 3);
+    // Every planted count survives the HTTP round trip exactly.
+    for level in levels {
+        for row in level.get("cells").unwrap().as_arr().unwrap() {
+            let cell = row.get("cell").unwrap().as_str().unwrap();
+            let found = row.get("found").unwrap().as_u64().unwrap() as usize;
+            assert_eq!(found, chip.expected_count(cell), "cell {cell}");
+        }
+    }
+    let deck = doc.get("deck").unwrap().as_str().unwrap();
+    assert!(deck.contains(".subckt pipeline_stage"), "{deck}");
+    assert!(doc.get("rounds").unwrap().as_u64().unwrap() >= 3);
+    // The route is registered for POST only.
+    let (status, _) = call(addr, "GET", "/v1/hierarchize", "");
+    assert_eq!(status, 405);
+    shutdown();
+    assert_eq!(join.join().unwrap().drained, 0);
+}
+
+#[test]
+fn hierarchize_elaborates_inline_libraries_hierarchically() {
+    // Regression: an inline library deck used to be flat-elaborated
+    // like a find/survey pattern library, inlining a level-2 cell's
+    // `X` instances to transistors — the level grouping then saw one
+    // flat level and reported top-level counts only. The deck must
+    // keep its `X` structure so the full tree comes back.
+    let deck = "\
+.global vdd gnd
+.subckt inv a y
+mp1 y a vdd pmos
+mn1 y a gnd nmos
+.ends
+.subckt buf2 a y
+xu1 a m inv
+xu2 m y inv
+.ends
+";
+    let flat = "\
+.global vdd gnd
+mp1 w0 in vdd pmos
+mn1 w0 in gnd nmos
+mp2 out w0 vdd pmos
+mn2 out w0 gnd nmos
+";
+    let engine = Arc::new(Engine::new());
+    let (addr, join, shutdown) = start_server(Arc::clone(&engine), 2);
+    let (status, body) = call(addr, "POST", "/v1/circuits/flat", flat);
+    assert_eq!(status, 200, "{body}");
+    let req = format!(
+        r#"{{"circuit": "flat", "library": {{"source": "{}"}}}}"#,
+        deck.replace('\n', "\\n")
+    );
+    let (status, body) = call(addr, "POST", "/v1/hierarchize", &req);
+    assert_eq!(status, 200, "{body}");
+    let doc = parse_json(&body);
+    let hier = doc.get("hierarchy").unwrap();
+    let levels = hier.get("levels").unwrap().as_arr().unwrap();
+    assert_eq!(levels.len(), 2, "{body}");
+    let count = |lvl: &json::Value, cell: &str| {
+        lvl.get("cells")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|r| r.get("cell").unwrap().as_str() == Some(cell))
+            .map(|r| r.get("found").unwrap().as_u64().unwrap())
+    };
+    assert_eq!(count(&levels[0], "inv"), Some(2));
+    assert_eq!(count(&levels[1], "buf2"), Some(1));
+    assert_eq!(hier.get("unabsorbed_devices").unwrap().as_u64(), Some(0));
+    shutdown();
+    assert_eq!(join.join().unwrap().drained, 0);
+}
+
+#[test]
+fn oversized_headers_get_431_over_the_socket() {
+    // Regression: an endless header used to grow the server's line
+    // buffer without bound. Now it must answer 431 after a bounded
+    // read instead of buffering the whole stream.
+    let (addr, join, shutdown) = start_server(Arc::new(Engine::new()), 2);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Send exactly one byte past the header cap with no terminating
+    // newline: enough to trip the limit, while leaving no unread bytes
+    // behind (a close over unread data would RST the client and
+    // discard the very response we are asserting on).
+    let request_line = "GET /healthz HTTP/1.1\r\n";
+    let header_prefix = "x-junk: ";
+    let filler_len =
+        subgemini_serve::http::MAX_HEADER_BYTES + 1 - request_line.len() - header_prefix.len();
+    write!(stream, "{request_line}{header_prefix}").unwrap();
+    stream.write_all(&vec![b'a'; filler_len]).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    assert!(
+        raw.starts_with("HTTP/1.1 431 "),
+        "expected 431 status line, got: {}",
+        raw.lines().next().unwrap_or("")
+    );
+    drop(stream);
+    // The server stays healthy for well-formed requests afterwards.
+    let (status, _) = call(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    shutdown();
+    join.join().unwrap();
+}

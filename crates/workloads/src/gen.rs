@@ -120,6 +120,8 @@ pub mod streams {
     pub const MIXED_SIGNAL: u64 = 3;
     /// [`super::tiled_chip`]'s per-tile master stream.
     pub const TILED_CHIP: u64 = 4;
+    /// [`super::hierarchical_chip`]'s stream.
+    pub const HIERARCHICAL_CHIP: u64 = 5;
 }
 
 /// A chain of `n` inverters: `in -> w0 -> … -> w(n-1)`.
@@ -584,6 +586,295 @@ pub fn tiled_chip(seed: u64, target_devices: usize) -> Generated {
     g
 }
 
+/// A flattened multi-level design plus its exact per-level ground
+/// truth, produced by [`hierarchical_chip`].
+#[derive(Clone, Debug)]
+pub struct HierarchicalChip {
+    /// The flat transistor netlist and the *top-level* planted block
+    /// counts (a planted `pipeline_stage` counts once here, not as its
+    /// constituent gates).
+    pub generated: Generated,
+    /// The hierarchical cell library — lower cells referenced through
+    /// naive composite device types, the same shape a parsed SPICE
+    /// `X`-card hierarchy produces — suitable for `subgemini::hier`.
+    pub library: Vec<Netlist>,
+    /// Exact instance counts a full bottom-up extraction finds per
+    /// cell: top-level plants plus every nested occurrence (each
+    /// `pipeline_stage` contributes 2 `xor_nand`, each `xor_nand` 4
+    /// `nand2`, and so on).
+    pub expected: BTreeMap<String, usize>,
+    /// Cell names grouped by hierarchy level; index 0 is level 1
+    /// (transistor-level cells).
+    pub level_cells: Vec<Vec<String>>,
+}
+
+impl HierarchicalChip {
+    /// Expected extracted-instance count for `cell` (0 if absent).
+    pub fn expected_count(&self, cell: &str) -> usize {
+        self.expected.get(cell).copied().unwrap_or(0)
+    }
+}
+
+/// Nested cell instances inside each multi-level cell definition: the
+/// direct children only (the recursion in [`hierarchical_chip`]'s
+/// expected-count propagation walks the rest).
+fn hier_contributions(cell: &str) -> &'static [(&'static str, usize)] {
+    match cell {
+        "xor_nand" => &[("nand2", 4)],
+        "mux_nand" => &[("inv", 1), ("nand2", 3)],
+        "pipeline_stage" => &[("xor_nand", 2), ("mux_nand", 1), ("nor2", 1)],
+        _ => &[],
+    }
+}
+
+/// A naive composite device type for `cell`: one terminal per port,
+/// each terminal's symmetry class set to the port's own name. This is
+/// exactly what SPICE `X`-card parsing mints for a subcircuit call —
+/// the hierarchizer normalizes these to canonical composite types
+/// before matching.
+fn naive_composite(cell: &Netlist) -> subgemini_netlist::DeviceType {
+    use subgemini_netlist::TerminalSpec;
+    let terms = cell
+        .ports()
+        .iter()
+        .map(|&p| {
+            let n = cell.net_ref(p).name();
+            TerminalSpec::new(n, n)
+        })
+        .collect();
+    subgemini_netlist::DeviceType::new(cell.name(), terms)
+}
+
+/// Level-2 XOR built from four NAND2 references. Ports: `a b y`.
+fn ref_xor_nand() -> Netlist {
+    let mut c = Netlist::new("xor_nand");
+    let nand = c
+        .add_type(naive_composite(&cells::nand2()))
+        .expect("fresh type");
+    let (a, b, y) = (c.net("a"), c.net("b"), c.net("y"));
+    c.mark_port(a);
+    c.mark_port(b);
+    c.mark_port(y);
+    let (n1, n2, n3) = (c.net("n1"), c.net("n2"), c.net("n3"));
+    c.add_device("g1", nand, &[a, b, n1]).expect("unique names");
+    c.add_device("g2", nand, &[a, n1, n2])
+        .expect("unique names");
+    c.add_device("g3", nand, &[b, n1, n3])
+        .expect("unique names");
+    c.add_device("g4", nand, &[n2, n3, y])
+        .expect("unique names");
+    c
+}
+
+/// Level-2 2:1 mux from an inverter and three NAND2s. Ports:
+/// `a b s y` (selects `a` when `s` is low).
+fn ref_mux_nand() -> Netlist {
+    let mut c = Netlist::new("mux_nand");
+    let inv = c
+        .add_type(naive_composite(&cells::inv()))
+        .expect("fresh type");
+    let nand = c
+        .add_type(naive_composite(&cells::nand2()))
+        .expect("fresh type");
+    let (a, b, s, y) = (c.net("a"), c.net("b"), c.net("s"), c.net("y"));
+    for p in [a, b, s, y] {
+        c.mark_port(p);
+    }
+    let (sb, n1, n2) = (c.net("sb"), c.net("n1"), c.net("n2"));
+    c.add_device("i1", inv, &[s, sb]).expect("unique names");
+    c.add_device("g1", nand, &[a, sb, n1])
+        .expect("unique names");
+    c.add_device("g2", nand, &[b, s, n2]).expect("unique names");
+    c.add_device("g3", nand, &[n1, n2, y])
+        .expect("unique names");
+    c
+}
+
+/// Level-3 datapath block: two XORs (a half sum chain), a bypass mux,
+/// and an enable NOR. Ports: `a b cin sel en y`.
+fn ref_pipeline_stage() -> Netlist {
+    let mut c = Netlist::new("pipeline_stage");
+    let xor = c
+        .add_type(naive_composite(&ref_xor_nand()))
+        .expect("fresh type");
+    let mux = c
+        .add_type(naive_composite(&ref_mux_nand()))
+        .expect("fresh type");
+    let nor = c
+        .add_type(naive_composite(&cells::nor2()))
+        .expect("fresh type");
+    let (a, b, cin, sel, en, y) = (
+        c.net("a"),
+        c.net("b"),
+        c.net("cin"),
+        c.net("sel"),
+        c.net("en"),
+        c.net("y"),
+    );
+    for p in [a, b, cin, sel, en, y] {
+        c.mark_port(p);
+    }
+    let (s1, s2, m) = (c.net("s1"), c.net("s2"), c.net("m"));
+    c.add_device("x1", xor, &[a, b, s1]).expect("unique names");
+    c.add_device("x2", xor, &[s1, cin, s2])
+        .expect("unique names");
+    c.add_device("m1", mux, &[s1, s2, sel, m])
+        .expect("unique names");
+    c.add_device("n1", nor, &[m, en, y]).expect("unique names");
+    c
+}
+
+/// The hierarchical cell library for [`hierarchical_chip`] designs,
+/// trimmed to `levels` (clamped to 1..=3): level 1 is flat CMOS
+/// (`inv`/`nand2`/`nor2`), level 2 adds `xor_nand`/`mux_nand` built
+/// over NAND2/inv references, level 3 adds `pipeline_stage` over the
+/// level-2 blocks. Upper cells reference lower ones through naive
+/// composite types ([`naive_composite`]'s shape), matching what a
+/// parsed hierarchical SPICE deck provides.
+pub fn hierarchical_library(levels: usize) -> Vec<Netlist> {
+    let levels = levels.clamp(1, 3);
+    let mut lib = vec![cells::inv(), cells::nand2(), cells::nor2()];
+    if levels >= 2 {
+        lib.push(ref_xor_nand());
+        lib.push(ref_mux_nand());
+    }
+    if levels >= 3 {
+        lib.push(ref_pipeline_stage());
+    }
+    lib
+}
+
+/// Flat (transistor-level) elaboration of `cell` from the
+/// [`hierarchical_library`], used for planting: upper-level reference
+/// cells are expanded by stamping lower flat cells through
+/// [`instantiate`], so the chip netlist never contains a composite
+/// device.
+fn flat_hier_cell(name: &str) -> Netlist {
+    match name {
+        "inv" => cells::inv(),
+        "nand2" => cells::nand2(),
+        "nor2" => cells::nor2(),
+        _ => {
+            let reference = match name {
+                "xor_nand" => ref_xor_nand(),
+                "mux_nand" => ref_mux_nand(),
+                "pipeline_stage" => ref_pipeline_stage(),
+                other => unreachable!("unknown hierarchical cell {other}"),
+            };
+            let mut flat = Netlist::new(name);
+            // Recreate the reference cell's nets (ports in order), then
+            // stamp each composite reference as a flat sub-elaboration.
+            let mut ids: BTreeMap<String, NetId> = BTreeMap::new();
+            for &p in reference.ports() {
+                let n = reference.net_ref(p).name().to_string();
+                let id = flat.net(n.clone());
+                flat.mark_port(id);
+                ids.insert(n, id);
+            }
+            for d in reference.device_ids() {
+                let dev = reference.device(d);
+                let child = flat_hier_cell(reference.device_type(dev.type_id()).name());
+                let bindings: Vec<NetId> = dev
+                    .pins()
+                    .iter()
+                    .map(|&pin| {
+                        let n = reference.net_ref(pin).name().to_string();
+                        *ids.entry(n.clone()).or_insert_with(|| flat.net(n))
+                    })
+                    .collect();
+                instantiate(&mut flat, &child, dev.name(), &bindings)
+                    .expect("reference arity matches child ports");
+            }
+            flat
+        }
+    }
+}
+
+/// A flattened multi-level design — transistors → gates → datapath
+/// blocks — with exact planted ground truth per level, grown until the
+/// transistor count reaches `target_devices` (and at least one of each
+/// palette cell exists). `levels` (clamped 1..=3) bounds the tallest
+/// planted block. Every block input draws from a shared primary-input
+/// pool and every output drives a fresh net that is *never* consumed
+/// downstream, so no accidental cell instance can form across block
+/// boundaries: the extraction counts in
+/// [`HierarchicalChip::expected`] are exact, not statistical.
+pub fn hierarchical_chip(seed: u64, levels: usize, target_devices: usize) -> HierarchicalChip {
+    let levels = levels.clamp(1, 3);
+    let mut palette = vec!["inv", "nand2", "nor2"];
+    if levels >= 2 {
+        palette.extend(["xor_nand", "mux_nand"]);
+    }
+    if levels >= 3 {
+        palette.push("pipeline_stage");
+    }
+    let flats: Vec<Netlist> = palette.iter().map(|n| flat_hier_cell(n)).collect();
+    let mut rng = Rng64::new(Generated::child_seed(seed, streams::HIERARCHICAL_CHIP));
+    let mut g = Generated::new("hierarchical_chip");
+    // Inputs only: unlike random_soup, outputs never join the pool, so
+    // blocks never chain and the planted counts stay exact.
+    let pool: Vec<NetId> = (0..8.max(target_devices / 64))
+        .map(|i| g.netlist.net(format!("pi{i}")))
+        .collect();
+    let mut i = 0usize;
+    while g.netlist.device_count() < target_devices || i < flats.len() {
+        // First pass covers the palette once so every cell appears even
+        // in tiny chips; after that the pick is seeded-random.
+        let cell = if i < flats.len() {
+            &flats[i]
+        } else {
+            &flats[rng.index(flats.len())]
+        };
+        let nports = cell.ports().len();
+        let mut bindings: Vec<NetId> = Vec::with_capacity(nports);
+        for p in 0..nports {
+            if p == nports - 1 {
+                bindings.push(g.netlist.net(format!("o{i}")));
+            } else {
+                let pick = loop {
+                    let cand = pool[rng.index(pool.len())];
+                    if !bindings.contains(&cand) {
+                        break cand;
+                    }
+                };
+                bindings.push(pick);
+            }
+        }
+        g.plant(cell, &format!("u{i}"), &bindings);
+        i += 1;
+    }
+    g.netlist = g.netlist.compact();
+    // Propagate top-level plants down the containment tree, highest
+    // level first, so nested blocks contribute transitively.
+    let mut expected = g.planted.clone();
+    for name in ["pipeline_stage", "mux_nand", "xor_nand"] {
+        let n = expected.get(name).copied().unwrap_or(0);
+        if n == 0 {
+            continue;
+        }
+        for &(child, k) in hier_contributions(name) {
+            *expected.entry(child.to_string()).or_insert(0) += n * k;
+        }
+    }
+    let mut level_cells = vec![vec![
+        "inv".to_string(),
+        "nand2".to_string(),
+        "nor2".to_string(),
+    ]];
+    if levels >= 2 {
+        level_cells.push(vec!["xor_nand".to_string(), "mux_nand".to_string()]);
+    }
+    if levels >= 3 {
+        level_cells.push(vec!["pipeline_stage".to_string()]);
+    }
+    HierarchicalChip {
+        generated: g,
+        library: hierarchical_library(levels),
+        expected,
+        level_cells,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,6 +965,93 @@ mod tests {
         // Overwhelmingly likely to differ.
         assert!(a.planted != c.planted || a.netlist.net_count() != c.netlist.net_count());
         a.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn hierarchical_chip_is_deterministic_with_exact_expectations() {
+        let a = hierarchical_chip(11, 3, 400);
+        let b = hierarchical_chip(11, 3, 400);
+        assert_eq!(a.generated.planted, b.generated.planted);
+        assert_eq!(a.expected, b.expected);
+        assert_eq!(
+            a.generated.netlist.device_count(),
+            b.generated.netlist.device_count()
+        );
+        a.generated.netlist.validate().unwrap();
+        assert!(a.generated.netlist.device_count() >= 400);
+        // Every palette cell appears at least once.
+        for cell in [
+            "inv",
+            "nand2",
+            "nor2",
+            "xor_nand",
+            "mux_nand",
+            "pipeline_stage",
+        ] {
+            assert!(a.generated.planted_count(cell) >= 1, "{cell} missing");
+        }
+        let c = hierarchical_chip(12, 3, 400);
+        assert!(a.generated.planted != c.generated.planted || a.expected != c.expected);
+    }
+
+    #[test]
+    fn hierarchical_chip_expected_counts_include_containment() {
+        let chip = hierarchical_chip(5, 3, 300);
+        let p = |c: &str| chip.generated.planted_count(c);
+        let pipe = p("pipeline_stage");
+        let xor = p("xor_nand") + 2 * pipe;
+        let mux = p("mux_nand") + pipe;
+        assert_eq!(chip.expected_count("pipeline_stage"), pipe);
+        assert_eq!(chip.expected_count("xor_nand"), xor);
+        assert_eq!(chip.expected_count("mux_nand"), mux);
+        assert_eq!(chip.expected_count("nor2"), p("nor2") + pipe);
+        assert_eq!(chip.expected_count("nand2"), p("nand2") + 4 * xor + 3 * mux);
+        assert_eq!(chip.expected_count("inv"), p("inv") + mux);
+        // The flat device count is fully explained by the plants.
+        let flat_sizes: BTreeMap<&str, usize> = [
+            ("inv", 2),
+            ("nand2", 4),
+            ("nor2", 4),
+            ("xor_nand", 16),
+            ("mux_nand", 14),
+            ("pipeline_stage", 50),
+        ]
+        .into_iter()
+        .collect();
+        let total: usize = chip
+            .generated
+            .planted
+            .iter()
+            .map(|(cell, n)| flat_sizes[cell.as_str()] * n)
+            .sum();
+        assert_eq!(chip.generated.netlist.device_count(), total);
+    }
+
+    #[test]
+    fn hierarchical_library_levels_and_references() {
+        assert_eq!(hierarchical_library(1).len(), 3);
+        assert_eq!(hierarchical_library(2).len(), 5);
+        let lib = hierarchical_library(3);
+        assert_eq!(lib.len(), 6);
+        let pipe = lib.iter().find(|c| c.name() == "pipeline_stage").unwrap();
+        let ty_names: Vec<&str> = pipe.device_types().iter().map(|t| t.name()).collect();
+        assert!(ty_names.contains(&"xor_nand"));
+        assert!(ty_names.contains(&"mux_nand"));
+        assert!(ty_names.contains(&"nor2"));
+        // Level-2 cells reference level-1 by type name with port arity.
+        let xor = lib.iter().find(|c| c.name() == "xor_nand").unwrap();
+        let nand_ty = xor
+            .device_types()
+            .iter()
+            .find(|t| t.name() == "nand2")
+            .unwrap();
+        assert_eq!(nand_ty.terminal_count(), 3);
+        for cell in &lib {
+            cell.validate().unwrap();
+        }
+        // Levels clamp: 0 and 9 behave as 1 and 3.
+        assert_eq!(hierarchical_library(0).len(), 3);
+        assert_eq!(hierarchical_library(9).len(), 6);
     }
 
     #[test]

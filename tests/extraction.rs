@@ -131,3 +131,69 @@ fn mixed_logic_block_extracts_fully() {
     assert_eq!(report.unabsorbed_devices, 0);
     assert_eq!(gates.device_count(), 5);
 }
+
+#[test]
+fn unabsorbed_count_ignores_colliding_type_names() {
+    // Regression: `unabsorbed_devices` used to compare device *type*
+    // names against library cell names, so a main device whose type
+    // merely shares a cell's name — the normal state of a partially
+    // extracted netlist fed back in — was silently counted as
+    // absorbed. Now only composites created by the run itself count.
+    use subgemini_netlist::Netlist;
+    let mut flat = Netlist::new("collide");
+    for i in 0..2 {
+        let a = flat.net(format!("a{i}"));
+        let y = flat.net(format!("y{i}"));
+        subgemini_netlist::instantiate(&mut flat, &cells::inv(), &format!("u{i}"), &[a, y])
+            .unwrap();
+    }
+    let mut extractor = Extractor::new();
+    extractor.add_cell(cells::inv());
+    let (gates, report) = extractor.extract(&flat).unwrap();
+    assert_eq!(report.count_of("inv"), 2);
+    assert_eq!(report.unabsorbed_devices, 0);
+
+    // Round 2, re-entrant: two fresh raw inverters alongside the two
+    // round-1 composites, whose type name (`inv`) collides with the
+    // library cell. The offset keeps round-2 composite names clear of
+    // round 1's.
+    let mut evolved = gates.clone();
+    for i in 0..2 {
+        let a = evolved.net(format!("b{i}"));
+        let y = evolved.net(format!("z{i}"));
+        subgemini_netlist::instantiate(&mut evolved, &cells::inv(), &format!("v{i}"), &[a, y])
+            .unwrap();
+    }
+    extractor.set_composite_offset(report.instances.len());
+    let (gates2, report2) = extractor.extract(&evolved).unwrap();
+    assert_eq!(report2.count_of("inv"), 2, "only the raw pair matches");
+    // The two round-1 composites survive and are residue of *this*
+    // run; the buggy name comparison reported 0 here.
+    assert_eq!(report2.unabsorbed_devices, 2, "{report2:?}");
+    assert_eq!(gates2.device_count(), 4);
+}
+
+#[test]
+fn extract_metrics_cell_timer_matches_outcome_total() {
+    // Regression: the per-cell wall clock was read from the timer twice
+    // (once for the outcome's `total_ns`, once for `match_ns`), so the
+    // two reports of the same quantity always disagreed.
+    let adder = gen::ripple_adder(4);
+    let mut extractor = full_library_extractor();
+    extractor.set_options(subgemini::MatchOptions {
+        collect_metrics: true,
+        ..subgemini::MatchOptions::extraction()
+    });
+    let (_, report) = extractor.extract(&adder.netlist).unwrap();
+    let metrics = report.metrics.as_ref().expect("metrics requested");
+    assert!(!metrics.cells.is_empty());
+    for cm in &metrics.cells {
+        let inner = cm.match_metrics.as_ref().expect("per-match metrics");
+        assert_eq!(
+            cm.match_ns, inner.total_ns,
+            "cell {}: extractor and match report disagree on the same timer",
+            cm.cell
+        );
+    }
+    assert!(metrics.total_ns >= metrics.cells.iter().map(|c| c.match_ns).sum::<u64>());
+}

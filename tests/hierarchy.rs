@@ -79,6 +79,107 @@ fn hierarchical_deck_is_humanly_structured() {
 }
 
 #[test]
+fn hierarchize_recovers_planted_hierarchy_per_level() {
+    let chip = gen::hierarchical_chip(1, 3, 400);
+    let outcome = subgemini::hier::hierarchize(
+        &chip.generated.netlist,
+        &chip.library,
+        &subgemini::MatchOptions::extraction(),
+    )
+    .unwrap();
+    assert_eq!(outcome.report.unabsorbed_devices, 0);
+    assert_eq!(outcome.report.levels.len(), 3);
+    for (i, cells) in chip.level_cells.iter().enumerate() {
+        let level = &outcome.report.levels[i];
+        assert_eq!(level.level, i + 1);
+        for cell in cells {
+            let found = level
+                .per_cell
+                .iter()
+                .find(|(name, _)| name == cell)
+                .map(|(_, n)| *n)
+                .unwrap_or(0);
+            assert_eq!(
+                found,
+                chip.expected_count(cell),
+                "level {} cell {cell}: found != planted",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn hierarchize_roundtrip_is_isomorphic_across_seeds() {
+    for seed in 0..32u64 {
+        let chip = gen::hierarchical_chip(seed, 3, 250);
+        let flat = &chip.generated.netlist;
+        let outcome = subgemini::hier::hierarchize(
+            flat,
+            &chip.library,
+            &subgemini::MatchOptions::extraction(),
+        )
+        .unwrap();
+        assert_eq!(
+            outcome.report.unabsorbed_devices, 0,
+            "seed {seed}: residue left behind"
+        );
+        for (cell, &want) in &chip.expected {
+            assert_eq!(
+                outcome.report.count_of(cell),
+                want,
+                "seed {seed}: count for {cell}"
+            );
+        }
+        let deck = write_hierarchical(&outcome.top, &outcome.used_cells());
+        let doc = parse(&deck).unwrap();
+        let reflattened = doc
+            .elaborate_top(flat.name(), &ElaborateOptions::default())
+            .unwrap();
+        let cmp = compare(flat, &reflattened);
+        assert!(
+            cmp.is_isomorphic(),
+            "seed {seed}: roundtrip diverged: {:?}",
+            cmp.mismatch()
+        );
+    }
+}
+
+#[test]
+fn hierarchize_bytes_are_runtime_config_invariant() {
+    use subgemini::{MatchOptions, Phase2Scheduler, ShardPolicy};
+    let chip = gen::hierarchical_chip(9, 3, 300);
+    let flat = &chip.generated.netlist;
+    let mut golden: Option<(String, String)> = None;
+    for threads in [1usize, 2, 8] {
+        for scheduler in [Phase2Scheduler::WorkStealing, Phase2Scheduler::StaticChunks] {
+            for shards in [ShardPolicy::Off, ShardPolicy::Count(2)] {
+                let mut options = MatchOptions::extraction();
+                options.threads = threads;
+                options.scheduler = scheduler;
+                options.shards = shards;
+                let outcome = subgemini::hier::hierarchize(flat, &chip.library, &options).unwrap();
+                let report = outcome.report.to_json().pretty();
+                let deck = write_hierarchical(&outcome.top, &outcome.used_cells());
+                match &golden {
+                    None => golden = Some((report, deck)),
+                    Some((r, d)) => {
+                        assert_eq!(
+                            r, &report,
+                            "report drifted at threads={threads} {scheduler:?} {shards:?}"
+                        );
+                        assert_eq!(
+                            d, &deck,
+                            "deck drifted at threads={threads} {scheduler:?} {shards:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn hierarchical_mode_match_on_gate_level() {
     // After extraction, match at the *gate* level: find dff composites
     // in the hierarchical netlist using a composite pattern.
